@@ -1,0 +1,57 @@
+//! E7 — emulation-overhead ablation (motivated by §2: ULE restores
+//! "without any overhead" at query time because only *decoding* is
+//! emulated; this bench quantifies the decode-time cost ladder):
+//!
+//! * native Rust LZSS decode,
+//! * the same decoder as DynaRisc instructions on the DynaRisc VM,
+//! * the same binary under the nested VeRisc → DynaRisc emulator.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use ule_compress::{compress, Scheme};
+use ule_dynarisc::{layout, programs::dbdecode, Vm};
+use ule_verisc::vm::EngineKind;
+use ule_verisc::NestedEmulator;
+
+fn emulation_overhead(c: &mut Criterion) {
+    // A 4 KB slice of the TPC-H dump keeps the nested tier measurable.
+    let dump = ule_tpch::dump_for_scale(0.0002, 42);
+    let data = &dump[..4096];
+    let archive = compress(Scheme::Lzss, data);
+    let (mem, out_base) = layout::build_memory(&archive, data.len(), &[]);
+    let program = dbdecode::program();
+
+    let mut g = c.benchmark_group("e7_decode_tiers");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(data.len() as u64));
+
+    g.bench_function("tier0_native_rust", |b| {
+        b.iter(|| black_box(ule_compress::decompress(black_box(&archive)).unwrap()))
+    });
+
+    g.bench_function("tier1_dynarisc_vm", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(program.clone(), mem.clone());
+            vm.run(100_000_000).unwrap();
+            black_box(layout::read_output(&vm.mem, out_base))
+        })
+    });
+
+    for kind in EngineKind::ALL {
+        g.bench_function(format!("tier2_nested_verisc({})", kind.name()), |b| {
+            b.iter(|| {
+                let mut emu = NestedEmulator::new(&program, &mem);
+                emu.run(kind, 100_000_000_000).unwrap();
+                black_box(emu.dyn_mem())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = emulation_overhead
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E2/E3 — §4 "Microfilm archive" and "Cinema film archive": the 102 KB
+//! payload through the 16 mm (bitonal, 1.28× scan) and 35 mm (2K write,
+//! 4K grayscale scan) pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use ule_emblem::{decode_emblem, encode_emblem, EmblemHeader, EmblemKind};
+use ule_media::Medium;
+
+fn film(c: &mut Criterion, medium: &Medium, tag: &str) {
+    let geom = medium.geometry;
+    let payload = ule_bench::random_payload(geom.payload_capacity(), 3);
+    let header =
+        EmblemHeader::new(EmblemKind::Data, 0, 0, payload.len() as u32, payload.len() as u32);
+    let mut g = c.benchmark_group(tag);
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("write_frame", |b| {
+        b.iter(|| black_box(medium.print(&encode_emblem(&geom, &header, black_box(&payload)))))
+    });
+    let frame = medium.print(&encode_emblem(&geom, &header, &payload));
+    g.bench_function("scan_frame", |b| b.iter(|| black_box(medium.scan(black_box(&frame), 9))));
+    let scan = medium.scan(&frame, 9);
+    g.bench_function("decode_scan", |b| {
+        b.iter(|| {
+            let (_, p, _) = decode_emblem(&geom, black_box(&scan)).unwrap();
+            black_box(p)
+        })
+    });
+    g.finish();
+}
+
+fn film_media(c: &mut Criterion) {
+    film(c, &Medium::microfilm_16mm(), "e2_microfilm_16mm");
+    film(c, &Medium::cinema_35mm(), "e3_cinema_35mm");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = film_media
+}
+criterion_main!(benches);

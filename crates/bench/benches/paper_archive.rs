@@ -1,0 +1,59 @@
+//! E1 — §4 "Paper archive": TPC-H dump → A4 600 dpi emblems and back.
+//! Criterion measures the per-stage throughput; the absolute emblem
+//! counts and densities are reported by `cargo run -p ule-bench --bin
+//! report` and recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use ule_emblem::{decode_emblem, encode_emblem, EmblemGeometry, EmblemHeader, EmblemKind};
+use ule_media::Medium;
+
+fn paper_archive(c: &mut Criterion) {
+    let geom = EmblemGeometry::paper_a4_600dpi();
+    let medium = Medium::paper_a4_600dpi();
+    let payload = ule_bench::random_payload(geom.payload_capacity(), 17);
+    let header =
+        EmblemHeader::new(EmblemKind::Data, 0, 0, payload.len() as u32, payload.len() as u32);
+
+    let mut g = c.benchmark_group("e1_paper");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(payload.len() as u64));
+    g.bench_function("encode_emblem(A4@600dpi, ~49KB)", |b| {
+        b.iter(|| black_box(encode_emblem(&geom, &header, black_box(&payload))))
+    });
+
+    let emblem = encode_emblem(&geom, &header, &payload);
+    g.bench_function("print+scan(A4 laser model)", |b| {
+        b.iter(|| black_box(medium.scan(&medium.print(black_box(&emblem)), 5)))
+    });
+
+    let scan = medium.scan(&medium.print(&emblem), 5);
+    g.bench_function("decode_emblem(degraded A4 scan)", |b| {
+        b.iter(|| {
+            let (_, p, _) = decode_emblem(&geom, black_box(&scan)).unwrap();
+            black_box(p)
+        })
+    });
+    g.finish();
+
+    // DBCoder on the real TPC-H dump (the paper's input artifact).
+    let dump = ule_tpch::dump_for_scale(0.0002, 42);
+    let mut g = c.benchmark_group("e1_dbcoder");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(dump.len() as u64));
+    g.bench_function("lzss_compress(tpch dump)", |b| {
+        b.iter(|| black_box(ule_compress::compress(ule_compress::Scheme::Lzss, black_box(&dump))))
+    });
+    let arc = ule_compress::compress(ule_compress::Scheme::Lzss, &dump);
+    g.bench_function("lzss_decompress(tpch dump)", |b| {
+        b.iter(|| black_box(ule_compress::decompress(black_box(&arc)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = paper_archive
+}
+criterion_main!(benches);

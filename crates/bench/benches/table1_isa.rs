@@ -1,0 +1,116 @@
+//! T1 — Table 1 (the DynaRisc ISA): execution cost per instruction class
+//! on the native VM, plus a full-ISA coverage program. Regenerates the
+//! table's row structure (arithmetic / logical / control-data) as bench
+//! groups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use ule_dynarisc::{Asm, Vm};
+
+/// A loop executing `body` 256 times (counter in R15).
+fn looped(body: impl Fn(&mut Asm)) -> Vec<u16> {
+    let mut a = Asm::new();
+    a.ldi(15, 256);
+    let top = a.here();
+    body(&mut a);
+    a.subi(15, 1);
+    a.jnz(top);
+    a.ret();
+    a.finish()
+}
+
+fn bench_class(c: &mut Criterion, name: &str, program: Vec<u16>, mem: usize) {
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(black_box(program.clone()), vec![0u8; mem]);
+            vm.run(1_000_000).unwrap();
+            black_box(vm.steps())
+        })
+    });
+}
+
+fn table1(c: &mut Criterion) {
+    bench_class(
+        c,
+        "table1/arithmetic(ADD,ADC,SUB,SBB,CMP,MUL)",
+        looped(|a| {
+            a.add(0, 1);
+            a.adci(0, 3);
+            a.sub(1, 2);
+            a.sbbi(1, 1);
+            a.cmp(0, 1);
+            a.mul(2, 3);
+        }),
+        64,
+    );
+    bench_class(
+        c,
+        "table1/logical(AND,OR,XOR,LSL,LSR,ASR,ROR)",
+        looped(|a| {
+            a.and(0, 1);
+            a.or(1, 2);
+            a.xor(2, 3);
+            a.lsl_i(0, 3);
+            a.lsr_i(1, 2);
+            a.asr_i(2, 1);
+            a.ror_i(3, 4);
+        }),
+        64,
+    );
+    bench_class(
+        c,
+        "table1/control-data(MOVE,LDI,LDM,STM,JUMP)",
+        looped(|a| {
+            a.ldi(0, 0xAB);
+            a.move_r(1, 0);
+            a.ldi_d(0, 16);
+            a.stm_byte(1, 0);
+            a.ldm_byte(2, 0);
+        }),
+        64,
+    );
+    // Full coverage: every one of the 23 opcodes at least once.
+    let mut a = Asm::new();
+    let sub = a.label();
+    a.ldi(0, 7);
+    a.ldi(1, 9);
+    a.add(0, 1);
+    a.adci(0, 1);
+    a.sub(0, 1);
+    a.sbbi(0, 0);
+    a.cmp(0, 1);
+    a.mul(0, 1);
+    a.and(0, 1);
+    a.or(0, 1);
+    a.xor(0, 1);
+    a.lsl_i(0, 1);
+    a.lsr_i(0, 1);
+    a.asr_i(0, 1);
+    a.ror_i(0, 1);
+    a.move_r(2, 0);
+    a.ldi_d(0, 8);
+    a.ldm_byte(3, 0);
+    a.stm_byte(3, 0);
+    a.call(sub);
+    let skip = a.label();
+    a.jz(skip);
+    a.jnz(skip);
+    a.bind(skip);
+    let end = a.label();
+    a.jc(end);
+    a.bind(end);
+    let fin = a.label();
+    a.jump(fin);
+    a.bind(fin);
+    a.ret();
+    a.bind(sub);
+    a.ret();
+    bench_class(c, "table1/full-isa-coverage", a.finish(), 64);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = table1
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Shared workload builders for the benchmark harness (system **S13**).
+//!
+//! Every table and figure in the paper's evaluation (§4) maps to one bench
+//! target plus a section of the `report` binary — see the experiment index
+//! in `DESIGN.md` and the recorded results in `EXPERIMENTS.md`.
+
+use ule_emblem::{encode_emblem, EmblemGeometry, EmblemHeader, EmblemKind};
+use ule_raster::GrayImage;
+
+/// Deterministic pseudo-random payload of `n` bytes (incompressible-ish).
+pub fn random_payload(n: usize, seed: u64) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+        })
+        .collect()
+}
+
+/// The synthetic 102 400-byte stand-in for the paper's logo TIFF (E2/E3).
+pub fn logo_payload() -> Vec<u8> {
+    let mut img = GrayImage::new(320, 320, 255);
+    for y in 0..320usize {
+        for x in 0..320usize {
+            let dx = x as f64 - 160.0;
+            let dy = y as f64 - 160.0;
+            let r = (dx * dx + dy * dy).sqrt();
+            if (60.0..90.0).contains(&r) || (110.0..130.0).contains(&r) {
+                img.set(x, y, 0);
+            }
+        }
+    }
+    img.into_raw()
+}
+
+/// One filled emblem image for a geometry (max payload).
+pub fn sample_emblem(geom: &EmblemGeometry, seed: u64) -> (GrayImage, Vec<u8>, EmblemHeader) {
+    let payload = random_payload(geom.payload_capacity(), seed);
+    let header =
+        EmblemHeader::new(EmblemKind::Data, 0, 0, payload.len() as u32, payload.len() as u32);
+    (encode_emblem(geom, &header, &payload), payload, header)
+}
+
+/// Paint a fraction of an emblem's *data region* with a corrupting pattern
+/// (localised damage), mimicking §3.1's "damaged data within a single
+/// emblem" figure. Returns the damaged copy.
+pub fn damage_emblem(
+    img: &GrayImage,
+    geom: &EmblemGeometry,
+    fraction: f64,
+    seed: u64,
+) -> GrayImage {
+    use ule_emblem::geometry::{EDGE_CELLS, OVERHEAD_ROWS, QUIET_CELLS};
+    let mut out = img.clone();
+    let cp = geom.cell_px;
+    let origin = (QUIET_CELLS + EDGE_CELLS) * cp;
+    let data_rows = geom.rows - OVERHEAD_ROWS;
+    let region_h = data_rows * cp;
+    let region_w = geom.cols * cp;
+    let band_h = ((region_h as f64) * fraction) as usize;
+    let y0 = origin + OVERHEAD_ROWS * cp + (seed as usize % (region_h.saturating_sub(band_h) + 1));
+    for y in y0..(y0 + band_h).min(img.height()) {
+        for x in origin..(origin + region_w).min(img.width()) {
+            out.set(x, y, if (x / cp + y / cp) % 2 == 0 { 0 } else { 255 });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logo_payload_is_102kb() {
+        assert_eq!(logo_payload().len(), 102_400);
+    }
+
+    #[test]
+    fn damage_is_bounded_to_data_region() {
+        let geom = EmblemGeometry::test_small();
+        let (img, _, _) = sample_emblem(&geom, 1);
+        let damaged = damage_emblem(&img, &geom, 0.05, 3);
+        let changed = img.diff_fraction(&damaged);
+        assert!(changed > 0.0 && changed < 0.10, "changed {changed}");
+    }
+
+    #[test]
+    fn random_payload_deterministic() {
+        assert_eq!(random_payload(64, 5), random_payload(64, 5));
+        assert_ne!(random_payload(64, 5), random_payload(64, 6));
+    }
+}

@@ -1,0 +1,314 @@
+//! Adaptive binary arithmetic coding (LZMA-style range coder).
+//!
+//! The paper's DBCoder pairs LZ77 with arithmetic coding. We implement the
+//! carry-propagating 32-bit range coder with 11-bit adaptive probabilities
+//! and the usual composite models:
+//!
+//! * [`BitModel`] — one adaptive binary probability;
+//! * [`BitTree`] — an N-bit symbol coded bit-by-bit down a context tree;
+//! * direct (uniform) bits for incompressible fields.
+
+/// Probability scale: 2^11, matching the classic LZMA coder.
+const PROB_BITS: u32 = 11;
+const PROB_ONE: u16 = 1 << PROB_BITS;
+const PROB_INIT: u16 = PROB_ONE / 2;
+/// Adaptation rate.
+const MOVE_BITS: u32 = 5;
+const TOP: u32 = 1 << 24;
+
+/// One adaptive binary probability state.
+#[derive(Clone, Copy)]
+pub struct BitModel(u16);
+
+impl Default for BitModel {
+    fn default() -> Self {
+        BitModel(PROB_INIT)
+    }
+}
+
+impl BitModel {
+    #[inline]
+    fn update(&mut self, bit: bool) {
+        if bit {
+            self.0 -= self.0 >> MOVE_BITS;
+        } else {
+            self.0 += (PROB_ONE - self.0) >> MOVE_BITS;
+        }
+    }
+}
+
+/// Range encoder producing a self-terminating byte stream.
+pub struct Encoder {
+    low: u64,
+    range: u32,
+    cache: u8,
+    cache_size: u64,
+    out: Vec<u8>,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder {
+    pub fn new() -> Self {
+        Self { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+    }
+
+    fn shift_low(&mut self) {
+        if (self.low as u32) < 0xFF00_0000 || (self.low >> 32) != 0 {
+            let carry = (self.low >> 32) as u8;
+            let mut temp = self.cache;
+            loop {
+                self.out.push(temp.wrapping_add(carry));
+                temp = 0xFF;
+                self.cache_size -= 1;
+                if self.cache_size == 0 {
+                    break;
+                }
+            }
+            self.cache = (self.low >> 24) as u8;
+        }
+        self.cache_size += 1;
+        // Keep only the low 24 bits: the top byte either went to `cache`
+        // or joins the pending-0xFF run tracked by `cache_size`.
+        self.low = (self.low & 0x00FF_FFFF) << 8;
+    }
+
+    /// Encode one bit under an adaptive model.
+    #[inline]
+    pub fn encode_bit(&mut self, model: &mut BitModel, bit: bool) {
+        let bound = (self.range >> PROB_BITS) * model.0 as u32;
+        if !bit {
+            self.range = bound;
+        } else {
+            self.low += bound as u64;
+            self.range -= bound;
+        }
+        model.update(bit);
+        while self.range < TOP {
+            self.range <<= 8;
+            self.shift_low();
+        }
+    }
+
+    /// Encode `n` uniform bits (MSB first).
+    pub fn encode_direct(&mut self, value: u32, n: u32) {
+        for i in (0..n).rev() {
+            self.range >>= 1;
+            if (value >> i) & 1 != 0 {
+                self.low += self.range as u64;
+            }
+            while self.range < TOP {
+                self.range <<= 8;
+                self.shift_low();
+            }
+        }
+    }
+
+    /// Flush and return the encoded bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..5 {
+            self.shift_low();
+        }
+        self.out
+    }
+}
+
+/// Range decoder over a byte slice.
+pub struct Decoder<'a> {
+    range: u32,
+    code: u32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(input: &'a [u8]) -> Self {
+        let mut d = Self { range: u32::MAX, code: 0, input, pos: 0 };
+        // First output byte of the encoder is always 0; skip then prime.
+        d.pos = 1;
+        for _ in 0..4 {
+            d.code = (d.code << 8) | d.next_byte() as u32;
+        }
+        d
+    }
+
+    #[inline]
+    fn next_byte(&mut self) -> u8 {
+        // Reads past the end return 0: the encoder's flush pads with the
+        // final low bytes, and a well-formed stream never *depends* on
+        // bytes past `finish()`'s output.
+        let b = self.input.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Decode one bit under an adaptive model.
+    #[inline]
+    pub fn decode_bit(&mut self, model: &mut BitModel) -> bool {
+        let bound = (self.range >> PROB_BITS) * model.0 as u32;
+        let bit = if self.code < bound {
+            self.range = bound;
+            false
+        } else {
+            self.code -= bound;
+            self.range -= bound;
+            true
+        };
+        model.update(bit);
+        while self.range < TOP {
+            self.range <<= 8;
+            self.code = (self.code << 8) | self.next_byte() as u32;
+        }
+        bit
+    }
+
+    /// Decode `n` uniform bits (MSB first).
+    pub fn decode_direct(&mut self, n: u32) -> u32 {
+        let mut res = 0u32;
+        for _ in 0..n {
+            self.range >>= 1;
+            self.code = self.code.wrapping_sub(self.range);
+            let t = 0u32.wrapping_sub(self.code >> 31);
+            self.code = self.code.wrapping_add(self.range & t);
+            res = (res << 1) | (t.wrapping_add(1) & 1);
+            while self.range < TOP {
+                self.range <<= 8;
+                self.code = (self.code << 8) | self.next_byte() as u32;
+            }
+        }
+        res
+    }
+}
+
+/// An `N`-bit symbol coded through a binary context tree of `2^N - 1`
+/// adaptive probabilities (plus one unused slot 0).
+#[derive(Clone)]
+pub struct BitTree {
+    bits: u32,
+    probs: Vec<BitModel>,
+}
+
+impl BitTree {
+    pub fn new(bits: u32) -> Self {
+        assert!((1..=16).contains(&bits));
+        Self { bits, probs: vec![BitModel::default(); 1 << bits] }
+    }
+
+    pub fn encode(&mut self, enc: &mut Encoder, symbol: u32) {
+        debug_assert!(symbol < (1 << self.bits));
+        let mut m = 1usize;
+        for i in (0..self.bits).rev() {
+            let bit = (symbol >> i) & 1 != 0;
+            enc.encode_bit(&mut self.probs[m], bit);
+            m = (m << 1) | bit as usize;
+        }
+    }
+
+    pub fn decode(&mut self, dec: &mut Decoder) -> u32 {
+        let mut m = 1usize;
+        for _ in 0..self.bits {
+            let bit = dec.decode_bit(&mut self.probs[m]);
+            m = (m << 1) | bit as usize;
+        }
+        (m as u32) - (1 << self.bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_model_roundtrip() {
+        let bits = [true, false, false, true, true, true, false, true, false, false];
+        let mut enc = Encoder::new();
+        let mut m = BitModel::default();
+        for &b in &bits {
+            enc.encode_bit(&mut m, b);
+        }
+        let data = enc.finish();
+        let mut dec = Decoder::new(&data);
+        let mut m = BitModel::default();
+        for &b in &bits {
+            assert_eq!(dec.decode_bit(&mut m), b);
+        }
+    }
+
+    #[test]
+    fn direct_bits_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.encode_direct(0xDEAD, 16);
+        enc.encode_direct(0b101, 3);
+        enc.encode_direct(0, 1);
+        let data = enc.finish();
+        let mut dec = Decoder::new(&data);
+        assert_eq!(dec.decode_direct(16), 0xDEAD);
+        assert_eq!(dec.decode_direct(3), 0b101);
+        assert_eq!(dec.decode_direct(1), 0);
+    }
+
+    #[test]
+    fn bit_tree_roundtrip_bytes() {
+        let symbols: Vec<u32> = (0..1000).map(|i| (i * 37 % 256) as u32).collect();
+        let mut enc = Encoder::new();
+        let mut tree = BitTree::new(8);
+        for &s in &symbols {
+            tree.encode(&mut enc, s);
+        }
+        let data = enc.finish();
+        let mut dec = Decoder::new(&data);
+        let mut tree = BitTree::new(8);
+        for &s in &symbols {
+            assert_eq!(tree.decode(&mut dec), s);
+        }
+    }
+
+    #[test]
+    fn skewed_source_compresses_below_entropy_bound_of_uniform() {
+        // 95% zeros through one adaptive model: ~0.3 bits/symbol expected,
+        // far below 1 bit/symbol.
+        let n = 20_000;
+        let bits: Vec<bool> = (0..n).map(|i| i % 20 == 0).collect();
+        let mut enc = Encoder::new();
+        let mut m = BitModel::default();
+        for &b in &bits {
+            enc.encode_bit(&mut m, b);
+        }
+        let data = enc.finish();
+        assert!(data.len() * 8 < n / 2, "got {} bits for {} symbols", data.len() * 8, n);
+    }
+
+    #[test]
+    fn mixed_models_interleaved() {
+        let mut enc = Encoder::new();
+        let mut t4 = BitTree::new(4);
+        let mut t8 = BitTree::new(8);
+        let mut flag = BitModel::default();
+        for i in 0..500u32 {
+            enc.encode_bit(&mut flag, i % 3 == 0);
+            t4.encode(&mut enc, i % 16);
+            t8.encode(&mut enc, (i * 7) % 256);
+            enc.encode_direct(i % 32, 5);
+        }
+        let data = enc.finish();
+        let mut dec = Decoder::new(&data);
+        let mut t4 = BitTree::new(4);
+        let mut t8 = BitTree::new(8);
+        let mut flag = BitModel::default();
+        for i in 0..500u32 {
+            assert_eq!(dec.decode_bit(&mut flag), i % 3 == 0);
+            assert_eq!(t4.decode(&mut dec), i % 16);
+            assert_eq!(t8.decode(&mut dec), (i * 7) % 256);
+            assert_eq!(dec.decode_direct(5), i % 32);
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_five_bytes() {
+        assert_eq!(Encoder::new().finish().len(), 5);
+    }
+}

@@ -1,0 +1,244 @@
+//! The `ULEA` archive container shared by every DBCoder scheme.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0   4  magic "ULEA"
+//! 4   1  format version (1)
+//! 5   1  scheme id
+//! 6   8  original (uncompressed) length
+//! 14  4  CRC-32 of the original data
+//! 18  …  scheme payload
+//! ```
+//!
+//! The header is what the DynaRisc `DBDecode` program parses during
+//! emulated restoration, so its layout is frozen.
+
+use crate::{columnar, lza, lzss, rle};
+use std::fmt;
+
+/// Magic bytes at the start of every archive.
+pub const MAGIC: [u8; 4] = *b"ULEA";
+/// Current container version.
+pub const VERSION: u8 = 1;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 18;
+
+/// Compression scheme identifiers (frozen: they are archived on media).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Scheme {
+    /// No compression; payload is the raw data.
+    Store = 0,
+    /// Run-length baseline.
+    Rle = 1,
+    /// LZSS(4096) — archival default; decoder exists in DynaRisc assembly.
+    Lzss = 2,
+    /// LZ77 + adaptive arithmetic coding (the paper's headline scheme).
+    Lza = 3,
+    /// Columnar SQL-dump re-layout over LZA (paper §5 future work).
+    ColumnarSql = 4,
+}
+
+impl Scheme {
+    /// All supported schemes, in id order.
+    pub const ALL: [Scheme; 5] =
+        [Scheme::Store, Scheme::Rle, Scheme::Lzss, Scheme::Lza, Scheme::ColumnarSql];
+
+    pub fn from_id(id: u8) -> Option<Scheme> {
+        Scheme::ALL.get(id as usize).copied()
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scheme::Store => "store",
+            Scheme::Rle => "rle",
+            Scheme::Lzss => "lzss",
+            Scheme::Lza => "lza",
+            Scheme::ColumnarSql => "columnar-sql",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors from [`decompress`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// Too short or wrong magic.
+    NotAnArchive,
+    /// Unknown version byte.
+    UnsupportedVersion(u8),
+    /// Unknown scheme id.
+    UnknownScheme(u8),
+    /// Scheme payload failed to decode.
+    Corrupt(String),
+    /// Decoded data does not match the stored CRC-32.
+    ChecksumMismatch { stored: u32, computed: u32 },
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::NotAnArchive => write!(f, "not a ULEA archive"),
+            ArchiveError::UnsupportedVersion(v) => write!(f, "unsupported archive version {v}"),
+            ArchiveError::UnknownScheme(s) => write!(f, "unknown scheme id {s}"),
+            ArchiveError::Corrupt(msg) => write!(f, "corrupt payload: {msg}"),
+            ArchiveError::ChecksumMismatch { stored, computed } => {
+                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
+
+/// CRC-32 used by the container (same polynomial as `ule_gf256::crc::crc32`;
+/// duplicated here so the compression substrate stays dependency-free).
+fn crc32(data: &[u8]) -> u32 {
+    let mut state = 0xFFFF_FFFFu32;
+    for &b in data {
+        state ^= b as u32;
+        for _ in 0..8 {
+            let mask = (state & 1).wrapping_neg();
+            state = (state >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    state ^ 0xFFFF_FFFF
+}
+
+/// Compress `data` under `scheme` into a self-describing archive.
+pub fn compress(scheme: Scheme, data: &[u8]) -> Vec<u8> {
+    let payload = match scheme {
+        Scheme::Store => data.to_vec(),
+        Scheme::Rle => rle::compress(data),
+        Scheme::Lzss => lzss::compress(data),
+        Scheme::Lza => lza::compress(data),
+        Scheme::ColumnarSql => columnar::compress(data),
+    };
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(scheme as u8);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Parse header fields without decoding the payload.
+pub fn inspect(archive: &[u8]) -> Result<(Scheme, u64, u32), ArchiveError> {
+    if archive.len() < HEADER_LEN || archive[..4] != MAGIC {
+        return Err(ArchiveError::NotAnArchive);
+    }
+    if archive[4] != VERSION {
+        return Err(ArchiveError::UnsupportedVersion(archive[4]));
+    }
+    let scheme = Scheme::from_id(archive[5]).ok_or(ArchiveError::UnknownScheme(archive[5]))?;
+    let len = u64::from_le_bytes(archive[6..14].try_into().unwrap());
+    let crc = u32::from_le_bytes(archive[14..18].try_into().unwrap());
+    Ok((scheme, len, crc))
+}
+
+/// Decompress a `ULEA` archive, verifying the CRC.
+pub fn decompress(archive: &[u8]) -> Result<Vec<u8>, ArchiveError> {
+    let (scheme, len, stored_crc) = inspect(archive)?;
+    let len = len as usize;
+    let payload = &archive[HEADER_LEN..];
+    let data = match scheme {
+        Scheme::Store => {
+            if payload.len() < len {
+                return Err(ArchiveError::Corrupt("store payload shorter than length".into()));
+            }
+            payload[..len].to_vec()
+        }
+        Scheme::Rle => rle::decompress(payload, len).map_err(|e| ArchiveError::Corrupt(e.to_string()))?,
+        Scheme::Lzss => {
+            lzss::decompress(payload, len).map_err(|e| ArchiveError::Corrupt(e.to_string()))?
+        }
+        Scheme::Lza => {
+            lza::decompress(payload, len).map_err(|e| ArchiveError::Corrupt(e.to_string()))?
+        }
+        Scheme::ColumnarSql => {
+            columnar::decompress(payload, len).map_err(ArchiveError::Corrupt)?
+        }
+    };
+    let computed = crc32(&data);
+    if computed != stored_crc {
+        return Err(ArchiveError::ChecksumMismatch { stored: stored_crc, computed });
+    }
+    Ok(data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut data = Vec::new();
+        for i in 0..300 {
+            data.extend_from_slice(format!("row {i}: value {}\n", i * 17 % 97).as_bytes());
+        }
+        data
+    }
+
+    #[test]
+    fn every_scheme_roundtrips() {
+        let data = sample();
+        for scheme in Scheme::ALL {
+            let arc = compress(scheme, &data);
+            let back = decompress(&arc).unwrap();
+            assert_eq!(back, data, "scheme {scheme}");
+        }
+    }
+
+    #[test]
+    fn inspect_reads_header() {
+        let data = sample();
+        let arc = compress(Scheme::Lza, &data);
+        let (scheme, len, _) = inspect(&arc).unwrap();
+        assert_eq!(scheme, Scheme::Lza);
+        assert_eq!(len as usize, data.len());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        assert_eq!(decompress(b"NOPE").unwrap_err(), ArchiveError::NotAnArchive);
+        assert_eq!(decompress(b"").unwrap_err(), ArchiveError::NotAnArchive);
+    }
+
+    #[test]
+    fn unknown_scheme_rejected() {
+        let mut arc = compress(Scheme::Store, b"x");
+        arc[5] = 99;
+        assert_eq!(decompress(&arc).unwrap_err(), ArchiveError::UnknownScheme(99));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum_or_decode() {
+        let data = sample();
+        let mut arc = compress(Scheme::Lzss, &data);
+        let n = arc.len();
+        arc[n / 2] ^= 0xFF;
+        assert!(decompress(&arc).is_err());
+    }
+
+    #[test]
+    fn version_check() {
+        let mut arc = compress(Scheme::Store, b"y");
+        arc[4] = 9;
+        assert_eq!(decompress(&arc).unwrap_err(), ArchiveError::UnsupportedVersion(9));
+    }
+
+    #[test]
+    fn empty_data_all_schemes() {
+        for scheme in Scheme::ALL {
+            let arc = compress(scheme, b"");
+            assert_eq!(decompress(&arc).unwrap(), b"");
+        }
+    }
+}

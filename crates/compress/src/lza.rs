@@ -1,0 +1,249 @@
+//! LZA — LZ77 with adaptive arithmetic coding, the paper's high-ratio
+//! DBCoder scheme ("a generic compression scheme based on LZ77 and
+//! arithmetic coding that can achieve compression performance close to
+//! 7-Zip's LZMA", §3.1).
+//!
+//! Model structure (a simplified LZMA):
+//!
+//! * `is_match` flag — adaptive bit, conditioned on the previous flag;
+//! * literals — 8-bit bit-tree contexted on the top 3 bits of the previous
+//!   byte (8 contexts);
+//! * match length — 8-bit bit-tree over `len - MIN_MATCH` (3..=258);
+//! * match distance — 6-bit slot bit-tree (LZMA-style log bucketing) plus
+//!   direct extra bits.
+
+use crate::arith::{BitModel, BitTree, Decoder, Encoder};
+use crate::matchfinder::MatchFinder;
+
+/// Sliding window (1 MiB) — comfortably covers the paper's ~1.2 MB archive.
+pub const WINDOW: usize = 1 << 20;
+/// Minimum/maximum match lengths.
+pub const MIN_MATCH: usize = 3;
+pub const MAX_MATCH: usize = MIN_MATCH + 255;
+
+const NUM_LIT_CTX: usize = 8;
+
+struct Models {
+    is_match: [BitModel; 2],
+    literals: Vec<BitTree>,
+    length: BitTree,
+    dist_slot: BitTree,
+}
+
+impl Models {
+    fn new() -> Self {
+        Self {
+            is_match: [BitModel::default(); 2],
+            literals: (0..NUM_LIT_CTX).map(|_| BitTree::new(8)).collect(),
+            length: BitTree::new(8),
+            dist_slot: BitTree::new(6),
+        }
+    }
+}
+
+#[inline]
+fn lit_ctx(prev_byte: u8) -> usize {
+    (prev_byte >> 5) as usize
+}
+
+/// Distance slot: 0..=3 encode distances 1..=4 directly; above that, the
+/// slot packs the bit length and the bit below the MSB, LZMA-style.
+#[inline]
+fn dist_slot(dist_minus_1: u32) -> (u32, u32, u32) {
+    // returns (slot, extra_bits_count, extra_bits_value)
+    if dist_minus_1 < 4 {
+        (dist_minus_1, 0, 0)
+    } else {
+        let log = 31 - dist_minus_1.leading_zeros();
+        let slot = (log << 1) | ((dist_minus_1 >> (log - 1)) & 1);
+        let extra = log - 1;
+        let value = dist_minus_1 & ((1 << extra) - 1);
+        (slot, extra, value)
+    }
+}
+
+#[inline]
+fn slot_base(slot: u32) -> (u32, u32) {
+    // returns (base_value, extra_bits_count)
+    if slot < 4 {
+        (slot, 0)
+    } else {
+        let log = slot >> 1;
+        let extra = log - 1;
+        let base = (2 | (slot & 1)) << extra;
+        (base, extra)
+    }
+}
+
+/// Compress `input` with the LZA scheme.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    let mut models = Models::new();
+    let mut mf = MatchFinder::new(input, WINDOW, 96, MIN_MATCH, MAX_MATCH);
+    let mut pos = 0usize;
+    let mut prev_flag = 0usize;
+    let mut prev_byte = 0u8;
+    while pos < input.len() {
+        mf.advance_to(pos);
+        let mut m = mf.best_match(pos);
+        // One-step lazy matching: prefer a longer match at pos+1.
+        if let Some(cur) = m {
+            if (cur.len as usize) < MAX_MATCH && pos + 1 < input.len() {
+                mf.advance_to(pos + 1);
+                if let Some(next) = mf.best_match(pos + 1) {
+                    if next.len > cur.len + 1 {
+                        m = None; // emit a literal, take the better match next turn
+                    }
+                }
+            }
+        }
+        match m {
+            Some(m) => {
+                enc.encode_bit(&mut models.is_match[prev_flag], true);
+                prev_flag = 1;
+                models.length.encode(&mut enc, m.len - MIN_MATCH as u32);
+                let (slot, extra, value) = dist_slot(m.dist - 1);
+                models.dist_slot.encode(&mut enc, slot);
+                if extra > 0 {
+                    enc.encode_direct(value, extra);
+                }
+                pos += m.len as usize;
+                prev_byte = input[pos - 1];
+            }
+            None => {
+                enc.encode_bit(&mut models.is_match[prev_flag], false);
+                prev_flag = 0;
+                models.literals[lit_ctx(prev_byte)].encode(&mut enc, input[pos] as u32);
+                prev_byte = input[pos];
+                pos += 1;
+            }
+        }
+    }
+    enc.finish()
+}
+
+/// Errors from [`decompress`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LzaError {
+    /// A distance referenced data before the start of the output.
+    BadDistance { at: usize, dist: usize },
+}
+
+impl std::fmt::Display for LzaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let LzaError::BadDistance { at, dist } = self;
+        write!(f, "lza distance {dist} underflows output at byte {at}")
+    }
+}
+
+impl std::error::Error for LzaError {}
+
+/// Decompress an LZA stream into exactly `expected_len` bytes.
+pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, LzaError> {
+    let mut dec = Decoder::new(stream);
+    let mut models = Models::new();
+    let mut out = Vec::with_capacity(expected_len);
+    let mut prev_flag = 0usize;
+    let mut prev_byte = 0u8;
+    while out.len() < expected_len {
+        if dec.decode_bit(&mut models.is_match[prev_flag]) {
+            prev_flag = 1;
+            let len = models.length.decode(&mut dec) as usize + MIN_MATCH;
+            let slot = models.dist_slot.decode(&mut dec);
+            let (base, extra) = slot_base(slot);
+            let dist_minus_1 = if extra > 0 { base + dec.decode_direct(extra) } else { base };
+            let dist = dist_minus_1 as usize + 1;
+            if dist > out.len() {
+                return Err(LzaError::BadDistance { at: out.len(), dist });
+            }
+            let start = out.len() - dist;
+            for j in 0..len {
+                let b = out[start + j];
+                out.push(b);
+            }
+            prev_byte = *out.last().unwrap();
+        } else {
+            prev_flag = 0;
+            let b = models.literals[lit_ctx(prev_byte)].decode(&mut dec) as u8;
+            out.push(b);
+            prev_byte = b;
+        }
+    }
+    out.truncate(expected_len);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).unwrap();
+        assert_eq!(d, data, "roundtrip failed for {} bytes", data.len());
+        c.len()
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"z");
+        roundtrip(b"ab");
+    }
+
+    #[test]
+    fn slot_math_is_self_inverse() {
+        for d in [0u32, 1, 2, 3, 4, 5, 7, 8, 100, 4095, 4096, 65535, 1 << 19] {
+            let (slot, extra, value) = dist_slot(d);
+            let (base, extra2) = slot_base(slot);
+            assert_eq!(extra, extra2, "d={d}");
+            assert_eq!(base + value, d, "d={d}");
+        }
+    }
+
+    #[test]
+    fn repetitive_sql_beats_lzss() {
+        let mut data = Vec::new();
+        for i in 0..2000 {
+            data.extend_from_slice(
+                format!("INSERT INTO orders VALUES ({i}, 'Clerk#{:09}', {});\n", i % 1000, i * 7)
+                    .as_bytes(),
+            );
+        }
+        let lza_len = roundtrip(&data);
+        let lzss_len = crate::lzss::compress(&data).len();
+        assert!(lza_len < lzss_len, "lza {lza_len} !< lzss {lzss_len}");
+    }
+
+    #[test]
+    fn long_run_roundtrip() {
+        let data = vec![0xABu8; 100_000];
+        let n = roundtrip(&data);
+        assert!(n < 2000, "run of 100k compressed to {n}");
+    }
+
+    #[test]
+    fn pseudo_random_binary_roundtrip() {
+        let data: Vec<u8> = (0..50_000u64).map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn distances_beyond_64k_work() {
+        // A phrase recurring ~200 KB apart exercises large dist slots.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"the archived decoder travels with the data");
+        data.extend((0..200_000u32).map(|i| (i % 251) as u8));
+        data.extend_from_slice(b"the archived decoder travels with the data");
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn bad_stream_reports_distance_error_or_garbage_not_panic() {
+        // Arbitrary bytes must never panic; they either decode to garbage
+        // (possible: the format has no checksum at this layer) or report a
+        // bad distance.
+        let junk: Vec<u8> = (0..64).map(|i| (i * 41 + 7) as u8).collect();
+        let _ = decompress(&junk, 128);
+    }
+}

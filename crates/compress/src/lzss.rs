@@ -1,0 +1,211 @@
+//! LZSS — the archival-default DBCoder scheme.
+//!
+//! Deliberately 16-bit-machine-friendly so the decoder can be (and is)
+//! ported to DynaRisc assembly (`ule_dynarisc::programs::dbdecode`):
+//!
+//! * window 4096 bytes, match length 3..=18;
+//! * stream = repeated groups of one flag byte followed by 8 items;
+//! * flag bit i (LSB first) set ⇒ item i is a literal byte;
+//!   clear ⇒ item i is a 16-bit little-endian token `[len-3:4 | dist-1:12]`
+//!   (low 12 bits = distance-1, high 4 bits = length-3).
+//!
+//! The format has no end marker; the decoder stops after producing the
+//! number of bytes recorded in the archive container.
+
+use crate::matchfinder::MatchFinder;
+
+/// Sliding-window size (must match the DynaRisc decoder).
+pub const WINDOW: usize = 4096;
+/// Minimum back-reference length.
+pub const MIN_MATCH: usize = 3;
+/// Maximum back-reference length.
+pub const MAX_MATCH: usize = 18;
+
+/// Compress `input` into the LZSS stream format.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut mf = MatchFinder::new(input, WINDOW, 64, MIN_MATCH, MAX_MATCH);
+    let mut pos = 0usize;
+    // Group buffer: flag byte position + items.
+    let mut flag_pos = 0usize;
+    let mut flag = 0u8;
+    let mut nitems = 0u8;
+    let mut group_open = false;
+    while pos < input.len() {
+        if !group_open {
+            flag_pos = out.len();
+            out.push(0);
+            flag = 0;
+            nitems = 0;
+            group_open = true;
+        }
+        mf.advance_to(pos);
+        match mf.best_match(pos) {
+            Some(m) => {
+                let token: u16 = ((m.len as u16 - MIN_MATCH as u16) << 12) | (m.dist as u16 - 1);
+                out.extend_from_slice(&token.to_le_bytes());
+                pos += m.len as usize;
+            }
+            None => {
+                flag |= 1 << nitems;
+                out.push(input[pos]);
+                pos += 1;
+            }
+        }
+        nitems += 1;
+        if nitems == 8 {
+            out[flag_pos] = flag;
+            group_open = false;
+        }
+    }
+    if group_open {
+        out[flag_pos] = flag;
+    }
+    out
+}
+
+/// Errors from [`decompress`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum LzssError {
+    /// Stream ended before `expected_len` bytes were produced.
+    Truncated,
+    /// A token referenced data before the start of the output.
+    BadDistance { at: usize, dist: usize },
+}
+
+impl std::fmt::Display for LzssError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LzssError::Truncated => write!(f, "lzss stream truncated"),
+            LzssError::BadDistance { at, dist } => {
+                write!(f, "lzss distance {dist} underflows output at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LzssError {}
+
+/// Decompress an LZSS stream, producing exactly `expected_len` bytes.
+pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, LzssError> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut i = 0usize;
+    while out.len() < expected_len {
+        if i >= stream.len() {
+            return Err(LzssError::Truncated);
+        }
+        let flag = stream[i];
+        i += 1;
+        for bit in 0..8 {
+            if out.len() >= expected_len {
+                break;
+            }
+            if flag & (1 << bit) != 0 {
+                let b = *stream.get(i).ok_or(LzssError::Truncated)?;
+                i += 1;
+                out.push(b);
+            } else {
+                if i + 1 >= stream.len() {
+                    return Err(LzssError::Truncated);
+                }
+                let token = u16::from_le_bytes([stream[i], stream[i + 1]]);
+                i += 2;
+                let dist = (token & 0x0FFF) as usize + 1;
+                let len = (token >> 12) as usize + MIN_MATCH;
+                if dist > out.len() {
+                    return Err(LzssError::BadDistance { at: out.len(), dist });
+                }
+                let start = out.len() - dist;
+                for j in 0..len {
+                    // Byte-by-byte copy: overlapping matches replicate runs.
+                    let b = out[start + j];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out.truncate(expected_len);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).unwrap();
+        assert_eq!(d, data);
+    }
+
+    #[test]
+    fn empty_input() {
+        roundtrip(b"");
+    }
+
+    #[test]
+    fn short_literal_only() {
+        roundtrip(b"abc");
+        roundtrip(b"a");
+    }
+
+    #[test]
+    fn repetitive_text_compresses() {
+        let data = b"SELECT * FROM lineitem; SELECT * FROM lineitem; SELECT * FROM lineitem;";
+        let c = compress(data);
+        assert!(c.len() < data.len(), "{} !< {}", c.len(), data.len());
+        roundtrip(data);
+    }
+
+    #[test]
+    fn long_runs_use_overlapping_matches() {
+        let data = vec![b'x'; 10_000];
+        let c = compress(&data);
+        assert!(c.len() < 2000);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn sql_like_payload() {
+        let mut data = Vec::new();
+        for i in 0..500 {
+            data.extend_from_slice(
+                format!("{}\t{}\tCustomer#{:09}\t{}\n", i, i * 31 % 25, i, 1000 - i).as_bytes(),
+            );
+        }
+        let c = compress(&data);
+        assert!(c.len() < data.len() * 3 / 4);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let c = compress(b"hello hello hello hello");
+        assert_eq!(decompress(&c[..c.len() - 1], 24).unwrap_err(), LzssError::Truncated);
+    }
+
+    #[test]
+    fn bad_distance_detected() {
+        // Hand-craft: flag byte 0 (first item is a match), token dist=5 at pos 0.
+        let stream = [0u8, 0x04, 0x00]; // dist-1=4, len-3=0
+        assert!(matches!(
+            decompress(&stream, 3),
+            Err(LzssError::BadDistance { at: 0, dist: 5 })
+        ));
+    }
+
+    #[test]
+    fn binary_data_roundtrip() {
+        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn window_boundary_matches() {
+        // Repeat a phrase exactly WINDOW bytes apart: still reachable (dist 4096).
+        let mut data = b"needle".to_vec();
+        data.extend(std::iter::repeat(b'.').take(WINDOW - 6));
+        data.extend_from_slice(b"needle");
+        roundtrip(&data);
+    }
+}

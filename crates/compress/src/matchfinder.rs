@@ -1,0 +1,157 @@
+//! Hash-chain LZ77 match finder shared by the LZSS and LZA front ends.
+
+/// A back-reference candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Distance back from the current position (1 = previous byte).
+    pub dist: u32,
+    /// Match length in bytes.
+    pub len: u32,
+}
+
+/// Hash-chain match finder over a sliding window.
+///
+/// Positions are absolute indices into the input buffer; the window limit
+/// only constrains how far back candidates may lie. Chains are truncated at
+/// `max_depth` candidates per query, trading ratio for bounded work.
+pub struct MatchFinder<'a> {
+    data: &'a [u8],
+    window: usize,
+    max_depth: usize,
+    min_len: usize,
+    max_len: usize,
+    head: Vec<i64>,
+    prev: Vec<i64>,
+    next_insert: usize,
+}
+
+const HASH_BITS: u32 = 16;
+
+#[inline]
+fn hash3(a: u8, b: u8, c: u8) -> usize {
+    let v = u32::from_le_bytes([a, b, c, 0]);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+impl<'a> MatchFinder<'a> {
+    pub fn new(data: &'a [u8], window: usize, max_depth: usize, min_len: usize, max_len: usize) -> Self {
+        assert!(min_len >= 3, "hash covers 3 bytes");
+        Self {
+            data,
+            window,
+            max_depth,
+            min_len,
+            max_len,
+            head: vec![-1; 1 << HASH_BITS],
+            prev: vec![-1; data.len()],
+            next_insert: 0,
+        }
+    }
+
+    /// Insert positions `..pos` into the dictionary (idempotent, in order).
+    pub fn advance_to(&mut self, pos: usize) {
+        while self.next_insert < pos {
+            let i = self.next_insert;
+            if i + 2 < self.data.len() {
+                let h = hash3(self.data[i], self.data[i + 1], self.data[i + 2]);
+                self.prev[i] = self.head[h];
+                self.head[h] = i as i64;
+            }
+            self.next_insert += 1;
+        }
+    }
+
+    /// Best match at `pos` (dictionary must already cover `..pos`).
+    pub fn best_match(&self, pos: usize) -> Option<Match> {
+        let data = self.data;
+        if pos + self.min_len > data.len() || pos + 2 >= data.len() {
+            return None;
+        }
+        let h = hash3(data[pos], data[pos + 1], data[pos + 2]);
+        let lowest = pos.saturating_sub(self.window);
+        let max_here = self.max_len.min(data.len() - pos);
+        let mut best: Option<Match> = None;
+        let mut cand = self.head[h];
+        let mut depth = 0;
+        while cand >= 0 && depth < self.max_depth {
+            let c = cand as usize;
+            if c < lowest {
+                break;
+            }
+            // Quick reject using the byte just past the current best length.
+            let best_len = best.map_or(self.min_len - 1, |m| m.len as usize);
+            if pos + best_len < data.len()
+                && best_len < max_here
+                && data[c + best_len] == data[pos + best_len]
+            {
+                let mut l = 0usize;
+                while l < max_here && data[c + l] == data[pos + l] {
+                    l += 1;
+                }
+                if l >= self.min_len && l > best_len {
+                    best = Some(Match { dist: (pos - c) as u32, len: l as u32 });
+                    if l == max_here {
+                        break;
+                    }
+                }
+            }
+            cand = self.prev[c];
+            depth += 1;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_simple_repeat() {
+        let data = b"abcdefabcdef";
+        let mut mf = MatchFinder::new(data, 4096, 32, 3, 18);
+        mf.advance_to(6);
+        let m = mf.best_match(6).unwrap();
+        assert_eq!(m.dist, 6);
+        assert_eq!(m.len, 6);
+    }
+
+    #[test]
+    fn respects_window_limit() {
+        let mut data = b"xyz".to_vec();
+        data.extend(std::iter::repeat(b'-').take(100));
+        data.extend_from_slice(b"xyz");
+        let mut mf = MatchFinder::new(&data, 50, 32, 3, 18);
+        mf.advance_to(103);
+        // The only "xyz" is 103 bytes back, beyond the 50-byte window.
+        assert!(mf.best_match(103).is_none());
+    }
+
+    #[test]
+    fn overlapping_match_supported() {
+        // "aaaaaaaa": at pos 1 the best match is dist 1, long run.
+        let data = b"aaaaaaaaaa";
+        let mut mf = MatchFinder::new(data, 4096, 32, 3, 18);
+        mf.advance_to(1);
+        let m = mf.best_match(1).unwrap();
+        assert_eq!(m.dist, 1);
+        assert_eq!(m.len, 9);
+    }
+
+    #[test]
+    fn no_match_in_random_prefix() {
+        let data = b"abcdefgh";
+        let mut mf = MatchFinder::new(data, 4096, 32, 3, 18);
+        mf.advance_to(3);
+        assert!(mf.best_match(3).is_none());
+    }
+
+    #[test]
+    fn max_len_is_honored() {
+        let data = vec![b'q'; 100];
+        let mut mf = MatchFinder::new(&data, 4096, 32, 3, 18);
+        mf.advance_to(1);
+        let m = mf.best_match(1).unwrap();
+        assert_eq!(m.len, 18);
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests: every DBCoder scheme must round-trip arbitrary inputs,
+//! and the container must reject tampered archives rather than return
+//! silently wrong data.
+
+use proptest::prelude::*;
+use ule_compress::{compress, decompress, Scheme};
+
+fn schemes() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Store),
+        Just(Scheme::Rle),
+        Just(Scheme::Lzss),
+        Just(Scheme::Lza),
+        Just(Scheme::ColumnarSql),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_bytes_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        scheme in schemes(),
+    ) {
+        let arc = compress(scheme, &data);
+        prop_assert_eq!(decompress(&arc).unwrap(), data);
+    }
+
+    #[test]
+    fn repetitive_bytes_roundtrip(
+        byte in any::<u8>(),
+        run in 1usize..8192,
+        scheme in schemes(),
+    ) {
+        let data = vec![byte; run];
+        let arc = compress(scheme, &data);
+        prop_assert_eq!(decompress(&arc).unwrap(), data);
+    }
+
+    #[test]
+    fn textish_roundtrip(
+        words in proptest::collection::vec("[a-z]{1,12}", 0..300),
+        scheme in schemes(),
+    ) {
+        let data = words.join(" ").into_bytes();
+        let arc = compress(scheme, &data);
+        prop_assert_eq!(decompress(&arc).unwrap(), data);
+    }
+
+    #[test]
+    fn sql_dumps_roundtrip_columnar(
+        nrows in 0usize..200,
+        seed in any::<u32>(),
+    ) {
+        let mut s = String::from("CREATE TABLE t (a int, b text);\nCOPY t (a, b) FROM stdin;\n");
+        for i in 0..nrows {
+            let v = seed.wrapping_mul(i as u32 + 1);
+            s.push_str(&format!("{}\tlabel_{}\n", v as i32, v % 7));
+        }
+        s.push_str("\\.\n");
+        let arc = compress(Scheme::ColumnarSql, s.as_bytes());
+        prop_assert_eq!(decompress(&arc).unwrap(), s.into_bytes());
+    }
+
+    #[test]
+    fn single_byte_flip_never_passes_silently(
+        data in proptest::collection::vec(any::<u8>(), 64..512),
+        flip_at_frac in 0.0f64..1.0,
+        scheme in schemes(),
+    ) {
+        let mut arc = compress(scheme, &data);
+        // Flip a payload byte (past the 18-byte header) and require either
+        // a decode error or a checksum error — never a silent wrong answer.
+        let lo = 18usize;
+        if arc.len() > lo {
+            let idx = lo + ((arc.len() - lo - 1) as f64 * flip_at_frac) as usize;
+            arc[idx] ^= 0x01;
+            match decompress(&arc) {
+                Err(_) => {}
+                Ok(out) => prop_assert_eq!(out, data, "tampering produced different data without an error"),
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Bootstrap document generation and parsing.
+//!
+//! The document has four sections (the paper's "seven-page document that
+//! contains four pages of algorithm pseudocode, and three pages of
+//! alphabetic characters"):
+//!
+//! 1. the VeRisc emulator algorithm in plain prose (`ule_verisc::spec`);
+//! 2. the emulator memory image as letters — this single image contains
+//!    **both** the DynaRisc emulator (VeRisc code) and the MODecode
+//!    DynaRisc instruction stream (in its PROG region), mirroring the
+//!    paper's two letter listings in one artifact;
+//! 3. the restore manifest: symbol addresses, emblem geometry, the memory
+//!    calling convention, and step-by-step restoration instructions;
+//! 4. page accounting so the document can be printed alongside the
+//!    emblems.
+
+use crate::bootstrap::letters;
+use std::collections::HashMap;
+use ule_emblem::EmblemGeometry;
+use ule_verisc::spec;
+
+/// Characters per printed line and lines per printed page used for the
+/// page accounting (A4, typewriter face).
+pub const PAGE_COLS: usize = 78;
+pub const PAGE_LINES: usize = 64;
+
+const SECTION1: &str = "=== SECTION 1: VERISC EMULATOR ALGORITHM ===";
+const SECTION2: &str = "=== SECTION 2: EMULATOR MEMORY IMAGE (LETTERS) ===";
+const SECTION3: &str = "=== SECTION 3: RESTORE MANIFEST ===";
+const SECTION4: &str = "=== SECTION 4: RESTORATION WALKTHROUGH ===";
+
+/// Everything a restorer needs, parsed back out of the document text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bootstrap {
+    /// VeRisc memory image prefix (words `[0, dynmem_base)`).
+    pub image_prefix: Vec<u32>,
+    /// Cell symbol table (DYNMEM, PROG, DPC, SP, flags, REGS, PTRS, STACK).
+    pub symbols: HashMap<String, u32>,
+    /// Guest program region capacity in cells.
+    pub prog_capacity: usize,
+    /// Emblem geometry used on the medium.
+    pub cols: usize,
+    pub rows: usize,
+    pub cell_px: usize,
+    pub origin_px: usize,
+    pub nblocks: usize,
+    /// Emblem placement inside a frame.
+    pub frame_w: usize,
+    pub frame_h: usize,
+    pub xoff: usize,
+    pub yoff: usize,
+    /// DBCoder scheme id stored on the data emblems.
+    pub scheme: u8,
+}
+
+impl Bootstrap {
+    /// Reconstruct the emblem geometry.
+    pub fn geometry(&self) -> EmblemGeometry {
+        EmblemGeometry::new(self.cols, self.rows, self.cell_px)
+    }
+
+    /// Render the full document text.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("MICR'OLONYS BOOTSTRAP DOCUMENT, FORMAT 1\n");
+        out.push_str("Keep this document with the emblem media. It is sufficient,\n");
+        out.push_str("together with the scanned emblems, to restore the archive on any\n");
+        out.push_str("computer, in any programming language, at any point in the future.\n\n");
+        out.push_str(SECTION1);
+        out.push('\n');
+        out.push_str(&spec::pseudocode());
+        out.push('\n');
+        out.push_str(SECTION2);
+        out.push('\n');
+        out.push_str(&format!("words: {}\n", self.image_prefix.len()));
+        let mut syms: Vec<(&String, &u32)> = self.symbols.iter().collect();
+        syms.sort();
+        let sym_line =
+            syms.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ");
+        out.push_str(&format!("symbols: {sym_line}\n"));
+        out.push_str(&format!("prog-capacity: {}\n", self.prog_capacity));
+        out.push_str(&letters::wrap_lines(
+            &letters::encode_words(&self.image_prefix),
+            PAGE_COLS,
+        ));
+        out.push_str(SECTION3);
+        out.push('\n');
+        out.push_str(&format!(
+            "geometry: cols={} rows={} cell_px={} origin={} nblocks={}\n",
+            self.cols, self.rows, self.cell_px, self.origin_px, self.nblocks
+        ));
+        out.push_str(&format!(
+            "frame: w={} h={} xoff={} yoff={}\n",
+            self.frame_w, self.frame_h, self.xoff, self.yoff
+        ));
+        out.push_str(&format!("scheme: {}\n", self.scheme));
+        out.push_str(
+            "layout: in_len=0x10 out_len=0x14 out_base_ptr=0x18 params=0x1C in_base=0x40\n",
+        );
+        out.push_str(SECTION4);
+        out.push('\n');
+        out.push_str(WALKTHROUGH);
+        out
+    }
+
+    /// Parse a document produced by [`Bootstrap::to_text`] (or typed back
+    /// in from the printed page).
+    pub fn parse(text: &str) -> Result<Bootstrap, BootstrapParseError> {
+        use BootstrapParseError as E;
+        let sec2_full = text.split(SECTION2).nth(1).ok_or(E::MissingSection(2))?;
+        let sec3 = sec2_full.split(SECTION3).nth(1).ok_or(E::MissingSection(3))?;
+        let sec2 = sec2_full.split(SECTION3).next().unwrap_or("");
+        let sec3 = sec3.split(SECTION4).next().unwrap_or(sec3);
+        let mut lines = sec2.lines().filter(|l| !l.trim().is_empty());
+        let words_line = lines.next().ok_or(E::MissingField("words"))?;
+        let n_words: usize = field_value(words_line, "words:")?.trim().parse().map_err(|_| E::BadNumber("words"))?;
+        let sym_line = lines.next().ok_or(E::MissingField("symbols"))?;
+        let mut symbols = HashMap::new();
+        for pair in field_value(sym_line, "symbols:")?.split_whitespace() {
+            let (k, v) = pair.split_once('=').ok_or(E::MissingField("symbols"))?;
+            symbols.insert(k.to_string(), v.parse().map_err(|_| E::BadNumber("symbols"))?);
+        }
+        let cap_line = lines.next().ok_or(E::MissingField("prog-capacity"))?;
+        let prog_capacity: usize =
+            field_value(cap_line, "prog-capacity:")?.trim().parse().map_err(|_| E::BadNumber("prog-capacity"))?;
+        // The letter block runs until SECTION 3.
+        let letters_text = sec2
+            .split_once("prog-capacity:")
+            .map(|(_, rest)| rest.split_once('\n').map(|(_, l)| l).unwrap_or(""))
+            .unwrap_or("");
+        let image_prefix =
+            letters::decode_words(letters_text).map_err(|e| E::Letters(e.to_string()))?;
+        if image_prefix.len() != n_words {
+            return Err(E::WordCount { expected: n_words, got: image_prefix.len() });
+        }
+        let mut geometry = HashMap::new();
+        let mut frame = HashMap::new();
+        let mut scheme = None;
+        for line in sec3.lines() {
+            let line = line.trim();
+            if let Some(v) = line.strip_prefix("geometry:") {
+                for pair in v.split_whitespace() {
+                    if let Some((k, v)) = pair.split_once('=') {
+                        geometry.insert(k.to_string(), v.parse::<usize>().map_err(|_| E::BadNumber("geometry"))?);
+                    }
+                }
+            } else if let Some(v) = line.strip_prefix("frame:") {
+                for pair in v.split_whitespace() {
+                    if let Some((k, v)) = pair.split_once('=') {
+                        frame.insert(k.to_string(), v.parse::<usize>().map_err(|_| E::BadNumber("frame"))?);
+                    }
+                }
+            } else if let Some(v) = line.strip_prefix("scheme:") {
+                scheme = Some(v.trim().parse::<u8>().map_err(|_| E::BadNumber("scheme"))?);
+            }
+        }
+        let g = |k: &str| geometry.get(k).copied().ok_or(E::MissingField("geometry"));
+        let f = |k: &str| frame.get(k).copied().ok_or(E::MissingField("frame"));
+        Ok(Bootstrap {
+            image_prefix,
+            symbols,
+            prog_capacity,
+            cols: g("cols")?,
+            rows: g("rows")?,
+            cell_px: g("cell_px")?,
+            origin_px: g("origin")?,
+            nblocks: g("nblocks")?,
+            frame_w: f("w")?,
+            frame_h: f("h")?,
+            xoff: f("xoff")?,
+            yoff: f("yoff")?,
+            scheme: scheme.ok_or(E::MissingField("scheme"))?,
+        })
+    }
+
+    /// Page count at the document's nominal page size (the paper reports a
+    /// seven-page bootstrap: four pseudocode + three letter pages).
+    pub fn page_count(&self) -> (usize, usize) {
+        let text = self.to_text();
+        let letter_lines = self.image_prefix.len() * 8 / PAGE_COLS + 1;
+        let total_lines = text.lines().count();
+        let prose_lines = total_lines - letter_lines;
+        (prose_lines.div_ceil(PAGE_LINES), letter_lines.div_ceil(PAGE_LINES))
+    }
+}
+
+fn field_value<'a>(line: &'a str, key: &'static str) -> Result<&'a str, BootstrapParseError> {
+    line.trim().strip_prefix(key).ok_or(BootstrapParseError::MissingField(key))
+}
+
+/// Parse failures for the Bootstrap document.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BootstrapParseError {
+    MissingSection(u8),
+    MissingField(&'static str),
+    BadNumber(&'static str),
+    Letters(String),
+    WordCount { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for BootstrapParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BootstrapParseError::MissingSection(n) => write!(f, "bootstrap section {n} missing"),
+            BootstrapParseError::MissingField(k) => write!(f, "bootstrap field {k} missing"),
+            BootstrapParseError::BadNumber(k) => write!(f, "bootstrap field {k} is not a number"),
+            BootstrapParseError::Letters(e) => write!(f, "letter block: {e}"),
+            BootstrapParseError::WordCount { expected, got } => {
+                write!(f, "letter block decodes to {got} words, header says {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BootstrapParseError {}
+
+/// Human-readable restoration steps (section 4). Kept in prose: this is
+/// the text a future restorer actually follows.
+const WALKTHROUGH: &str = r#"
+ 1. Scan every frame. Separate the pages of this document from the
+    emblem images (the squares with thick black borders).
+ 2. Implement the machine of SECTION 1 in any language. Verify it on
+    the worked example in SECTION 1's notes.
+ 3. Decode SECTION 2's letters into 32-bit words (8 letters per word,
+    A=15 … P=0, most significant first). This is the start of the
+    machine's memory: it contains the DynaRisc processor emulator
+    (as VeRisc code) and the emblem decoder MODECODE (as DynaRisc
+    words in the PROG region listed in the symbols line).
+ 4. For each emblem image, in any order: convert the image to one
+    byte per pixel (0 = black, 255 = white, threshold at 128). Build
+    the decoder input after the image prefix: write the pixel count
+    at word IN_LEN (see layout line), the pixels from word IN_BASE
+    on (one byte per memory word), the output base at OUT_BASE_PTR,
+    and the geometry words from the manifest at PARAMS. Set memory
+    word 0 to 2 and run until the machine halts. The output region
+    now holds 16 header bytes followed by the emblem's payload.
+ 5. Byte 1 of the header is the emblem kind: 0 = data, 1 = system,
+    2 = parity. Bytes 2-3 are the emblem's sequence number. Collect
+    the SYSTEM payloads in sequence order and concatenate them:
+    this is DBDECODE, the database decompressor, as 16-bit little-
+    endian DynaRisc words. Write those words over the PROG region,
+    reset the state cells (DPC, SP, CFLAG, ZFLAG, NFLAG, all REGS
+    and PTRS) to zero.
+ 6. Collect the DATA payloads in sequence order and concatenate
+    them; place the result in the machine's memory as the new input
+    (same layout as step 4, no geometry words needed). Run DBDECODE.
+    The output region now holds the original SQL archive text.
+ 7. Load the SQL file into any database system of your era.
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Bootstrap {
+        let mut symbols = HashMap::new();
+        for (i, name) in
+            ["DYNMEM", "PROG", "DPC", "SP", "CFLAG", "ZFLAG", "NFLAG", "REGS", "PTRS", "STACK"]
+                .iter()
+                .enumerate()
+        {
+            symbols.insert(name.to_string(), 1000 + i as u32);
+        }
+        Bootstrap {
+            image_prefix: (0..200u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect(),
+            symbols,
+            prog_capacity: 512,
+            cols: 256,
+            rows: 96,
+            cell_px: 3,
+            origin_px: 18,
+            nblocks: 5,
+            frame_w: 900,
+            frame_h: 400,
+            xoff: 48,
+            yoff: 38,
+            scheme: 2,
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let b = sample();
+        let text = b.to_text();
+        let parsed = Bootstrap::parse(&text).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn document_contains_all_sections() {
+        let text = sample().to_text();
+        for s in [SECTION1, SECTION2, SECTION3, SECTION4] {
+            assert!(text.contains(s), "missing {s}");
+        }
+        assert!(text.contains("LD"), "pseudocode embedded");
+    }
+
+    #[test]
+    fn corrupted_letters_detected() {
+        let b = sample();
+        let text = b.to_text().replace("prog-capacity: 512\n", "prog-capacity: 512\nZZZZZZZZ\n");
+        assert!(matches!(Bootstrap::parse(&text), Err(BootstrapParseError::Letters(_))));
+    }
+
+    #[test]
+    fn missing_section_detected() {
+        assert_eq!(Bootstrap::parse("nothing here"), Err(BootstrapParseError::MissingSection(2)));
+    }
+
+    #[test]
+    fn page_count_is_reported() {
+        let (prose, letter) = sample().page_count();
+        assert!(prose >= 1);
+        assert!(letter >= 1);
+    }
+}

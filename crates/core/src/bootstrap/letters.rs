@@ -1,0 +1,177 @@
+//! The hex-to-letter text codec of §3.2.
+//!
+//! "letters A to P are used to encode hexadecimal values 0xF to 0x0
+//! respectively" — so `A = 0xF, B = 0xE, …, O = 0x1, P = 0x0`. Words are
+//! written most-significant nibble first, eight letters per 32-bit word.
+//! The alphabet survives OCR well (no digits/letters that collide) and is
+//! trivially described in one Bootstrap sentence.
+
+/// Encode one nibble (0..=15) as a letter.
+#[inline]
+pub fn nibble_to_letter(nibble: u8) -> char {
+    debug_assert!(nibble <= 0xF);
+    (b'A' + (0xF - nibble)) as char
+}
+
+/// Decode a letter back to its nibble; `None` for characters outside A..=P.
+#[inline]
+pub fn letter_to_nibble(c: char) -> Option<u8> {
+    if ('A'..='P').contains(&c) {
+        Some(0xF - (c as u8 - b'A'))
+    } else {
+        None
+    }
+}
+
+/// Encode 32-bit words as a letter string (8 letters per word, MSB first).
+pub fn encode_words(words: &[u32]) -> String {
+    let mut out = String::with_capacity(words.len() * 8);
+    for &w in words {
+        for shift in (0..8).rev() {
+            out.push(nibble_to_letter(((w >> (shift * 4)) & 0xF) as u8));
+        }
+    }
+    out
+}
+
+/// Decode a letter stream back into 32-bit words, skipping whitespace.
+/// Errors on any other character or a dangling partial word.
+pub fn decode_words(text: &str) -> Result<Vec<u32>, LetterError> {
+    let mut words = Vec::new();
+    let mut acc: u32 = 0;
+    let mut nibbles = 0usize;
+    for (i, c) in text.chars().enumerate() {
+        if c.is_whitespace() {
+            continue;
+        }
+        let n = letter_to_nibble(c).ok_or(LetterError::BadCharacter { at: i, c })?;
+        acc = (acc << 4) | n as u32;
+        nibbles += 1;
+        if nibbles == 8 {
+            words.push(acc);
+            acc = 0;
+            nibbles = 0;
+        }
+    }
+    if nibbles != 0 {
+        return Err(LetterError::PartialWord { trailing_nibbles: nibbles });
+    }
+    Ok(words)
+}
+
+/// Encode bytes (for byte-granular payloads like the DBDecode stream).
+pub fn encode_bytes(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(nibble_to_letter(b >> 4));
+        out.push(nibble_to_letter(b & 0xF));
+    }
+    out
+}
+
+/// Decode a letter stream into bytes, skipping whitespace.
+pub fn decode_bytes(text: &str) -> Result<Vec<u8>, LetterError> {
+    let mut out = Vec::new();
+    let mut hi: Option<u8> = None;
+    for (i, c) in text.chars().enumerate() {
+        if c.is_whitespace() {
+            continue;
+        }
+        let n = letter_to_nibble(c).ok_or(LetterError::BadCharacter { at: i, c })?;
+        match hi.take() {
+            Some(h) => out.push((h << 4) | n),
+            None => hi = Some(n),
+        }
+    }
+    if hi.is_some() {
+        return Err(LetterError::PartialWord { trailing_nibbles: 1 });
+    }
+    Ok(out)
+}
+
+/// Letter-codec failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LetterError {
+    BadCharacter { at: usize, c: char },
+    PartialWord { trailing_nibbles: usize },
+}
+
+impl std::fmt::Display for LetterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LetterError::BadCharacter { at, c } => write!(f, "invalid letter {c:?} at {at}"),
+            LetterError::PartialWord { trailing_nibbles } => {
+                write!(f, "dangling partial word ({trailing_nibbles} nibbles)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LetterError {}
+
+/// Wrap a letter stream at `width` characters per line.
+pub fn wrap_lines(letters: &str, width: usize) -> String {
+    let mut out = String::with_capacity(letters.len() + letters.len() / width + 1);
+    for (i, c) in letters.chars().enumerate() {
+        if i > 0 && i % width == 0 {
+            out.push('\n');
+        }
+        out.push(c);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mapping_a_is_f_and_p_is_0() {
+        assert_eq!(nibble_to_letter(0xF), 'A');
+        assert_eq!(nibble_to_letter(0x0), 'P');
+        assert_eq!(letter_to_nibble('A'), Some(0xF));
+        assert_eq!(letter_to_nibble('P'), Some(0x0));
+        assert_eq!(letter_to_nibble('Q'), None);
+        assert_eq!(letter_to_nibble('a'), None);
+    }
+
+    #[test]
+    fn words_roundtrip() {
+        let words = vec![0u32, 1, 0xFFFF_FFFF, 0xDEAD_BEEF, 0x0102_0304];
+        let letters = encode_words(&words);
+        assert_eq!(letters.len(), words.len() * 8);
+        assert_eq!(decode_words(&letters).unwrap(), words);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let letters = encode_bytes(&bytes);
+        assert_eq!(decode_bytes(&letters).unwrap(), bytes);
+    }
+
+    #[test]
+    fn whitespace_is_skipped() {
+        let words = vec![0x1234_5678];
+        let letters = wrap_lines(&encode_words(&words), 4);
+        assert!(letters.contains('\n'));
+        assert_eq!(decode_words(&letters).unwrap(), words);
+    }
+
+    #[test]
+    fn bad_characters_rejected() {
+        assert!(matches!(decode_words("ABCDEFG1"), Err(LetterError::BadCharacter { .. })));
+    }
+
+    #[test]
+    fn partial_word_rejected() {
+        assert!(matches!(decode_words("ABC"), Err(LetterError::PartialWord { .. })));
+    }
+
+    #[test]
+    fn encoding_uses_only_a_through_p() {
+        let letters = encode_words(&[0x0123_4567, 0x89AB_CDEF]);
+        assert!(letters.chars().all(|c| ('A'..='P').contains(&c)), "{letters}");
+    }
+}

@@ -1,0 +1,12 @@
+//! The Bootstrap document (system **S9**): the self-contained, plain-text
+//! artifact that lets a future user rebuild the decoding stack.
+//!
+//! §3.2: "we convert the binary, VeRisc instruction stream corresponding
+//! to MOCoder and DynaRisc emulators into a list of textual characters
+//! using a text encoding where letters A to P are used to encode
+//! hexadecimal values 0xF to 0x0 respectively. This list of characters is
+//! stored together with a plain-text description of the VeRisc emulation
+//! algorithm … The result … is a short, seven-page document."
+
+pub mod document;
+pub mod letters;

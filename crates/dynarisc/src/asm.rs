@@ -1,0 +1,418 @@
+//! DynaRisc assembler (label-resolving builder) and disassembler.
+//!
+//! The decoders the paper archives (`programs::dbdecode`,
+//! `programs::modecode`) are written against this builder; `finish()`
+//! produces the frozen instruction-word stream that is stored on the
+//! medium (as system emblems / Bootstrap letters).
+
+use crate::isa::{Instr, Mode, Opcode};
+
+/// A forward-referencable program location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Instruction-stream builder.
+#[derive(Default)]
+pub struct Asm {
+    words: Vec<u16>,
+    labels: Vec<Option<u16>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl Asm {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the current position.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.words.len() as u16);
+    }
+
+    /// Create a label bound right here.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Current length in words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    fn emit(&mut self, instr: Instr) {
+        self.words.extend(instr.encode());
+    }
+
+    fn emit_jump(&mut self, opcode: Opcode, target: Label) {
+        let instr = Instr::with_imm(opcode, 0, 0, Mode::M0, 0);
+        let imm_at = self.words.len() + 1;
+        self.emit(instr);
+        self.fixups.push((imm_at, target));
+    }
+
+    /// Resolve labels and return the instruction words.
+    ///
+    /// # Panics
+    /// Panics on unbound labels (a programming error in the decoder
+    /// source, not a runtime condition).
+    pub fn finish(mut self) -> Vec<u16> {
+        for (at, label) in &self.fixups {
+            let pos = self.labels[label.0].expect("unbound label");
+            self.words[*at] = pos;
+        }
+        self.words
+    }
+
+    // ---- arithmetic ----
+    pub fn add(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Add, a, b, Mode::M0));
+    }
+    pub fn addi(&mut self, a: u8, imm: u16) {
+        self.emit(Instr::with_imm(Opcode::Add, a, 0, Mode::M2, imm));
+    }
+    pub fn add_d_r(&mut self, d: u8, r: u8) {
+        self.emit(Instr::new(Opcode::Add, d, r, Mode::M1));
+    }
+    pub fn addi_d(&mut self, d: u8, imm: u16) {
+        self.emit(Instr::with_imm(Opcode::Add, d, 0, Mode::M3, imm));
+    }
+    pub fn adc(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Adc, a, b, Mode::M0));
+    }
+    pub fn adci(&mut self, a: u8, imm: u16) {
+        self.emit(Instr::with_imm(Opcode::Adc, a, 0, Mode::M2, imm));
+    }
+    pub fn sub(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Sub, a, b, Mode::M0));
+    }
+    pub fn subi(&mut self, a: u8, imm: u16) {
+        self.emit(Instr::with_imm(Opcode::Sub, a, 0, Mode::M2, imm));
+    }
+    pub fn sub_d_r(&mut self, d: u8, r: u8) {
+        self.emit(Instr::new(Opcode::Sub, d, r, Mode::M1));
+    }
+    pub fn subi_d(&mut self, d: u8, imm: u16) {
+        self.emit(Instr::with_imm(Opcode::Sub, d, 0, Mode::M3, imm));
+    }
+    pub fn sbb(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Sbb, a, b, Mode::M0));
+    }
+    pub fn sbbi(&mut self, a: u8, imm: u16) {
+        self.emit(Instr::with_imm(Opcode::Sbb, a, 0, Mode::M2, imm));
+    }
+    pub fn cmp(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Cmp, a, b, Mode::M0));
+    }
+    pub fn cmpi(&mut self, a: u8, imm: u16) {
+        self.emit(Instr::with_imm(Opcode::Cmp, a, 0, Mode::M2, imm));
+    }
+    pub fn mul(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Mul, a, b, Mode::M0));
+    }
+    pub fn mul_hi(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Mul, a, b, Mode::M1));
+    }
+
+    // ---- logical ----
+    pub fn and(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::And, a, b, Mode::M0));
+    }
+    pub fn andi(&mut self, a: u8, imm: u16) {
+        self.emit(Instr::with_imm(Opcode::And, a, 0, Mode::M2, imm));
+    }
+    pub fn or(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Or, a, b, Mode::M0));
+    }
+    pub fn ori(&mut self, a: u8, imm: u16) {
+        self.emit(Instr::with_imm(Opcode::Or, a, 0, Mode::M2, imm));
+    }
+    pub fn xor(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Xor, a, b, Mode::M0));
+    }
+    pub fn xori(&mut self, a: u8, imm: u16) {
+        self.emit(Instr::with_imm(Opcode::Xor, a, 0, Mode::M2, imm));
+    }
+    pub fn lsl(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Lsl, a, b, Mode::M0));
+    }
+    pub fn lsl_i(&mut self, a: u8, n: u8) {
+        self.emit(Instr::new(Opcode::Lsl, a, n & 15, Mode::M1));
+    }
+    pub fn lsr(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Lsr, a, b, Mode::M0));
+    }
+    pub fn lsr_i(&mut self, a: u8, n: u8) {
+        self.emit(Instr::new(Opcode::Lsr, a, n & 15, Mode::M1));
+    }
+    pub fn asr(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Asr, a, b, Mode::M0));
+    }
+    pub fn asr_i(&mut self, a: u8, n: u8) {
+        self.emit(Instr::new(Opcode::Asr, a, n & 15, Mode::M1));
+    }
+    pub fn ror(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Ror, a, b, Mode::M0));
+    }
+    pub fn ror_i(&mut self, a: u8, n: u8) {
+        self.emit(Instr::new(Opcode::Ror, a, n & 15, Mode::M1));
+    }
+
+    // ---- data movement ----
+    pub fn move_r(&mut self, a: u8, b: u8) {
+        self.emit(Instr::new(Opcode::Move, a, b, Mode::M0));
+    }
+    pub fn move_d_r(&mut self, d: u8, r: u8) {
+        self.emit(Instr::new(Opcode::Move, d, r, Mode::M1));
+    }
+    pub fn move_r_dlo(&mut self, r: u8, d: u8) {
+        self.emit(Instr::new(Opcode::Move, r, d, Mode::M2));
+    }
+    pub fn move_d_d(&mut self, da: u8, db: u8) {
+        self.emit(Instr::new(Opcode::Move, da, db, Mode::M3));
+    }
+    pub fn move_r_dhi(&mut self, r: u8, d: u8) {
+        self.emit(Instr::new(Opcode::Move, r, d, Mode::M4));
+    }
+    /// `Dd ← (R[hi] << 16) | R[hi+1]` — hi names the *high* register of an
+    /// adjacent pair.
+    pub fn move_d_pair(&mut self, d: u8, hi: u8) {
+        self.emit(Instr::new(Opcode::Move, d, hi, Mode::M5));
+    }
+    pub fn ldi(&mut self, r: u8, imm: u16) {
+        self.emit(Instr::with_imm(Opcode::Ldi, r, 0, Mode::M0, imm));
+    }
+    pub fn ldi_d(&mut self, d: u8, imm: u32) {
+        self.emit(Instr {
+            opcode: Opcode::Ldi,
+            a: d,
+            b: 0,
+            mode: Mode::M1,
+            imm: imm as u16,
+            imm2: (imm >> 16) as u16,
+        });
+    }
+    pub fn ldm_byte(&mut self, r: u8, d: u8) {
+        self.emit(Instr::new(Opcode::Ldm, r, d, Mode::M0));
+    }
+    pub fn ldm_byte_inc(&mut self, r: u8, d: u8) {
+        self.emit(Instr::new(Opcode::Ldm, r, d, Mode::M1));
+    }
+    pub fn ldm_word(&mut self, r: u8, d: u8) {
+        self.emit(Instr::new(Opcode::Ldm, r, d, Mode::M2));
+    }
+    pub fn ldm_word_inc(&mut self, r: u8, d: u8) {
+        self.emit(Instr::new(Opcode::Ldm, r, d, Mode::M3));
+    }
+    pub fn stm_byte(&mut self, r: u8, d: u8) {
+        self.emit(Instr::new(Opcode::Stm, r, d, Mode::M0));
+    }
+    pub fn stm_byte_inc(&mut self, r: u8, d: u8) {
+        self.emit(Instr::new(Opcode::Stm, r, d, Mode::M1));
+    }
+    pub fn stm_word(&mut self, r: u8, d: u8) {
+        self.emit(Instr::new(Opcode::Stm, r, d, Mode::M2));
+    }
+    pub fn stm_word_inc(&mut self, r: u8, d: u8) {
+        self.emit(Instr::new(Opcode::Stm, r, d, Mode::M3));
+    }
+
+    // ---- control ----
+    pub fn jump(&mut self, target: Label) {
+        self.emit_jump(Opcode::Jump, target);
+    }
+    pub fn jz(&mut self, target: Label) {
+        self.emit_jump(Opcode::Jz, target);
+    }
+    pub fn jnz(&mut self, target: Label) {
+        self.emit_jump(Opcode::Jnz, target);
+    }
+    pub fn jc(&mut self, target: Label) {
+        self.emit_jump(Opcode::Jc, target);
+    }
+    pub fn call(&mut self, target: Label) {
+        self.emit_jump(Opcode::Call, target);
+    }
+    pub fn ret(&mut self) {
+        self.emit(Instr::new(Opcode::Ret, 0, 0, Mode::M0));
+    }
+
+    // ---- composite helpers (emit multiple instructions) ----
+
+    /// `(hi:lo) += imm` for a 16-bit register pair.
+    pub fn pair_addi(&mut self, hi: u8, lo: u8, imm: u16) {
+        self.addi(lo, imm);
+        self.adci(hi, 0);
+    }
+
+    /// `(hi:lo) -= imm` for a 16-bit register pair.
+    pub fn pair_subi(&mut self, hi: u8, lo: u8, imm: u16) {
+        self.subi(lo, imm);
+        self.sbbi(hi, 0);
+    }
+
+    /// `(ahi:alo) -= (bhi:blo)`.
+    pub fn pair_sub(&mut self, ahi: u8, alo: u8, bhi: u8, blo: u8) {
+        self.sub(alo, blo);
+        self.sbb(ahi, bhi);
+    }
+
+    /// Sets Z if the pair (hi:lo) is zero. Clobbers `tmp`.
+    pub fn pair_test_zero(&mut self, hi: u8, lo: u8, tmp: u8) {
+        self.move_r(tmp, lo);
+        self.or(tmp, hi);
+    }
+}
+
+/// Render an instruction stream as human-readable assembly listing.
+pub fn disassemble(words: &[u16]) -> String {
+    let mut out = String::new();
+    let mut pos = 0usize;
+    while pos < words.len() {
+        match Instr::decode(words, pos) {
+            Ok(instr) => {
+                out.push_str(&format!("{pos:04x}: {}\n", format_instr(&instr)));
+                pos += instr.len_words();
+            }
+            Err(e) => {
+                out.push_str(&format!("{pos:04x}: <{e:?}> {:#06x}\n", words[pos]));
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
+fn format_instr(i: &Instr) -> String {
+    use Opcode::*;
+    let m = i.opcode.mnemonic();
+    let (a, b) = (i.a, i.b);
+    match (i.opcode, i.mode) {
+        (Add | Adc | Sub | Sbb | Cmp | And | Or | Xor, Mode::M0) => format!("{m} R{a}, R{b}"),
+        (Add | Sub, Mode::M1) => format!("{m} D{}, R{b}", a & 7),
+        (Add | Adc | Sub | Sbb | Cmp | And | Or | Xor, Mode::M2) => {
+            format!("{m} R{a}, #{:#06x}", i.imm)
+        }
+        (Add | Sub, Mode::M3) => format!("{m} D{}, #{:#06x}", a & 7, i.imm),
+        (Mul, Mode::M0) => format!("MUL R{a}, R{b}"),
+        (Mul, Mode::M1) => format!("MUL.HI R{a}, R{b}"),
+        (Lsl | Lsr | Asr | Ror, Mode::M0) => format!("{m} R{a}, R{b}"),
+        (Lsl | Lsr | Asr | Ror, Mode::M1) => format!("{m} R{a}, #{b}"),
+        (Move, Mode::M0) => format!("MOVE R{a}, R{b}"),
+        (Move, Mode::M1) => format!("MOVE D{}, R{b}", a & 7),
+        (Move, Mode::M2) => format!("MOVE R{a}, D{}.LO", b & 7),
+        (Move, Mode::M3) => format!("MOVE D{}, D{}", a & 7, b & 7),
+        (Move, Mode::M4) => format!("MOVE R{a}, D{}.HI", b & 7),
+        (Move, Mode::M5) => format!("MOVE D{}, R{b}:R{}", a & 7, (b + 1) & 15),
+        (Ldi, Mode::M1) => {
+            format!("LDI D{}, #{:#010x}", a & 7, ((i.imm2 as u32) << 16) | i.imm as u32)
+        }
+        (Ldi, _) => format!("LDI R{a}, #{:#06x}", i.imm),
+        (Ldm, Mode::M0) => format!("LDM R{a}, [D{}]", b & 7),
+        (Ldm, Mode::M1) => format!("LDM R{a}, [D{}]+", b & 7),
+        (Ldm, Mode::M2) => format!("LDM.W R{a}, [D{}]", b & 7),
+        (Ldm, _) => format!("LDM.W R{a}, [D{}]+", b & 7),
+        (Stm, Mode::M0) => format!("STM R{a}, [D{}]", b & 7),
+        (Stm, Mode::M1) => format!("STM R{a}, [D{}]+", b & 7),
+        (Stm, Mode::M2) => format!("STM.W R{a}, [D{}]", b & 7),
+        (Stm, _) => format!("STM.W R{a}, [D{}]+", b & 7),
+        (Jump | Jz | Jnz | Jc | Call, _) => format!("{m} {:#06x}", i.imm),
+        (Ret, _) => "RET".to_string(),
+        _ => format!("{m} R{a}, R{b} (mode {:?})", i.mode),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut a = Asm::new();
+        let fwd = a.label();
+        let back = a.here();
+        a.ldi(0, 1);
+        a.jump(fwd);
+        a.ldi(0, 2); // skipped
+        a.bind(fwd);
+        a.jnz(back);
+        a.ret();
+        let words = a.finish();
+        // Instruction at 0: LDI (2 words), JUMP target should be 4+... verify
+        // by disassembly instead of hand-counting.
+        let listing = disassemble(&words);
+        assert!(listing.contains("JUMP"), "{listing}");
+        assert!(listing.contains("RET"), "{listing}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.jump(l);
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.here();
+        a.bind(l);
+    }
+
+    #[test]
+    fn disassemble_covers_every_opcode() {
+        let mut a = Asm::new();
+        a.add(1, 2);
+        a.adci(1, 3);
+        a.sub_d_r(0, 1);
+        a.sbb(2, 3);
+        a.cmpi(4, 100);
+        a.mul_hi(5, 6);
+        a.andi(7, 0xFF);
+        a.or(1, 2);
+        a.xori(3, 0xF0F0);
+        a.lsl_i(1, 3);
+        a.lsr(2, 3);
+        a.asr_i(4, 2);
+        a.ror_i(5, 7);
+        a.move_d_pair(2, 8);
+        a.ldi_d(1, 0x12345678);
+        a.ldm_word_inc(0, 1);
+        a.stm_byte(2, 3);
+        let l = a.here();
+        a.jump(l);
+        a.jz(l);
+        a.jnz(l);
+        a.jc(l);
+        a.call(l);
+        a.ret();
+        let listing = disassemble(&a.finish());
+        for mn in ["ADD", "ADC", "SUB D0", "SBB", "CMP", "MUL.HI", "AND", "OR R1", "XOR",
+            "LSL", "LSR", "ASR", "ROR", "MOVE D2, R8:R9", "LDI D1, #0x12345678",
+            "LDM.W R0, [D1]+", "STM R2, [D3]", "JUMP", "JZ", "JNZ", "JC", "CALL", "RET"] {
+            assert!(listing.contains(mn), "missing `{mn}` in:\n{listing}");
+        }
+    }
+
+    #[test]
+    fn pair_helpers_encode_two_instructions() {
+        let mut a = Asm::new();
+        a.pair_addi(1, 0, 5);
+        assert_eq!(a.len(), 4); // ADD imm (2 words) + ADC imm (2 words)
+    }
+}

@@ -1,0 +1,333 @@
+//! The DynaRisc instruction set: 23 opcodes, 16-bit instruction words.
+//!
+//! Word layout: `[opcode:5][a:4][b:4][mode:3]` (most significant bits
+//! first). Some opcode/mode combinations take extra words (immediates and
+//! jump targets). The encoding is **frozen** — instruction streams are
+//! archived on analog media and referenced by the Bootstrap document.
+//!
+//! Register classes: `a`/`b` index data registers `R0..R15` or pointer
+//! registers `D0..D7` depending on opcode+mode (pointer indices use the
+//! low 3 bits).
+
+/// The 23 DynaRisc opcodes. Values are frozen wire codes.
+///
+/// Table 1 of the paper shows ADC, SBB, SUB, CMP, MUL / AND, OR, XOR, LSL,
+/// LSR, ASR, ROR / MOVE, LDI, LDM, STM, JUMP; the remaining six (ADD, JZ,
+/// JNZ, JC, CALL, RET) complete the 23-instruction set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    Add = 0,
+    Adc = 1,
+    Sub = 2,
+    Sbb = 3,
+    Cmp = 4,
+    Mul = 5,
+    And = 6,
+    Or = 7,
+    Xor = 8,
+    Lsl = 9,
+    Lsr = 10,
+    Asr = 11,
+    Ror = 12,
+    Move = 13,
+    Ldi = 14,
+    Ldm = 15,
+    Stm = 16,
+    Jump = 17,
+    Jz = 18,
+    Jnz = 19,
+    Jc = 20,
+    Call = 21,
+    Ret = 22,
+}
+
+/// Number of opcodes — the "23-ISA" of the paper.
+pub const OPCODE_COUNT: usize = 23;
+
+impl Opcode {
+    pub fn from_u8(v: u8) -> Option<Opcode> {
+        use Opcode::*;
+        const ALL: [Opcode; OPCODE_COUNT] = [
+            Add, Adc, Sub, Sbb, Cmp, Mul, And, Or, Xor, Lsl, Lsr, Asr, Ror, Move, Ldi, Ldm, Stm,
+            Jump, Jz, Jnz, Jc, Call, Ret,
+        ];
+        ALL.get(v as usize).copied()
+    }
+
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Opcode::Add => "ADD",
+            Opcode::Adc => "ADC",
+            Opcode::Sub => "SUB",
+            Opcode::Sbb => "SBB",
+            Opcode::Cmp => "CMP",
+            Opcode::Mul => "MUL",
+            Opcode::And => "AND",
+            Opcode::Or => "OR",
+            Opcode::Xor => "XOR",
+            Opcode::Lsl => "LSL",
+            Opcode::Lsr => "LSR",
+            Opcode::Asr => "ASR",
+            Opcode::Ror => "ROR",
+            Opcode::Move => "MOVE",
+            Opcode::Ldi => "LDI",
+            Opcode::Ldm => "LDM",
+            Opcode::Stm => "STM",
+            Opcode::Jump => "JUMP",
+            Opcode::Jz => "JZ",
+            Opcode::Jnz => "JNZ",
+            Opcode::Jc => "JC",
+            Opcode::Call => "CALL",
+            Opcode::Ret => "RET",
+        }
+    }
+
+    /// Instruction class as presented in Table 1.
+    pub fn class(&self) -> &'static str {
+        match self {
+            Opcode::Add | Opcode::Adc | Opcode::Sub | Opcode::Sbb | Opcode::Cmp | Opcode::Mul => {
+                "Arithmetic"
+            }
+            Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Lsl
+            | Opcode::Lsr
+            | Opcode::Asr
+            | Opcode::Ror => "Logical",
+            Opcode::Move | Opcode::Ldi | Opcode::Ldm | Opcode::Stm => "Control/Data",
+            Opcode::Jump | Opcode::Jz | Opcode::Jnz | Opcode::Jc | Opcode::Call | Opcode::Ret => {
+                "Control/Data"
+            }
+        }
+    }
+}
+
+/// Addressing / operand modes. Interpretation depends on the opcode — see
+/// the match in [`crate::vm::Vm::step`] and the table in `DESIGN.md`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Mode {
+    M0 = 0,
+    M1 = 1,
+    M2 = 2,
+    M3 = 3,
+    M4 = 4,
+    M5 = 5,
+    M6 = 6,
+    M7 = 7,
+}
+
+impl Mode {
+    pub fn from_u8(v: u8) -> Mode {
+        match v & 7 {
+            0 => Mode::M0,
+            1 => Mode::M1,
+            2 => Mode::M2,
+            3 => Mode::M3,
+            4 => Mode::M4,
+            5 => Mode::M5,
+            6 => Mode::M6,
+            _ => Mode::M7,
+        }
+    }
+}
+
+/// A decoded instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Instr {
+    pub opcode: Opcode,
+    pub a: u8,
+    pub b: u8,
+    pub mode: Mode,
+    /// First immediate / jump target word.
+    pub imm: u16,
+    /// Second immediate word (only `LDI Dd, #imm32`).
+    pub imm2: u16,
+}
+
+/// Instruction decode errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeErr {
+    BadOpcode(u8),
+    Truncated,
+}
+
+impl Instr {
+    pub fn new(opcode: Opcode, a: u8, b: u8, mode: Mode) -> Self {
+        Self { opcode, a, b, mode, imm: 0, imm2: 0 }
+    }
+
+    pub fn with_imm(opcode: Opcode, a: u8, b: u8, mode: Mode, imm: u16) -> Self {
+        Self { opcode, a, b, mode, imm, imm2: 0 }
+    }
+
+    /// Number of 16-bit words this instruction occupies.
+    pub fn len_words(&self) -> usize {
+        1 + self.extra_words()
+    }
+
+    /// Extra immediate words after the first.
+    pub fn extra_words(&self) -> usize {
+        use Opcode::*;
+        match (self.opcode, self.mode) {
+            (Ldi, Mode::M1) => 2,
+            (Ldi, _) => 1,
+            (Jump | Jz | Jnz | Jc | Call, _) => 1,
+            (Add | Adc | Sub | Sbb | Cmp | And | Or | Xor, Mode::M2 | Mode::M3) => 1,
+            _ => 0,
+        }
+    }
+
+    /// Encode into instruction words.
+    pub fn encode(&self) -> Vec<u16> {
+        let w0 = ((self.opcode as u16) << 11)
+            | (((self.a & 0xF) as u16) << 7)
+            | (((self.b & 0xF) as u16) << 3)
+            | (self.mode as u16);
+        let mut words = vec![w0];
+        match self.extra_words() {
+            0 => {}
+            1 => words.push(self.imm),
+            2 => {
+                words.push(self.imm); // low half first
+                words.push(self.imm2);
+            }
+            _ => unreachable!(),
+        }
+        words
+    }
+
+    /// Decode the instruction starting at `words[pos]`.
+    pub fn decode(words: &[u16], pos: usize) -> Result<Instr, DecodeErr> {
+        let w0 = *words.get(pos).ok_or(DecodeErr::Truncated)?;
+        let op_bits = (w0 >> 11) as u8;
+        let opcode = Opcode::from_u8(op_bits).ok_or(DecodeErr::BadOpcode(op_bits))?;
+        let a = ((w0 >> 7) & 0xF) as u8;
+        let b = ((w0 >> 3) & 0xF) as u8;
+        let mode = Mode::from_u8((w0 & 7) as u8);
+        let mut instr = Instr::new(opcode, a, b, mode);
+        match instr.extra_words() {
+            0 => {}
+            1 => instr.imm = *words.get(pos + 1).ok_or(DecodeErr::Truncated)?,
+            2 => {
+                instr.imm = *words.get(pos + 1).ok_or(DecodeErr::Truncated)?;
+                instr.imm2 = *words.get(pos + 2).ok_or(DecodeErr::Truncated)?;
+            }
+            _ => unreachable!(),
+        }
+        Ok(instr)
+    }
+}
+
+/// The ISA listing of Table 1, grouped by class: `(class, mnemonic,
+/// operands)` rows for every one of the 23 instructions.
+pub fn table1() -> Vec<(&'static str, &'static str, &'static str)> {
+    vec![
+        ("Arithmetic", "ADD", "Rd, Rs | Dd, Rs | Rd, #imm | Dd, #imm"),
+        ("Arithmetic", "ADC", "Rd, Rs | Rd, #imm (carry)"),
+        ("Arithmetic", "SUB", "Rd, Rs | Dd, Rs | Rd, #imm | Dd, #imm"),
+        ("Arithmetic", "SBB", "Rd, Rs | Rd, #imm (borrow)"),
+        ("Arithmetic", "CMP", "Rd, Rs | Rd, #imm"),
+        ("Arithmetic", "MUL", "Rd, Rs (low) | Rd, Rs (high)"),
+        ("Logical", "AND", "Rd, Rs | Rd, #imm"),
+        ("Logical", "OR", "Rd, Rs | Rd, #imm"),
+        ("Logical", "XOR", "Rd, Rs | Rd, #imm"),
+        ("Logical", "LSL", "Rd, Rs | Rd, #n"),
+        ("Logical", "LSR", "Rd, Rs | Rd, #n"),
+        ("Logical", "ASR", "Rd, Rs | Rd, #n"),
+        ("Logical", "ROR", "Rd, Rs | Rd, #n"),
+        ("Control/Data", "MOVE", "Rd, Rs | Dd, Rs | Rd, Ds(lo/hi) | Dd, Ds | Dd, Rs:Rs+1"),
+        ("Control/Data", "LDI", "Rd, #imm16 | Dd, #imm32"),
+        ("Control/Data", "LDM", "Rd, [Ds] (byte/word, ±post-inc)"),
+        ("Control/Data", "STM", "Rs, [Dd] (byte/word, ±post-inc)"),
+        ("Control/Data", "JUMP", "address"),
+        ("Control/Data", "JZ", "address"),
+        ("Control/Data", "JNZ", "address"),
+        ("Control/Data", "JC", "address"),
+        ("Control/Data", "CALL", "address"),
+        ("Control/Data", "RET", "(halts when the call stack is empty)"),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_23_opcodes() {
+        assert_eq!(table1().len(), OPCODE_COUNT);
+        assert!(Opcode::from_u8(22).is_some());
+        assert!(Opcode::from_u8(23).is_none());
+    }
+
+    #[test]
+    fn table1_covers_every_paper_sample_instruction() {
+        // Every mnemonic the paper's Table 1 shows must exist.
+        let ours: Vec<&str> = table1().iter().map(|(_, m, _)| *m).collect();
+        for paper in ["ADC", "SBB", "SUB", "CMP", "MUL", "AND", "OR", "XOR", "LSL", "LSR", "ASR",
+            "ROR", "MOVE", "LDI", "LDM", "STM", "JUMP"] {
+            assert!(ours.contains(&paper), "missing {paper}");
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_all_opcodes() {
+        for code in 0..OPCODE_COUNT as u8 {
+            let op = Opcode::from_u8(code).unwrap();
+            for mode in 0..8u8 {
+                let instr = Instr {
+                    opcode: op,
+                    a: 11,
+                    b: 5,
+                    mode: Mode::from_u8(mode),
+                    imm: 0xBEEF,
+                    imm2: 0x1234,
+                };
+                let words = instr.encode();
+                assert_eq!(words.len(), instr.len_words());
+                let back = Instr::decode(&words, 0).unwrap();
+                assert_eq!(back.opcode, op);
+                assert_eq!(back.a, 11);
+                assert_eq!(back.b, 5);
+                assert_eq!(back.mode, instr.mode);
+                if instr.extra_words() >= 1 {
+                    assert_eq!(back.imm, 0xBEEF);
+                }
+                if instr.extra_words() == 2 {
+                    assert_eq!(back.imm2, 0x1234);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let instr = Instr::with_imm(Opcode::Ldi, 0, 0, Mode::M0, 42);
+        let words = instr.encode();
+        assert_eq!(Instr::decode(&words[..1], 0).unwrap_err(), DecodeErr::Truncated);
+    }
+
+    #[test]
+    fn bad_opcode_detected() {
+        let w = (31u16) << 11;
+        assert_eq!(Instr::decode(&[w], 0).unwrap_err(), DecodeErr::BadOpcode(31));
+    }
+
+    #[test]
+    fn ldi_d_is_three_words() {
+        let instr = Instr { opcode: Opcode::Ldi, a: 2, b: 0, mode: Mode::M1, imm: 0x5678, imm2: 0x1234 };
+        assert_eq!(instr.len_words(), 3);
+        let w = instr.encode();
+        let back = Instr::decode(&w, 0).unwrap();
+        assert_eq!(((back.imm2 as u32) << 16) | back.imm as u32, 0x1234_5678);
+    }
+
+    #[test]
+    fn classes_partition_into_three() {
+        let mut classes: Vec<&str> = table1().iter().map(|(c, _, _)| *c).collect();
+        classes.dedup();
+        assert_eq!(classes, vec!["Arithmetic", "Logical", "Control/Data"]);
+    }
+}

@@ -1,0 +1,431 @@
+//! Textual DynaRisc assembler — parses the same syntax the disassembler
+//! emits, so archived instruction streams can be listed, audited, edited
+//! and re-assembled (`asm::disassemble` ∘ `text_asm::assemble` is the
+//! identity on programs).
+//!
+//! Syntax (one instruction per line; `;` starts a comment):
+//!
+//! ```text
+//! start:                  ; labels end with ':'
+//!     LDI   R0, #0x0010
+//!     LDI   D1, #0x00000040
+//!     LDM   R2, [D1]+     ; byte load, post-increment
+//!     LDM.W R3, [D1]      ; 16-bit load
+//!     ADD   R0, R2
+//!     MUL.HI R4, R0
+//!     JNZ   start         ; jump targets may be labels or numbers
+//!     RET
+//! ```
+
+use crate::isa::{Instr, Mode, Opcode};
+use std::collections::HashMap;
+
+/// Assembly failures, with 1-based line numbers.
+#[derive(Debug, PartialEq, Eq)]
+pub struct AsmError {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, msg: impl Into<String>) -> AsmError {
+    AsmError { line, msg: msg.into() }
+}
+
+/// An operand token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Op {
+    R(u8),
+    D(u8),
+    /// `D{n}.LO` / `D{n}.HI`
+    DPart(u8, bool /*hi*/),
+    /// `R{n}:R{n+1}` pair
+    Pair(u8),
+    Imm(u32),
+    /// `[Dn]` or `[Dn]+`
+    Mem(u8, bool /*post-inc*/),
+    Label(String),
+}
+
+fn parse_num(s: &str, line: usize) -> Result<u32, AsmError> {
+    let s = s.trim();
+    let (digits, radix) = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(rest) => (rest, 16),
+        None => (s, 10),
+    };
+    u32::from_str_radix(digits, radix).map_err(|_| err(line, format!("bad number {s:?}")))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Op, AsmError> {
+    let t = tok.trim();
+    if let Some(imm) = t.strip_prefix('#') {
+        return Ok(Op::Imm(parse_num(imm, line)?));
+    }
+    if let Some(inner) = t.strip_prefix('[') {
+        let (body, inc) = match inner.strip_suffix("]+") {
+            Some(b) => (b, true),
+            None => (
+                inner.strip_suffix(']').ok_or_else(|| err(line, format!("unclosed {t:?}")))?,
+                false,
+            ),
+        };
+        let d = body
+            .trim()
+            .strip_prefix('D')
+            .and_then(|n| n.parse::<u8>().ok())
+            .ok_or_else(|| err(line, format!("bad memory operand {t:?}")))?;
+        return Ok(Op::Mem(d, inc));
+    }
+    if let Some((a, b)) = t.split_once(':') {
+        let ra = a.trim().strip_prefix('R').and_then(|n| n.parse::<u8>().ok());
+        let rb = b.trim().strip_prefix('R').and_then(|n| n.parse::<u8>().ok());
+        if let (Some(ra), Some(rb)) = (ra, rb) {
+            if rb != (ra + 1) & 15 {
+                return Err(err(line, format!("pair must be adjacent: R{ra}:R{rb}")));
+            }
+            return Ok(Op::Pair(ra));
+        }
+        return Err(err(line, format!("bad pair {t:?}")));
+    }
+    if let Some(rest) = t.strip_prefix('R') {
+        if let Ok(n) = rest.parse::<u8>() {
+            if n < 16 {
+                return Ok(Op::R(n));
+            }
+        }
+    }
+    if let Some(rest) = t.strip_prefix('D') {
+        if let Some((n, part)) = rest.split_once('.') {
+            let d = n.parse::<u8>().map_err(|_| err(line, format!("bad register {t:?}")))?;
+            return match part {
+                "LO" => Ok(Op::DPart(d, false)),
+                "HI" => Ok(Op::DPart(d, true)),
+                _ => Err(err(line, format!("bad pointer part {t:?}"))),
+            };
+        }
+        if let Ok(n) = rest.parse::<u8>() {
+            if n < 8 {
+                return Ok(Op::D(n));
+            }
+        }
+    }
+    if parse_num(t, line).is_ok() {
+        return Ok(Op::Imm(parse_num(t, line)?));
+    }
+    Ok(Op::Label(t.to_string()))
+}
+
+fn encode_line(
+    mnemonic: &str,
+    ops: &[Op],
+    line: usize,
+) -> Result<(Instr, Option<(usize, String)>), AsmError> {
+    use Opcode::*;
+    let m = mnemonic.to_ascii_uppercase();
+    let bad = || err(line, format!("bad operands for {m}"));
+    let alu = |op: Opcode| -> Result<(Instr, Option<(usize, String)>), AsmError> {
+        match ops {
+            [Op::R(a), Op::R(b)] => Ok((Instr::new(op, *a, *b, Mode::M0), None)),
+            [Op::R(a), Op::Imm(v)] => {
+                Ok((Instr::with_imm(op, *a, 0, Mode::M2, *v as u16), None))
+            }
+            [Op::D(d), Op::R(b)] if matches!(op, Add | Sub) => {
+                Ok((Instr::new(op, *d, *b, Mode::M1), None))
+            }
+            [Op::D(d), Op::Imm(v)] if matches!(op, Add | Sub) => {
+                Ok((Instr::with_imm(op, *d, 0, Mode::M3, *v as u16), None))
+            }
+            _ => Err(bad()),
+        }
+    };
+    let shift = |op: Opcode| -> Result<(Instr, Option<(usize, String)>), AsmError> {
+        match ops {
+            [Op::R(a), Op::R(b)] => Ok((Instr::new(op, *a, *b, Mode::M0), None)),
+            [Op::R(a), Op::Imm(v)] if *v < 16 => {
+                Ok((Instr::new(op, *a, *v as u8, Mode::M1), None))
+            }
+            _ => Err(bad()),
+        }
+    };
+    let jump = |op: Opcode| -> Result<(Instr, Option<(usize, String)>), AsmError> {
+        match ops {
+            [Op::Imm(v)] => Ok((Instr::with_imm(op, 0, 0, Mode::M0, *v as u16), None)),
+            [Op::Label(l)] => {
+                Ok((Instr::with_imm(op, 0, 0, Mode::M0, 0), Some((1, l.clone()))))
+            }
+            _ => Err(bad()),
+        }
+    };
+    match m.as_str() {
+        "ADD" => alu(Add),
+        "ADC" => alu(Adc),
+        "SUB" => alu(Sub),
+        "SBB" => alu(Sbb),
+        "CMP" => alu(Cmp),
+        "AND" => alu(And),
+        "OR" => alu(Or),
+        "XOR" => alu(Xor),
+        "MUL" => match ops {
+            [Op::R(a), Op::R(b)] => Ok((Instr::new(Mul, *a, *b, Mode::M0), None)),
+            _ => Err(bad()),
+        },
+        "MUL.HI" => match ops {
+            [Op::R(a), Op::R(b)] => Ok((Instr::new(Mul, *a, *b, Mode::M1), None)),
+            _ => Err(bad()),
+        },
+        "LSL" => shift(Lsl),
+        "LSR" => shift(Lsr),
+        "ASR" => shift(Asr),
+        "ROR" => shift(Ror),
+        "MOVE" => match ops {
+            [Op::R(a), Op::R(b)] => Ok((Instr::new(Move, *a, *b, Mode::M0), None)),
+            [Op::D(d), Op::R(b)] => Ok((Instr::new(Move, *d, *b, Mode::M1), None)),
+            [Op::R(a), Op::DPart(d, false)] => Ok((Instr::new(Move, *a, *d, Mode::M2), None)),
+            [Op::D(a), Op::D(b)] => Ok((Instr::new(Move, *a, *b, Mode::M3), None)),
+            [Op::R(a), Op::DPart(d, true)] => Ok((Instr::new(Move, *a, *d, Mode::M4), None)),
+            [Op::D(d), Op::Pair(hi)] => Ok((Instr::new(Move, *d, *hi, Mode::M5), None)),
+            _ => Err(bad()),
+        },
+        "LDI" => match ops {
+            [Op::R(a), Op::Imm(v)] if *v <= 0xFFFF => {
+                Ok((Instr::with_imm(Ldi, *a, 0, Mode::M0, *v as u16), None))
+            }
+            [Op::D(d), Op::Imm(v)] => Ok((
+                Instr {
+                    opcode: Ldi,
+                    a: *d,
+                    b: 0,
+                    mode: Mode::M1,
+                    imm: *v as u16,
+                    imm2: (*v >> 16) as u16,
+                },
+                None,
+            )),
+            _ => Err(bad()),
+        },
+        "LDM" | "LDM.W" => match ops {
+            [Op::R(a), Op::Mem(d, inc)] => {
+                let mode = match (m.as_str() == "LDM.W", inc) {
+                    (false, false) => Mode::M0,
+                    (false, true) => Mode::M1,
+                    (true, false) => Mode::M2,
+                    (true, true) => Mode::M3,
+                };
+                Ok((Instr::new(Ldm, *a, *d, mode), None))
+            }
+            _ => Err(bad()),
+        },
+        "STM" | "STM.W" => match ops {
+            [Op::R(a), Op::Mem(d, inc)] => {
+                let mode = match (m.as_str() == "STM.W", inc) {
+                    (false, false) => Mode::M0,
+                    (false, true) => Mode::M1,
+                    (true, false) => Mode::M2,
+                    (true, true) => Mode::M3,
+                };
+                Ok((Instr::new(Stm, *a, *d, mode), None))
+            }
+            _ => Err(bad()),
+        },
+        "JUMP" => jump(Jump),
+        "JZ" => jump(Jz),
+        "JNZ" => jump(Jnz),
+        "JC" => jump(Jc),
+        "CALL" => jump(Call),
+        "RET" => {
+            if ops.is_empty() {
+                Ok((Instr::new(Ret, 0, 0, Mode::M0), None))
+            } else {
+                Err(bad())
+            }
+        }
+        _ => Err(err(line, format!("unknown mnemonic {mnemonic:?}"))),
+    }
+}
+
+/// Assemble textual DynaRisc source into instruction words.
+pub fn assemble(src: &str) -> Result<Vec<u16>, AsmError> {
+    let mut words: Vec<u16> = Vec::new();
+    let mut labels: HashMap<String, u16> = HashMap::new();
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new(); // (word idx, label, line)
+    for (lno, raw) in src.lines().enumerate() {
+        let line = lno + 1;
+        let mut text = raw;
+        if let Some(i) = text.find(';') {
+            text = &text[..i];
+        }
+        let mut text = text.trim();
+        // Leading labels (possibly several).
+        while let Some(colon) = text.find(':') {
+            let (head, rest) = text.split_at(colon);
+            let name = head.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                break; // ':' inside an operand (e.g. a pair) — not a label
+            }
+            if labels.insert(name.to_string(), words.len() as u16).is_some() {
+                return Err(err(line, format!("label {name:?} defined twice")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, ops_text) = match text.split_once(char::is_whitespace) {
+            Some((m, rest)) => (m, rest.trim()),
+            None => (text, ""),
+        };
+        let ops: Vec<Op> = if ops_text.is_empty() {
+            Vec::new()
+        } else {
+            ops_text
+                .split(',')
+                .map(|t| parse_operand(t, line))
+                .collect::<Result<_, _>>()?
+        };
+        let (instr, fixup) = encode_line(mnemonic, &ops, line)?;
+        let base = words.len();
+        words.extend(instr.encode());
+        if let Some((off, label)) = fixup {
+            fixups.push((base + off, label, line));
+        }
+    }
+    for (at, label, line) in fixups {
+        let pos =
+            *labels.get(&label).ok_or_else(|| err(line, format!("undefined label {label:?}")))?;
+        words[at] = pos;
+    }
+    Ok(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::disassemble;
+    use crate::Vm;
+
+    #[test]
+    fn assembles_and_runs_a_loop() {
+        let src = r#"
+            ; sum 1..=10
+            LDI R0, #0
+            LDI R1, #10
+        top:
+            ADD R0, R1
+            SUB R1, #1
+            JNZ top
+            RET
+        "#;
+        let words = assemble(src).unwrap();
+        let mut vm = Vm::new(words, vec![]);
+        vm.run(1000).unwrap();
+        assert_eq!(vm.regs[0], 55);
+    }
+
+    #[test]
+    fn roundtrips_through_the_disassembler() {
+        // Assemble → disassemble → re-assemble must be a fixed point.
+        let src = r#"
+            LDI R0, #0x1234
+            LDI D1, #0x00010040
+            LDM R2, [D1]+
+            LDM.W R3, [D1]
+            STM R2, [D1]+
+            STM.W R3, [D1]
+            MOVE D2, R0:R1
+            MOVE R4, D2.LO
+            MOVE R5, D2.HI
+            MUL.HI R6, R0
+            ROR R6, #3
+            ADD D1, R0
+            SUB D1, #0x10
+            RET
+        "#;
+        let words1 = assemble(src).unwrap();
+        let listing = disassemble(&words1);
+        // Strip the address prefixes the disassembler adds.
+        let relisted: String =
+            listing.lines().map(|l| l.split_once(": ").map(|(_, i)| i).unwrap_or(l))
+                .collect::<Vec<_>>()
+                .join("\n");
+        let words2 = assemble(&relisted).unwrap();
+        assert_eq!(words1, words2, "listing:\n{listing}");
+    }
+
+    #[test]
+    fn all_23_mnemonics_assemble() {
+        let src = r#"
+        here:
+            ADD R0, R1
+            ADC R0, #1
+            SUB R0, R1
+            SBB R0, #0
+            CMP R0, R1
+            MUL R0, R1
+            AND R0, R1
+            OR  R0, R1
+            XOR R0, R1
+            LSL R0, #1
+            LSR R0, #1
+            ASR R0, #1
+            ROR R0, #1
+            MOVE R0, R1
+            LDI R0, #7
+            LDM R0, [D0]
+            STM R0, [D0]
+            JUMP here
+            JZ here
+            JNZ here
+            JC here
+            CALL here
+            RET
+        "#;
+        let words = assemble(src).unwrap();
+        let listing = disassemble(&words);
+        for mnemonic in ["ADD", "ADC", "SUB", "SBB", "CMP", "MUL", "AND", "OR", "XOR", "LSL",
+            "LSR", "ASR", "ROR", "MOVE", "LDI", "LDM", "STM", "JUMP", "JZ", "JNZ", "JC", "CALL",
+            "RET"] {
+            assert!(listing.contains(mnemonic), "missing {mnemonic}");
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("LDI R0, #1\nBOGUS R1, R2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.msg.contains("BOGUS"));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let e = assemble("JUMP nowhere\n").unwrap_err();
+        assert!(e.msg.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a:\nRET\na:\nRET\n").unwrap_err();
+        assert!(e.msg.contains("twice"));
+    }
+
+    #[test]
+    fn dbdecode_listing_reassembles_to_the_same_stream() {
+        // The archived decoder itself survives a list/audit/re-assemble
+        // round trip — exactly what a curator would do.
+        let words1 = crate::programs::dbdecode::program();
+        let listing = disassemble(&words1);
+        let relisted: String = listing
+            .lines()
+            .map(|l| l.split_once(": ").map(|(_, i)| i).unwrap_or(l))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let words2 = assemble(&relisted).unwrap();
+        assert_eq!(words1, words2);
+    }
+}

@@ -1,0 +1,611 @@
+//! The DynaRisc interpreter.
+//!
+//! Architectural state (all of it — this is what the VeRisc-hosted
+//! emulator in `ule-verisc` replicates):
+//!
+//! * `R0..R15` — 16-bit data registers;
+//! * `D0..D7` — 32-bit memory pointer registers;
+//! * flags C (carry/borrow), Z (zero), N (bit 15);
+//! * a bounded internal call stack (depth 256);
+//! * byte-addressed data memory (Harvard: programs are separate
+//!   16-bit-word streams and cannot be modified at run time).
+//!
+//! `RET` with an empty call stack halts the machine — the convention that
+//! replaces a HALT opcode.
+
+use crate::isa::{DecodeErr, Instr, Mode, Opcode};
+
+/// Maximum call-stack depth.
+pub const CALL_STACK_DEPTH: usize = 256;
+
+/// Execution failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// Data memory access out of bounds.
+    MemFault { addr: u32, len: u32 },
+    /// PC outside the program.
+    PcFault { pc: usize },
+    /// Invalid instruction encoding at `pc`.
+    Decode { pc: usize, err: DecodeErr },
+    /// CALL with a full call stack.
+    CallOverflow,
+    /// `run` exceeded its step budget.
+    StepLimit { steps: u64 },
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::MemFault { addr, len } => write!(f, "memory fault at {addr:#x} (+{len})"),
+            VmError::PcFault { pc } => write!(f, "pc {pc} outside program"),
+            VmError::Decode { pc, err } => write!(f, "decode error at pc {pc}: {err:?}"),
+            VmError::CallOverflow => write!(f, "call stack overflow"),
+            VmError::StepLimit { steps } => write!(f, "step limit reached after {steps} steps"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Processor flags.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Flags {
+    pub c: bool,
+    pub z: bool,
+    pub n: bool,
+}
+
+/// A DynaRisc machine instance.
+pub struct Vm {
+    pub regs: [u16; 16],
+    pub ptrs: [u32; 8],
+    pub flags: Flags,
+    pub mem: Vec<u8>,
+    program: Vec<u16>,
+    pc: usize,
+    call_stack: Vec<usize>,
+    steps: u64,
+    halted: bool,
+}
+
+impl Vm {
+    /// Create a machine with the given program and data memory image.
+    pub fn new(program: Vec<u16>, mem: Vec<u8>) -> Self {
+        Self {
+            regs: [0; 16],
+            ptrs: [0; 8],
+            flags: Flags::default(),
+            mem,
+            program,
+            pc: 0,
+            call_stack: Vec::with_capacity(CALL_STACK_DEPTH),
+            steps: 0,
+            halted: false,
+        }
+    }
+
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Run until halt or `max_steps`. Returns executed step count.
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, VmError> {
+        let start = self.steps;
+        while !self.halted {
+            if self.steps - start >= max_steps {
+                return Err(VmError::StepLimit { steps: self.steps - start });
+            }
+            self.step()?;
+        }
+        Ok(self.steps - start)
+    }
+
+    #[inline]
+    fn set_zn(&mut self, v: u16) {
+        self.flags.z = v == 0;
+        self.flags.n = v & 0x8000 != 0;
+    }
+
+    #[inline]
+    fn load_byte(&self, addr: u32) -> Result<u8, VmError> {
+        self.mem.get(addr as usize).copied().ok_or(VmError::MemFault { addr, len: 1 })
+    }
+
+    #[inline]
+    fn load_word(&self, addr: u32) -> Result<u16, VmError> {
+        let lo = self.load_byte(addr)?;
+        let hi = self.load_byte(addr.wrapping_add(1))?;
+        Ok(u16::from_le_bytes([lo, hi]))
+    }
+
+    #[inline]
+    fn store_byte(&mut self, addr: u32, v: u8) -> Result<(), VmError> {
+        match self.mem.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(VmError::MemFault { addr, len: 1 }),
+        }
+    }
+
+    /// Execute one instruction.
+    pub fn step(&mut self) -> Result<(), VmError> {
+        if self.halted {
+            return Ok(());
+        }
+        if self.pc >= self.program.len() {
+            return Err(VmError::PcFault { pc: self.pc });
+        }
+        let instr = Instr::decode(&self.program, self.pc)
+            .map_err(|err| VmError::Decode { pc: self.pc, err })?;
+        let next_pc = self.pc + instr.len_words();
+        self.steps += 1;
+        let a = instr.a as usize;
+        let b = instr.b as usize;
+        let da = (instr.a & 7) as usize;
+        let db = (instr.b & 7) as usize;
+        use Opcode::*;
+        match instr.opcode {
+            Add | Adc => {
+                let carry_in = if instr.opcode == Adc && self.flags.c { 1u32 } else { 0 };
+                match instr.mode {
+                    Mode::M1 => {
+                        self.ptrs[da] = self.ptrs[da].wrapping_add(self.regs[b] as u32);
+                    }
+                    Mode::M3 => {
+                        self.ptrs[da] = self.ptrs[da].wrapping_add(instr.imm as u32);
+                    }
+                    m => {
+                        let rhs = if m == Mode::M2 { instr.imm } else { self.regs[b] };
+                        let sum = self.regs[a] as u32 + rhs as u32 + carry_in;
+                        self.flags.c = sum > 0xFFFF;
+                        let v = sum as u16;
+                        self.regs[a] = v;
+                        self.set_zn(v);
+                    }
+                }
+            }
+            Sub | Sbb | Cmp => {
+                match (instr.opcode, instr.mode) {
+                    (Sub, Mode::M1) => {
+                        self.ptrs[da] = self.ptrs[da].wrapping_sub(self.regs[b] as u32);
+                    }
+                    (Sub, Mode::M3) => {
+                        self.ptrs[da] = self.ptrs[da].wrapping_sub(instr.imm as u32);
+                    }
+                    (_, m) => {
+                        let borrow_in = if instr.opcode == Sbb && self.flags.c { 1u32 } else { 0 };
+                        let rhs = if m == Mode::M2 { instr.imm } else { self.regs[b] };
+                        let lhs = self.regs[a] as u32;
+                        let total = rhs as u32 + borrow_in;
+                        self.flags.c = lhs < total;
+                        let v = (lhs.wrapping_sub(total)) as u16;
+                        if instr.opcode != Cmp {
+                            self.regs[a] = v;
+                        }
+                        self.set_zn(v);
+                    }
+                }
+            }
+            Mul => {
+                let prod = self.regs[a] as u32 * self.regs[b] as u32;
+                let v = if instr.mode == Mode::M1 { (prod >> 16) as u16 } else { prod as u16 };
+                self.regs[a] = v;
+                self.set_zn(v);
+            }
+            And | Or | Xor => {
+                let rhs = if instr.mode == Mode::M2 { instr.imm } else { self.regs[b] };
+                let v = match instr.opcode {
+                    And => self.regs[a] & rhs,
+                    Or => self.regs[a] | rhs,
+                    _ => self.regs[a] ^ rhs,
+                };
+                self.regs[a] = v;
+                self.set_zn(v);
+            }
+            Lsl | Lsr | Asr | Ror => {
+                let count = if instr.mode == Mode::M1 {
+                    instr.b as u32
+                } else {
+                    (self.regs[b] & 15) as u32
+                };
+                let x = self.regs[a];
+                let v = if count == 0 {
+                    x
+                } else {
+                    match instr.opcode {
+                        Lsl => {
+                            self.flags.c = (x >> (16 - count)) & 1 != 0;
+                            x << count
+                        }
+                        Lsr => {
+                            self.flags.c = (x >> (count - 1)) & 1 != 0;
+                            x >> count
+                        }
+                        Asr => {
+                            self.flags.c = (x >> (count - 1)) & 1 != 0;
+                            ((x as i16) >> count) as u16
+                        }
+                        _ => x.rotate_right(count),
+                    }
+                };
+                self.regs[a] = v;
+                self.set_zn(v);
+            }
+            Move => match instr.mode {
+                Mode::M0 => self.regs[a] = self.regs[b],
+                Mode::M1 => self.ptrs[da] = self.regs[b] as u32,
+                Mode::M2 => self.regs[a] = self.ptrs[db] as u16,
+                Mode::M3 => self.ptrs[da] = self.ptrs[db],
+                Mode::M4 => self.regs[a] = (self.ptrs[db] >> 16) as u16,
+                _ => {
+                    // M5: Dd ← (Rb : R[b+1]) — Rb is the high half.
+                    let hi = self.regs[b] as u32;
+                    let lo = self.regs[(b + 1) & 15] as u32;
+                    self.ptrs[da] = (hi << 16) | lo;
+                }
+            },
+            Ldi => match instr.mode {
+                Mode::M1 => {
+                    self.ptrs[da] = ((instr.imm2 as u32) << 16) | instr.imm as u32;
+                }
+                _ => self.regs[a] = instr.imm,
+            },
+            Ldm => {
+                let addr = self.ptrs[db];
+                match instr.mode {
+                    Mode::M0 => self.regs[a] = self.load_byte(addr)? as u16,
+                    Mode::M1 => {
+                        self.regs[a] = self.load_byte(addr)? as u16;
+                        self.ptrs[db] = addr.wrapping_add(1);
+                    }
+                    Mode::M2 => self.regs[a] = self.load_word(addr)?,
+                    _ => {
+                        self.regs[a] = self.load_word(addr)?;
+                        self.ptrs[db] = addr.wrapping_add(2);
+                    }
+                }
+            }
+            Stm => {
+                let addr = self.ptrs[db];
+                let v = self.regs[a];
+                match instr.mode {
+                    Mode::M0 => self.store_byte(addr, v as u8)?,
+                    Mode::M1 => {
+                        self.store_byte(addr, v as u8)?;
+                        self.ptrs[db] = addr.wrapping_add(1);
+                    }
+                    Mode::M2 => {
+                        self.store_byte(addr, v as u8)?;
+                        self.store_byte(addr.wrapping_add(1), (v >> 8) as u8)?;
+                    }
+                    _ => {
+                        self.store_byte(addr, v as u8)?;
+                        self.store_byte(addr.wrapping_add(1), (v >> 8) as u8)?;
+                        self.ptrs[db] = addr.wrapping_add(2);
+                    }
+                }
+            }
+            Jump => {
+                self.pc = instr.imm as usize;
+                return Ok(());
+            }
+            Jz | Jnz | Jc => {
+                let take = match instr.opcode {
+                    Jz => self.flags.z,
+                    Jnz => !self.flags.z,
+                    _ => self.flags.c,
+                };
+                self.pc = if take { instr.imm as usize } else { next_pc };
+                return Ok(());
+            }
+            Call => {
+                if self.call_stack.len() >= CALL_STACK_DEPTH {
+                    return Err(VmError::CallOverflow);
+                }
+                self.call_stack.push(next_pc);
+                self.pc = instr.imm as usize;
+                return Ok(());
+            }
+            Ret => {
+                match self.call_stack.pop() {
+                    Some(ret) => self.pc = ret,
+                    None => self.halted = true,
+                }
+                return Ok(());
+            }
+        }
+        self.pc = next_pc;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    fn run_asm(build: impl FnOnce(&mut Asm), mem: Vec<u8>) -> Vm {
+        let mut a = Asm::new();
+        build(&mut a);
+        a.ret();
+        let mut vm = Vm::new(a.finish(), mem);
+        vm.run(1_000_000).unwrap();
+        vm
+    }
+
+    #[test]
+    fn add_sets_carry_and_zero() {
+        let vm = run_asm(
+            |a| {
+                a.ldi(0, 0xFFFF);
+                a.addi(0, 1);
+            },
+            vec![],
+        );
+        assert_eq!(vm.regs[0], 0);
+        assert!(vm.flags.c);
+        assert!(vm.flags.z);
+    }
+
+    #[test]
+    fn adc_chains_carry_for_32bit_addition() {
+        // 0x0001_FFFF + 0x0000_0001 = 0x0002_0000 as (hi, lo) pairs.
+        let vm = run_asm(
+            |a| {
+                a.ldi(0, 0xFFFF); // lo
+                a.ldi(1, 0x0001); // hi
+                a.addi(0, 1);
+                a.adci(1, 0);
+            },
+            vec![],
+        );
+        assert_eq!(vm.regs[0], 0x0000);
+        assert_eq!(vm.regs[1], 0x0002);
+    }
+
+    #[test]
+    fn sub_borrow_and_sbb() {
+        // 0x0001_0000 - 1 = 0x0000_FFFF.
+        let vm = run_asm(
+            |a| {
+                a.ldi(0, 0x0000);
+                a.ldi(1, 0x0001);
+                a.subi(0, 1);
+                a.sbbi(1, 0);
+            },
+            vec![],
+        );
+        assert_eq!(vm.regs[0], 0xFFFF);
+        assert_eq!(vm.regs[1], 0x0000);
+    }
+
+    #[test]
+    fn cmp_sets_flags_without_writing() {
+        let vm = run_asm(
+            |a| {
+                a.ldi(0, 5);
+                a.cmpi(0, 9);
+            },
+            vec![],
+        );
+        assert_eq!(vm.regs[0], 5);
+        assert!(vm.flags.c, "5 < 9 sets borrow");
+        assert!(!vm.flags.z);
+    }
+
+    #[test]
+    fn mul_low_and_high() {
+        let vm = run_asm(
+            |a| {
+                a.ldi(0, 1234);
+                a.ldi(1, 5678);
+                a.ldi(2, 1234);
+                a.mul(0, 1); // low
+                a.mul_hi(2, 1); // high
+            },
+            vec![],
+        );
+        let prod = 1234u32 * 5678;
+        assert_eq!(vm.regs[0], prod as u16);
+        assert_eq!(vm.regs[2], (prod >> 16) as u16);
+    }
+
+    #[test]
+    fn logical_ops() {
+        let vm = run_asm(
+            |a| {
+                a.ldi(0, 0b1100);
+                a.ldi(1, 0b1010);
+                a.ldi(2, 0b1100);
+                a.ldi(3, 0b1100);
+                a.and(0, 1);
+                a.or(2, 1);
+                a.xor(3, 1);
+            },
+            vec![],
+        );
+        assert_eq!(vm.regs[0], 0b1000);
+        assert_eq!(vm.regs[2], 0b1110);
+        assert_eq!(vm.regs[3], 0b0110);
+    }
+
+    #[test]
+    fn shifts_and_rotate() {
+        let vm = run_asm(
+            |a| {
+                a.ldi(0, 0x8001);
+                a.ldi(1, 0x8001);
+                a.ldi(2, 0x8001);
+                a.ldi(3, 0x8001);
+                a.lsl_i(0, 1);
+                a.lsr_i(1, 1);
+                a.asr_i(2, 1);
+                a.ror_i(3, 4);
+            },
+            vec![],
+        );
+        assert_eq!(vm.regs[0], 0x0002);
+        assert_eq!(vm.regs[1], 0x4000);
+        assert_eq!(vm.regs[2], 0xC000);
+        assert_eq!(vm.regs[3], 0x1800);
+    }
+
+    #[test]
+    fn lsl_carry_out() {
+        let vm = run_asm(
+            |a| {
+                a.ldi(0, 0x8000);
+                a.lsl_i(0, 1);
+            },
+            vec![],
+        );
+        assert!(vm.flags.c);
+        assert!(vm.flags.z);
+    }
+
+    #[test]
+    fn move_between_register_classes() {
+        let vm = run_asm(
+            |a| {
+                a.ldi(0, 0x1234);
+                a.ldi(1, 0x5678);
+                a.move_d_pair(0, 0); // D0 = R0:R1 = 0x1234_5678
+                a.move_r_dlo(2, 0); // R2 = 0x5678
+                a.move_r_dhi(3, 0); // R3 = 0x1234
+                a.move_d_d(1, 0); // D1 = D0
+                a.move_r_dlo(4, 1);
+            },
+            vec![],
+        );
+        assert_eq!(vm.ptrs[0], 0x1234_5678);
+        assert_eq!(vm.regs[2], 0x5678);
+        assert_eq!(vm.regs[3], 0x1234);
+        assert_eq!(vm.regs[4], 0x5678);
+    }
+
+    #[test]
+    fn ldi_d_loads_32_bits() {
+        let vm = run_asm(|a| a.ldi_d(3, 0xDEAD_BEEF), vec![]);
+        assert_eq!(vm.ptrs[3], 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn memory_load_store_with_postinc() {
+        let mem = vec![0u8; 64];
+        let vm = run_asm(
+            |a| {
+                a.ldi_d(0, 0); // src
+                a.ldi_d(1, 32); // dst
+                a.ldi(0, 0xAB);
+                a.stm_byte_inc(0, 1);
+                a.ldi(0, 0xCD);
+                a.stm_byte_inc(0, 1);
+                a.ldi_d(1, 32);
+                a.ldm_word(5, 1); // LE: 0xCDAB
+            },
+            mem,
+        );
+        assert_eq!(vm.regs[5], 0xCDAB);
+        assert_eq!(vm.ptrs[1], 32);
+        assert_eq!(vm.mem[32], 0xAB);
+        assert_eq!(vm.mem[33], 0xCD);
+    }
+
+    #[test]
+    fn pointer_add_and_sub() {
+        let vm = run_asm(
+            |a| {
+                a.ldi_d(0, 0x0001_0000);
+                a.ldi(0, 0x10);
+                a.add_d_r(0, 0);
+                a.subi_d(0, 0x20);
+            },
+            vec![],
+        );
+        assert_eq!(vm.ptrs[0], 0x0000_FFF0);
+    }
+
+    #[test]
+    fn loop_with_conditional_jumps() {
+        // Sum 1..=10 with a JNZ loop.
+        let vm = run_asm(
+            |a| {
+                a.ldi(0, 0); // acc
+                a.ldi(1, 10); // counter
+                let top = a.here();
+                a.add(0, 1);
+                a.subi(1, 1);
+                a.jnz(top);
+            },
+            vec![],
+        );
+        assert_eq!(vm.regs[0], 55);
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut a = Asm::new();
+        let sub = a.label();
+        a.ldi(0, 1);
+        a.call(sub);
+        a.ldi(2, 99);
+        a.ret(); // halts (stack empty)
+        a.bind(sub);
+        a.ldi(1, 42);
+        a.ret();
+        let mut vm = Vm::new(a.finish(), vec![]);
+        vm.run(1000).unwrap();
+        assert_eq!(vm.regs[0], 1);
+        assert_eq!(vm.regs[1], 42);
+        assert_eq!(vm.regs[2], 99);
+        assert!(vm.halted());
+    }
+
+    #[test]
+    fn ret_on_empty_stack_halts() {
+        let mut a = Asm::new();
+        a.ret();
+        let mut vm = Vm::new(a.finish(), vec![]);
+        let steps = vm.run(10).unwrap();
+        assert_eq!(steps, 1);
+        assert!(vm.halted());
+    }
+
+    #[test]
+    fn mem_fault_reported() {
+        let mut a = Asm::new();
+        a.ldi_d(0, 1000);
+        a.ldm_byte(0, 0);
+        a.ret();
+        let mut vm = Vm::new(a.finish(), vec![0u8; 10]);
+        assert_eq!(vm.run(10).unwrap_err(), VmError::MemFault { addr: 1000, len: 1 });
+    }
+
+    #[test]
+    fn step_limit_reported() {
+        let mut a = Asm::new();
+        let top = a.here();
+        a.jump(top);
+        let mut vm = Vm::new(a.finish(), vec![]);
+        assert!(matches!(vm.run(100), Err(VmError::StepLimit { .. })));
+    }
+
+    #[test]
+    fn call_overflow_detected() {
+        let mut a = Asm::new();
+        let top = a.here();
+        a.call(top);
+        let mut vm = Vm::new(a.finish(), vec![]);
+        assert_eq!(vm.run(100_000).unwrap_err(), VmError::CallOverflow);
+    }
+}

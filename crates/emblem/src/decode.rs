@@ -1,0 +1,314 @@
+//! Emblem decoding: scanned image → header + payload.
+//!
+//! The decoder mirrors what the paper's MOCoder must do after scanning:
+//!
+//! 1. threshold the grayscale scan (Otsu — robust to fading);
+//! 2. locate the thick black border and build per-scanline edge maps;
+//! 3. resample the cell grid *relative to the border*, which compensates
+//!    lens curvature and transport jitter (the §3.1 distortion sources);
+//! 4. verify the calibration dots (orientation/geometry check);
+//! 5. read the redundant header copies;
+//! 6. read the data region, reverse the self-clocking cell code,
+//!    de-interleave, and run inner Reed–Solomon correction per block.
+
+use crate::encode::calibration_level;
+use crate::geometry::{EmblemGeometry, EDGE_CELLS, HEADER_COPIES, OVERHEAD_ROWS, RS_K, RS_N};
+use crate::header::{EmblemHeader, HEADER_BYTES};
+use crate::locate::{edge_map, find_border_box, EdgeMap};
+use crate::manchester::{bits_to_bytes, decode_cells};
+use ule_raster::sample::block_mean;
+use ule_raster::GrayImage;
+
+/// Decoding diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DecodeStats {
+    /// Bytes corrected by the inner RS code across all blocks.
+    pub rs_corrected: usize,
+    /// Which header copy parsed cleanly (0-based; HEADER_COPIES = majority vote).
+    pub header_copy_used: usize,
+    /// Self-clocking violations observed in the data region.
+    pub sync_errors: usize,
+    /// Fraction (per mille) of calibration cells that matched.
+    pub calibration_match_pm: u16,
+}
+
+/// Decode failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// No border square found in the scan.
+    BorderNotFound,
+    /// Border found but the calibration dots don't match this geometry.
+    CalibrationMismatch { matched_pm: u16 },
+    /// No header copy could be parsed (individually or by majority vote).
+    HeaderUnreadable,
+    /// An inner RS block had more errors than it can correct.
+    RsFailure { block: usize },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BorderNotFound => write!(f, "emblem border not found"),
+            DecodeError::CalibrationMismatch { matched_pm } => {
+                write!(f, "calibration dots mismatch ({}% matched)", *matched_pm as f64 / 10.0)
+            }
+            DecodeError::HeaderUnreadable => write!(f, "no readable header copy"),
+            DecodeError::RsFailure { block } => write!(f, "inner RS failure in block {block}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Grid resampler: maps content-cell coordinates to scan pixels by
+/// interpolating between the border edges (per-scanline), then samples the
+/// cell's mean intensity.
+struct GridSampler<'a> {
+    scan: &'a GrayImage,
+    edges: EdgeMap,
+    cols: usize,
+    rows: usize,
+    cell_w: f64,
+    cell_h: f64,
+}
+
+impl<'a> GridSampler<'a> {
+    fn new(scan: &'a GrayImage, bit: &GrayImage, geom: &EmblemGeometry) -> Option<Self> {
+        let bbox = find_border_box(bit)?;
+        let total_cols = (geom.cols + 2 * EDGE_CELLS) as f64;
+        let total_rows = (geom.rows + 2 * EDGE_CELLS) as f64;
+        let cell_w = bbox.width() as f64 / total_cols;
+        let cell_h = bbox.height() as f64 / total_rows;
+        let border_px = cell_w * 3.0;
+        let edges = edge_map(bit, bbox, border_px);
+        Some(Self { scan, edges, cols: geom.cols, rows: geom.rows, cell_w, cell_h })
+    }
+
+    /// Scan-pixel centre of content cell (cx, cy).
+    #[inline]
+    fn cell_center(&self, cx: usize, cy: usize) -> (f64, f64) {
+        let u = (EDGE_CELLS as f64 + cx as f64 + 0.5) / (self.cols + 2 * EDGE_CELLS) as f64;
+        let v = (EDGE_CELLS as f64 + cy as f64 + 0.5) / (self.rows + 2 * EDGE_CELLS) as f64;
+        // First approximation of the row from the box, then interpolate
+        // along the border edge maps (which absorb smooth distortion).
+        let y_rough = self.edges.bbox.y0 as f64 + v * (self.edges.bbox.height() as f64 - 1.0);
+        let yi = ((y_rough - self.edges.bbox.y0 as f64).round() as usize).min(self.edges.left.len() - 1);
+        let xl = self.edges.left[yi];
+        let xr = self.edges.right[yi];
+        let x = xl + u * (xr - xl + 1.0);
+        let xi = ((x - self.edges.bbox.x0 as f64).round() as isize)
+            .clamp(0, self.edges.top.len() as isize - 1) as usize;
+        let yt = self.edges.top[xi];
+        let yb = self.edges.bottom[xi];
+        let y = yt + v * (yb - yt + 1.0);
+        (x, y)
+    }
+
+    /// Mean intensity over the central portion of a cell.
+    #[inline]
+    fn sample(&self, cx: usize, cy: usize) -> f64 {
+        let (x, y) = self.cell_center(cx, cy);
+        let half_w = (self.cell_w * 0.3).max(0.5);
+        let half_h = (self.cell_h * 0.3).max(0.5);
+        let x0 = (x - half_w).max(0.0) as usize;
+        let y0 = (y - half_h).max(0.0) as usize;
+        let block = ((half_w.min(half_h) * 2.0).round() as usize).max(1);
+        block_mean(self.scan, x0, y0, block)
+    }
+}
+
+/// Decode a single emblem from a (possibly degraded) grayscale scan.
+pub fn decode_emblem(
+    geom: &EmblemGeometry,
+    scan: &GrayImage,
+) -> Result<(EmblemHeader, Vec<u8>, DecodeStats), DecodeError> {
+    let threshold = scan.otsu_threshold();
+    let bit = scan.threshold(threshold);
+    let sampler = GridSampler::new(scan, &bit, geom).ok_or(DecodeError::BorderNotFound)?;
+    let is_white = |v: f64| v >= threshold as f64;
+    let mut stats = DecodeStats::default();
+
+    // Calibration row: verify the large-scale dots.
+    let mut matched = 0usize;
+    for cx in 0..geom.cols {
+        if is_white(sampler.sample(cx, 0)) == calibration_level(cx) {
+            matched += 1;
+        }
+    }
+    stats.calibration_match_pm = (matched * 1000 / geom.cols) as u16;
+    if stats.calibration_match_pm < 850 {
+        return Err(DecodeError::CalibrationMismatch { matched_pm: stats.calibration_match_pm });
+    }
+
+    // Header copies.
+    let header_cells_len = HEADER_BYTES * 8 * 2;
+    let mut header: Option<EmblemHeader> = None;
+    let mut copies_bits: Vec<Vec<bool>> = Vec::with_capacity(HEADER_COPIES);
+    for copy in 0..HEADER_COPIES {
+        let row = 1 + copy;
+        let cells: Vec<bool> =
+            (0..header_cells_len).map(|cx| is_white(sampler.sample(cx, row))).collect();
+        let dec = decode_cells(&cells, true);
+        let bytes = bits_to_bytes(&dec.bits);
+        if let Ok(h) = EmblemHeader::from_bytes(&bytes) {
+            header = Some(h);
+            stats.header_copy_used = copy;
+            break;
+        }
+        copies_bits.push(dec.bits);
+    }
+    let header = match header {
+        Some(h) => h,
+        None => {
+            // Majority vote across the copies we collected.
+            let nbits = HEADER_BYTES * 8;
+            let mut voted = vec![false; nbits];
+            for (i, slot) in voted.iter_mut().enumerate() {
+                let ones = copies_bits.iter().filter(|c| c.get(i) == Some(&true)).count();
+                *slot = ones * 2 > copies_bits.len();
+            }
+            stats.header_copy_used = HEADER_COPIES;
+            EmblemHeader::from_bytes(&bits_to_bytes(&voted))
+                .map_err(|_| DecodeError::HeaderUnreadable)?
+        }
+    };
+
+    // Data region: one continuous self-clocked run.
+    let data_rows = geom.rows - OVERHEAD_ROWS;
+    let mut cells = Vec::with_capacity(data_rows * geom.cols);
+    for cy in 0..data_rows {
+        for cx in 0..geom.cols {
+            cells.push(is_white(sampler.sample(cx, cy + OVERHEAD_ROWS)));
+        }
+    }
+    let dec = decode_cells(&cells, true);
+    stats.sync_errors = dec.sync_errors.len();
+    let coded_all = bits_to_bytes(&dec.bits);
+
+    // De-interleave and correct each inner block.
+    let nblocks = geom.rs_blocks();
+    let rs = geom.inner_code();
+    let mut payload = Vec::with_capacity(nblocks * RS_K);
+    let mut cw = vec![0u8; RS_N];
+    for b in 0..nblocks {
+        for i in 0..RS_N {
+            cw[i] = coded_all[i * nblocks + b];
+        }
+        match rs.decode(&mut cw, &[]) {
+            Ok(fixed) => stats.rs_corrected += fixed,
+            Err(_) => return Err(DecodeError::RsFailure { block: b }),
+        }
+        payload.extend_from_slice(&cw[..RS_K]);
+    }
+    payload.truncate(header.payload_len as usize);
+    Ok((header, payload, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_emblem;
+    use crate::header::EmblemKind;
+    use ule_raster::{DegradeParams, Scanner};
+
+    fn geom() -> EmblemGeometry {
+        EmblemGeometry::test_small()
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i as u8).wrapping_mul(37).wrapping_add(11)).collect()
+    }
+
+    fn hdr(len: usize) -> EmblemHeader {
+        EmblemHeader::new(EmblemKind::Data, 3, 1, len as u32, len as u32)
+    }
+
+    #[test]
+    fn pristine_roundtrip() {
+        let g = geom();
+        let data = payload(g.payload_capacity());
+        let img = encode_emblem(&g, &hdr(data.len()), &data);
+        let (h, p, stats) = decode_emblem(&g, &img).unwrap();
+        assert_eq!(h.index, 3);
+        assert_eq!(p, data);
+        assert_eq!(stats.rs_corrected, 0);
+        assert_eq!(stats.sync_errors, 0);
+        assert_eq!(stats.calibration_match_pm, 1000);
+    }
+
+    #[test]
+    fn partial_payload_roundtrip() {
+        let g = geom();
+        let data = payload(100);
+        let img = encode_emblem(&g, &hdr(100), &data);
+        let (_, p, _) = decode_emblem(&g, &img).unwrap();
+        assert_eq!(p, data);
+    }
+
+    #[test]
+    fn noisy_scan_roundtrip() {
+        let g = geom();
+        let data = payload(g.payload_capacity());
+        let img = encode_emblem(&g, &hdr(data.len()), &data);
+        let params = DegradeParams {
+            noise_sigma: 30.0,
+            row_jitter: 0.6,
+            fade_amplitude: 15.0,
+            ..Default::default()
+        };
+        let scan = Scanner::new(params, 42).scan(&img);
+        let (_, p, _) = decode_emblem(&g, &scan).unwrap();
+        assert_eq!(p, data);
+    }
+
+    #[test]
+    fn rescaled_scan_roundtrip() {
+        // A 1.5x scan resolution (like 2K film scanned at 4K, scaled down).
+        let g = geom();
+        let data = payload(200);
+        let img = encode_emblem(&g, &hdr(200), &data);
+        let params = DegradeParams { scan_scale: 1.5, noise_sigma: 10.0, ..Default::default() };
+        let scan = Scanner::new(params, 5).scan(&img);
+        let (_, p, _) = decode_emblem(&g, &scan).unwrap();
+        assert_eq!(p, data);
+    }
+
+    #[test]
+    fn dusty_scan_is_corrected_by_inner_rs() {
+        let g = geom();
+        let data = payload(g.payload_capacity());
+        let img = encode_emblem(&g, &hdr(data.len()), &data);
+        let params = DegradeParams {
+            dust_per_mpx: 40.0,
+            dust_max_radius: 2.0,
+            noise_sigma: 10.0,
+            ..Default::default()
+        };
+        let scan = Scanner::new(params, 9).scan(&img);
+        let (_, p, stats) = decode_emblem(&g, &scan).unwrap();
+        assert_eq!(p, data);
+        assert!(stats.rs_corrected > 0, "dust should force RS corrections");
+    }
+
+    #[test]
+    fn blank_image_reports_border_not_found() {
+        let g = geom();
+        let img = GrayImage::new(400, 300, 255);
+        assert_eq!(decode_emblem(&g, &img).unwrap_err(), DecodeError::BorderNotFound);
+    }
+
+    #[test]
+    fn wrong_geometry_rejected_by_calibration() {
+        let g = geom();
+        let data = payload(50);
+        let img = encode_emblem(&g, &hdr(50), &data);
+        // Try to decode with a much wider geometry: cell sampling lands on
+        // wrong positions and the calibration row cannot match.
+        let wrong = EmblemGeometry::new(512, 96, 3);
+        let err = decode_emblem(&wrong, &img).unwrap_err();
+        assert!(
+            matches!(err, DecodeError::CalibrationMismatch { .. } | DecodeError::HeaderUnreadable),
+            "{err:?}"
+        );
+    }
+}

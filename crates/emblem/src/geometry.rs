@@ -1,0 +1,196 @@
+//! Emblem geometry: frame layout, cell grid, and capacity math.
+//!
+//! Cell-space layout (one cell = `cell_px` × `cell_px` printed pixels):
+//!
+//! ```text
+//! ┌ quiet zone (2 cells, white) ───────────────────────────┐
+//! │ ┌ border (3 cells, black) ─────────────────────────┐   │
+//! │ │ ┌ gap (1 cell, white) ───────────────────────┐   │   │
+//! │ │ │ content: cols × rows cells                 │   │   │
+//! │ │ │   row 0        calibration dots            │   │   │
+//! │ │ │   rows 1..=3   header (3 redundant copies) │   │   │
+//! │ │ │   rows 4..     data region                 │   │   │
+//! │ │ └────────────────────────────────────────────┘   │   │
+//! │ └──────────────────────────────────────────────────┘   │
+//! └────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! The calibration row starts with a solid 4-cell black start mark then
+//! alternates black/white with period 4 — the "large-scale black and white
+//! dots" of §3.1, used to confirm orientation and cell pitch.
+
+use ule_gf256::RsCode;
+
+/// Frame constants, in cells.
+pub const QUIET_CELLS: usize = 2;
+pub const BORDER_CELLS: usize = 3;
+pub const GAP_CELLS: usize = 1;
+/// Cells from the border's outer edge to the content area on each side.
+pub const EDGE_CELLS: usize = BORDER_CELLS + GAP_CELLS;
+/// Content rows consumed by calibration + header.
+pub const OVERHEAD_ROWS: usize = 4;
+/// Header copies stored per emblem.
+pub const HEADER_COPIES: usize = 3;
+
+/// Inner Reed–Solomon parameters (paper §3.1: blocks of 223 user bytes +
+/// 32 redundancy bytes).
+pub const RS_N: usize = 255;
+pub const RS_K: usize = 223;
+
+/// Geometry of one emblem class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmblemGeometry {
+    /// Content width in cells. Must be a multiple of 4 and at least 32
+    /// (the header row must hold one 128-bit header copy per row).
+    pub cols: usize,
+    /// Content height in cells (≥ OVERHEAD_ROWS + 1).
+    pub rows: usize,
+    /// Printed pixels per cell side.
+    pub cell_px: usize,
+}
+
+impl EmblemGeometry {
+    pub fn new(cols: usize, rows: usize, cell_px: usize) -> Self {
+        assert!(cols >= 256, "content must be at least 256 cells wide for the header");
+        assert!(cols % 4 == 0, "cols must be a multiple of 4");
+        assert!(rows > OVERHEAD_ROWS, "no data rows");
+        assert!(cell_px >= 1);
+        Self { cols, rows, cell_px }
+    }
+
+    /// A4 paper at 600 dpi (Canon IR 6255i class, §4 "Paper archive"):
+    /// page is 4960×7016 px; this geometry fills it with ~48 KB payload so
+    /// a ~1.2 MB archive needs ~26 pages at ~50 KB/page, the paper's row.
+    pub fn paper_a4_600dpi() -> Self {
+        Self::new(820, 1128, 5)
+    }
+
+    /// 16 mm microfilm frame (IMAGELINK 9600: 3888×5498 bitonal).
+    pub fn microfilm_16mm() -> Self {
+        Self::new(760, 1072, 5)
+    }
+
+    /// 35 mm cinema film, 2K full-aperture write (2048×1556), scanned at 4K.
+    pub fn cinema_2k() -> Self {
+        Self::new(1000, 760, 2)
+    }
+
+    /// Small geometry for fast tests (446-byte payload at cell_px 3).
+    pub fn test_small() -> Self {
+        Self::new(256, 96, 3)
+    }
+
+    /// Minimal geometry (one inner RS block, 223-byte payload) for the
+    /// nested-emulation end-to-end tests, where every cell costs tens of
+    /// thousands of host VeRisc instructions.
+    pub fn test_micro() -> Self {
+        Self::new(256, 20, 2)
+    }
+
+    /// Emblem image width in pixels (incl. quiet zone).
+    pub fn image_width(&self) -> usize {
+        (self.cols + 2 * (QUIET_CELLS + EDGE_CELLS)) * self.cell_px
+    }
+
+    /// Emblem image height in pixels (incl. quiet zone).
+    pub fn image_height(&self) -> usize {
+        (self.rows + 2 * (QUIET_CELLS + EDGE_CELLS)) * self.cell_px
+    }
+
+    /// Cells in the data region.
+    pub fn data_cells(&self) -> usize {
+        (self.rows - OVERHEAD_ROWS) * self.cols
+    }
+
+    /// Raw (pre-RS) data-region capacity in bytes; each byte needs 16 cells
+    /// (8 bits × 2 half-cells).
+    pub fn raw_bytes(&self) -> usize {
+        self.data_cells() / 16
+    }
+
+    /// Number of full inner RS blocks that fit.
+    pub fn rs_blocks(&self) -> usize {
+        self.raw_bytes() / RS_N
+    }
+
+    /// Payload capacity per emblem in bytes (after inner RS overhead).
+    pub fn payload_capacity(&self) -> usize {
+        self.rs_blocks() * RS_K
+    }
+
+    /// The inner code instance.
+    pub fn inner_code(&self) -> RsCode {
+        RsCode::new(RS_N, RS_K)
+    }
+
+    /// Number of emblems needed for `len` payload bytes (data emblems only,
+    /// before outer-code parity).
+    pub fn emblems_for(&self, len: usize) -> usize {
+        len.div_ceil(self.payload_capacity().max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_profile_fits_a4_at_600dpi() {
+        let g = EmblemGeometry::paper_a4_600dpi();
+        assert!(g.image_width() <= 4960, "{}", g.image_width());
+        assert!(g.image_height() <= 7016, "{}", g.image_height());
+        // ~26 pages for a ~1.2 MB archive, i.e. ~46-50 KB per page.
+        let cap = g.payload_capacity();
+        assert!((45_000..52_000).contains(&cap), "payload {cap}");
+    }
+
+    #[test]
+    fn microfilm_profile_fits_imagelink_frame() {
+        let g = EmblemGeometry::microfilm_16mm();
+        assert!(g.image_width() <= 3888, "{}", g.image_width());
+        assert!(g.image_height() <= 5498, "{}", g.image_height());
+        // The paper wrote a 102 KB image as 3 emblems: ≥ 34 KB each.
+        assert!(g.payload_capacity() >= 34_000, "payload {}", g.payload_capacity());
+    }
+
+    #[test]
+    fn cinema_profile_fits_2k_frame() {
+        let g = EmblemGeometry::cinema_2k();
+        assert!(g.image_width() <= 2048, "{}", g.image_width());
+        assert!(g.image_height() <= 1556, "{}", g.image_height());
+        assert!(g.payload_capacity() >= 34_000, "payload {}", g.payload_capacity());
+    }
+
+    #[test]
+    fn capacity_math_consistency() {
+        let g = EmblemGeometry::test_small();
+        assert_eq!(g.data_cells(), (96 - 4) * 256);
+        assert_eq!(g.raw_bytes(), g.data_cells() / 16);
+        assert_eq!(g.payload_capacity(), g.rs_blocks() * 223);
+        assert!(g.payload_capacity() > 0);
+    }
+
+    #[test]
+    fn emblems_for_rounds_up() {
+        let g = EmblemGeometry::test_small();
+        let cap = g.payload_capacity();
+        assert_eq!(g.emblems_for(0), 1);
+        assert_eq!(g.emblems_for(cap), 1);
+        assert_eq!(g.emblems_for(cap + 1), 2);
+        assert_eq!(g.emblems_for(cap * 5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn cols_must_be_multiple_of_4() {
+        EmblemGeometry::new(258, 96, 3);
+    }
+
+    #[test]
+    fn paper_density_is_about_50kb_per_page() {
+        // The headline E1 number: 1.2 MB / 26 pages ≈ 50 KB/page.
+        let g = EmblemGeometry::paper_a4_600dpi();
+        let emblems = g.emblems_for(1_230_000);
+        assert!((25..=27).contains(&emblems), "emblems={emblems}");
+    }
+}

@@ -1,0 +1,165 @@
+//! The 16-byte emblem header, stored three times per emblem.
+
+use ule_gf256::crc::crc16_ccitt;
+
+/// What an emblem carries — the "type" the frame dots let scanners detect
+/// quickly (§3.1). Data vs system matters during restoration: system
+/// emblems (the DynaRisc DBDecode stream) must be decoded before data
+/// emblems can be interpreted (Figure 2b, steps 4–5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EmblemKind {
+    /// Database payload.
+    Data = 0,
+    /// Decoder payload (DynaRisc instruction streams).
+    System = 1,
+    /// Outer-code parity emblem.
+    Parity = 2,
+}
+
+impl EmblemKind {
+    pub fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(EmblemKind::Data),
+            1 => Some(EmblemKind::System),
+            2 => Some(EmblemKind::Parity),
+            _ => None,
+        }
+    }
+}
+
+/// Per-emblem metadata. 16 bytes on the wire:
+///
+/// ```text
+/// 0     version (1)
+/// 1     kind
+/// 2-3   emblem index within the stream (u16 LE)
+/// 4-5   group id (u16 LE)
+/// 6-9   payload bytes stored in this emblem (u32 LE)
+/// 10-13 total stream length in bytes (u32 LE)
+/// 14-15 CRC-16/CCITT of bytes 0..14 (LE)
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmblemHeader {
+    pub version: u8,
+    pub kind: EmblemKind,
+    pub index: u16,
+    pub group: u16,
+    pub payload_len: u32,
+    pub total_len: u32,
+}
+
+/// Serialized header size in bytes.
+pub const HEADER_BYTES: usize = 16;
+/// Current header version.
+pub const HEADER_VERSION: u8 = 1;
+
+/// Header parse failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HeaderError {
+    BadLength,
+    BadCrc,
+    BadVersion(u8),
+    BadKind(u8),
+}
+
+impl std::fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeaderError::BadLength => write!(f, "header must be 16 bytes"),
+            HeaderError::BadCrc => write!(f, "header crc mismatch"),
+            HeaderError::BadVersion(v) => write!(f, "unknown header version {v}"),
+            HeaderError::BadKind(k) => write!(f, "unknown emblem kind {k}"),
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+impl EmblemHeader {
+    pub fn new(kind: EmblemKind, index: u16, group: u16, payload_len: u32, total_len: u32) -> Self {
+        Self { version: HEADER_VERSION, kind, index, group, payload_len, total_len }
+    }
+
+    /// Serialize to the 16-byte wire format.
+    pub fn to_bytes(&self) -> [u8; HEADER_BYTES] {
+        let mut b = [0u8; HEADER_BYTES];
+        b[0] = self.version;
+        b[1] = self.kind as u8;
+        b[2..4].copy_from_slice(&self.index.to_le_bytes());
+        b[4..6].copy_from_slice(&self.group.to_le_bytes());
+        b[6..10].copy_from_slice(&self.payload_len.to_le_bytes());
+        b[10..14].copy_from_slice(&self.total_len.to_le_bytes());
+        let crc = crc16_ccitt(&b[..14]);
+        b[14..16].copy_from_slice(&crc.to_le_bytes());
+        b
+    }
+
+    /// Parse and validate the wire format.
+    pub fn from_bytes(b: &[u8]) -> Result<Self, HeaderError> {
+        if b.len() != HEADER_BYTES {
+            return Err(HeaderError::BadLength);
+        }
+        let stored = u16::from_le_bytes([b[14], b[15]]);
+        if crc16_ccitt(&b[..14]) != stored {
+            return Err(HeaderError::BadCrc);
+        }
+        if b[0] != HEADER_VERSION {
+            return Err(HeaderError::BadVersion(b[0]));
+        }
+        let kind = EmblemKind::from_u8(b[1]).ok_or(HeaderError::BadKind(b[1]))?;
+        Ok(Self {
+            version: b[0],
+            kind,
+            index: u16::from_le_bytes([b[2], b[3]]),
+            group: u16::from_le_bytes([b[4], b[5]]),
+            payload_len: u32::from_le_bytes(b[6..10].try_into().unwrap()),
+            total_len: u32::from_le_bytes(b[10..14].try_into().unwrap()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let h = EmblemHeader::new(EmblemKind::Data, 7, 0, 48_000, 1_230_000);
+        let b = h.to_bytes();
+        assert_eq!(EmblemHeader::from_bytes(&b).unwrap(), h);
+    }
+
+    #[test]
+    fn crc_rejects_bit_flip() {
+        let h = EmblemHeader::new(EmblemKind::System, 1, 2, 100, 200);
+        for i in 0..HEADER_BYTES {
+            let mut b = h.to_bytes();
+            b[i] ^= 0x10;
+            assert_eq!(EmblemHeader::from_bytes(&b).unwrap_err(), HeaderError::BadCrc, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn kind_codes_are_stable() {
+        assert_eq!(EmblemKind::Data as u8, 0);
+        assert_eq!(EmblemKind::System as u8, 1);
+        assert_eq!(EmblemKind::Parity as u8, 2);
+        assert_eq!(EmblemKind::from_u8(3), None);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert_eq!(EmblemHeader::from_bytes(&[0; 15]).unwrap_err(), HeaderError::BadLength);
+    }
+
+    #[test]
+    fn bad_kind_detected_after_crc() {
+        let h = EmblemHeader::new(EmblemKind::Data, 0, 0, 1, 1);
+        let mut b = h.to_bytes();
+        b[1] = 9;
+        let crc = ule_gf256::crc::crc16_ccitt(&b[..14]);
+        b[14..16].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(EmblemHeader::from_bytes(&b).unwrap_err(), HeaderError::BadKind(9));
+    }
+}

@@ -1,0 +1,34 @@
+//! MOCoder — the media layout encoder/decoder (system **S4** in `DESIGN.md`).
+//!
+//! MOCoder performs the "physical" layout of bits across 2D barcodes the
+//! paper calls *emblems* (§3.1, Figure 1). Unlike QR codes, emblems:
+//!
+//! * pair the bit signal with the clock signal (differential-Manchester
+//!   style, [`manchester`]) instead of relying on separate timing patterns,
+//!   giving robust **local** clock recovery;
+//! * are surrounded by a thick black square plus large-scale black/white
+//!   dots ([`geometry`]) for fast, robust detection of emblem geometry and
+//!   type;
+//! * carry multi-megabyte streams across many emblems with **nested
+//!   Reed–Solomon** protection: an inner RS(255,223) per emblem (corrects
+//!   up to 7.2% damaged data) and an outer RS(20,17) across groups of 20
+//!   emblems (any 3 whole emblems may be lost) — see [`stream`].
+//!
+//! Encoding renders print masters as [`ule_raster::GrayImage`]s; decoding
+//! consumes (possibly degraded, rescaled) scans and follows the border
+//! geometry to resample the cell grid, so lens curvature and transport
+//! jitter are compensated exactly the way §3.1 demands.
+
+pub mod decode;
+pub mod encode;
+pub mod geometry;
+pub mod header;
+pub mod locate;
+pub mod manchester;
+pub mod stream;
+
+pub use decode::{decode_emblem, DecodeError, DecodeStats};
+pub use encode::encode_emblem;
+pub use geometry::EmblemGeometry;
+pub use header::{EmblemHeader, EmblemKind};
+pub use stream::{decode_stream, encode_stream, StreamError};

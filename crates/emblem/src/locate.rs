@@ -1,0 +1,304 @@
+//! Emblem localisation: find the border square in a page/frame scan.
+//!
+//! The thick black border is the emblem's "large-scale" detection feature
+//! (§3.1). We find it with black-mass profiles: border rows/columns are
+//! almost entirely black, data rows hover near 50%, page margins near 0%.
+
+use ule_raster::GrayImage;
+
+/// Outer bounding box of the emblem border, inclusive pixel coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BorderBox {
+    pub x0: usize,
+    pub y0: usize,
+    pub x1: usize,
+    pub y1: usize,
+}
+
+impl BorderBox {
+    pub fn width(&self) -> usize {
+        self.x1 - self.x0 + 1
+    }
+    pub fn height(&self) -> usize {
+        self.y1 - self.y0 + 1
+    }
+}
+
+/// Black fraction per row over a column span.
+fn row_profile(bit: &GrayImage, x0: usize, x1: usize) -> Vec<f64> {
+    let span = (x1 - x0 + 1) as f64;
+    (0..bit.height())
+        .map(|y| {
+            let row = bit.row(y);
+            let black = row[x0..=x1].iter().filter(|&&p| p == 0).count();
+            black as f64 / span
+        })
+        .collect()
+}
+
+/// Black fraction per column over a row span.
+fn col_profile(bit: &GrayImage, y0: usize, y1: usize) -> Vec<f64> {
+    let span = (y1 - y0 + 1) as f64;
+    (0..bit.width())
+        .map(|x| {
+            let black = (y0..=y1).filter(|&y| bit.get(x, y) == 0).count();
+            black as f64 / span
+        })
+        .collect()
+}
+
+/// Longest contiguous run of indices with `profile >= threshold`,
+/// tolerating gaps up to `max_gap` (dust holes, gap ring overshoot).
+fn longest_run(profile: &[f64], threshold: f64, max_gap: usize) -> Option<(usize, usize)> {
+    let mut best: Option<(usize, usize)> = None;
+    let mut start: Option<usize> = None;
+    let mut last_hit = 0usize;
+    for (i, &v) in profile.iter().enumerate() {
+        if v >= threshold {
+            if start.is_none() {
+                start = Some(i);
+            }
+            last_hit = i;
+        } else if let Some(s) = start {
+            if i - last_hit > max_gap {
+                let cand = (s, last_hit);
+                if best.map_or(true, |(bs, be)| last_hit - s > be - bs) {
+                    best = Some(cand);
+                }
+                start = None;
+            }
+        }
+    }
+    if let Some(s) = start {
+        let cand = (s, last_hit);
+        if best.map_or(true, |(bs, be)| last_hit - s > be - bs) {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+/// First and last indices within `[lo, hi]` whose profile clears `threshold`.
+fn first_last(profile: &[f64], threshold: f64, lo: usize, hi: usize) -> Option<(usize, usize)> {
+    let first = (lo..=hi).find(|&i| profile[i] >= threshold)?;
+    let last = (lo..=hi).rev().find(|&i| profile[i] >= threshold)?;
+    Some((first, last))
+}
+
+/// Locate the emblem border's outer box in a thresholded (0/255) scan.
+///
+/// Works when the emblem is surrounded by white margin (printed page,
+/// film frame) and occupies a substantial share of the image.
+pub fn find_border_box(bit: &GrayImage) -> Option<BorderBox> {
+    if bit.width() < 8 || bit.height() < 8 {
+        return None;
+    }
+    let gap = bit.width().max(bit.height()) / 50 + 2;
+    // Pass 1: rough vertical span from full-width row profile. Emblem rows
+    // carry at least ~25% black even when the emblem fills only part of
+    // the page width.
+    let rp = row_profile(bit, 0, bit.width() - 1);
+    let peak = rp.iter().cloned().fold(0.0f64, f64::max);
+    let (ry0, ry1) = longest_run(&rp, (peak * 0.35).max(0.05), gap)?;
+    // Pass 2: horizontal span within that vertical band.
+    let cp = col_profile(bit, ry0, ry1);
+    let cpeak = cp.iter().cloned().fold(0.0f64, f64::max);
+    let (cx0, cx1) = longest_run(&cp, (cpeak * 0.35).max(0.05), gap)?;
+    // Pass 3: exact outer border rows/cols — the first and last profile
+    // entries above 30% black near the rough span (the border itself is
+    // nearly solid, the data region sits around 50%).
+    let margin = 2 * gap;
+    let rp2 = row_profile(bit, cx0, cx1);
+    let (y0, y1) = first_last(&rp2, 0.30, ry0.saturating_sub(margin), (ry1 + margin).min(rp2.len() - 1))?;
+    let cp2 = col_profile(bit, y0, y1);
+    let (x0, x1) = first_last(&cp2, 0.30, cx0.saturating_sub(margin), (cx1 + margin).min(cp2.len() - 1))?;
+    if x1 <= x0 + 8 || y1 <= y0 + 8 {
+        return None;
+    }
+    Some(BorderBox { x0, y0, x1, y1 })
+}
+
+/// Per-scanline border edge positions, used to resample the cell grid under
+/// smooth geometric distortion. `left[y]`/`right[y]` give the border's outer
+/// x at pixel row `y` (relative to the full image); `top[x]`/`bottom[x]`
+/// give the outer y per column. Gaps are filled by interpolation and the
+/// arrays are median-smoothed against dust.
+pub struct EdgeMap {
+    pub bbox: BorderBox,
+    pub left: Vec<f64>,
+    pub right: Vec<f64>,
+    pub top: Vec<f64>,
+    pub bottom: Vec<f64>,
+}
+
+fn median_smooth(values: &mut [f64], window: usize) {
+    if values.len() < window || window < 3 {
+        return;
+    }
+    let orig = values.to_vec();
+    let half = window / 2;
+    let mut buf = vec![0.0; window];
+    for i in half..values.len() - half {
+        buf.clear();
+        buf.extend_from_slice(&orig[i - half..=i + half]);
+        buf.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values[i] = buf[half];
+    }
+}
+
+/// Scan for the first black run of length ≥ `min_run` along a line.
+fn first_black_run(mut pixels: impl Iterator<Item = u8>, min_run: usize) -> Option<usize> {
+    let mut run = 0usize;
+    let mut start = 0usize;
+    let mut i = 0usize;
+    loop {
+        let p = pixels.next()?;
+        if p == 0 {
+            if run == 0 {
+                start = i;
+            }
+            run += 1;
+            if run >= min_run {
+                return Some(start);
+            }
+        } else {
+            run = 0;
+        }
+        i += 1;
+    }
+}
+
+/// Build the edge map for a located emblem. `border_px` is the expected
+/// border thickness in scan pixels (used to reject dust).
+pub fn edge_map(bit: &GrayImage, bbox: BorderBox, border_px: f64) -> EdgeMap {
+    let min_run = (border_px * 0.5).max(2.0) as usize;
+    let slack = (border_px * 2.0) as usize;
+    let h = bbox.height();
+    let w = bbox.width();
+    let mut left = vec![f64::NAN; h];
+    let mut right = vec![f64::NAN; h];
+    for (i, y) in (bbox.y0..=bbox.y1).enumerate() {
+        let xa = bbox.x0.saturating_sub(slack);
+        let xb = (bbox.x1 + slack).min(bit.width() - 1);
+        if let Some(off) = first_black_run((xa..=xb).map(|x| bit.get(x, y)), min_run) {
+            left[i] = (xa + off) as f64;
+        }
+        if let Some(off) = first_black_run((xa..=xb).rev().map(|x| bit.get(x, y)), min_run) {
+            right[i] = (xb - off) as f64;
+        }
+    }
+    let mut top = vec![f64::NAN; w];
+    let mut bottom = vec![f64::NAN; w];
+    for (i, x) in (bbox.x0..=bbox.x1).enumerate() {
+        let ya = bbox.y0.saturating_sub(slack);
+        let yb = (bbox.y1 + slack).min(bit.height() - 1);
+        if let Some(off) = first_black_run((ya..=yb).map(|y| bit.get(x, y)), min_run) {
+            top[i] = (ya + off) as f64;
+        }
+        if let Some(off) = first_black_run((ya..=yb).rev().map(|y| bit.get(x, y)), min_run) {
+            bottom[i] = (yb - off) as f64;
+        }
+    }
+    for arr in [&mut left, &mut right, &mut top, &mut bottom] {
+        fill_nan(arr);
+        median_smooth(arr, 7);
+    }
+    EdgeMap { bbox, left, right, top, bottom }
+}
+
+/// Replace NaNs with the nearest valid neighbour (linear fill).
+fn fill_nan(values: &mut [f64]) {
+    let first_valid = values.iter().position(|v| !v.is_nan());
+    let Some(fv) = first_valid else {
+        for v in values.iter_mut() {
+            *v = 0.0;
+        }
+        return;
+    };
+    let head = values[fv];
+    for v in values[..fv].iter_mut() {
+        *v = head;
+    }
+    let mut last = head;
+    for v in values[fv..].iter_mut() {
+        if v.is_nan() {
+            *v = last;
+        } else {
+            last = *v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ule_raster::draw::{draw_ring, fill_rect};
+
+    fn page_with_emblem(px: usize, py: usize, size: usize) -> GrayImage {
+        let mut img = GrayImage::new(400, 300, 255);
+        draw_ring(&mut img, px, py, size, 8, 0);
+        // Dense interior texture, like a real data region (~50% black):
+        // vertical stripes, 2 px on / 2 px off.
+        for x in (px + 14..px + size - 14).step_by(4) {
+            fill_rect(&mut img, x, py + 14, 2, size - 28, 0);
+        }
+        img
+    }
+
+    #[test]
+    fn finds_centered_emblem() {
+        let img = page_with_emblem(100, 50, 180);
+        let b = find_border_box(&img).unwrap();
+        assert!((b.x0 as i64 - 100).unsigned_abs() <= 2, "{b:?}");
+        assert!((b.y0 as i64 - 50).unsigned_abs() <= 2, "{b:?}");
+        assert!((b.x1 as i64 - 279).unsigned_abs() <= 2, "{b:?}");
+        assert!((b.y1 as i64 - 229).unsigned_abs() <= 2, "{b:?}");
+    }
+
+    #[test]
+    fn ignores_scattered_dust() {
+        let mut img = page_with_emblem(120, 60, 150);
+        for (x, y) in [(5, 5), (390, 10), (20, 290), (395, 295), (10, 150)] {
+            fill_rect(&mut img, x, y, 2, 2, 0);
+        }
+        let b = find_border_box(&img).unwrap();
+        assert!((b.x0 as i64 - 120).unsigned_abs() <= 3, "{b:?}");
+        assert!((b.y0 as i64 - 60).unsigned_abs() <= 3, "{b:?}");
+    }
+
+    #[test]
+    fn blank_page_returns_none() {
+        let img = GrayImage::new(200, 200, 255);
+        assert!(find_border_box(&img).is_none());
+    }
+
+    #[test]
+    fn edge_map_tracks_straight_border() {
+        let img = page_with_emblem(100, 50, 180);
+        let b = find_border_box(&img).unwrap();
+        let em = edge_map(&img, b, 8.0);
+        for &l in em.left.iter().skip(5).take(em.left.len() - 10) {
+            assert!((l - 100.0).abs() <= 1.5, "left={l}");
+        }
+        for &r in em.right.iter().skip(5).take(em.right.len() - 10) {
+            assert!((r - 279.0).abs() <= 1.5, "right={r}");
+        }
+    }
+
+    #[test]
+    fn median_smooth_removes_spikes() {
+        let mut v = vec![10.0; 20];
+        v[10] = 500.0;
+        median_smooth(&mut v, 5);
+        assert!((v[10] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fill_nan_interpolates() {
+        let mut v = vec![f64::NAN, 2.0, f64::NAN, f64::NAN, 5.0];
+        fill_nan(&mut v);
+        assert_eq!(v[0], 2.0);
+        assert_eq!(v[2], 2.0);
+        assert_eq!(v[4], 5.0);
+    }
+}

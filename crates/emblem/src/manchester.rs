@@ -1,0 +1,152 @@
+//! Self-clocking cell coding (differential-Manchester family).
+//!
+//! Each data bit occupies two consecutive cells (half-periods). The encoder
+//! guarantees a level transition at every bit boundary — that is the clock
+//! signal, paired with the data exactly as §3.1 describes ("an approach
+//! similar to Differential Manchester encoding used in floppy disks") — and
+//! encodes the bit in whether a *mid-period* transition occurs:
+//!
+//! * bit 1 → the two half-cells differ;
+//! * bit 0 → the two half-cells are equal.
+//!
+//! Decoding therefore only compares *adjacent* cells, so slow distortions
+//! (fading, lens shading) that shift absolute intensity cancel out, and a
+//! missing boundary transition is detectable as a local sync error.
+
+/// Encode `bits` into cell levels (false = black, true = white), starting
+/// from `start_level` (the level of the *last* cell before this run; the
+/// first emitted cell will be its inverse).
+pub fn encode_cells(bits: &[bool], start_level: bool) -> Vec<bool> {
+    let mut cells = Vec::with_capacity(bits.len() * 2);
+    let mut level = start_level;
+    for &bit in bits {
+        level = !level; // clock transition at the bit boundary
+        cells.push(level);
+        if bit {
+            level = !level; // mid-period transition encodes a 1
+        }
+        cells.push(level);
+    }
+    cells
+}
+
+/// Result of decoding a cell run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellDecode {
+    pub bits: Vec<bool>,
+    /// Indices of bits whose *boundary* transition was missing — a local
+    /// clock-sync violation, flagged so callers can treat the surrounding
+    /// bytes as suspect (soft erasure information for the RS layer).
+    pub sync_errors: Vec<usize>,
+}
+
+/// Decode cells produced by [`encode_cells`]. `cells.len()` must be even;
+/// `start_level` must match the value passed to the encoder.
+pub fn decode_cells(cells: &[bool], start_level: bool) -> CellDecode {
+    assert!(cells.len() % 2 == 0, "cells come in half-period pairs");
+    let mut bits = Vec::with_capacity(cells.len() / 2);
+    let mut sync_errors = Vec::new();
+    let mut prev = start_level;
+    for (i, pair) in cells.chunks_exact(2).enumerate() {
+        let (h1, h2) = (pair[0], pair[1]);
+        if h1 == prev {
+            // Boundary transition missing: the clock slipped here.
+            sync_errors.push(i);
+        }
+        bits.push(h1 != h2);
+        prev = h2;
+    }
+    CellDecode { bits, sync_errors }
+}
+
+/// Pack bits (MSB-first) into bytes, zero-padding the tail.
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 0x80 >> (i % 8);
+        }
+    }
+    out
+}
+
+/// Unpack bytes into bits, MSB-first.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bytes.len() * 8);
+    for &b in bytes {
+        for i in (0..8).rev() {
+            out.push((b >> i) & 1 != 0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_byte_values() {
+        for byte in 0..=255u8 {
+            let bits = bytes_to_bits(&[byte]);
+            for start in [false, true] {
+                let cells = encode_cells(&bits, start);
+                let dec = decode_cells(&cells, start);
+                assert_eq!(dec.bits, bits, "byte {byte:#04x} start {start}");
+                assert!(dec.sync_errors.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_boundary_has_transition() {
+        let bits = bytes_to_bits(&[0x00, 0xFF, 0xA5, 0x3C]);
+        let cells = encode_cells(&bits, false);
+        let mut prev = false;
+        for pair in cells.chunks_exact(2) {
+            assert_ne!(pair[0], prev, "boundary transition missing");
+            prev = pair[1];
+        }
+    }
+
+    #[test]
+    fn zero_bits_hold_level_within_period() {
+        let cells = encode_cells(&[false, false], false);
+        assert_eq!(cells, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn one_bits_flip_mid_period() {
+        let cells = encode_cells(&[true, true], false);
+        assert_eq!(cells, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn corrupted_cell_is_detected_as_sync_error() {
+        let bits = bytes_to_bits(&[0b1010_1010]);
+        let mut cells = encode_cells(&bits, false);
+        cells[4] = !cells[4]; // flip one half-cell
+        let dec = decode_cells(&cells, false);
+        assert!(!dec.sync_errors.is_empty());
+    }
+
+    #[test]
+    fn long_constant_runs_still_clock() {
+        // 10 000 zero bits: a plain NRZ code would have no transitions; the
+        // self-clocking code transitions every bit boundary.
+        let bits = vec![false; 10_000];
+        let cells = encode_cells(&bits, true);
+        let transitions = cells.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(transitions >= 9_999);
+        let dec = decode_cells(&cells, true);
+        assert_eq!(dec.bits, bits);
+    }
+
+    #[test]
+    fn bits_bytes_roundtrip_with_padding() {
+        let bits = vec![true, false, true]; // 3 bits -> 1 byte padded
+        let bytes = bits_to_bytes(&bits);
+        assert_eq!(bytes, vec![0b1010_0000]);
+        assert_eq!(&bytes_to_bits(&bytes)[..3], &bits[..]);
+    }
+}

@@ -1,0 +1,418 @@
+//! Multi-emblem streams and the inter-emblem (outer) Reed–Solomon code.
+//!
+//! §3.1: "The outer code, or inter-emblem mechanism, protects against
+//! whole-emblem failures, by including three parity emblems with each set
+//! of 17 data emblems. This results in the full bit-for-bit restoration of
+//! data contained within a series of 20 emblems in which any three are
+//! missing altogether."
+//!
+//! Groups with fewer than 17 data emblems (the stream tail) use the
+//! shortened RS(n+3, n) code — still any-3-of-(n+3) recoverable.
+
+use crate::decode::{decode_emblem, DecodeStats};
+use crate::encode::encode_emblem;
+use crate::geometry::EmblemGeometry;
+use crate::header::{EmblemHeader, EmblemKind};
+use ule_gf256::RsCode;
+use ule_raster::GrayImage;
+
+/// Data emblems per full group.
+pub const GROUP_DATA: usize = 17;
+/// Parity emblems per group.
+pub const GROUP_PARITY: usize = 3;
+
+/// How a payload maps onto emblems.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamPlan {
+    /// Payload bytes carried per emblem.
+    pub chunk_size: usize,
+    /// Number of data emblems.
+    pub data_emblems: usize,
+    /// Number of parity emblems (0 when the outer code is disabled).
+    pub parity_emblems: usize,
+    /// Total stream length in bytes.
+    pub total_len: usize,
+}
+
+impl StreamPlan {
+    pub fn total_emblems(&self) -> usize {
+        self.data_emblems + self.parity_emblems
+    }
+}
+
+/// Compute the emblem plan for `len` payload bytes.
+pub fn plan(geom: &EmblemGeometry, len: usize, with_parity: bool) -> StreamPlan {
+    let chunk = geom.payload_capacity();
+    let data = len.div_ceil(chunk).max(1);
+    let parity = if with_parity { data.div_ceil(GROUP_DATA) * GROUP_PARITY } else { 0 };
+    StreamPlan { chunk_size: chunk, data_emblems: data, parity_emblems: parity, total_len: len }
+}
+
+/// Encode a payload into a sequence of emblem print masters.
+///
+/// Emission order per group: the group's data emblems, then its 3 parity
+/// emblems; indices are global and sequential. With `with_parity = false`
+/// only data emblems are produced (the paper's §4 paper-archive experiment
+/// reports 26 emblems for 1.2 MB, i.e. data emblems only).
+pub fn encode_stream(
+    geom: &EmblemGeometry,
+    kind: EmblemKind,
+    payload: &[u8],
+    with_parity: bool,
+) -> Vec<GrayImage> {
+    let p = plan(geom, payload.len(), with_parity);
+    let cap = p.chunk_size;
+    let total = payload.len() as u32;
+    let mut images = Vec::with_capacity(p.total_emblems());
+    let mut index = 0u16;
+    let mut group = 0u16;
+    let mut chunk_iter = (0..p.data_emblems).map(|c| {
+        let start = c * cap;
+        let end = ((c + 1) * cap).min(payload.len());
+        &payload[start.min(payload.len())..end]
+    });
+    let mut remaining = p.data_emblems;
+    while remaining > 0 {
+        let in_group = remaining.min(GROUP_DATA);
+        let mut group_chunks: Vec<&[u8]> = Vec::with_capacity(in_group);
+        for _ in 0..in_group {
+            group_chunks.push(chunk_iter.next().expect("plan covers all chunks"));
+        }
+        for chunk in &group_chunks {
+            let header = EmblemHeader::new(kind, index, group, chunk.len() as u32, total);
+            images.push(encode_emblem(geom, &header, chunk));
+            index += 1;
+        }
+        if with_parity {
+            let rs = RsCode::new(in_group + GROUP_PARITY, in_group);
+            let mut parity = vec![vec![0u8; cap]; GROUP_PARITY];
+            let mut col = vec![0u8; in_group + GROUP_PARITY];
+            for j in 0..cap {
+                for (i, chunk) in group_chunks.iter().enumerate() {
+                    col[i] = chunk.get(j).copied().unwrap_or(0);
+                }
+                for v in col[in_group..].iter_mut() {
+                    *v = 0;
+                }
+                rs.fill_parity(&mut col);
+                for (pi, pchunk) in parity.iter_mut().enumerate() {
+                    pchunk[j] = col[in_group + pi];
+                }
+            }
+            for pchunk in &parity {
+                let header = EmblemHeader::new(EmblemKind::Parity, index, group, cap as u32, total);
+                images.push(encode_emblem(geom, &header, pchunk));
+                index += 1;
+            }
+        }
+        remaining -= in_group;
+        group += 1;
+    }
+    images
+}
+
+/// Stream-level decode failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// No scan decoded to a usable emblem.
+    NoEmblems,
+    /// Emblems disagree about the stream length.
+    InconsistentHeaders,
+    /// A group lost more emblems than the outer code can restore.
+    TooManyMissing { group: u16, missing: usize, correctable: usize },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::NoEmblems => write!(f, "no decodable emblems"),
+            StreamError::InconsistentHeaders => write!(f, "emblem headers disagree"),
+            StreamError::TooManyMissing { group, missing, correctable } => write!(
+                f,
+                "group {group}: {missing} emblems missing, outer code corrects at most {correctable}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Stream decode diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Scans handed in.
+    pub scans: usize,
+    /// Scans that failed individual emblem decoding.
+    pub failed_scans: usize,
+    /// Whole emblems reconstructed by the outer code.
+    pub emblems_recovered: usize,
+    /// Total bytes fixed by the inner code across emblems.
+    pub rs_corrected: usize,
+}
+
+/// Decode a set of scans (unordered, possibly incomplete and with
+/// duplicates) back into the stream payload.
+pub fn decode_stream(
+    geom: &EmblemGeometry,
+    scans: &[GrayImage],
+) -> Result<(Vec<u8>, StreamStats), StreamError> {
+    let mut stats = StreamStats { scans: scans.len(), ..Default::default() };
+    // Individual decode; tolerate per-scan failures (the outer code's job).
+    let mut decoded: Vec<(EmblemHeader, Vec<u8>, DecodeStats)> = Vec::new();
+    for scan in scans {
+        match decode_emblem(geom, scan) {
+            Ok(r) => decoded.push(r),
+            Err(_) => stats.failed_scans += 1,
+        }
+    }
+    if decoded.is_empty() {
+        return Err(StreamError::NoEmblems);
+    }
+    let total_len = decoded[0].0.total_len;
+    if decoded.iter().any(|(h, _, _)| h.total_len != total_len) {
+        return Err(StreamError::InconsistentHeaders);
+    }
+    for (_, _, s) in &decoded {
+        stats.rs_corrected += s.rs_corrected;
+    }
+
+    let cap = geom.payload_capacity();
+    let n_chunks = (total_len as usize).div_ceil(cap).max(1);
+    let had_parity = decoded.iter().any(|(h, _, _)| h.kind == EmblemKind::Parity);
+
+    // Rebuild chunk table: chunk c lives in group c / 17 at position c % 17.
+    let mut chunks: Vec<Option<Vec<u8>>> = vec![None; n_chunks];
+    let mut parity: Vec<Vec<Option<Vec<u8>>>> =
+        vec![vec![None; GROUP_PARITY]; n_chunks.div_ceil(GROUP_DATA)];
+    for (h, payload, _) in decoded {
+        let idx = h.index as usize;
+        let group = h.group as usize;
+        match h.kind {
+            EmblemKind::Parity => {
+                // Parity emblems follow the group's data emblems: their
+                // position within the group is recovered from the index.
+                let group_start_idx = group_start_index(group, n_chunks, had_parity);
+                let in_group = group_data_count(group, n_chunks);
+                let pos = idx.saturating_sub(group_start_idx + in_group);
+                if group < parity.len() && pos < GROUP_PARITY && parity[group][pos].is_none() {
+                    let mut p = payload;
+                    p.resize(cap, 0);
+                    parity[group][pos] = Some(p);
+                }
+            }
+            _ => {
+                let group_start_idx = group_start_index(group, n_chunks, had_parity);
+                let chunk_no = group * GROUP_DATA + (idx - group_start_idx);
+                if chunk_no < n_chunks && chunks[chunk_no].is_none() {
+                    chunks[chunk_no] = Some(payload);
+                }
+            }
+        }
+    }
+
+    // Per-group erasure recovery.
+    for group in 0..n_chunks.div_ceil(GROUP_DATA) {
+        let in_group = group_data_count(group, n_chunks);
+        let base = group * GROUP_DATA;
+        let missing: Vec<usize> =
+            (0..in_group).filter(|&i| chunks[base + i].is_none()).collect();
+        if missing.is_empty() {
+            continue;
+        }
+        let parity_avail = parity[group].iter().filter(|p| p.is_some()).count();
+        let missing_parity = GROUP_PARITY - parity_avail;
+        if missing.len() + missing_parity > GROUP_PARITY {
+            return Err(StreamError::TooManyMissing {
+                group: group as u16,
+                missing: missing.len() + missing_parity,
+                correctable: GROUP_PARITY,
+            });
+        }
+        let rs = RsCode::new(in_group + GROUP_PARITY, in_group);
+        // Erasure positions in codeword coordinates.
+        let mut erasures: Vec<usize> = missing.clone();
+        for (pi, p) in parity[group].iter().enumerate() {
+            if p.is_none() {
+                erasures.push(in_group + pi);
+            }
+        }
+        let mut recovered: Vec<Vec<u8>> = vec![vec![0u8; cap]; missing.len()];
+        let mut col = vec![0u8; in_group + GROUP_PARITY];
+        for j in 0..cap {
+            for i in 0..in_group {
+                col[i] = chunks[base + i].as_ref().map_or(0, |c| c.get(j).copied().unwrap_or(0));
+            }
+            for (pi, p) in parity[group].iter().enumerate() {
+                col[in_group + pi] = p.as_ref().map_or(0, |c| c[j]);
+            }
+            rs.decode(&mut col, &erasures).map_err(|_| StreamError::TooManyMissing {
+                group: group as u16,
+                missing: erasures.len(),
+                correctable: GROUP_PARITY,
+            })?;
+            for (mi, &m) in missing.iter().enumerate() {
+                recovered[mi][j] = col[m];
+            }
+        }
+        for (mi, m) in missing.into_iter().enumerate() {
+            // Trim the final chunk to the stream tail length.
+            let chunk_no = base + m;
+            let logical_len = if chunk_no + 1 == n_chunks {
+                total_len as usize - chunk_no * cap
+            } else {
+                cap
+            };
+            let mut c = std::mem::take(&mut recovered[mi]);
+            c.truncate(logical_len);
+            chunks[chunk_no] = Some(c);
+            stats.emblems_recovered += 1;
+        }
+    }
+
+    // Concatenate.
+    let mut out = Vec::with_capacity(total_len as usize);
+    for c in chunks {
+        out.extend_from_slice(&c.expect("all chunks present after recovery"));
+    }
+    out.truncate(total_len as usize);
+    Ok((out, stats))
+}
+
+/// Global emblem index at which `group`'s data emblems start.
+fn group_start_index(group: usize, n_chunks: usize, with_parity: bool) -> usize {
+    let full_groups = group.min(n_chunks / GROUP_DATA);
+    let mut idx = full_groups * GROUP_DATA + group.saturating_sub(full_groups) * 0;
+    if with_parity {
+        idx += group * GROUP_PARITY;
+    }
+    // Account for a shorter group only if it precedes `group` (cannot
+    // happen: only the last group is short), so the above suffices.
+    idx
+}
+
+/// Number of data emblems in `group`.
+fn group_data_count(group: usize, n_chunks: usize) -> usize {
+    (n_chunks - group * GROUP_DATA).min(GROUP_DATA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> EmblemGeometry {
+        EmblemGeometry::test_small()
+    }
+
+    fn payload(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i as u8).wrapping_mul(131).wrapping_add(7)).collect()
+    }
+
+    #[test]
+    fn plan_counts() {
+        let g = geom();
+        let cap = g.payload_capacity();
+        let p = plan(&g, cap * 17, true);
+        assert_eq!(p.data_emblems, 17);
+        assert_eq!(p.parity_emblems, 3);
+        let p = plan(&g, cap * 18, true);
+        assert_eq!(p.data_emblems, 18);
+        assert_eq!(p.parity_emblems, 6);
+        let p = plan(&g, cap * 5, false);
+        assert_eq!(p.parity_emblems, 0);
+    }
+
+    #[test]
+    fn single_emblem_stream_roundtrip() {
+        let g = geom();
+        let data = payload(300);
+        let images = encode_stream(&g, EmblemKind::Data, &data, true);
+        assert_eq!(images.len(), 4); // 1 data + 3 parity
+        let (out, stats) = decode_stream(&g, &images).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(stats.emblems_recovered, 0);
+    }
+
+    #[test]
+    fn multi_emblem_stream_roundtrip() {
+        let g = geom();
+        let data = payload(g.payload_capacity() * 4 + 123);
+        let images = encode_stream(&g, EmblemKind::Data, &data, true);
+        assert_eq!(images.len(), 5 + 3);
+        let (out, _) = decode_stream(&g, &images).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn any_three_missing_recovered() {
+        let g = geom();
+        let data = payload(g.payload_capacity() * 5 + 17);
+        let images = encode_stream(&g, EmblemKind::Data, &data, true);
+        // Drop 3 emblems: two data + one parity.
+        let kept: Vec<GrayImage> = images
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ![1usize, 4, 7].contains(i))
+            .map(|(_, im)| im.clone())
+            .collect();
+        let (out, stats) = decode_stream(&g, &kept).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(stats.emblems_recovered, 2); // the two data emblems
+    }
+
+    #[test]
+    fn four_missing_fails() {
+        let g = geom();
+        let data = payload(g.payload_capacity() * 5);
+        let images = encode_stream(&g, EmblemKind::Data, &data, true);
+        let kept: Vec<GrayImage> = images
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ![0usize, 1, 2, 5].contains(i))
+            .map(|(_, im)| im.clone())
+            .collect();
+        assert!(matches!(
+            decode_stream(&g, &kept),
+            Err(StreamError::TooManyMissing { .. })
+        ));
+    }
+
+    #[test]
+    fn unordered_and_duplicated_scans_ok() {
+        let g = geom();
+        let data = payload(g.payload_capacity() * 2 + 9);
+        let mut images = encode_stream(&g, EmblemKind::Data, &data, true);
+        images.reverse();
+        let dup = images[0].clone();
+        images.push(dup);
+        let (out, _) = decode_stream(&g, &images).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn no_parity_stream_roundtrip() {
+        let g = geom();
+        let data = payload(g.payload_capacity() * 3 + 1);
+        let images = encode_stream(&g, EmblemKind::Data, &data, false);
+        assert_eq!(images.len(), 4);
+        let (out, _) = decode_stream(&g, &images).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn no_parity_stream_missing_emblem_fails() {
+        let g = geom();
+        let data = payload(g.payload_capacity() * 3);
+        let images = encode_stream(&g, EmblemKind::Data, &data, false);
+        let kept = &images[1..];
+        assert!(decode_stream(&g, kept).is_err());
+    }
+
+    #[test]
+    fn empty_payload_still_produces_an_emblem() {
+        let g = geom();
+        let images = encode_stream(&g, EmblemKind::System, &[], true);
+        assert_eq!(images.len(), 4);
+        let (out, _) = decode_stream(&g, &images).unwrap();
+        assert!(out.is_empty());
+    }
+}

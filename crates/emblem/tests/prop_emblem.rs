@@ -1,0 +1,68 @@
+//! Property tests across the emblem pipeline: arbitrary payloads survive
+//! encoding, mild degradation, and decoding; headers never lie.
+
+use proptest::prelude::*;
+use ule_emblem::{
+    decode_emblem, decode_stream, encode_emblem, encode_stream, EmblemGeometry, EmblemHeader,
+    EmblemKind,
+};
+use ule_raster::{DegradeParams, Scanner};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_payload_roundtrips_pristine(
+        payload in proptest::collection::vec(any::<u8>(), 0..1115),
+        index in any::<u16>(),
+        group in 0u16..100,
+    ) {
+        let geom = EmblemGeometry::test_small();
+        let header = EmblemHeader::new(
+            EmblemKind::Data, index, group, payload.len() as u32, payload.len() as u32);
+        let img = encode_emblem(&geom, &header, &payload);
+        let (h, p, stats) = decode_emblem(&geom, &img).unwrap();
+        prop_assert_eq!(h, header);
+        prop_assert_eq!(p, payload);
+        prop_assert_eq!(stats.rs_corrected, 0);
+    }
+
+    #[test]
+    fn any_payload_roundtrips_with_noise(
+        payload in proptest::collection::vec(any::<u8>(), 1..1115),
+        seed in any::<u64>(),
+        sigma in 0.0f64..28.0,
+    ) {
+        let geom = EmblemGeometry::test_small();
+        let header = EmblemHeader::new(
+            EmblemKind::Data, 1, 0, payload.len() as u32, payload.len() as u32);
+        let img = encode_emblem(&geom, &header, &payload);
+        let params = DegradeParams { noise_sigma: sigma, row_jitter: 0.4, ..Default::default() };
+        let scan = Scanner::new(params, seed).scan(&img);
+        let (h, p, _) = decode_emblem(&geom, &scan).unwrap();
+        prop_assert_eq!(h.payload_len as usize, p.len());
+        prop_assert_eq!(p, payload);
+    }
+
+    #[test]
+    fn streams_roundtrip_any_loss_pattern_up_to_three(
+        len in 1usize..(1115 * 6),
+        lost in proptest::collection::hash_set(0usize..9, 0..=3),
+        seed in any::<u64>(),
+    ) {
+        // ≤6 data emblems + 3 parity = ≤9 frames; drop up to 3 of them.
+        let geom = EmblemGeometry::test_small();
+        let payload: Vec<u8> =
+            (0..len).map(|i| (i as u8) ^ (seed as u8).wrapping_mul(i as u8)).collect();
+        let images = encode_stream(&geom, EmblemKind::Data, &payload, true);
+        let per_group = images.len().min(20);
+        let kept: Vec<_> = images
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(lost.contains(i) && *i < per_group))
+            .map(|(_, im)| im.clone())
+            .collect();
+        let (restored, _) = decode_stream(&geom, &kept).unwrap();
+        prop_assert_eq!(restored, payload);
+    }
+}

@@ -1,0 +1,80 @@
+//! Cyclic redundancy checks used across the archive formats.
+//!
+//! * [`crc16_ccitt`] protects emblem headers (small, 2-byte overhead).
+//! * [`crc32`] protects whole DBCoder archives and decoder payloads; the
+//!   DynaRisc `DBDecode` program re-computes it during emulated restoration.
+
+/// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection).
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// CRC-32 (IEEE 802.3: poly 0xEDB88320 reflected, init/final 0xFFFFFFFF).
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feed `state` = 0xFFFFFFFF initially, XOR with 0xFFFFFFFF
+/// at the end.
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state ^= b as u32;
+        for _ in 0..8 {
+            let mask = (state & 1).wrapping_neg();
+            state = (state >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // "123456789" -> 0x29B1 for CRC-16/CCITT-FALSE.
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // "123456789" -> 0xCBF43926 for CRC-32 IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_streaming_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let oneshot = crc32(data);
+        let mut st = 0xFFFF_FFFFu32;
+        for chunk in data.chunks(7) {
+            st = crc32_update(st, chunk);
+        }
+        assert_eq!(st ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flip() {
+        let mut data = b"emblem header".to_vec();
+        let c0 = crc16_ccitt(&data);
+        data[3] ^= 0x40;
+        assert_ne!(crc16_ccitt(&data), c0);
+    }
+
+    #[test]
+    fn crc32_empty_is_zero() {
+        assert_eq!(crc32(b""), 0);
+    }
+}

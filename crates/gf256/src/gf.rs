@@ -1,0 +1,249 @@
+//! GF(2^8) arithmetic with log/antilog tables.
+
+/// The primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 used to construct
+/// the field. This is the polynomial of the CCSDS RS(255,223) code that the
+/// paper's inner code mirrors.
+pub const PRIMITIVE_POLY: u16 = 0x11D;
+
+/// Number of non-zero field elements (order of the multiplicative group).
+pub const GROUP_ORDER: usize = 255;
+
+/// Arithmetic in GF(2^8).
+///
+/// Construction builds exp/log tables once; all operations afterwards are
+/// table lookups and XORs. The tables are 768 bytes total, so cloning or
+/// sharing a single instance are both cheap.
+///
+/// ```
+/// use ule_gf256::Gf256;
+/// let gf = Gf256::new();
+/// let a = 0x57;
+/// let b = 0x83;
+/// let p = gf.mul(a, b);
+/// assert_eq!(gf.div(p, b), a);
+/// assert_eq!(gf.mul(a, gf.inv(a)), 1);
+/// ```
+#[derive(Clone)]
+pub struct Gf256 {
+    /// exp[i] = alpha^i for i in 0..510 (doubled to avoid a mod in mul).
+    exp: [u8; 512],
+    /// log[x] = i such that alpha^i = x, for x in 1..=255. log[0] unused.
+    log: [u16; 256],
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gf256 {
+    /// Build the field tables for [`PRIMITIVE_POLY`].
+    pub fn new() -> Self {
+        Self::with_poly(PRIMITIVE_POLY)
+    }
+
+    /// Build the field tables for a caller-chosen degree-8 primitive
+    /// polynomial (bit 8 must be set).
+    ///
+    /// # Panics
+    /// Panics if the polynomial does not generate the full multiplicative
+    /// group (i.e. is not primitive).
+    pub fn with_poly(poly: u16) -> Self {
+        assert!(poly & 0x100 != 0, "polynomial must have degree 8");
+        let mut exp = [0u8; 512];
+        let mut log = [0u16; 256];
+        let mut x: u16 = 1;
+        for (i, slot) in exp.iter_mut().enumerate().take(GROUP_ORDER) {
+            *slot = x as u8;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= poly;
+            }
+            assert!(!(i < GROUP_ORDER - 1 && x == 1), "polynomial is not primitive");
+        }
+        // Duplicate so mul can index exp[log a + log b] without reduction.
+        for i in GROUP_ORDER..512 {
+            exp[i] = exp[i - GROUP_ORDER];
+        }
+        Self { exp, log }
+    }
+
+    /// Field addition (== subtraction): bitwise XOR.
+    #[inline(always)]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Field multiplication.
+    #[inline(always)]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Field division `a / b`.
+    ///
+    /// # Panics
+    /// Panics on division by zero.
+    #[inline(always)]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "division by zero in GF(256)");
+        if a == 0 {
+            0
+        } else {
+            let la = self.log[a as usize] as usize;
+            let lb = self.log[b as usize] as usize;
+            self.exp[la + GROUP_ORDER - lb]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    #[inline(always)]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "zero has no inverse in GF(256)");
+        self.exp[GROUP_ORDER - self.log[a as usize] as usize]
+    }
+
+    /// alpha^i (the generator raised to any non-negative power).
+    #[inline(always)]
+    pub fn exp(&self, i: usize) -> u8 {
+        self.exp[i % GROUP_ORDER]
+    }
+
+    /// Discrete log of a non-zero element.
+    ///
+    /// # Panics
+    /// Panics on zero.
+    #[inline(always)]
+    pub fn log(&self, a: u8) -> usize {
+        assert!(a != 0, "zero has no discrete log");
+        self.log[a as usize] as usize
+    }
+
+    /// `a^n` by log-space multiplication.
+    #[inline]
+    pub fn pow(&self, a: u8, n: usize) -> u8 {
+        if a == 0 {
+            return if n == 0 { 1 } else { 0 };
+        }
+        let l = (self.log[a as usize] as usize * n) % GROUP_ORDER;
+        self.exp[l]
+    }
+
+    /// Borrow the raw exp table (first 256 entries). Used to embed GF tables
+    /// into DynaRisc program memory for the emulated decoders.
+    pub fn exp_table(&self) -> &[u8] {
+        &self.exp[..256]
+    }
+
+    /// Raw log table (entry 0 is 0 and must not be used as a log).
+    pub fn log_table(&self) -> [u8; 256] {
+        let mut t = [0u8; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = self.log[i] as u8;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_log_roundtrip() {
+        let gf = Gf256::new();
+        for x in 1..=255u8 {
+            assert_eq!(gf.exp(gf.log(x)), x);
+        }
+    }
+
+    #[test]
+    fn mul_matches_schoolbook() {
+        // Carry-less multiply + reduction, bit by bit.
+        fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+            let mut acc: u16 = 0;
+            while b != 0 {
+                if b & 1 != 0 {
+                    acc ^= a;
+                }
+                b >>= 1;
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= PRIMITIVE_POLY;
+                }
+            }
+            acc as u8
+        }
+        let gf = Gf256::new();
+        for a in 0..=255u8 {
+            for b in [0u8, 1, 2, 3, 0x53, 0xCA, 0xFF] {
+                assert_eq!(gf.mul(a, b), slow_mul(a as u16, b as u16), "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_nonzero_element_has_inverse() {
+        let gf = Gf256::new();
+        for a in 1..=255u8 {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1);
+        }
+    }
+
+    #[test]
+    fn div_is_mul_by_inverse() {
+        let gf = Gf256::new();
+        for a in 0..=255u8 {
+            for b in 1..=255u8 {
+                assert_eq!(gf.div(a, b), gf.mul(a, gf.inv(b)));
+            }
+        }
+    }
+
+    #[test]
+    fn pow_basics() {
+        let gf = Gf256::new();
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 5), 0);
+        assert_eq!(gf.pow(7, 0), 1);
+        let mut acc = 1u8;
+        for n in 1..20 {
+            acc = gf.mul(acc, 7);
+            assert_eq!(gf.pow(7, n), acc);
+        }
+    }
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        let gf = Gf256::new();
+        assert_eq!(gf.add(0xAA, 0xAA), 0);
+        assert_eq!(gf.add(0x12, 0x34), 0x26);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        Gf256::new().div(1, 0);
+    }
+
+    #[test]
+    fn distributivity_spot_checks() {
+        let gf = Gf256::new();
+        for a in [3u8, 77, 190, 254] {
+            for b in [1u8, 9, 130] {
+                for c in [5u8, 88, 201] {
+                    assert_eq!(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Finite-field arithmetic and Reed–Solomon coding for Micr'Olonys.
+//!
+//! This crate is the coding-theory substrate of the ULE reproduction
+//! (system **S1** in `DESIGN.md`). It provides:
+//!
+//! * [`Gf256`] — arithmetic in GF(2^8) with the primitive polynomial
+//!   `x^8 + x^4 + x^3 + x^2 + 1` (0x11D), the field used by the paper's
+//!   RS(255,223) inner code (the CCSDS/MOCoder parameterisation).
+//! * [`poly`] — polynomials over GF(2^8) used by the codec internals.
+//! * [`rs`] — a systematic Reed–Solomon encoder/decoder supporting both
+//!   unknown-error correction (Berlekamp–Massey + Chien + Forney) and
+//!   erasure / mixed errors-and-erasures decoding. MOCoder uses
+//!   `RsCode::new(255, 223)` intra-emblem (corrects up to 16 byte errors,
+//!   16/223 ≈ 7.2% of user data, matching §3.1 of the paper) and
+//!   `RsCode::new(20, 17)` across emblem groups (any 3 missing emblems of
+//!   20 are recovered by erasure decoding).
+//! * [`crc`] — CRC-16/CCITT and CRC-32 (IEEE) used for header and archive
+//!   integrity checks.
+//!
+//! Everything is implemented from scratch (no external coding crates), is
+//! deterministic, and allocates only at codec construction time.
+
+pub mod crc;
+pub mod gf;
+pub mod poly;
+pub mod rs;
+
+pub use gf::Gf256;
+pub use rs::{RsCode, RsError};

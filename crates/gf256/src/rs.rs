@@ -1,0 +1,451 @@
+//! Systematic Reed–Solomon codec with errors-and-erasures decoding.
+//!
+//! The code is defined over GF(2^8) with generator roots `alpha^0 ..
+//! alpha^(n-k-1)` (first consecutive root = 0). Codewords are laid out
+//! `[message | parity]`; byte `j` carries the coefficient of
+//! `x^(n-1-j)`, which makes shortened codes (n < 255) work transparently:
+//! a shortened codeword is the tail of a full-length codeword whose leading
+//! message bytes are zero.
+//!
+//! Decoding uses Berlekamp–Massey (with Blahut's erasure initialisation),
+//! Chien search and Forney's formula, so both the paper's intra-emblem
+//! RS(255,223) code (16 unknown byte errors per block) and the inter-emblem
+//! RS(20,17) code (3 known-missing emblems per group of 20) are served by
+//! the same implementation.
+
+use crate::gf::{Gf256, GROUP_ORDER};
+use crate::poly;
+
+/// Decoding failure reasons.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RsError {
+    /// More errors/erasures than the code can correct, or an inconsistent
+    /// received word (locator degree does not match its root count, or the
+    /// corrected word still has non-zero syndromes).
+    TooManyErrors,
+    /// An erasure index lies outside the codeword.
+    BadErasure { index: usize, codeword_len: usize },
+    /// Input slice length does not match the code parameters.
+    LengthMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for RsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsError::TooManyErrors => write!(f, "uncorrectable codeword"),
+            RsError::BadErasure { index, codeword_len } => {
+                write!(f, "erasure index {index} out of range for codeword of {codeword_len}")
+            }
+            RsError::LengthMismatch { expected, got } => {
+                write!(f, "expected slice of length {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsError {}
+
+/// A systematic RS(n, k) code over GF(2^8).
+///
+/// ```
+/// use ule_gf256::RsCode;
+/// let rs = RsCode::new(255, 223); // MOCoder's inner code
+/// let msg: Vec<u8> = (0..223).map(|i| (i * 7) as u8).collect();
+/// let mut cw = rs.encode(&msg);
+/// for i in [0, 50, 100, 200] { cw[i] ^= 0xA5; } // 4 byte errors
+/// let fixed = rs.decode(&mut cw, &[]).unwrap();
+/// assert_eq!(fixed, 4);
+/// assert_eq!(&cw[..223], &msg[..]);
+/// ```
+#[derive(Clone)]
+pub struct RsCode {
+    gf: Gf256,
+    n: usize,
+    k: usize,
+    /// Generator polynomial, ascending coefficients, degree n-k (monic).
+    gen: Vec<u8>,
+}
+
+impl RsCode {
+    /// Construct an RS(n, k) code. `n` ≤ 255, `0 < k < n`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n <= GROUP_ORDER, "n must be <= 255");
+        assert!(k > 0 && k < n, "need 0 < k < n");
+        let gf = Gf256::new();
+        // g(x) = prod_{i=0}^{n-k-1} (x + alpha^i)
+        let mut gen = vec![1u8];
+        for i in 0..(n - k) {
+            gen = poly::mul(&gf, &gen, &[gf.exp(i), 1]);
+        }
+        Self { gf, n, k, gen }
+    }
+
+    /// Codeword length.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Message length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of parity bytes (2t).
+    pub fn parity_len(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Maximum number of correctable unknown errors (t).
+    pub fn max_errors(&self) -> usize {
+        (self.n - self.k) / 2
+    }
+
+    /// Borrow the field (used by callers embedding GF tables elsewhere).
+    pub fn field(&self) -> &Gf256 {
+        &self.gf
+    }
+
+    /// Encode `msg` (length k) into a fresh n-byte codeword `[msg | parity]`.
+    pub fn encode(&self, msg: &[u8]) -> Vec<u8> {
+        assert_eq!(msg.len(), self.k, "message must be exactly k bytes");
+        let mut cw = vec![0u8; self.n];
+        cw[..self.k].copy_from_slice(msg);
+        self.fill_parity(&mut cw);
+        cw
+    }
+
+    /// Compute parity over `cw[..k]` and write it into `cw[k..]`.
+    pub fn fill_parity(&self, cw: &mut [u8]) {
+        assert_eq!(cw.len(), self.n);
+        let p = self.parity_len();
+        // Synthetic division of msg(x) * x^p by g(x); remainder is parity.
+        // `rem[i]` holds the coefficient of x^(p-1-i) during the division.
+        let mut rem = vec![0u8; p];
+        for j in 0..self.k {
+            let factor = cw[j] ^ rem[0];
+            rem.copy_within(1.., 0);
+            rem[p - 1] = 0;
+            if factor != 0 {
+                for (i, slot) in rem.iter_mut().enumerate() {
+                    // gen is ascending; coefficient of x^(p-1-i) is gen[p-1-i].
+                    *slot ^= self.gf.mul(factor, self.gen[p - 1 - i]);
+                }
+            }
+        }
+        cw[self.k..].copy_from_slice(&rem);
+    }
+
+    /// Syndromes S_i = c(alpha^i), i = 0..2t-1. All-zero means clean.
+    pub fn syndromes(&self, cw: &[u8]) -> Vec<u8> {
+        let p = self.parity_len();
+        let mut syn = vec![0u8; p];
+        for (i, s) in syn.iter_mut().enumerate() {
+            let x = self.gf.exp(i);
+            let mut acc = 0u8;
+            // Horner over descending powers: byte 0 has weight x^(n-1).
+            for &b in cw {
+                acc = self.gf.mul(acc, x) ^ b;
+            }
+            *s = acc;
+        }
+        syn
+    }
+
+    /// True if the codeword has no detectable errors.
+    pub fn is_clean(&self, cw: &[u8]) -> bool {
+        self.syndromes(cw).iter().all(|&s| s == 0)
+    }
+
+    /// Correct `cw` in place. `erasures` lists byte indices known to be
+    /// unreliable (their current contents are ignored). Returns the number
+    /// of corrected byte positions.
+    ///
+    /// Capacity: `2 * errors + erasures <= n - k`.
+    pub fn decode(&self, cw: &mut [u8], erasures: &[usize]) -> Result<usize, RsError> {
+        if cw.len() != self.n {
+            return Err(RsError::LengthMismatch { expected: self.n, got: cw.len() });
+        }
+        for &e in erasures {
+            if e >= self.n {
+                return Err(RsError::BadErasure { index: e, codeword_len: self.n });
+            }
+        }
+        let p = self.parity_len();
+        if erasures.len() > p {
+            return Err(RsError::TooManyErrors);
+        }
+        let syn = self.syndromes(cw);
+        if syn.iter().all(|&s| s == 0) {
+            return Ok(0);
+        }
+        let gf = &self.gf;
+
+        // Erasure locator Γ(x) = prod (1 + X_j x), X_j = alpha^(n-1-pos).
+        let mut gamma = vec![1u8];
+        for &e in erasures {
+            let xj = gf.exp(self.n - 1 - e);
+            gamma = poly::mul(gf, &gamma, &[1, xj]);
+        }
+
+        // Berlekamp–Massey with erasure initialisation (Blahut):
+        // start from Λ = B = Γ, L = e, iterate r = e .. 2t-1.
+        let e_count = erasures.len();
+        let mut lambda = gamma.clone();
+        let mut b = gamma.clone();
+        let mut l = e_count;
+        let mut m = 1usize;
+        let mut bden = 1u8;
+        for r in e_count..p {
+            // Discrepancy Δ = Σ_j Λ_j S_{r-j}.
+            let mut delta = 0u8;
+            for (j, &lj) in lambda.iter().enumerate() {
+                if j <= r {
+                    delta ^= gf.mul(lj, syn[r - j]);
+                }
+            }
+            if delta == 0 {
+                m += 1;
+            } else if 2 * l <= r + e_count {
+                let t_poly = lambda.clone();
+                lambda = self.bm_update(&lambda, &b, delta, bden, m);
+                l = r + 1 - l + e_count;
+                b = t_poly;
+                bden = delta;
+                m = 1;
+            } else {
+                lambda = self.bm_update(&lambda, &b, delta, bden, m);
+                m += 1;
+            }
+        }
+
+        let deg = poly::degree(&lambda).ok_or(RsError::TooManyErrors)?;
+        if deg > p {
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Chien search over the n valid positions.
+        let mut positions = Vec::with_capacity(deg);
+        for j in 0..self.n {
+            let weight = self.n - 1 - j;
+            // Test Λ(X^-1) where X = alpha^weight.
+            let xinv = gf.exp(GROUP_ORDER - weight % GROUP_ORDER);
+            if poly::eval(gf, &lambda, xinv) == 0 {
+                positions.push(j);
+            }
+        }
+        if positions.len() != deg {
+            return Err(RsError::TooManyErrors);
+        }
+
+        // Ω(x) = S(x)Λ(x) mod x^2t, then Forney.
+        let mut omega = poly::mul(gf, &syn, &lambda);
+        omega.truncate(p);
+        let lambda_d = poly::derivative(&lambda);
+        for &j in &positions {
+            let weight = self.n - 1 - j;
+            let x = gf.exp(weight);
+            let xinv = gf.exp(GROUP_ORDER - weight % GROUP_ORDER);
+            let num = poly::eval(gf, &omega, xinv);
+            let den = poly::eval(gf, &lambda_d, xinv);
+            if den == 0 {
+                return Err(RsError::TooManyErrors);
+            }
+            let magnitude = gf.mul(x, gf.div(num, den));
+            cw[j] ^= magnitude;
+        }
+
+        // Final consistency check: corrected word must be a codeword.
+        if !self.is_clean(cw) {
+            return Err(RsError::TooManyErrors);
+        }
+        Ok(positions.len())
+    }
+
+    /// Λ ← Λ + (Δ / b) · x^m · B
+    fn bm_update(&self, lambda: &[u8], b: &[u8], delta: u8, bden: u8, m: usize) -> Vec<u8> {
+        let gf = &self.gf;
+        let coef = gf.div(delta, bden);
+        let mut shifted = vec![0u8; m + b.len()];
+        for (i, &bi) in b.iter().enumerate() {
+            shifted[m + i] = gf.mul(coef, bi);
+        }
+        poly::add(lambda, &shifted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_msg(k: usize, seed: u8) -> Vec<u8> {
+        (0..k).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn clean_roundtrip_255_223() {
+        let rs = RsCode::new(255, 223);
+        let msg = sample_msg(223, 3);
+        let cw = rs.encode(&msg);
+        assert!(rs.is_clean(&cw));
+        assert_eq!(&cw[..223], &msg[..]);
+    }
+
+    #[test]
+    fn corrects_up_to_t_errors() {
+        let rs = RsCode::new(255, 223);
+        let msg = sample_msg(223, 9);
+        for nerr in [1usize, 2, 8, 16] {
+            let mut cw = rs.encode(&msg);
+            for e in 0..nerr {
+                cw[e * 14 + 3] ^= (e as u8) | 1;
+            }
+            let fixed = rs.decode(&mut cw, &[]).unwrap();
+            assert_eq!(fixed, nerr, "nerr={nerr}");
+            assert_eq!(&cw[..223], &msg[..]);
+        }
+    }
+
+    #[test]
+    fn rejects_t_plus_one_errors() {
+        let rs = RsCode::new(255, 223);
+        let msg = sample_msg(223, 1);
+        let mut cw = rs.encode(&msg);
+        for e in 0..17 {
+            cw[e * 9 + 2] ^= 0x5A;
+        }
+        // Either detected as uncorrectable, or (rarely for RS) miscorrected;
+        // with 17 errors > t the decoder must not claim success with the
+        // original message intact.
+        match rs.decode(&mut cw, &[]) {
+            Err(RsError::TooManyErrors) => {}
+            Ok(_) => assert_ne!(&cw[..223], &msg[..], "cannot genuinely fix t+1 errors"),
+            Err(e) => panic!("unexpected error {e:?}"),
+        }
+    }
+
+    #[test]
+    fn corrects_2t_erasures() {
+        let rs = RsCode::new(255, 223);
+        let msg = sample_msg(223, 77);
+        let mut cw = rs.encode(&msg);
+        let erasures: Vec<usize> = (0..32).map(|i| i * 7 + 1).collect();
+        for &e in &erasures {
+            cw[e] = 0xEE;
+        }
+        let fixed = rs.decode(&mut cw, &erasures).unwrap();
+        assert!(fixed <= 32);
+        assert_eq!(&cw[..223], &msg[..]);
+    }
+
+    #[test]
+    fn mixed_errors_and_erasures_within_budget() {
+        // 2*errors + erasures <= 32 : use 10 errors + 12 erasures.
+        let rs = RsCode::new(255, 223);
+        let msg = sample_msg(223, 42);
+        let mut cw = rs.encode(&msg);
+        let erasures: Vec<usize> = (0..12).map(|i| i * 3).collect();
+        for &e in &erasures {
+            cw[e] = !cw[e];
+        }
+        for i in 0..10 {
+            cw[100 + i * 5] ^= 0x80 | i as u8 | 1;
+        }
+        rs.decode(&mut cw, &erasures).unwrap();
+        assert_eq!(&cw[..223], &msg[..]);
+    }
+
+    #[test]
+    fn outer_code_20_17_restores_three_missing() {
+        // The paper's inter-emblem configuration: 17 data + 3 parity,
+        // any 3 whole emblems may vanish.
+        let rs = RsCode::new(20, 17);
+        let msg = sample_msg(17, 5);
+        let mut cw = rs.encode(&msg);
+        let gone = [2usize, 9, 19];
+        for &g in &gone {
+            cw[g] = 0;
+        }
+        rs.decode(&mut cw, &gone).unwrap();
+        assert_eq!(&cw[..17], &msg[..]);
+    }
+
+    #[test]
+    fn outer_code_rejects_four_missing() {
+        let rs = RsCode::new(20, 17);
+        let msg = sample_msg(17, 5);
+        let mut cw = rs.encode(&msg);
+        let gone = [2usize, 9, 13, 19];
+        for &g in &gone {
+            cw[g] = 1;
+        }
+        assert!(rs.decode(&mut cw, &gone).is_err());
+    }
+
+    #[test]
+    fn erasure_value_is_ignored_not_trusted() {
+        let rs = RsCode::new(20, 17);
+        let msg = sample_msg(17, 8);
+        let mut cw = rs.encode(&msg);
+        // Erased byte happens to still hold the right value: must still work.
+        rs.decode(&mut cw.clone(), &[4]).unwrap();
+        cw[4] = 0xFF;
+        rs.decode(&mut cw, &[4]).unwrap();
+        assert_eq!(&cw[..17], &msg[..]);
+    }
+
+    #[test]
+    fn error_in_parity_region_is_corrected() {
+        let rs = RsCode::new(255, 223);
+        let msg = sample_msg(223, 10);
+        let mut cw = rs.encode(&msg);
+        cw[240] ^= 0x31;
+        cw[254] ^= 0x02;
+        assert_eq!(rs.decode(&mut cw, &[]).unwrap(), 2);
+        assert_eq!(&cw[..223], &msg[..]);
+    }
+
+    #[test]
+    fn shortened_code_roundtrip() {
+        let rs = RsCode::new(60, 40);
+        let msg = sample_msg(40, 21);
+        let mut cw = rs.encode(&msg);
+        for i in 0..10 {
+            cw[i * 6 + 1] ^= 0x11 + i as u8;
+        }
+        rs.decode(&mut cw, &[]).unwrap();
+        assert_eq!(&cw[..40], &msg[..]);
+    }
+
+    #[test]
+    fn decode_reports_length_mismatch() {
+        let rs = RsCode::new(20, 17);
+        let mut short = vec![0u8; 10];
+        assert!(matches!(
+            rs.decode(&mut short, &[]),
+            Err(RsError::LengthMismatch { expected: 20, got: 10 })
+        ));
+    }
+
+    #[test]
+    fn decode_reports_bad_erasure_index() {
+        let rs = RsCode::new(20, 17);
+        let mut cw = rs.encode(&sample_msg(17, 0));
+        assert!(matches!(rs.decode(&mut cw, &[25]), Err(RsError::BadErasure { .. })));
+    }
+
+    #[test]
+    fn zero_message_is_zero_codeword() {
+        let rs = RsCode::new(255, 223);
+        let cw = rs.encode(&vec![0u8; 223]);
+        assert!(cw.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn max_errors_matches_paper_ratio() {
+        let rs = RsCode::new(255, 223);
+        assert_eq!(rs.max_errors(), 16);
+        // 16 correctable bytes per 223 data bytes = 7.17% ≈ the paper's 7.2%.
+        let pct = 100.0 * rs.max_errors() as f64 / rs.k() as f64;
+        assert!((pct - 7.2).abs() < 0.1, "got {pct}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Analog media simulation (system **S10** in `DESIGN.md`).
+//!
+//! The paper evaluates Micr'Olonys on three visual analog media, each with
+//! physical write/read hardware we substitute with calibrated simulation
+//! (see `DESIGN.md` §2 for the substitution argument):
+//!
+//! * **archival paper** — A4 at 600 dpi, Canon ImageRunner class laser
+//!   print + scan (§4 "Paper archive": 26 emblems for a 1.2 MB archive,
+//!   50 KB/page);
+//! * **16 mm microfilm** — IMAGELINK 9600 class writer, 3888×5498 bitonal
+//!   frames, 1.3 GB per 66 m reel (§4 "Microfilm archive");
+//! * **35 mm cinema film** — Arrilaser 2K full-aperture write (2048×1556),
+//!   DFT Scanity 4K grayscale scan (§4 "Cinema film archive"); the paper
+//!   notes cinema scanners are "sharper, low-distortion", reflected in the
+//!   gentler degradation preset.
+//!
+//! A [`Medium`] couples an emblem geometry with frame dimensions, a
+//! degradation preset, and linear-density figures so the capacity models
+//! the paper reports (pages per archive, GB per reel) can be regenerated.
+
+use ule_emblem::EmblemGeometry;
+use ule_raster::draw::blit;
+use ule_raster::{DegradeParams, GrayImage, Scanner};
+
+/// One analog storage medium: geometry, frame format, and scan physics.
+#[derive(Clone, Debug)]
+pub struct Medium {
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// Emblem geometry used on this medium.
+    pub geometry: EmblemGeometry,
+    /// Written frame/page width in pixels.
+    pub frame_width: usize,
+    /// Written frame/page height in pixels.
+    pub frame_height: usize,
+    /// Degradation preset applied by [`Medium::scan`].
+    pub degrade: DegradeParams,
+    /// Frames per meter of medium (paper: sheets, so this models a box of
+    /// sheets per "meter of shelf" and is only meaningful for film).
+    pub frames_per_meter: f64,
+}
+
+impl Medium {
+    /// A4 paper at 600 dpi: 210×297 mm → 4960×7016 px.
+    pub fn paper_a4_600dpi() -> Self {
+        Self {
+            name: "A4 paper @600dpi",
+            geometry: EmblemGeometry::paper_a4_600dpi(),
+            frame_width: 4960,
+            frame_height: 7016,
+            degrade: DegradeParams {
+                noise_sigma: 14.0,
+                dust_per_mpx: 3.0,
+                dust_max_radius: 1.5,
+                scratches: 0,
+                scratch_width: 0.0,
+                fade_amplitude: 8.0,
+                hotspots: 0,
+                hotspot_amplitude: 0.0,
+                row_jitter: 0.4,
+                lens_k: 0.0012,
+                scan_scale: 1.0,
+            },
+            // Sheets are discrete; keep a nominal figure (200 sheets/m of
+            // archive box depth).
+            frames_per_meter: 200.0,
+        }
+    }
+
+    /// 16 mm microfilm, IMAGELINK 9600 class (bitonal 3888×5498 frames).
+    /// `frames_per_meter` is derived from the paper's stated capacity:
+    /// 1.3 GB per 66 m reel at ~44 KB of payload per frame.
+    pub fn microfilm_16mm() -> Self {
+        let geometry = EmblemGeometry::microfilm_16mm();
+        let frames_per_meter = 1.3e9 / 66.0 / geometry.payload_capacity() as f64;
+        Self {
+            name: "16mm microfilm",
+            geometry,
+            frame_width: 3888,
+            frame_height: 5498,
+            degrade: DegradeParams {
+                noise_sigma: 16.0,
+                dust_per_mpx: 6.0,
+                dust_max_radius: 2.0,
+                scratches: 1,
+                scratch_width: 1.0,
+                fade_amplitude: 14.0,
+                hotspots: 1,
+                hotspot_amplitude: 25.0,
+                row_jitter: 0.7,
+                lens_k: 0.0020,
+                // The paper's microfilm reader produced ~5000×7000 scans of
+                // 3888×5498 frames (≈1.28×).
+                scan_scale: 1.28,
+            },
+            frames_per_meter,
+        }
+    }
+
+    /// 35 mm black-and-white cinema film: 2K full-aperture frames written
+    /// by an Arrilaser-class recorder, scanned at 4K grayscale
+    /// (Scanity-class). Low-distortion per the paper's observation.
+    pub fn cinema_35mm() -> Self {
+        Self {
+            name: "35mm cinema film",
+            geometry: EmblemGeometry::cinema_2k(),
+            frame_width: 2048,
+            frame_height: 1556,
+            degrade: DegradeParams {
+                noise_sigma: 8.0,
+                dust_per_mpx: 2.0,
+                dust_max_radius: 1.5,
+                scratches: 0,
+                scratch_width: 0.0,
+                fade_amplitude: 6.0,
+                hotspots: 0,
+                hotspot_amplitude: 0.0,
+                row_jitter: 0.2,
+                lens_k: 0.0006,
+                scan_scale: 2.0, // 2K frame scanned at 4K
+            },
+            // Standard 4-perf 35 mm frame pitch: 19.05 mm.
+            frames_per_meter: 1000.0 / 19.05,
+        }
+    }
+
+    /// A miniature medium for fast tests: small emblems, small frames,
+    /// mild noise.
+    pub fn test_tiny() -> Self {
+        let geometry = EmblemGeometry::test_small();
+        Self {
+            name: "test medium",
+            geometry,
+            frame_width: geometry.image_width() + 60,
+            frame_height: geometry.image_height() + 40,
+            degrade: DegradeParams { noise_sigma: 10.0, row_jitter: 0.3, ..Default::default() },
+            frames_per_meter: 100.0,
+        }
+    }
+
+    /// Miniature medium with the one-block micro geometry: used by the
+    /// emulated-restoration tests where per-cell cost is ~10^4 VeRisc
+    /// instructions.
+    pub fn test_micro() -> Self {
+        let geometry = EmblemGeometry::test_micro();
+        Self {
+            name: "micro test medium",
+            geometry,
+            frame_width: geometry.image_width() + 60,
+            frame_height: geometry.image_height() + 40,
+            degrade: DegradeParams::pristine(),
+            frames_per_meter: 100.0,
+        }
+    }
+
+    /// Render ("print"/"film") one emblem centered on a white frame.
+    ///
+    /// # Panics
+    /// Panics if the emblem image exceeds the frame dimensions.
+    pub fn print(&self, emblem: &GrayImage) -> GrayImage {
+        assert!(
+            emblem.width() <= self.frame_width && emblem.height() <= self.frame_height,
+            "emblem {}x{} exceeds {} frame {}x{}",
+            emblem.width(),
+            emblem.height(),
+            self.name,
+            self.frame_width,
+            self.frame_height
+        );
+        let mut frame = GrayImage::new(self.frame_width, self.frame_height, 255);
+        let x = (self.frame_width - emblem.width()) / 2;
+        let y = (self.frame_height - emblem.height()) / 2;
+        blit(&mut frame, emblem, x, y);
+        frame
+    }
+
+    /// Scan one frame with this medium's degradation preset.
+    pub fn scan(&self, frame: &GrayImage, seed: u64) -> GrayImage {
+        Scanner::new(self.degrade.clone(), seed).scan(frame)
+    }
+
+    /// Scan with severities scaled by `severity` (robustness sweeps).
+    pub fn scan_with_severity(&self, frame: &GrayImage, seed: u64, severity: f64) -> GrayImage {
+        Scanner::new(self.degrade.scaled(severity), seed).scan(frame)
+    }
+
+    /// Print a whole emblem stream to frames.
+    pub fn print_all(&self, emblems: &[GrayImage]) -> Vec<GrayImage> {
+        emblems.iter().map(|e| self.print(e)).collect()
+    }
+
+    /// Scan a set of frames (seed is perturbed per frame).
+    pub fn scan_all(&self, frames: &[GrayImage], seed: u64) -> Vec<GrayImage> {
+        frames.iter().enumerate().map(|(i, f)| self.scan(f, seed ^ (i as u64 + 1))).collect()
+    }
+
+    /// Payload bytes stored per frame.
+    pub fn payload_per_frame(&self) -> usize {
+        self.geometry.payload_capacity()
+    }
+
+    /// Capacity model: bytes stored on `meters` of this medium
+    /// (data emblems only — the paper's 1.3 GB/66 m figure).
+    pub fn capacity_bytes(&self, meters: f64) -> u64 {
+        (self.frames_per_meter * meters * self.payload_per_frame() as f64) as u64
+    }
+
+    /// Frames (pages) needed for `len` payload bytes, data emblems only.
+    pub fn frames_for(&self, len: usize) -> usize {
+        self.geometry.emblems_for(len)
+    }
+
+    /// Density in payload bytes per frame/page for a `len`-byte archive —
+    /// the "50 KB per page" figure of §4.
+    pub fn density_per_frame(&self, len: usize) -> f64 {
+        len as f64 / self.frames_for(len) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ule_emblem::{decode_emblem, encode_emblem, EmblemHeader, EmblemKind};
+
+    #[test]
+    fn emblems_fit_their_media_frames() {
+        for m in [Medium::paper_a4_600dpi(), Medium::microfilm_16mm(), Medium::cinema_35mm()] {
+            assert!(m.geometry.image_width() <= m.frame_width, "{}", m.name);
+            assert!(m.geometry.image_height() <= m.frame_height, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn microfilm_reel_capacity_matches_paper() {
+        let m = Medium::microfilm_16mm();
+        let cap = m.capacity_bytes(66.0);
+        // §4: "capable of storing 1.3GB in a single 66 meter reel".
+        assert!((1.25e9..1.35e9).contains(&(cap as f64)), "cap={cap}");
+    }
+
+    #[test]
+    fn paper_page_density_near_50kb() {
+        let m = Medium::paper_a4_600dpi();
+        let density = m.density_per_frame(1_230_000);
+        assert!((44_000.0..53_000.0).contains(&density), "density={density}");
+        // And the page count is the paper's ~26.
+        let pages = m.frames_for(1_230_000);
+        assert!((25..=27).contains(&pages), "pages={pages}");
+    }
+
+    #[test]
+    fn print_centers_emblem_on_white_frame() {
+        let m = Medium::test_tiny();
+        let g = m.geometry;
+        let header = EmblemHeader::new(EmblemKind::Data, 0, 0, 4, 4);
+        let emblem = encode_emblem(&g, &header, &[1, 2, 3, 4]);
+        let frame = m.print(&emblem);
+        assert_eq!(frame.width(), m.frame_width);
+        assert_eq!(frame.get(0, 0), 255);
+        assert_eq!(frame.get(frame.width() - 1, frame.height() - 1), 255);
+    }
+
+    #[test]
+    fn tiny_medium_roundtrip_through_print_and_scan() {
+        let m = Medium::test_tiny();
+        let g = m.geometry;
+        let data: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
+        let header = EmblemHeader::new(EmblemKind::Data, 0, 0, data.len() as u32, data.len() as u32);
+        let emblem = encode_emblem(&g, &header, &data);
+        let scan = m.scan(&m.print(&emblem), 77);
+        let (h, p, _) = decode_emblem(&g, &scan).unwrap();
+        assert_eq!(h.payload_len as usize, data.len());
+        assert_eq!(p, data);
+    }
+
+    #[test]
+    fn severity_zero_scan_of_bitonal_master_is_clean() {
+        let m = Medium::test_tiny();
+        let g = m.geometry;
+        let header = EmblemHeader::new(EmblemKind::Data, 0, 0, 1, 1);
+        let emblem = encode_emblem(&g, &header, &[42]);
+        let frame = m.print(&emblem);
+        let scan = m.scan_with_severity(&frame, 1, 0.0);
+        assert_eq!(scan, frame);
+    }
+
+    #[test]
+    fn cinema_scan_doubles_resolution() {
+        let m = Medium::cinema_35mm();
+        assert_eq!(m.degrade.scan_scale, 2.0);
+        // 2048 * 2 = 4096 — the Scanity 4K scan dimension of §4.
+        assert_eq!((m.frame_width as f64 * m.degrade.scan_scale) as usize, 4096);
+    }
+
+    #[test]
+    fn frames_for_rounds_up() {
+        let m = Medium::test_tiny();
+        let cap = m.payload_per_frame();
+        assert_eq!(m.frames_for(cap + 1), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Drawing primitives for emblem rendering.
+
+use crate::image::GrayImage;
+
+/// Fill the axis-aligned rectangle `[x, x+w) × [y, y+h)` (clipped).
+pub fn fill_rect(img: &mut GrayImage, x: usize, y: usize, w: usize, h: usize, v: u8) {
+    let x1 = (x + w).min(img.width());
+    let y1 = (y + h).min(img.height());
+    for yy in y.min(img.height())..y1 {
+        for xx in x.min(img.width())..x1 {
+            img.set(xx, yy, v);
+        }
+    }
+}
+
+/// Draw a square ring (frame) of the given thickness, outer edge at
+/// `(x, y)` with outer size `size`.
+pub fn draw_ring(img: &mut GrayImage, x: usize, y: usize, size: usize, thickness: usize, v: u8) {
+    let t = thickness.min(size / 2 + 1);
+    fill_rect(img, x, y, size, t, v); // top
+    fill_rect(img, x, y + size - t, size, t, v); // bottom
+    fill_rect(img, x, y, t, size, v); // left
+    fill_rect(img, x + size - t, y, t, size, v); // right
+}
+
+/// Copy `src` into `dst` with its top-left corner at `(x, y)` (clipped).
+pub fn blit(dst: &mut GrayImage, src: &GrayImage, x: usize, y: usize) {
+    let w = src.width().min(dst.width().saturating_sub(x));
+    let h = src.height().min(dst.height().saturating_sub(y));
+    for yy in 0..h {
+        for xx in 0..w {
+            dst.set(x + xx, y + yy, src.get(xx, yy));
+        }
+    }
+}
+
+/// Extract the rectangle `[x, x+w) × [y, y+h)` as a new image (clipped;
+/// out-of-range area is filled with `fill`).
+pub fn crop(src: &GrayImage, x: usize, y: usize, w: usize, h: usize, fill: u8) -> GrayImage {
+    let mut out = GrayImage::new(w, h, fill);
+    for yy in 0..h {
+        for xx in 0..w {
+            let sx = x + xx;
+            let sy = y + yy;
+            if sx < src.width() && sy < src.height() {
+                out.set(xx, yy, src.get(sx, sy));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut img = GrayImage::new(4, 4, 255);
+        fill_rect(&mut img, 2, 2, 10, 10, 0);
+        assert_eq!(img.get(1, 1), 255);
+        assert_eq!(img.get(2, 2), 0);
+        assert_eq!(img.get(3, 3), 0);
+    }
+
+    #[test]
+    fn ring_leaves_interior() {
+        let mut img = GrayImage::new(10, 10, 255);
+        draw_ring(&mut img, 0, 0, 10, 2, 0);
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(1, 5), 0);
+        assert_eq!(img.get(9, 9), 0);
+        assert_eq!(img.get(5, 5), 255);
+    }
+
+    #[test]
+    fn blit_places_and_clips() {
+        let mut dst = GrayImage::new(4, 4, 255);
+        let src = GrayImage::new(3, 3, 7);
+        blit(&mut dst, &src, 2, 2);
+        assert_eq!(dst.get(2, 2), 7);
+        assert_eq!(dst.get(3, 3), 7);
+        assert_eq!(dst.get(1, 1), 255);
+    }
+
+    #[test]
+    fn crop_roundtrips_with_blit() {
+        let mut img = GrayImage::new(6, 6, 9);
+        fill_rect(&mut img, 2, 2, 2, 2, 100);
+        let c = crop(&img, 2, 2, 2, 2, 0);
+        assert!(c.as_bytes().iter().all(|&p| p == 100));
+    }
+
+    #[test]
+    fn crop_fills_out_of_range() {
+        let img = GrayImage::new(2, 2, 50);
+        let c = crop(&img, 1, 1, 3, 3, 7);
+        assert_eq!(c.get(0, 0), 50);
+        assert_eq!(c.get(2, 2), 7);
+    }
+}

@@ -1,0 +1,187 @@
+//! PGM (P5) and PBM (P4) encode/decode.
+//!
+//! Every intermediate artifact of the archival pipeline (print masters,
+//! simulated scans, Figure-1 emblems) can be dumped as portable anymaps for
+//! inspection with standard tools.
+
+use crate::image::GrayImage;
+
+/// Errors from the PNM readers.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PnmError {
+    BadMagic,
+    BadHeader(String),
+    Truncated,
+}
+
+impl std::fmt::Display for PnmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PnmError::BadMagic => write!(f, "not a P4/P5 pnm file"),
+            PnmError::BadHeader(m) => write!(f, "bad pnm header: {m}"),
+            PnmError::Truncated => write!(f, "pnm pixel data truncated"),
+        }
+    }
+}
+
+impl std::error::Error for PnmError {}
+
+/// Serialize as binary PGM (P5), 255 maxval.
+pub fn encode_pgm(img: &GrayImage) -> Vec<u8> {
+    let mut out = format!("P5\n{} {}\n255\n", img.width(), img.height()).into_bytes();
+    out.extend_from_slice(img.as_bytes());
+    out
+}
+
+/// Serialize as binary PBM (P4). Pixels < 128 are written as black (1).
+pub fn encode_pbm(img: &GrayImage) -> Vec<u8> {
+    let mut out = format!("P4\n{} {}\n", img.width(), img.height()).into_bytes();
+    let row_bytes = img.width().div_ceil(8);
+    for y in 0..img.height() {
+        let mut row = vec![0u8; row_bytes];
+        for x in 0..img.width() {
+            if img.get(x, y) < 128 {
+                row[x / 8] |= 0x80 >> (x % 8);
+            }
+        }
+        out.extend_from_slice(&row);
+    }
+    out
+}
+
+/// Parse whitespace-separated header tokens, skipping `#` comments.
+fn parse_header(data: &[u8], want: usize) -> Result<(Vec<usize>, usize), PnmError> {
+    let mut vals = Vec::new();
+    let mut i = 2usize; // past magic
+    while vals.len() < want {
+        // skip whitespace and comments
+        while i < data.len() {
+            match data[i] {
+                b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+                b'#' => {
+                    while i < data.len() && data[i] != b'\n' {
+                        i += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let start = i;
+        while i < data.len() && data[i].is_ascii_digit() {
+            i += 1;
+        }
+        if start == i {
+            return Err(PnmError::BadHeader("expected integer".into()));
+        }
+        let tok = std::str::from_utf8(&data[start..i]).unwrap();
+        vals.push(tok.parse().map_err(|_| PnmError::BadHeader("integer overflow".into()))?);
+    }
+    // exactly one whitespace byte separates header from pixels
+    if i >= data.len() {
+        return Err(PnmError::Truncated);
+    }
+    Ok((vals, i + 1))
+}
+
+/// Decode a binary PGM (P5).
+pub fn decode_pgm(data: &[u8]) -> Result<GrayImage, PnmError> {
+    if data.len() < 2 || &data[..2] != b"P5" {
+        return Err(PnmError::BadMagic);
+    }
+    let (vals, pix_start) = parse_header(data, 3)?;
+    let (w, h, maxval) = (vals[0], vals[1], vals[2]);
+    if maxval != 255 {
+        return Err(PnmError::BadHeader(format!("unsupported maxval {maxval}")));
+    }
+    let need = w * h;
+    if data.len() < pix_start + need {
+        return Err(PnmError::Truncated);
+    }
+    Ok(GrayImage::from_raw(w, h, data[pix_start..pix_start + need].to_vec()))
+}
+
+/// Decode a binary PBM (P4) into a 0/255 bitonal image.
+pub fn decode_pbm(data: &[u8]) -> Result<GrayImage, PnmError> {
+    if data.len() < 2 || &data[..2] != b"P4" {
+        return Err(PnmError::BadMagic);
+    }
+    let (vals, pix_start) = parse_header(data, 2)?;
+    let (w, h) = (vals[0], vals[1]);
+    let row_bytes = w.div_ceil(8);
+    if data.len() < pix_start + row_bytes * h {
+        return Err(PnmError::Truncated);
+    }
+    let mut img = GrayImage::new(w, h, 255);
+    for y in 0..h {
+        let row = &data[pix_start + y * row_bytes..pix_start + (y + 1) * row_bytes];
+        for x in 0..w {
+            if row[x / 8] & (0x80 >> (x % 8)) != 0 {
+                img.set(x, y, 0);
+            }
+        }
+    }
+    Ok(img)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(w: usize, h: usize) -> GrayImage {
+        let mut img = GrayImage::new(w, h, 255);
+        for y in 0..h {
+            for x in 0..w {
+                if (x + y) % 2 == 0 {
+                    img.set(x, y, 0);
+                }
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let mut img = GrayImage::new(13, 7, 0);
+        for (i, p) in img.as_bytes_mut().iter_mut().enumerate() {
+            *p = (i * 3 % 256) as u8;
+        }
+        let enc = encode_pgm(&img);
+        assert_eq!(decode_pgm(&enc).unwrap(), img);
+    }
+
+    #[test]
+    fn pbm_roundtrip_odd_width() {
+        // Width 13 is not a multiple of 8: exercises row padding.
+        let img = checker(13, 5);
+        let enc = encode_pbm(&img);
+        assert_eq!(decode_pbm(&enc).unwrap(), img);
+    }
+
+    #[test]
+    fn pbm_grayscale_thresholds_at_128() {
+        let img = GrayImage::from_raw(2, 1, vec![100, 200]);
+        let enc = encode_pbm(&img);
+        let back = decode_pbm(&enc).unwrap();
+        assert_eq!(back.as_bytes(), &[0, 255]);
+    }
+
+    #[test]
+    fn header_comments_are_skipped() {
+        let data = b"P5\n# produced by a scanner\n2 1\n255\n\x10\x20";
+        let img = decode_pgm(data).unwrap();
+        assert_eq!(img.as_bytes(), &[0x10, 0x20]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_pgm(b"P6\n1 1\n255\nxxx").unwrap_err(), PnmError::BadMagic);
+        assert_eq!(decode_pbm(b"P5\n1 1\n255\nx").unwrap_err(), PnmError::BadMagic);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let img = checker(8, 8);
+        let enc = encode_pgm(&img);
+        assert_eq!(decode_pgm(&enc[..enc.len() - 1]).unwrap_err(), PnmError::Truncated);
+    }
+}

@@ -1,0 +1,153 @@
+//! Parser for the pg_dump-style archive — the `db_load` end of Figure 2b.
+//!
+//! Round-trip property: `parse_dump(sql_dump(db)) == db`. The restoration
+//! experiments verify archives both byte-for-byte and semantically
+//! (re-parse, compare tables, run aggregates).
+
+use crate::gen::{Database, Table};
+
+/// Parse failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LoadError {
+    NotUtf8,
+    UnterminatedCopy(String),
+    RaggedRow { table: String, line: usize },
+    UnknownTableShape(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::NotUtf8 => write!(f, "dump is not valid UTF-8"),
+            LoadError::UnterminatedCopy(t) => write!(f, "COPY block for {t} not terminated"),
+            LoadError::RaggedRow { table, line } => {
+                write!(f, "row {line} of {table} has the wrong column count")
+            }
+            LoadError::UnknownTableShape(t) => write!(f, "cannot parse COPY header: {t}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// Leak-free interning of column names: the generator uses `&'static str`
+/// column names; the parser matches known columns back to those statics so
+/// `Database` values compare equal.
+fn intern_column(name: &str) -> Option<&'static str> {
+    const ALL: [&str; 61] = [
+        "r_regionkey", "r_name", "r_comment", "n_nationkey", "n_name", "n_regionkey", "n_comment",
+        "s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment",
+        "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment",
+        "c_comment", "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container",
+        "p_retailprice", "p_comment", "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
+        "ps_comment", "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
+        "o_orderpriority", "o_clerk", "o_shippriority", "o_comment", "l_orderkey", "l_partkey",
+        "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+        "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate",
+        "l_shipinstruct", "l_shipmode", "l_comment",
+    ];
+    ALL.iter().find(|&&c| c == name).copied()
+}
+
+fn intern_table(name: &str) -> Option<&'static str> {
+    const ALL: [&str; 8] =
+        ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"];
+    ALL.iter().find(|&&t| t == name).copied()
+}
+
+/// Parse a pg_dump-style archive back into a [`Database`].
+pub fn parse_dump(dump: &[u8]) -> Result<Database, LoadError> {
+    let text = std::str::from_utf8(dump).map_err(|_| LoadError::NotUtf8)?;
+    let mut tables = Vec::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((_, line)) = lines.next() {
+        let trimmed = line.trim_end();
+        if !(trimmed.starts_with("COPY ") && trimmed.ends_with("FROM stdin;")) {
+            continue;
+        }
+        // COPY <name> (<cols>) FROM stdin;
+        let rest = &trimmed[5..trimmed.len() - "FROM stdin;".len()];
+        let (name, cols) = rest
+            .split_once('(')
+            .ok_or_else(|| LoadError::UnknownTableShape(trimmed.to_string()))?;
+        let name = intern_table(name.trim())
+            .ok_or_else(|| LoadError::UnknownTableShape(name.trim().to_string()))?;
+        let cols_inner = cols
+            .rsplit_once(')')
+            .ok_or_else(|| LoadError::UnknownTableShape(trimmed.to_string()))?
+            .0;
+        let columns: Vec<&'static str> = cols_inner
+            .split(',')
+            .map(|c| {
+                intern_column(c.trim()).ok_or_else(|| LoadError::UnknownTableShape(c.to_string()))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut rows = Vec::new();
+        let mut terminated = false;
+        for (lno, row_line) in lines.by_ref() {
+            if row_line == "\\." {
+                terminated = true;
+                break;
+            }
+            let fields: Vec<String> = row_line.split('\t').map(str::to_owned).collect();
+            if fields.len() != columns.len() {
+                return Err(LoadError::RaggedRow { table: name.to_string(), line: lno + 1 });
+            }
+            rows.push(fields);
+        }
+        if !terminated {
+            return Err(LoadError::UnterminatedCopy(name.to_string()));
+        }
+        tables.push(Table { name, columns, rows });
+    }
+    Ok(Database { tables })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dump::sql_dump;
+    use crate::gen::Database;
+
+    #[test]
+    fn roundtrip_equality() {
+        let db = Database::generate(0.0003, 13);
+        let parsed = parse_dump(&sql_dump(&db)).unwrap();
+        assert_eq!(db, parsed);
+    }
+
+    #[test]
+    fn aggregates_survive_roundtrip() {
+        let db = Database::generate(0.0005, 21);
+        let parsed = parse_dump(&sql_dump(&db)).unwrap();
+        let a = db.table("orders").unwrap().sum_cents("o_totalprice").unwrap();
+        let b = parsed.table("orders").unwrap().sum_cents("o_totalprice").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn detects_unterminated_copy() {
+        let text = b"COPY nation (n_nationkey, n_name, n_regionkey, n_comment) FROM stdin;\n0\tALGERIA\t0\tx\n";
+        assert_eq!(parse_dump(text).unwrap_err(), LoadError::UnterminatedCopy("nation".into()));
+    }
+
+    #[test]
+    fn detects_ragged_rows() {
+        let text = b"COPY region (r_regionkey, r_name, r_comment) FROM stdin;\n0\tAFRICA\n\\.\n";
+        assert!(matches!(parse_dump(text).unwrap_err(), LoadError::RaggedRow { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_tables() {
+        let text = b"COPY mystery (a) FROM stdin;\n\\.\n";
+        assert!(matches!(parse_dump(text).unwrap_err(), LoadError::UnknownTableShape(_)));
+    }
+
+    #[test]
+    fn non_copy_text_is_ignored() {
+        let db = Database::generate(0.0002, 2);
+        let mut dump = b"-- a comment line\nSET search_path = public;\n".to_vec();
+        dump.extend(sql_dump(&db));
+        assert_eq!(parse_dump(&dump).unwrap(), db);
+    }
+}

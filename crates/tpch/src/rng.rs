@@ -1,0 +1,66 @@
+//! Deterministic RNG for dbgen-style data (independent of any host RNG so
+//! the E1 artifact is reproducible byte-for-byte across platforms).
+
+/// xorshift64* — small, fast, deterministic.
+#[derive(Clone, Debug)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed | 1 }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[lo, hi]` inclusive.
+    #[inline]
+    pub fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo + 1) as u64;
+        lo + (self.next_u64() % span) as i64
+    }
+
+    /// Pick an element of a slice.
+    #[inline]
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[(self.next_u64() % items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Xorshift::new(1);
+        let mut b = Xorshift::new(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn range_is_inclusive_and_bounded() {
+        let mut r = Xorshift::new(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let v = r.range(3, 7);
+            assert!((3..=7).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 7;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+}

@@ -1,0 +1,688 @@
+//! Macro-assembler for VeRisc.
+//!
+//! Lowers conventional macros — MOV, ADD, conditional jumps, CALL/RET,
+//! indirect loads/stores — onto the four VeRisc instructions, using the
+//! machine's three idioms:
+//!
+//! * jumps are stores to the memory-mapped PC (`mem[0]`);
+//! * conditionals derive the jump target arithmetically from the borrow
+//!   mask (`target = fall + ((label − fall) & mask)`);
+//! * indirection patches the operand word of a following instruction
+//!   (self-modifying code).
+//!
+//! The emitted image layout is `[PC, BORROW, code…, cells…]`; `finish()`
+//! resolves labels, constant pools and cell addresses, and returns the
+//! memory image plus a symbol table for host-side I/O.
+
+use crate::spec::{BORROW_ADDR, CODE_BASE, HALT_ADDR, OP_AND, OP_LD, OP_SBB, OP_ST, PC_ADDR};
+use std::collections::HashMap;
+
+/// Handle to a data cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Cell(usize);
+
+/// Handle to a code label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// A code word that may reference a not-yet-placed cell.
+#[derive(Clone, Copy, Debug)]
+enum Word {
+    Lit(u32),
+    CellAddr(Cell),
+}
+
+/// How a cell's initial value is computed at `finish()` time.
+#[derive(Clone, Copy, Debug)]
+enum CellInit {
+    Lit(u32),
+    /// Absolute code address of a label.
+    LabelAddr(Label),
+    /// `label_address − fall_address` (wrapping) — used by conditionals.
+    LabelDiff(Label, u32),
+    /// Absolute address of another cell.
+    AddrOf(Cell),
+}
+
+/// The assembled image.
+pub struct Image {
+    pub mem: Vec<u32>,
+    /// Named cell → absolute word address.
+    pub symbols: HashMap<String, u32>,
+    /// Number of code words (for reporting).
+    pub code_words: usize,
+}
+
+/// The assembler.
+pub struct Masm {
+    code: Vec<Word>,
+    labels: Vec<Option<u32>>,
+    cells: Vec<CellInit>,
+    konsts: HashMap<u32, Cell>,
+    label_cells: HashMap<usize, Cell>,
+    named: HashMap<String, Cell>,
+    zero: Cell,
+    scratch: Cell,
+    /// (first cell index, length) of an array relocated to the end of the
+    /// cell area at finish() time — used so the guest data region can be
+    /// the final region of the image and grow at restore time.
+    pinned: Option<(usize, usize)>,
+}
+
+impl Default for Masm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Masm {
+    pub fn new() -> Self {
+        let mut m = Self {
+            code: Vec::new(),
+            labels: Vec::new(),
+            cells: Vec::new(),
+            konsts: HashMap::new(),
+            label_cells: HashMap::new(),
+            named: HashMap::new(),
+            zero: Cell(usize::MAX),
+            scratch: Cell(usize::MAX),
+            pinned: None,
+        };
+        m.zero = m.konst(0);
+        m.scratch = m.cell(0);
+        m
+    }
+
+    // ---- cells & labels ----
+
+    /// Allocate a variable cell with an initial value.
+    pub fn cell(&mut self, init: u32) -> Cell {
+        self.cells.push(CellInit::Lit(init));
+        Cell(self.cells.len() - 1)
+    }
+
+    /// Deduplicated constant cell.
+    pub fn konst(&mut self, v: u32) -> Cell {
+        if let Some(&c) = self.konsts.get(&v) {
+            return c;
+        }
+        let c = self.cell(v);
+        self.konsts.insert(v, c);
+        c
+    }
+
+    /// Constant cell holding a label's absolute address.
+    pub fn konst_label(&mut self, l: Label) -> Cell {
+        if let Some(&c) = self.label_cells.get(&l.0) {
+            return c;
+        }
+        self.cells.push(CellInit::LabelAddr(l));
+        let c = Cell(self.cells.len() - 1);
+        self.label_cells.insert(l.0, c);
+        c
+    }
+
+    /// Constant cell holding another cell's absolute address.
+    pub fn konst_addr_of(&mut self, target: Cell) -> Cell {
+        self.cells.push(CellInit::AddrOf(target));
+        Cell(self.cells.len() - 1)
+    }
+
+    /// Allocate `len` contiguous cells; returns the first. `init` may be
+    /// shorter than `len` (the rest are zero).
+    pub fn array(&mut self, len: usize, init: &[u32]) -> Cell {
+        assert!(init.len() <= len);
+        let first = Cell(self.cells.len());
+        for i in 0..len {
+            self.cells.push(CellInit::Lit(init.get(i).copied().unwrap_or(0)));
+        }
+        first
+    }
+
+    /// Give a cell a host-visible name in the symbol table.
+    pub fn name(&mut self, name: &str, cell: Cell) {
+        self.named.insert(name.to_string(), cell);
+    }
+
+    /// Relocate the array starting at `first` (of `len` cells) to the very
+    /// end of the cell area when the image is finished. Only one array may
+    /// be pinned.
+    pub fn pin_tail_array(&mut self, first: Cell, len: usize) {
+        assert!(self.pinned.is_none(), "only one tail array supported");
+        self.pinned = Some((first.0, len));
+    }
+
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    pub fn bind(&mut self, l: Label) {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.code.len() as u32);
+    }
+
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Current absolute code address.
+    fn cur_addr(&self) -> u32 {
+        CODE_BASE + self.code.len() as u32
+    }
+
+    // ---- raw instructions ----
+
+    pub fn ld(&mut self, c: Cell) {
+        self.code.push(Word::Lit(OP_LD));
+        self.code.push(Word::CellAddr(c));
+    }
+    pub fn st(&mut self, c: Cell) {
+        self.code.push(Word::Lit(OP_ST));
+        self.code.push(Word::CellAddr(c));
+    }
+    pub fn sbb(&mut self, c: Cell) {
+        self.code.push(Word::Lit(OP_SBB));
+        self.code.push(Word::CellAddr(c));
+    }
+    pub fn and_(&mut self, c: Cell) {
+        self.code.push(Word::Lit(OP_AND));
+        self.code.push(Word::CellAddr(c));
+    }
+    pub fn ld_abs(&mut self, addr: u32) {
+        self.code.push(Word::Lit(OP_LD));
+        self.code.push(Word::Lit(addr));
+    }
+    pub fn st_abs(&mut self, addr: u32) {
+        self.code.push(Word::Lit(OP_ST));
+        self.code.push(Word::Lit(addr));
+    }
+    pub fn sbb_abs(&mut self, addr: u32) {
+        self.code.push(Word::Lit(OP_SBB));
+        self.code.push(Word::Lit(addr));
+    }
+
+    // ---- macros ----
+
+    /// Clear the borrow flag (R is clobbered).
+    pub fn clc(&mut self) {
+        let z = self.zero;
+        self.ld(z);
+        self.st_abs(BORROW_ADDR);
+    }
+
+    /// `dst ← src`.
+    pub fn mov(&mut self, dst: Cell, src: Cell) {
+        self.ld(src);
+        self.st(dst);
+    }
+
+    /// `dst ← imm`.
+    pub fn movi(&mut self, dst: Cell, imm: u32) {
+        let k = self.konst(imm);
+        self.mov(dst, k);
+    }
+
+    /// `dst ← a − b` (borrow flag afterwards = a < b).
+    pub fn sub(&mut self, dst: Cell, a: Cell, b: Cell) {
+        self.clc();
+        self.ld(a);
+        self.sbb(b);
+        self.st(dst);
+    }
+
+    /// `dst ← a − imm` (borrow flag afterwards = a < imm).
+    pub fn subi(&mut self, dst: Cell, a: Cell, imm: u32) {
+        let k = self.konst(imm);
+        self.sub(dst, a, k);
+    }
+
+    /// `dst ← a + b` (mod 2^32, borrow left clear).
+    pub fn add(&mut self, dst: Cell, a: Cell, b: Cell) {
+        // -b into scratch, then a - (-b).
+        let z = self.zero;
+        let t = self.scratch;
+        self.clc();
+        self.ld(z);
+        self.sbb(b);
+        self.st(t);
+        self.clc();
+        self.ld(a);
+        self.sbb(t);
+        self.st(dst);
+    }
+
+    /// `dst ← a + imm`.
+    pub fn addi(&mut self, dst: Cell, a: Cell, imm: u32) {
+        // a - (-imm): one clc + sbb with a negative constant.
+        let k = self.konst(imm.wrapping_neg());
+        self.clc();
+        self.ld(a);
+        self.sbb(k);
+        self.st(dst);
+    }
+
+    /// `dst ← a & b`.
+    pub fn band(&mut self, dst: Cell, a: Cell, b: Cell) {
+        self.ld(a);
+        self.and_(b);
+        self.st(dst);
+    }
+
+    /// `dst ← bitwise NOT a` (= 0xFFFFFFFF − a, no borrow possible).
+    pub fn bnot(&mut self, dst: Cell, a: Cell) {
+        let ones = self.konst(u32::MAX);
+        self.clc();
+        self.ld(ones);
+        self.sbb(a);
+        self.st(dst);
+    }
+
+    /// Unconditional jump.
+    pub fn jmp(&mut self, l: Label) {
+        let k = self.konst_label(l);
+        self.ld(k);
+        self.st_abs(PC_ADDR);
+    }
+
+    /// Halt the machine.
+    pub fn halt(&mut self) {
+        let k = self.konst(HALT_ADDR);
+        self.ld(k);
+        self.st_abs(PC_ADDR);
+    }
+
+    /// Jump if the borrow flag is set. Emits a fixed 13-instruction
+    /// sequence computing `target = fall + ((label − fall) & mask)`.
+    pub fn jc(&mut self, l: Label) {
+        const SEQ_WORDS: u32 = 26;
+        let fall = self.cur_addr() + SEQ_WORDS;
+        // diff cell: label − fall, resolved at finish time.
+        self.cells.push(CellInit::LabelDiff(l, fall));
+        let diff = Cell(self.cells.len() - 1);
+        let k_fall = self.konst(fall);
+        let t = self.scratch;
+        let start = self.code.len();
+        self.ld_abs(BORROW_ADDR); // R = mask
+        self.and_(diff); // R = diff & mask
+        self.st(t);
+        self.clc();
+        let z = self.zero;
+        self.ld(z);
+        self.sbb(t);
+        self.st(t); // t = −(diff & mask)
+        self.clc();
+        self.ld(k_fall);
+        self.sbb(t); // R = fall + (diff & mask)
+        self.st_abs(PC_ADDR);
+        debug_assert_eq!(self.code.len() - start, SEQ_WORDS as usize);
+    }
+
+    /// Jump if the borrow flag is clear.
+    pub fn jnc(&mut self, l: Label) {
+        let skip = self.label();
+        self.jc(skip);
+        self.jmp(l);
+        self.bind(skip);
+    }
+
+    /// Jump if `cell == 0` (R clobbered, borrow clobbered).
+    pub fn jz_cell(&mut self, c: Cell, l: Label) {
+        let one = self.konst(1);
+        self.clc();
+        self.ld(c);
+        self.sbb(one); // borrow iff c == 0
+        self.jc(l);
+    }
+
+    /// Jump if `cell != 0`.
+    pub fn jnz_cell(&mut self, c: Cell, l: Label) {
+        let one = self.konst(1);
+        self.clc();
+        self.ld(c);
+        self.sbb(one);
+        self.jnc(l);
+    }
+
+    /// Jump if `a < b` (unsigned).
+    pub fn jlt(&mut self, a: Cell, b: Cell, l: Label) {
+        self.clc();
+        self.ld(a);
+        self.sbb(b);
+        self.jc(l);
+    }
+
+    /// Jump if `a >= b` (unsigned).
+    pub fn jge(&mut self, a: Cell, b: Cell, l: Label) {
+        self.clc();
+        self.ld(a);
+        self.sbb(b);
+        self.jnc(l);
+    }
+
+    /// Jump if `a == b`.
+    pub fn jeq(&mut self, a: Cell, b: Cell, l: Label) {
+        let t2 = self.cell(0);
+        self.sub(t2, a, b);
+        self.jz_cell(t2, l);
+    }
+
+    /// Jump if `a != b`.
+    pub fn jne(&mut self, a: Cell, b: Cell, l: Label) {
+        let t2 = self.cell(0);
+        self.sub(t2, a, b);
+        self.jnz_cell(t2, l);
+    }
+
+    /// Call: stores the return address in `link`, then jumps. Pair with
+    /// [`Masm::ret`]. (No stack — the generated emulator uses one link
+    /// cell per subroutine, which suffices without recursion.)
+    pub fn call(&mut self, l: Label, link: Cell) {
+        const SEQ_WORDS: u32 = 14;
+        let k_off = self.konst(8u32.wrapping_neg()); // R += 8
+        let start = self.code.len();
+        // clc first — it clobbers R, so the PC read must come after.
+        self.clc();
+        self.ld_abs(PC_ADDR); // R = seq_start + 6
+        self.sbb(k_off); // R = seq_start + 14 = return address
+        self.st(link);
+        // jmp l
+        let k = self.konst_label(l);
+        self.ld(k);
+        self.st_abs(PC_ADDR);
+        debug_assert_eq!(self.code.len() - start, SEQ_WORDS as usize);
+    }
+
+    /// Return through a link cell.
+    pub fn ret(&mut self, link: Cell) {
+        self.ld(link);
+        self.st_abs(PC_ADDR);
+    }
+
+    /// `R ← mem[mem[ptr]]` (indirect load via operand patching).
+    pub fn ld_ind(&mut self, ptr: Cell) {
+        // Patch target: the operand of the LD two instructions below.
+        let patch = self.cur_addr() + 5;
+        self.ld(ptr);
+        self.st_abs(patch);
+        self.ld_abs(0); // operand rewritten at run time
+    }
+
+    /// `mem[mem[ptr]] ← value_cell` (indirect store via operand patching).
+    pub fn st_ind(&mut self, ptr: Cell, value: Cell) {
+        let patch = self.cur_addr() + 7;
+        self.ld(ptr);
+        self.st_abs(patch);
+        self.ld(value);
+        self.st_abs(0); // operand rewritten at run time
+    }
+
+    // ---- finish ----
+
+    /// Resolve everything and emit the memory image, with `extra_zeros`
+    /// additional cells appended (host scratch).
+    pub fn finish(self, extra_zeros: usize) -> Image {
+        let code_words = self.code.len();
+        let cell_base = CODE_BASE as usize + code_words;
+        let resolve_label = |l: &Label| -> u32 {
+            CODE_BASE + self.labels[l.0].expect("unbound label")
+        };
+        let total_cells = self.cells.len();
+        let pinned = self.pinned;
+        let cell_addr = move |c: &Cell| -> u32 {
+            let idx = match pinned {
+                Some((p0, plen)) => {
+                    if c.0 >= p0 && c.0 < p0 + plen {
+                        total_cells - plen + (c.0 - p0)
+                    } else if c.0 < p0 {
+                        c.0
+                    } else {
+                        c.0 - plen
+                    }
+                }
+                None => c.0,
+            };
+            (cell_base + idx) as u32
+        };
+        let mut mem = vec![0u32; cell_base + self.cells.len() + extra_zeros];
+        mem[PC_ADDR as usize] = CODE_BASE;
+        for (i, w) in self.code.iter().enumerate() {
+            mem[CODE_BASE as usize + i] = match w {
+                Word::Lit(v) => *v,
+                Word::CellAddr(c) => cell_addr(c),
+            };
+        }
+        for (i, init) in self.cells.iter().enumerate() {
+            let at = cell_addr(&Cell(i)) as usize;
+            mem[at] = match init {
+                CellInit::Lit(v) => *v,
+                CellInit::LabelAddr(l) => resolve_label(l),
+                CellInit::LabelDiff(l, fall) => resolve_label(l).wrapping_sub(*fall),
+                CellInit::AddrOf(c) => cell_addr(c),
+            };
+        }
+        let symbols =
+            self.named.iter().map(|(n, c)| (n.clone(), cell_addr(c))).collect::<HashMap<_, _>>();
+        Image { mem, symbols, code_words }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{Engine, EngineKind};
+
+    fn run(image: Image, max_steps: u64) -> Engine {
+        let mut e = Engine::new(EngineKind::MatchBased, image.mem);
+        e.run(max_steps).unwrap();
+        assert!(e.halted());
+        e
+    }
+
+    fn run_all_engines(image: &Image, max_steps: u64) -> Vec<Vec<u32>> {
+        EngineKind::ALL
+            .iter()
+            .map(|&k| {
+                let mut e = Engine::new(k, image.mem.clone());
+                e.run(max_steps).unwrap();
+                e.mem
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mov_add_sub() {
+        let mut m = Masm::new();
+        let a = m.cell(100);
+        let b = m.cell(42);
+        let sum = m.cell(0);
+        let diff = m.cell(0);
+        m.name("sum", sum);
+        m.name("diff", diff);
+        m.add(sum, a, b);
+        m.sub(diff, a, b);
+        m.halt();
+        let img = m.finish(0);
+        let e = run(img, 1000);
+        // cells are after code; find via recomputation: easier to re-finish
+        // with names. Rebuild to read symbols:
+        let mut m2 = Masm::new();
+        let a2 = m2.cell(100);
+        let b2 = m2.cell(42);
+        let sum2 = m2.cell(0);
+        let diff2 = m2.cell(0);
+        m2.name("sum", sum2);
+        m2.name("diff", diff2);
+        m2.add(sum2, a2, b2);
+        m2.sub(diff2, a2, b2);
+        m2.halt();
+        let img2 = m2.finish(0);
+        assert_eq!(e.mem[img2.symbols["sum"] as usize], 142);
+        assert_eq!(e.mem[img2.symbols["diff"] as usize], 58);
+    }
+
+    #[test]
+    fn addi_and_wrapping() {
+        let mut m = Masm::new();
+        let x = m.cell(u32::MAX);
+        m.name("x", x);
+        m.addi(x, x, 2); // wraps to 1
+        m.halt();
+        let img = m.finish(0);
+        let syms = img.symbols.clone();
+        let e = run(img, 1000);
+        assert_eq!(e.mem[syms["x"] as usize], 1);
+    }
+
+    #[test]
+    fn conditional_jumps_both_ways() {
+        let mut m = Masm::new();
+        let small = m.cell(3);
+        let big = m.cell(10);
+        let out = m.cell(0);
+        m.name("out", out);
+        let was_less = m.label();
+        let end = m.label();
+        m.jlt(small, big, was_less);
+        m.movi(out, 111); // must be skipped
+        m.jmp(end);
+        m.bind(was_less);
+        m.movi(out, 222);
+        m.bind(end);
+        m.halt();
+        let img = m.finish(0);
+        let syms = img.symbols.clone();
+        let e = run(img, 1000);
+        assert_eq!(e.mem[syms["out"] as usize], 222);
+    }
+
+    #[test]
+    fn jge_takes_on_equal() {
+        let mut m = Masm::new();
+        let a = m.cell(7);
+        let b = m.cell(7);
+        let out = m.cell(0);
+        m.name("out", out);
+        let ge = m.label();
+        m.jge(a, b, ge);
+        m.movi(out, 1);
+        m.halt();
+        m.bind(ge);
+        m.movi(out, 2);
+        m.halt();
+        let img = m.finish(0);
+        let syms = img.symbols.clone();
+        let e = run(img, 1000);
+        assert_eq!(e.mem[syms["out"] as usize], 2);
+    }
+
+    #[test]
+    fn loop_sums_numbers() {
+        // sum = Σ 1..=50 on all three engines.
+        let mut m = Masm::new();
+        let i = m.cell(1);
+        let limit = m.cell(50);
+        let sum = m.cell(0);
+        m.name("sum", sum);
+        let top = m.here();
+        m.add(sum, sum, i);
+        m.addi(i, i, 1);
+        let done = m.label();
+        m.jlt(limit, i, done); // limit < i → done
+        m.jmp(top);
+        m.bind(done);
+        m.halt();
+        let img = m.finish(0);
+        let syms = img.symbols.clone();
+        for mem in run_all_engines(&img, 100_000) {
+            assert_eq!(mem[syms["sum"] as usize], 1275);
+        }
+    }
+
+    #[test]
+    fn call_and_ret() {
+        let mut m = Masm::new();
+        let link = m.cell(0);
+        let out = m.cell(0);
+        m.name("out", out);
+        let sub = m.label();
+        m.call(sub, link);
+        m.addi(out, out, 100); // after return
+        m.halt();
+        m.bind(sub);
+        m.movi(out, 5);
+        m.ret(link);
+        let img = m.finish(0);
+        let syms = img.symbols.clone();
+        let e = run(img, 1000);
+        assert_eq!(e.mem[syms["out"] as usize], 105);
+    }
+
+    #[test]
+    fn indirect_load_and_store() {
+        let mut m = Masm::new();
+        let table = m.array(4, &[10, 20, 30, 40]);
+        let idx = m.cell(2);
+        let ptr = m.cell(0);
+        let out = m.cell(0);
+        let val = m.cell(77);
+        m.name("out", out);
+        m.name("table", table);
+        // ptr = &table + idx; out = *ptr
+        let k_table = m.konst_addr_of(table);
+        m.add(ptr, k_table, idx);
+        m.ld_ind(ptr);
+        m.st(out);
+        // *ptr(idx 3) = 77
+        m.addi(ptr, ptr, 1);
+        m.st_ind(ptr, val);
+        m.halt();
+        let img = m.finish(0);
+        let syms = img.symbols.clone();
+        let e = run(img, 1000);
+        assert_eq!(e.mem[syms["out"] as usize], 30);
+        assert_eq!(e.mem[syms["table"] as usize + 3], 77);
+    }
+
+    #[test]
+    fn bnot_and_band() {
+        let mut m = Masm::new();
+        let a = m.cell(0x0F0F_0F0F);
+        let b = m.cell(0x00FF_00FF);
+        let na = m.cell(0);
+        let ab = m.cell(0);
+        m.name("na", na);
+        m.name("ab", ab);
+        m.bnot(na, a);
+        m.band(ab, a, b);
+        m.halt();
+        let img = m.finish(0);
+        let syms = img.symbols.clone();
+        let e = run(img, 1000);
+        assert_eq!(e.mem[syms["na"] as usize], 0xF0F0_F0F0);
+        assert_eq!(e.mem[syms["ab"] as usize], 0x000F_000F);
+    }
+
+    #[test]
+    fn all_engines_agree_on_macro_program() {
+        let mut m = Masm::new();
+        let x = m.cell(1);
+        m.name("x", x);
+        let top = m.here();
+        m.add(x, x, x); // x *= 2
+        let k = m.konst(1 << 20);
+        let done = m.label();
+        m.jge(x, k, done);
+        m.jmp(top);
+        m.bind(done);
+        m.halt();
+        let img = m.finish(0);
+        let syms = img.symbols.clone();
+        let results: Vec<u32> =
+            run_all_engines(&img, 100_000).iter().map(|mem| mem[syms["x"] as usize]).collect();
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(results[0], 1 << 20);
+    }
+}

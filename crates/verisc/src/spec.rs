@@ -1,0 +1,124 @@
+//! The frozen VeRisc machine definition (paper §3.2).
+//!
+//! > "The four instructions in the VeRisc ISA are (i) LD &address …,
+//! > (ii) ST &address …, (iii) SBB &address …, and (iv) AND &address …"
+//!
+//! Control flow needs no fifth instruction: the program counter and the
+//! borrow flag are memory-mapped, so jumps are stores to address 0 and
+//! conditional execution derives jump targets arithmetically from the
+//! borrow mask.
+
+/// Memory-mapped program counter. Reading yields the address of the next
+/// instruction; writing jumps.
+pub const PC_ADDR: u32 = 0;
+/// Memory-mapped borrow flag, stored as a 0 / 0xFFFFFFFF mask. Writing any
+/// non-zero value sets the flag.
+pub const BORROW_ADDR: u32 = 1;
+/// First code address.
+pub const CODE_BASE: u32 = 2;
+/// Jumping here halts the machine.
+pub const HALT_ADDR: u32 = 0xFFFF_FFFF;
+
+/// Instruction opcodes (first word of each two-word instruction).
+pub const OP_LD: u32 = 0;
+pub const OP_ST: u32 = 1;
+pub const OP_SBB: u32 = 2;
+pub const OP_AND: u32 = 3;
+
+/// Number of instructions in the ISA — the paper's "four-ISA" processor.
+pub const OPCODE_COUNT: usize = 4;
+
+/// The plain-text algorithm description a future user implements from —
+/// the core of the Bootstrap document (§3.2: "less than 500 lines …
+/// implemented by anyone with a basic programming background").
+pub fn pseudocode() -> String {
+    let text = r#"
+VERISC EMULATOR — PLAIN-TEXT ALGORITHM (Bootstrap section 1)
+=============================================================
+
+You will build a tiny virtual computer. It has:
+  * MEM   : an array of unsigned 32-bit integers (size given below)
+  * R     : one unsigned 32-bit accumulator register, initially 0
+
+Two array entries are special:
+  * MEM[0] is the PROGRAM COUNTER. It always holds the index of the
+    next instruction. Writing to MEM[0] transfers control.
+  * MEM[1] is the BORROW FLAG, stored as a mask: 0 means "no borrow",
+    4294967295 (2^32-1) means "borrow". When any value is stored to
+    MEM[1], store 0 if it is zero and 4294967295 otherwise.
+
+An instruction is two consecutive array entries: [OP, ADDR].
+OP is one of:
+  0 = LD   : R <- MEM[ADDR]
+  1 = ST   : MEM[ADDR] <- R            (with the MEM[0]/MEM[1] rules)
+  2 = SBB  : T <- R - MEM[ADDR] - B, where B is 1 if the borrow flag
+             is set and 0 otherwise; all arithmetic modulo 2^32.
+             Set the borrow flag if and only if MEM[ADDR] + B > R.
+             Then R <- T.
+  3 = AND  : R <- R bitwise-and MEM[ADDR]
+
+THE MAIN LOOP:
+  1. Let P be MEM[0]. If P equals 4294967295, stop: the program has
+     finished.
+  2. Read OP = MEM[P] and ADDR = MEM[P+1].
+  3. Set MEM[0] to P + 2 (the next instruction) BEFORE executing, so
+     that reading MEM[0] during execution yields the next address.
+  4. Execute the instruction per the table above.
+  5. Go to step 1.
+
+NOTES FOR THE IMPLEMENTER:
+  * All arithmetic is unsigned, modulo 2^32. In languages without
+    fixed-width integers, apply "mod 4294967296" after every
+    subtraction and addition.
+  * An ST to MEM[0] performs a jump; the main loop must re-read
+    MEM[0] each iteration rather than keeping a cached counter.
+  * The program may overwrite its own instruction words (this is how
+    it implements indirect addressing). Never cache instructions.
+  * Execution starts at MEM[0] = 2.
+  * Loading the memory image: section 2 and 3 of this document list
+    the memory contents as letters. Letters A..P encode the
+    hexadecimal digits F..0 respectively (A=15, B=14, C=13, D=12,
+    E=11, F=10, G=9, H=8, I=7, J=6, K=5, L=4, M=3, N=2, O=1, P=0).
+    Every 8 letters form one 32-bit word, most significant digit
+    first. Word 0 of the image is MEM[0], word 1 is MEM[1], and so
+    on. After the listed words, extend MEM with zeros up to the size
+    written in section 2's header line.
+  * When the machine stops, the decoded output is in MEM: the result
+    region and its meaning are described in section 4 (the decoder
+    manifest).
+"#;
+    text.trim_start().to_string()
+}
+
+/// Line count of the pseudocode — checked against the paper's "less than
+/// 500 lines" claim in the E5 experiment.
+pub fn pseudocode_lines() -> usize {
+    pseudocode().lines().count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_opcodes() {
+        assert_eq!(OPCODE_COUNT, 4);
+        assert_eq!(OP_LD, 0);
+        assert_eq!(OP_AND, 3);
+    }
+
+    #[test]
+    fn pseudocode_is_well_under_500_lines() {
+        let lines = pseudocode_lines();
+        assert!(lines < 500, "pseudocode is {lines} lines");
+        assert!(lines > 20, "pseudocode suspiciously short");
+    }
+
+    #[test]
+    fn pseudocode_mentions_all_four_instructions() {
+        let text = pseudocode();
+        for op in ["LD", "ST", "SBB", "AND"] {
+            assert!(text.contains(op), "missing {op}");
+        }
+    }
+}

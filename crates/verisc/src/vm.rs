@@ -1,0 +1,545 @@
+//! Three independent VeRisc interpreter implementations.
+//!
+//! The paper's §4 portability experiment had people of diverse backgrounds
+//! implement the VeRisc emulator in JavaScript, Python, C++ and C#, all
+//! from the Bootstrap description alone. We reproduce the testable core of
+//! that claim with three *structurally different* Rust interpreters that
+//! must agree bit-for-bit on every program:
+//!
+//! * [`EngineKind::MatchBased`] — a direct `match` over the opcode;
+//! * [`EngineKind::TableDriven`] — function-pointer dispatch;
+//! * [`EngineKind::MicroCoded`] — each instruction lowered to a sequence
+//!   of micro-operations interpreted by a second-level loop.
+//!
+//! All three consume the same memory-image format defined in [`crate::spec`].
+
+use crate::spec::{BORROW_ADDR, HALT_ADDR, OP_AND, OP_LD, OP_SBB, OP_ST, PC_ADDR};
+
+/// Interpreter failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum VeriscError {
+    /// PC or operand outside memory.
+    OutOfBounds { addr: u32 },
+    /// Unknown opcode word.
+    BadOpcode { at: u32, op: u32 },
+    /// Step budget exhausted.
+    StepLimit { steps: u64 },
+}
+
+impl std::fmt::Display for VeriscError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VeriscError::OutOfBounds { addr } => write!(f, "verisc access out of bounds: {addr:#x}"),
+            VeriscError::BadOpcode { at, op } => write!(f, "bad verisc opcode {op} at {at:#x}"),
+            VeriscError::StepLimit { steps } => write!(f, "verisc step limit after {steps}"),
+        }
+    }
+}
+
+impl std::error::Error for VeriscError {}
+
+/// Which interpreter implementation to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    MatchBased,
+    TableDriven,
+    MicroCoded,
+}
+
+impl EngineKind {
+    pub const ALL: [EngineKind; 3] =
+        [EngineKind::MatchBased, EngineKind::TableDriven, EngineKind::MicroCoded];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::MatchBased => "match-based",
+            EngineKind::TableDriven => "table-driven",
+            EngineKind::MicroCoded => "micro-coded",
+        }
+    }
+}
+
+/// A VeRisc machine: memory image + accumulator.
+pub struct Engine {
+    kind: EngineKind,
+    pub mem: Vec<u32>,
+    pub acc: u32,
+    steps: u64,
+    halted: bool,
+}
+
+impl Engine {
+    /// Wrap a memory image (MEM[0] must already hold the entry PC).
+    pub fn new(kind: EngineKind, mem: Vec<u32>) -> Self {
+        assert!(mem.len() > 2, "memory too small");
+        Self { kind, mem, acc: 0, steps: 0, halted: false }
+    }
+
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Run to halt or `max_steps`; returns executed instruction count.
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, VeriscError> {
+        let start = self.steps;
+        match self.kind {
+            EngineKind::MatchBased => self.run_match(max_steps),
+            EngineKind::TableDriven => self.run_table(max_steps),
+            EngineKind::MicroCoded => self.run_micro(max_steps),
+        }?;
+        Ok(self.steps - start)
+    }
+
+    #[inline]
+    fn read(&self, addr: u32) -> Result<u32, VeriscError> {
+        self.mem.get(addr as usize).copied().ok_or(VeriscError::OutOfBounds { addr })
+    }
+
+    #[inline]
+    fn write(&mut self, addr: u32, v: u32) -> Result<(), VeriscError> {
+        if addr == BORROW_ADDR {
+            self.mem[BORROW_ADDR as usize] = if v == 0 { 0 } else { u32::MAX };
+            return Ok(());
+        }
+        match self.mem.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => {
+                if addr == HALT_ADDR {
+                    // ST to the halt sentinel only happens via PC writes,
+                    // which are handled by the fetch loop; a data store
+                    // there is a fault.
+                }
+                Err(VeriscError::OutOfBounds { addr })
+            }
+        }
+    }
+
+    /// One fetch/execute iteration shared by engine 1 and 2 (they differ in
+    /// how `exec` dispatches).
+    #[inline]
+    fn fetch(&mut self) -> Result<Option<(u32, u32)>, VeriscError> {
+        let pc = self.mem[PC_ADDR as usize];
+        if pc == HALT_ADDR {
+            self.halted = true;
+            return Ok(None);
+        }
+        let op = self.read(pc)?;
+        let addr = self.read(pc.wrapping_add(1))?;
+        self.mem[PC_ADDR as usize] = pc.wrapping_add(2);
+        Ok(Some((op, addr)))
+    }
+
+    #[inline]
+    fn borrow_bit(&self) -> u32 {
+        if self.mem[BORROW_ADDR as usize] == 0 {
+            0
+        } else {
+            1
+        }
+    }
+
+    // ---- engine 1: match-based ----
+    fn run_match(&mut self, max_steps: u64) -> Result<(), VeriscError> {
+        let budget_end = self.steps + max_steps;
+        while !self.halted {
+            if self.steps >= budget_end {
+                return Err(VeriscError::StepLimit { steps: self.steps });
+            }
+            let Some((op, addr)) = self.fetch()? else { break };
+            self.steps += 1;
+            match op {
+                OP_LD => self.acc = self.read(addr)?,
+                OP_ST => self.write(addr, self.acc)?,
+                OP_SBB => {
+                    let m = self.read(addr)?;
+                    let b = self.borrow_bit();
+                    let rhs = m as u64 + b as u64;
+                    let borrow_out = rhs > self.acc as u64;
+                    self.acc = (self.acc as u64).wrapping_sub(rhs) as u32;
+                    self.mem[BORROW_ADDR as usize] = if borrow_out { u32::MAX } else { 0 };
+                }
+                OP_AND => self.acc &= self.read(addr)?,
+                _ => {
+                    return Err(VeriscError::BadOpcode {
+                        at: self.mem[PC_ADDR as usize].wrapping_sub(2),
+                        op,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- engine 2: table-driven ----
+    fn run_table(&mut self, max_steps: u64) -> Result<(), VeriscError> {
+        type Handler = fn(&mut Engine, u32) -> Result<(), VeriscError>;
+        fn h_ld(e: &mut Engine, a: u32) -> Result<(), VeriscError> {
+            e.acc = e.read(a)?;
+            Ok(())
+        }
+        fn h_st(e: &mut Engine, a: u32) -> Result<(), VeriscError> {
+            e.write(a, e.acc)
+        }
+        fn h_sbb(e: &mut Engine, a: u32) -> Result<(), VeriscError> {
+            let m = e.read(a)?;
+            let rhs = m as u64 + e.borrow_bit() as u64;
+            let borrow_out = rhs > e.acc as u64;
+            e.acc = (e.acc as u64).wrapping_sub(rhs) as u32;
+            e.mem[BORROW_ADDR as usize] = if borrow_out { u32::MAX } else { 0 };
+            Ok(())
+        }
+        fn h_and(e: &mut Engine, a: u32) -> Result<(), VeriscError> {
+            e.acc &= e.read(a)?;
+            Ok(())
+        }
+        const TABLE: [Handler; 4] = [h_ld, h_st, h_sbb, h_and];
+        let budget_end = self.steps + max_steps;
+        while !self.halted {
+            if self.steps >= budget_end {
+                return Err(VeriscError::StepLimit { steps: self.steps });
+            }
+            let Some((op, addr)) = self.fetch()? else { break };
+            self.steps += 1;
+            let handler = TABLE.get(op as usize).ok_or(VeriscError::BadOpcode {
+                at: self.mem[PC_ADDR as usize].wrapping_sub(2),
+                op,
+            })?;
+            handler(self, addr)?;
+        }
+        Ok(())
+    }
+
+    // ---- engine 3: micro-coded ----
+    fn run_micro(&mut self, max_steps: u64) -> Result<(), VeriscError> {
+        /// Micro-operations of the third implementation. The instruction
+        /// set is re-expressed as tiny dataflow programs over two latches.
+        #[derive(Clone, Copy)]
+        enum Uop {
+            /// latch_a ← MEM[addr]
+            LoadA,
+            /// latch_a ← ACC
+            ReadAcc,
+            /// ACC ← latch_a
+            WriteAcc,
+            /// MEM[addr] ← latch_a
+            Store,
+            /// latch_a ← ACC − latch_a − borrow; update borrow
+            SubBorrow,
+            /// latch_a ← ACC & latch_a
+            BitAnd,
+        }
+        const U_LD: &[Uop] = &[Uop::LoadA, Uop::WriteAcc];
+        const U_ST: &[Uop] = &[Uop::ReadAcc, Uop::Store];
+        const U_SBB: &[Uop] = &[Uop::LoadA, Uop::SubBorrow, Uop::WriteAcc];
+        const U_AND: &[Uop] = &[Uop::LoadA, Uop::BitAnd, Uop::WriteAcc];
+        let budget_end = self.steps + max_steps;
+        while !self.halted {
+            if self.steps >= budget_end {
+                return Err(VeriscError::StepLimit { steps: self.steps });
+            }
+            let Some((op, addr)) = self.fetch()? else { break };
+            self.steps += 1;
+            let prog: &[Uop] = match op {
+                OP_LD => U_LD,
+                OP_ST => U_ST,
+                OP_SBB => U_SBB,
+                OP_AND => U_AND,
+                _ => {
+                    return Err(VeriscError::BadOpcode {
+                        at: self.mem[PC_ADDR as usize].wrapping_sub(2),
+                        op,
+                    })
+                }
+            };
+            let mut latch: u32 = 0;
+            for u in prog {
+                match u {
+                    Uop::LoadA => latch = self.read(addr)?,
+                    Uop::ReadAcc => latch = self.acc,
+                    Uop::WriteAcc => self.acc = latch,
+                    Uop::Store => self.write(addr, latch)?,
+                    Uop::SubBorrow => {
+                        let rhs = latch as u64 + self.borrow_bit() as u64;
+                        let borrow_out = rhs > self.acc as u64;
+                        latch = (self.acc as u64).wrapping_sub(rhs) as u32;
+                        self.mem[BORROW_ADDR as usize] = if borrow_out { u32::MAX } else { 0 };
+                    }
+                    Uop::BitAnd => latch &= self.acc,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CODE_BASE;
+
+    /// Build a raw image: code words at CODE_BASE, PC pointing there.
+    fn image(code: &[u32], extra_cells: usize) -> Vec<u32> {
+        let mut mem = vec![0u32; 2 + code.len() + extra_cells];
+        mem[0] = CODE_BASE;
+        mem[2..2 + code.len()].copy_from_slice(code);
+        mem
+    }
+
+    /// `HALT` = LD from a cell holding 0xFFFFFFFF, ST to PC.
+    fn halt_via(cell: u32) -> Vec<u32> {
+        vec![OP_LD, cell, OP_ST, PC_ADDR]
+    }
+
+    #[test]
+    fn ld_st_roundtrip_on_all_engines() {
+        // code = 4 instrs (8 words at 2..10); cells from 10.
+        let src = 10;
+        let halt_cell = 11;
+        let dst = 12;
+        let mut code = vec![OP_LD, src, OP_ST, dst];
+        code.extend(halt_via(halt_cell));
+        for kind in EngineKind::ALL {
+            let mut mem = image(&code, 3);
+            mem[src as usize] = 1234;
+            mem[halt_cell as usize] = HALT_ADDR;
+            let mut e = Engine::new(kind, mem);
+            e.run(100).unwrap();
+            assert!(e.halted(), "{kind:?}");
+            assert_eq!(e.mem[dst as usize], 1234, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sbb_computes_subtraction_and_borrow() {
+        // R = m[a]; R -= m[b]; store to diff; store borrow mask to out.
+        // layout: code(7 instrs = 14 words) then cells at 16..
+        let a = 16;
+        let b = 17;
+        let diff = 18;
+        let borrow_out = 19;
+        let halt_cell = 20;
+        let code = vec![
+            OP_LD, a, OP_SBB, b, OP_ST, diff, OP_LD, BORROW_ADDR, OP_ST, borrow_out, OP_LD,
+            halt_cell, OP_ST, PC_ADDR,
+        ];
+        for kind in EngineKind::ALL {
+            let mut mem = image(&code, 5);
+            mem[a as usize] = 10;
+            mem[b as usize] = 3;
+            mem[halt_cell as usize] = HALT_ADDR;
+            let mut e = Engine::new(kind, mem);
+            e.run(100).unwrap();
+            assert_eq!(e.mem[diff as usize], 7, "{kind:?}");
+            assert_eq!(e.mem[borrow_out as usize], 0, "{kind:?}");
+
+            // Now 3 - 10: borrow set, wrap-around result.
+            let mut mem = image(&code, 5);
+            mem[a as usize] = 3;
+            mem[b as usize] = 10;
+            mem[halt_cell as usize] = HALT_ADDR;
+            let mut e = Engine::new(kind, mem);
+            e.run(100).unwrap();
+            assert_eq!(e.mem[diff as usize], 3u32.wrapping_sub(10), "{kind:?}");
+            assert_eq!(e.mem[borrow_out as usize], u32::MAX, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sbb_consumes_borrow_in() {
+        // With borrow pre-set: 10 - 3 - 1 = 6.
+        let a = 12;
+        let b = 13;
+        let diff = 14;
+        let halt_cell = 15;
+        let code = vec![OP_LD, a, OP_SBB, b, OP_ST, diff, OP_LD, halt_cell, OP_ST, PC_ADDR];
+        for kind in EngineKind::ALL {
+            let mut mem = image(&code, 4);
+            mem[1] = u32::MAX; // borrow set
+            mem[a as usize] = 10;
+            mem[b as usize] = 3;
+            mem[halt_cell as usize] = HALT_ADDR;
+            let mut e = Engine::new(kind, mem);
+            e.run(100).unwrap();
+            assert_eq!(e.mem[diff as usize], 6, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn and_masks_bits() {
+        let a = 12;
+        let b = 13;
+        let out = 14;
+        let halt_cell = 15;
+        let code = vec![OP_LD, a, OP_AND, b, OP_ST, out, OP_LD, halt_cell, OP_ST, PC_ADDR];
+        for kind in EngineKind::ALL {
+            let mut mem = image(&code, 4);
+            mem[a as usize] = 0xFF00FF00;
+            mem[b as usize] = 0x0FF00FF0;
+            mem[halt_cell as usize] = HALT_ADDR;
+            let mut e = Engine::new(kind, mem);
+            e.run(100).unwrap();
+            assert_eq!(e.mem[out as usize], 0x0F000F00, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn store_to_borrow_normalises_to_mask() {
+        let v = 10;
+        let halt_cell = 11;
+        let code = vec![OP_LD, v, OP_ST, BORROW_ADDR, OP_LD, halt_cell, OP_ST, PC_ADDR];
+        for kind in EngineKind::ALL {
+            let mut mem = image(&code, 2);
+            mem[v as usize] = 7; // any non-zero
+            mem[halt_cell as usize] = HALT_ADDR;
+            let mut e = Engine::new(kind, mem);
+            e.run(100).unwrap();
+            assert_eq!(e.mem[1], u32::MAX, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn jump_via_store_to_pc() {
+        // Jump over an instruction that would store 99.
+        // code: LD k_target; ST 0; LD k99; ST out; (target:) LD halt; ST 0
+        let k_target = 14;
+        let k99 = 15;
+        let out = 16;
+        let halt_cell = 17;
+        let code = vec![
+            OP_LD, k_target, OP_ST, PC_ADDR, // jump
+            OP_LD, k99, OP_ST, out, // skipped
+            OP_LD, halt_cell, OP_ST, PC_ADDR,
+        ];
+        for kind in EngineKind::ALL {
+            let mut mem = image(&code, 4);
+            mem[k_target as usize] = CODE_BASE + 8; // skip two instructions
+            mem[k99 as usize] = 99;
+            mem[halt_cell as usize] = HALT_ADDR;
+            let mut e = Engine::new(kind, mem);
+            e.run(100).unwrap();
+            assert_eq!(e.mem[out as usize], 0, "{kind:?}: jump did not skip");
+        }
+    }
+
+    #[test]
+    fn self_modifying_code_indirection() {
+        // Patch the operand of a later LD: the canonical VeRisc idiom.
+        let ptr = 14;
+        let out = 15;
+        let halt_cell = 16;
+        let secret = 17;
+        // code: LD ptr; ST (addr of LD operand below); LD <patched>; ST out; halt
+        let patched_operand_addr = CODE_BASE + 5; // word index of the 3rd instr's ADDR
+        let code = vec![
+            OP_LD, ptr, OP_ST, patched_operand_addr, OP_LD, 0xDEAD, OP_ST, out, OP_LD, halt_cell,
+            OP_ST, PC_ADDR,
+        ];
+        for kind in EngineKind::ALL {
+            let mut mem = image(&code, 4);
+            mem[ptr as usize] = secret;
+            mem[secret as usize] = 0x5EC2E7;
+            mem[halt_cell as usize] = HALT_ADDR;
+            let mut e = Engine::new(kind, mem);
+            e.run(100).unwrap();
+            assert_eq!(e.mem[out as usize], 0x5EC2E7, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_a_busy_program() {
+        // A loop that sums 1..=100 via SBB-based addition, then halts.
+        // acc_cell += i by computing acc - (0 - i).
+        // This exercises borrow propagation heavily.
+        let zero = 80;
+        let one = 81;
+        let i_cell = 82;
+        let limit = 83;
+        let acc = 84;
+        let neg = 85;
+        let halt_cell = 86;
+        let loop_start = CODE_BASE;
+        #[rustfmt::skip]
+        let code = vec![
+            // loop: neg = 0 - i   (clear borrow first: ST borrow with R=0)
+            OP_LD, zero, OP_ST, BORROW_ADDR,
+            OP_LD, zero, OP_SBB, i_cell, OP_ST, neg,
+            // acc = acc - neg  (clear borrow)
+            OP_LD, zero, OP_ST, BORROW_ADDR,
+            OP_LD, acc, OP_SBB, neg, OP_ST, acc,
+            // i += 1: neg = 0-1 … same trick
+            OP_LD, zero, OP_ST, BORROW_ADDR,
+            OP_LD, zero, OP_SBB, one, OP_ST, neg,
+            OP_LD, zero, OP_ST, BORROW_ADDR,
+            OP_LD, i_cell, OP_SBB, neg, OP_ST, i_cell,
+            // if i <= limit continue: borrow = (limit < i)? compute limit - i
+            OP_LD, zero, OP_ST, BORROW_ADDR,
+            OP_LD, limit, OP_SBB, i_cell,
+            // jump target = loop if no borrow else halt:
+            // t = (halt - loop) & borrow_mask; target = loop + t
+            OP_LD, BORROW_ADDR, OP_AND, /*diff*/ 87, OP_ST, /*tmp*/ 88,
+            OP_LD, zero, OP_ST, BORROW_ADDR,
+            OP_LD, zero, OP_SBB, 88, OP_ST, 88, // tmp = -t
+            OP_LD, zero, OP_ST, BORROW_ADDR,
+            OP_LD, /*k_loop*/ 89, OP_SBB, 88, OP_ST, PC_ADDR,
+        ];
+        let mut results = Vec::new();
+        for kind in EngineKind::ALL {
+            let mut mem = image(&code, 20);
+            mem[one as usize] = 1;
+            mem[i_cell as usize] = 1;
+            mem[limit as usize] = 100;
+            mem[halt_cell as usize] = HALT_ADDR;
+            mem[87] = HALT_ADDR.wrapping_sub(loop_start); // diff = halt - loop
+            mem[89] = loop_start;
+            let mut e = Engine::new(kind, mem);
+            e.run(100_000).unwrap();
+            results.push((kind, e.mem[acc as usize], e.steps()));
+        }
+        for w in results.windows(2) {
+            assert_eq!(w[0].1, w[1].1, "{:?} vs {:?}", w[0].0, w[1].0);
+            assert_eq!(w[0].2, w[1].2, "step counts differ");
+        }
+        assert_eq!(results[0].1, 5050);
+    }
+
+    #[test]
+    fn step_limit_enforced() {
+        // Tight infinite loop: jump to self.
+        let k = 6;
+        let code = vec![OP_LD, k, OP_ST, PC_ADDR];
+        for kind in EngineKind::ALL {
+            let mut mem = image(&code, 1);
+            mem[k as usize] = CODE_BASE;
+            let mut e = Engine::new(kind, mem);
+            assert!(matches!(e.run(1000), Err(VeriscError::StepLimit { .. })), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let code = vec![9, 0];
+        for kind in EngineKind::ALL {
+            let mut e = Engine::new(kind, image(&code, 0));
+            assert!(matches!(e.run(10), Err(VeriscError::BadOpcode { op: 9, .. })), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let code = vec![OP_LD, 999_999];
+        for kind in EngineKind::ALL {
+            let mut e = Engine::new(kind, image(&code, 0));
+            assert!(
+                matches!(e.run(10), Err(VeriscError::OutOfBounds { addr: 999_999 })),
+                "{kind:?}"
+            );
+        }
+    }
+}

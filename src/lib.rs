@@ -1,0 +1,14 @@
+//! Umbrella crate re-exporting the whole Micr'Olonys / ULE workspace.
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! paper-to-module map. Most users want [`micr_olonys`] (the archival
+//! pipeline) and [`ule_media`] (analog media simulation).
+pub use micr_olonys as olonys;
+pub use ule_compress as compress;
+pub use ule_dynarisc as dynarisc;
+pub use ule_emblem as emblem;
+pub use ule_gf256 as gf256;
+pub use ule_media as media;
+pub use ule_raster as raster;
+pub use ule_tpch as tpch;
+pub use ule_verisc as verisc;

@@ -1,0 +1,93 @@
+//! Cross-crate damage experiments: the §3.1 protection claims exercised
+//! through the full public API (gf256 → emblem → media).
+
+use ule::emblem::{decode_emblem, decode_stream, encode_stream, EmblemGeometry, EmblemKind};
+use ule::raster::{DegradeParams, Scanner};
+
+fn payload(n: usize, seed: u8) -> Vec<u8> {
+    (0..n).map(|i| (i as u8).wrapping_mul(97).wrapping_add(seed)).collect()
+}
+
+#[test]
+fn heavy_but_correctable_degradation() {
+    let geom = EmblemGeometry::test_small();
+    let data = payload(geom.payload_capacity(), 1);
+    let images = encode_stream(&geom, EmblemKind::Data, &data, false);
+    let params = DegradeParams {
+        noise_sigma: 35.0,
+        dust_per_mpx: 25.0,
+        dust_max_radius: 2.5,
+        fade_amplitude: 30.0,
+        row_jitter: 0.8,
+        lens_k: 0.002,
+        scratches: 1,
+        scratch_width: 1.0,
+        ..Default::default()
+    };
+    let scans: Vec<_> =
+        images.iter().enumerate().map(|(i, im)| Scanner::new(params.clone(), i as u64).scan(im)).collect();
+    let (restored, stats) = decode_stream(&geom, &scans).expect("decode");
+    assert_eq!(restored, data);
+    assert!(stats.rs_corrected > 0);
+}
+
+#[test]
+fn correction_capacity_boundary_bytes() {
+    // Exactly t=16 corrupted bytes per inner block must decode; 17 must not.
+    use ule::gf256::RsCode;
+    let rs = RsCode::new(255, 223);
+    let msg = payload(223, 9);
+    let mut cw = rs.encode(&msg);
+    for i in 0..16 {
+        cw[i * 15] ^= 0xA5;
+    }
+    assert_eq!(rs.decode(&mut cw, &[]).unwrap(), 16);
+    assert_eq!(&cw[..223], &msg[..]);
+
+    let mut cw = rs.encode(&msg);
+    for i in 0..17 {
+        cw[i * 14] ^= 0xA5;
+    }
+    assert!(rs.decode(&mut cw, &[]).is_err());
+}
+
+#[test]
+fn whole_group_loss_patterns() {
+    // Any 3-subset pattern of losses in a 20-emblem group restores.
+    let geom = EmblemGeometry::test_small();
+    let data = payload(geom.payload_capacity() * 17, 4);
+    let images = encode_stream(&geom, EmblemKind::Data, &data, true);
+    assert_eq!(images.len(), 20);
+    for lost in [[0usize, 1, 2], [17, 18, 19], [0, 9, 19], [5, 6, 18]] {
+        let kept: Vec<_> = images
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !lost.contains(i))
+            .map(|(_, im)| im.clone())
+            .collect();
+        let (restored, _) = decode_stream(&geom, &kept)
+            .unwrap_or_else(|e| panic!("lost {lost:?}: {e}"));
+        assert_eq!(restored, data, "lost {lost:?}");
+    }
+}
+
+#[test]
+fn single_emblem_headers_survive_damage_to_one_copy() {
+    // Blank the first header row: copies 2/3 must carry it.
+    use ule::emblem::geometry::{EDGE_CELLS, QUIET_CELLS};
+    let geom = EmblemGeometry::test_small();
+    let data = payload(300, 7);
+    let images = encode_stream(&geom, EmblemKind::Data, &data, false);
+    let mut img = images[0].clone();
+    let cp = geom.cell_px;
+    let origin = (QUIET_CELLS + EDGE_CELLS) * cp;
+    for y in origin + cp..origin + 2 * cp {
+        for x in origin..origin + geom.cols * cp {
+            img.set(x, y, 255); // erase header copy 1 (row 1)
+        }
+    }
+    let (h, p, stats) = decode_emblem(&geom, &img).expect("decode");
+    assert_eq!(p, data);
+    assert_eq!(h.payload_len as usize, data.len());
+    assert!(stats.header_copy_used >= 1, "should have fallen back past copy 0");
+}

@@ -1,0 +1,72 @@
+//! E5's testable core, spanning verisc ↔ core: any independent VeRisc
+//! implementation, driven only by the Bootstrap document, restores the
+//! archive identically.
+
+use ule::compress::Scheme;
+use ule::media::Medium;
+use ule::olonys::{Bootstrap, MicrOlonys};
+use ule::verisc::vm::EngineKind;
+
+fn micro() -> MicrOlonys {
+    MicrOlonys { medium: Medium::test_micro(), scheme: Scheme::Lzss, with_parity: false }
+}
+
+#[test]
+fn bootstrap_document_is_self_contained() {
+    let out = micro().archive(b"COPY t (a) FROM stdin;\n42\n\\.\n");
+    let text = out.bootstrap.to_text();
+    // The document must carry the whole stack: machine spec, letters,
+    // manifest, walkthrough.
+    for needle in [
+        "VERISC EMULATOR ALGORITHM",
+        "EMULATOR MEMORY IMAGE",
+        "RESTORE MANIFEST",
+        "RESTORATION WALKTHROUGH",
+        "SBB",
+        "geometry:",
+        "scheme:",
+    ] {
+        assert!(text.contains(needle), "bootstrap lacks {needle}");
+    }
+    // And it must parse back to exactly what was generated.
+    assert_eq!(Bootstrap::parse(&text).unwrap(), out.bootstrap);
+}
+
+#[test]
+fn pseudocode_satisfies_the_papers_size_claims() {
+    // §3.3: "The pseudocode is less than 500 lines of code that can be
+    // implemented by anyone with a basic programming background."
+    assert!(ule::verisc::spec::pseudocode_lines() < 500);
+    // §1: "writing less than 300 lines of code in any programming
+    // language" — our three Rust interpreters each stay within that.
+    // (Mechanical check lives in the report; here we check the spec text
+    // mentions every instruction.)
+    let text = ule::verisc::spec::pseudocode();
+    for op in ["LD", "ST", "SBB", "AND"] {
+        assert!(text.contains(op));
+    }
+}
+
+#[test]
+fn engines_restore_identically_from_the_printed_document() {
+    let system = micro();
+    let dump = b"COPY kv (k, v) FROM stdin;\n1\tone\n2\ttwo\n\\.\n".to_vec();
+    let out = system.archive(&dump);
+    let text = out.bootstrap.to_text();
+    let mut scans = out.system_frames.clone();
+    scans.extend(out.data_frames.iter().cloned());
+
+    let mut outputs = Vec::new();
+    for kind in EngineKind::ALL {
+        let (restored, stats) =
+            MicrOlonys::restore_emulated(&text, &scans, kind).expect("emulated restore");
+        outputs.push((kind, restored, stats.verisc_steps));
+    }
+    // Identical results AND identical instruction counts: the machine is
+    // fully specified, nothing implementation-defined leaks through.
+    for w in outputs.windows(2) {
+        assert_eq!(w[0].1, w[1].1, "{:?} vs {:?}", w[0].0, w[1].0);
+        assert_eq!(w[0].2, w[1].2, "step counts differ: {:?} vs {:?}", w[0].0, w[1].0);
+    }
+    assert_eq!(outputs[0].1, dump);
+}
