@@ -10,8 +10,13 @@ use ule_media::Medium;
 fn film(c: &mut Criterion, medium: &Medium, tag: &str) {
     let geom = medium.geometry;
     let payload = ule_bench::random_payload(geom.payload_capacity(), 3);
-    let header =
-        EmblemHeader::new(EmblemKind::Data, 0, 0, payload.len() as u32, payload.len() as u32);
+    let header = EmblemHeader::new(
+        EmblemKind::Data,
+        0,
+        0,
+        payload.len() as u32,
+        payload.len() as u32,
+    );
     let mut g = c.benchmark_group(tag);
     g.sample_size(10);
     g.throughput(Throughput::Bytes(payload.len() as u64));
@@ -19,7 +24,9 @@ fn film(c: &mut Criterion, medium: &Medium, tag: &str) {
         b.iter(|| black_box(medium.print(&encode_emblem(&geom, &header, black_box(&payload)))))
     });
     let frame = medium.print(&encode_emblem(&geom, &header, &payload));
-    g.bench_function("scan_frame", |b| b.iter(|| black_box(medium.scan(black_box(&frame), 9))));
+    g.bench_function("scan_frame", |b| {
+        b.iter(|| black_box(medium.scan(black_box(&frame), 9)))
+    });
     let scan = medium.scan(&frame, 9);
     g.bench_function("decode_scan", |b| {
         b.iter(|| {

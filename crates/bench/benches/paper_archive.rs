@@ -12,8 +12,13 @@ fn paper_archive(c: &mut Criterion) {
     let geom = EmblemGeometry::paper_a4_600dpi();
     let medium = Medium::paper_a4_600dpi();
     let payload = ule_bench::random_payload(geom.payload_capacity(), 17);
-    let header =
-        EmblemHeader::new(EmblemKind::Data, 0, 0, payload.len() as u32, payload.len() as u32);
+    let header = EmblemHeader::new(
+        EmblemKind::Data,
+        0,
+        0,
+        payload.len() as u32,
+        payload.len() as u32,
+    );
 
     let mut g = c.benchmark_group("e1_paper");
     g.sample_size(10);
@@ -42,7 +47,12 @@ fn paper_archive(c: &mut Criterion) {
     g.sample_size(10);
     g.throughput(Throughput::Bytes(dump.len() as u64));
     g.bench_function("lzss_compress(tpch dump)", |b| {
-        b.iter(|| black_box(ule_compress::compress(ule_compress::Scheme::Lzss, black_box(&dump))))
+        b.iter(|| {
+            black_box(ule_compress::compress(
+                ule_compress::Scheme::Lzss,
+                black_box(&dump),
+            ))
+        })
     });
     let arc = ule_compress::compress(ule_compress::Scheme::Lzss, &dump);
     g.bench_function("lzss_decompress(tpch dump)", |b| {

@@ -16,7 +16,10 @@ use ule_verisc::vm::EngineKind;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    println!("ULE / Micr'Olonys evaluation report ({} mode)", if full { "full" } else { "quick" });
+    println!(
+        "ULE / Micr'Olonys evaluation report ({} mode)",
+        if full { "full" } else { "quick" }
+    );
     println!("==========================================================");
     t1_isa();
     e1_paper_archive(full);
@@ -30,7 +33,10 @@ fn main() {
 }
 
 fn t1_isa() {
-    println!("\n[T1] Table 1 — DynaRisc instruction set ({} opcodes)", ule_dynarisc::isa::OPCODE_COUNT);
+    println!(
+        "\n[T1] Table 1 — DynaRisc instruction set ({} opcodes)",
+        ule_dynarisc::isa::OPCODE_COUNT
+    );
     let mut last = "";
     for (class, mnemonic, operands) in ule_dynarisc::isa::table1() {
         if class != last {
@@ -46,7 +52,11 @@ fn e1_paper_archive(full: bool) {
     println!("\n[E1] Paper archive (§4) — TPC-H SF {scale} on A4 @600dpi");
     let t0 = Instant::now();
     let dump = ule_tpch::dump_for_scale(scale, 42);
-    println!("  dump: {} bytes (paper: ~1.2 MB)          [gen {:?}]", dump.len(), t0.elapsed());
+    println!(
+        "  dump: {} bytes (paper: ~1.2 MB)          [gen {:?}]",
+        dump.len(),
+        t0.elapsed()
+    );
     let medium = Medium::paper_a4_600dpi();
     let geom = medium.geometry;
 
@@ -130,7 +140,9 @@ fn e3_cinema() {
 }
 
 fn e4_robustness() {
-    println!("\n[E4] Robustness (§3.1) — inner code: 'up to 7.2% damaged data within a single emblem'");
+    println!(
+        "\n[E4] Robustness (§3.1) — inner code: 'up to 7.2% damaged data within a single emblem'"
+    );
     let geom = EmblemGeometry::test_small();
     let (img, payload, _) = ule_bench::sample_emblem(&geom, 11);
     println!("  (theoretical per-block limit: 16/223 = 7.17%; area damage also clips");
@@ -153,11 +165,13 @@ fn e4_robustness() {
     println!("  group: {} emblems (17 data + 3 parity)", emblems.len());
     println!("  missing  restored");
     for missing in 0..=4usize {
-        let kept: Vec<_> =
-            emblems.iter().skip(missing).cloned().collect();
+        let kept: Vec<_> = emblems.iter().skip(missing).cloned().collect();
         match decode_stream(&geom, &kept) {
             Ok((p, stats)) if p == payload => {
-                println!("  {missing:>7}  yes (recovered {} whole emblems)", stats.emblems_recovered)
+                println!(
+                    "  {missing:>7}  yes (recovered {} whole emblems)",
+                    stats.emblems_recovered
+                )
             }
             Ok(_) => println!("  {missing:>7}  WRONG"),
             Err(e) => println!("  {missing:>7}  no ({e})"),
@@ -200,7 +214,10 @@ fn e6_compression(full: bool) {
     let scale = if full { 0.00115 } else { 0.0002 };
     println!("\n[E6] DBCoder schemes (§3.1 'close to LZMA') — TPC-H SF {scale} dump");
     let dump = ule_tpch::dump_for_scale(scale, 42);
-    println!("  {:<14} {:>10} {:>8} {:>12} {:>12}", "scheme", "bytes", "ratio", "compress", "decompress");
+    println!(
+        "  {:<14} {:>10} {:>8} {:>12} {:>12}",
+        "scheme", "bytes", "ratio", "compress", "decompress"
+    );
     for scheme in Scheme::ALL {
         let t0 = Instant::now();
         let arc = ule_compress::compress(scheme, &dump);
@@ -244,7 +261,10 @@ fn e7_emulation_overhead() {
     let mut emu = ule_verisc::NestedEmulator::new(&program, &mem);
     let v_steps = emu.run(EngineKind::MatchBased, 1_000_000_000_000).unwrap();
     let t_nested = t.elapsed();
-    assert_eq!(ule_dynarisc::layout::read_output(&emu.dyn_mem(), out_base), data);
+    assert_eq!(
+        ule_dynarisc::layout::read_output(&emu.dyn_mem(), out_base),
+        data
+    );
 
     println!("  tier                 time          vs native   instructions");
     println!("  native Rust          {t_native:>12?}  1.0x");

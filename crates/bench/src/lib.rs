@@ -39,8 +39,13 @@ pub fn logo_payload() -> Vec<u8> {
 /// One filled emblem image for a geometry (max payload).
 pub fn sample_emblem(geom: &EmblemGeometry, seed: u64) -> (GrayImage, Vec<u8>, EmblemHeader) {
     let payload = random_payload(geom.payload_capacity(), seed);
-    let header =
-        EmblemHeader::new(EmblemKind::Data, 0, 0, payload.len() as u32, payload.len() as u32);
+    let header = EmblemHeader::new(
+        EmblemKind::Data,
+        0,
+        0,
+        payload.len() as u32,
+        payload.len() as u32,
+    );
     (encode_emblem(geom, &header, &payload), payload, header)
 }
 

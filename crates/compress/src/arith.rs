@@ -54,7 +54,13 @@ impl Default for Encoder {
 
 impl Encoder {
     pub fn new() -> Self {
-        Self { low: 0, range: u32::MAX, cache: 0, cache_size: 1, out: Vec::new() }
+        Self {
+            low: 0,
+            range: u32::MAX,
+            cache: 0,
+            cache_size: 1,
+            out: Vec::new(),
+        }
     }
 
     fn shift_low(&mut self) {
@@ -127,7 +133,12 @@ pub struct Decoder<'a> {
 
 impl<'a> Decoder<'a> {
     pub fn new(input: &'a [u8]) -> Self {
-        let mut d = Self { range: u32::MAX, code: 0, input, pos: 0 };
+        let mut d = Self {
+            range: u32::MAX,
+            code: 0,
+            input,
+            pos: 0,
+        };
         // First output byte of the encoder is always 0; skip then prime.
         d.pos = 1;
         for _ in 0..4 {
@@ -144,6 +155,14 @@ impl<'a> Decoder<'a> {
         let b = self.input.get(self.pos).copied().unwrap_or(0);
         self.pos += 1;
         b
+    }
+
+    /// How many bytes past the end of the input have been consumed. A valid
+    /// stream never drifts more than a handful of flush bytes past the end;
+    /// callers decoding an untrusted length use this to detect runaway
+    /// decodes of corrupted streams.
+    pub fn overrun(&self) -> usize {
+        self.pos.saturating_sub(self.input.len())
     }
 
     /// Decode one bit under an adaptive model.
@@ -195,7 +214,10 @@ pub struct BitTree {
 impl BitTree {
     pub fn new(bits: u32) -> Self {
         assert!((1..=16).contains(&bits));
-        Self { bits, probs: vec![BitModel::default(); 1 << bits] }
+        Self {
+            bits,
+            probs: vec![BitModel::default(); 1 << bits],
+        }
     }
 
     pub fn encode(&mut self, enc: &mut Encoder, symbol: u32) {
@@ -224,7 +246,9 @@ mod tests {
 
     #[test]
     fn single_model_roundtrip() {
-        let bits = [true, false, false, true, true, true, false, true, false, false];
+        let bits = [
+            true, false, false, true, true, true, false, true, false, false,
+        ];
         let mut enc = Encoder::new();
         let mut m = BitModel::default();
         for &b in &bits {
@@ -279,7 +303,12 @@ mod tests {
             enc.encode_bit(&mut m, b);
         }
         let data = enc.finish();
-        assert!(data.len() * 8 < n / 2, "got {} bits for {} symbols", data.len() * 8, n);
+        assert!(
+            data.len() * 8 < n / 2,
+            "got {} bits for {} symbols",
+            data.len() * 8,
+            n
+        );
     }
 
     #[test]

@@ -96,7 +96,9 @@ mod tests {
     #[test]
     fn roundtrip_single_bits() {
         let mut w = BitWriter::new();
-        let pattern = [true, false, true, true, false, false, true, false, true, true];
+        let pattern = [
+            true, false, true, true, false, false, true, false, true, true,
+        ];
         for &b in &pattern {
             w.put_bit(b);
         }

@@ -79,6 +79,9 @@ impl<'a> Reader<'a> {
     fn at_end(&self) -> bool {
         self.pos == self.data.len()
     }
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
 }
 
 fn put_varint(out: &mut Vec<u8>, mut v: u64) {
@@ -105,7 +108,11 @@ fn unzigzag(v: u64) -> i64 {
 /// A parsed segment of the dump.
 enum Segment<'a> {
     Text(&'a str),
-    Copy { header: &'a str, rows: Vec<Vec<&'a str>>, ncols: usize },
+    Copy {
+        header: &'a str,
+        rows: Vec<Vec<&'a str>>,
+        ncols: usize,
+    },
 }
 
 /// Split the dump into passthrough text and COPY blocks. Returns `None`
@@ -116,7 +123,10 @@ fn parse_dump(input: &[u8]) -> Option<Vec<Segment<'_>>> {
     let mut text_start = 0usize;
     let mut pos = 0usize;
     while pos < text.len() {
-        let line_end = text[pos..].find('\n').map(|i| pos + i + 1).unwrap_or(text.len());
+        let line_end = text[pos..]
+            .find('\n')
+            .map(|i| pos + i + 1)
+            .unwrap_or(text.len());
         let line = &text[pos..line_end];
         let trimmed = line.trim_end();
         if trimmed.starts_with("COPY ") && trimmed.ends_with("FROM stdin;") {
@@ -126,7 +136,10 @@ fn parse_dump(input: &[u8]) -> Option<Vec<Segment<'_>>> {
             let mut rp = line_end;
             let mut terminated = false;
             while rp < text.len() {
-                let re = text[rp..].find('\n').map(|i| rp + i + 1).unwrap_or(text.len());
+                let re = text[rp..]
+                    .find('\n')
+                    .map(|i| rp + i + 1)
+                    .unwrap_or(text.len());
                 let rline = &text[rp..re];
                 if rline == "\\.\n" || rline == "\\." {
                     terminated = true;
@@ -149,7 +162,11 @@ fn parse_dump(input: &[u8]) -> Option<Vec<Segment<'_>>> {
             if text_start < pos {
                 segments.push(Segment::Text(&text[text_start..pos]));
             }
-            segments.push(Segment::Copy { header: line, rows, ncols });
+            segments.push(Segment::Copy {
+                header: line,
+                rows,
+                ncols,
+            });
             pos = rp;
             text_start = rp;
         } else {
@@ -230,6 +247,11 @@ fn decode_column(r: &mut Reader<'_>, nrows: usize) -> Result<Vec<String>, String
         }
         ENC_DICT => {
             let n = r.u32()? as usize;
+            // Each dictionary entry carries a 4-byte length prefix, so a
+            // valid count can never exceed a quarter of the bytes left.
+            if n > r.remaining() / 4 + 1 {
+                return Err(format!("implausible dict size {n}"));
+            }
             let mut dict = Vec::with_capacity(n);
             for _ in 0..n {
                 dict.push(String::from_utf8(r.bytes()?.to_vec()).map_err(|e| e.to_string())?);
@@ -250,7 +272,10 @@ fn decode_column(r: &mut Reader<'_>, nrows: usize) -> Result<Vec<String>, String
             }
             let vals: Vec<String> = joined.split('\n').map(str::to_owned).collect();
             if vals.len() != nrows {
-                return Err(format!("plain column has {} values, want {nrows}", vals.len()));
+                return Err(format!(
+                    "plain column has {} values, want {nrows}",
+                    vals.len()
+                ));
             }
             Ok(vals)
         }
@@ -273,7 +298,11 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
                         pivot.push(TAG_TEXT);
                         put_bytes(&mut pivot, t.as_bytes());
                     }
-                    Segment::Copy { header, rows, ncols } => {
+                    Segment::Copy {
+                        header,
+                        rows,
+                        ncols,
+                    } => {
                         pivot.push(TAG_COPY);
                         put_bytes(&mut pivot, header.as_bytes());
                         put_u32(&mut pivot, rows.len() as u32);
@@ -300,13 +329,25 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 
 /// Reverse of [`compress`]; `expected_len` is used as a sanity bound.
 pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, String> {
-    let _ = expected_len;
     if stream.len() < 8 {
         return Err("truncated columnar payload".into());
     }
     let pivot_len = u64::from_le_bytes(stream[..8].try_into().unwrap()) as usize;
+    // The pivot is a re-encoding of the original text; per value it spends at
+    // most a 4-byte length prefix where the text spent a 1-byte separator, so
+    // it can never legitimately blow up past a few times `expected_len`. A
+    // corrupted length field, by contrast, can claim anything up to 2^64 and
+    // would otherwise drive a multi-gigabyte garbage decode below.
+    if pivot_len > expected_len.saturating_mul(8).saturating_add(64) {
+        return Err(format!(
+            "implausible pivot length {pivot_len} for {expected_len} bytes"
+        ));
+    }
     let pivot = lza::decompress(&stream[8..], pivot_len).map_err(|e| e.to_string())?;
-    let mut r = Reader { data: &pivot, pos: 0 };
+    let mut r = Reader {
+        data: &pivot,
+        pos: 0,
+    };
     match r.u8()? {
         0 => Ok(pivot[1..].to_vec()),
         1 => {
@@ -320,6 +361,13 @@ pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, String>
                         out.extend_from_slice(&header);
                         let nrows = r.u32()? as usize;
                         let ncols = r.u32()? as usize;
+                        // Every row and column costs at least one pivot byte
+                        // in any encoding; anything larger is corruption, and
+                        // must be rejected before `with_capacity` below turns
+                        // it into a giant allocation.
+                        if nrows > pivot.len() || ncols > pivot.len() {
+                            return Err(format!("implausible table shape {nrows}x{ncols}"));
+                        }
                         let mut cols = Vec::with_capacity(ncols);
                         for _ in 0..ncols {
                             cols.push(decode_column(&mut r, nrows)?);
@@ -354,7 +402,9 @@ mod tests {
     fn sample_dump() -> Vec<u8> {
         let mut s = String::new();
         s.push_str("-- PostgreSQL database dump\nSET client_encoding = 'UTF8';\n\n");
-        s.push_str("CREATE TABLE nation (n_nationkey integer, n_name text, n_regionkey integer);\n\n");
+        s.push_str(
+            "CREATE TABLE nation (n_nationkey integer, n_name text, n_regionkey integer);\n\n",
+        );
         s.push_str("COPY nation (n_nationkey, n_name, n_regionkey) FROM stdin;\n");
         for i in 0..25 {
             s.push_str(&format!("{}\tNATION {}\t{}\n", i, i % 5, i % 5));
@@ -362,7 +412,12 @@ mod tests {
         s.push_str("\\.\n");
         s.push_str("\nCOPY orders (o_orderkey, o_status, o_total) FROM stdin;\n");
         for i in 0..500 {
-            s.push_str(&format!("{}\t{}\t{}\n", i * 4 + 1, ["O", "F", "P"][i % 3], 10000 - i));
+            s.push_str(&format!(
+                "{}\t{}\t{}\n",
+                i * 4 + 1,
+                ["O", "F", "P"][i % 3],
+                10000 - i
+            ));
         }
         s.push_str("\\.\n");
         s.push_str("\n-- dump complete\n");
@@ -433,7 +488,17 @@ mod tests {
 
     #[test]
     fn zigzag_is_bijective() {
-        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 123456789, -987654321] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            2,
+            -2,
+            i64::MAX,
+            i64::MIN,
+            123456789,
+            -987654321,
+        ] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
     }

@@ -42,8 +42,13 @@ pub enum Scheme {
 
 impl Scheme {
     /// All supported schemes, in id order.
-    pub const ALL: [Scheme; 5] =
-        [Scheme::Store, Scheme::Rle, Scheme::Lzss, Scheme::Lza, Scheme::ColumnarSql];
+    pub const ALL: [Scheme; 5] = [
+        Scheme::Store,
+        Scheme::Rle,
+        Scheme::Lzss,
+        Scheme::Lza,
+        Scheme::ColumnarSql,
+    ];
 
     pub fn from_id(id: u8) -> Option<Scheme> {
         Scheme::ALL.get(id as usize).copied()
@@ -89,7 +94,10 @@ impl fmt::Display for ArchiveError {
             ArchiveError::UnknownScheme(s) => write!(f, "unknown scheme id {s}"),
             ArchiveError::Corrupt(msg) => write!(f, "corrupt payload: {msg}"),
             ArchiveError::ChecksumMismatch { stored, computed } => {
-                write!(f, "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
             }
         }
     }
@@ -152,24 +160,29 @@ pub fn decompress(archive: &[u8]) -> Result<Vec<u8>, ArchiveError> {
     let data = match scheme {
         Scheme::Store => {
             if payload.len() < len {
-                return Err(ArchiveError::Corrupt("store payload shorter than length".into()));
+                return Err(ArchiveError::Corrupt(
+                    "store payload shorter than length".into(),
+                ));
             }
             payload[..len].to_vec()
         }
-        Scheme::Rle => rle::decompress(payload, len).map_err(|e| ArchiveError::Corrupt(e.to_string()))?,
+        Scheme::Rle => {
+            rle::decompress(payload, len).map_err(|e| ArchiveError::Corrupt(e.to_string()))?
+        }
         Scheme::Lzss => {
             lzss::decompress(payload, len).map_err(|e| ArchiveError::Corrupt(e.to_string()))?
         }
         Scheme::Lza => {
             lza::decompress(payload, len).map_err(|e| ArchiveError::Corrupt(e.to_string()))?
         }
-        Scheme::ColumnarSql => {
-            columnar::decompress(payload, len).map_err(ArchiveError::Corrupt)?
-        }
+        Scheme::ColumnarSql => columnar::decompress(payload, len).map_err(ArchiveError::Corrupt)?,
     };
     let computed = crc32(&data);
     if computed != stored_crc {
-        return Err(ArchiveError::ChecksumMismatch { stored: stored_crc, computed });
+        return Err(ArchiveError::ChecksumMismatch {
+            stored: stored_crc,
+            computed,
+        });
     }
     Ok(data)
 }
@@ -215,7 +228,10 @@ mod tests {
     fn unknown_scheme_rejected() {
         let mut arc = compress(Scheme::Store, b"x");
         arc[5] = 99;
-        assert_eq!(decompress(&arc).unwrap_err(), ArchiveError::UnknownScheme(99));
+        assert_eq!(
+            decompress(&arc).unwrap_err(),
+            ArchiveError::UnknownScheme(99)
+        );
     }
 
     #[test]
@@ -231,7 +247,10 @@ mod tests {
     fn version_check() {
         let mut arc = compress(Scheme::Store, b"y");
         arc[4] = 9;
-        assert_eq!(decompress(&arc).unwrap_err(), ArchiveError::UnsupportedVersion(9));
+        assert_eq!(
+            decompress(&arc).unwrap_err(),
+            ArchiveError::UnsupportedVersion(9)
+        );
     }
 
     #[test]

@@ -29,3 +29,9 @@ pub mod matchfinder;
 pub mod rle;
 
 pub use container::{compress, decompress, ArchiveError, Scheme};
+
+/// Upper bound on what a decoder pre-allocates for its output buffer.
+/// `expected_len` comes from an archive header that may be corrupted, so
+/// decoders start no larger than this and let the vector grow naturally —
+/// their truncation checks stop a lying length long before it matters.
+pub(crate) const MAX_PREALLOC: usize = 1 << 20;

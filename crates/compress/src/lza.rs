@@ -127,12 +127,21 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
 pub enum LzaError {
     /// A distance referenced data before the start of the output.
     BadDistance { at: usize, dist: usize },
+    /// The stream ran out long before producing `expected_len` bytes — the
+    /// length field or the stream itself is corrupt.
+    Truncated { at: usize },
 }
 
 impl std::fmt::Display for LzaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let LzaError::BadDistance { at, dist } = self;
-        write!(f, "lza distance {dist} underflows output at byte {at}")
+        match self {
+            LzaError::BadDistance { at, dist } => {
+                write!(f, "lza distance {dist} underflows output at byte {at}")
+            }
+            LzaError::Truncated { at } => {
+                write!(f, "lza stream exhausted at output byte {at}")
+            }
+        }
     }
 }
 
@@ -140,21 +149,36 @@ impl std::error::Error for LzaError {}
 
 /// Decompress an LZA stream into exactly `expected_len` bytes.
 pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, LzaError> {
+    // The encoder's flush appends 5 low bytes and the decoder may shift in a
+    // few padding zeros while normalizing around the final symbol; past that
+    // margin the "stream" is pure zeros and the length field must be lying.
+    // Without this check a corrupted length decodes garbage forever.
+    const OVERRUN_MARGIN: usize = 32;
     let mut dec = Decoder::new(stream);
     let mut models = Models::new();
-    let mut out = Vec::with_capacity(expected_len);
+    let mut out = Vec::with_capacity(expected_len.min(crate::MAX_PREALLOC));
     let mut prev_flag = 0usize;
     let mut prev_byte = 0u8;
     while out.len() < expected_len {
+        if dec.overrun() > OVERRUN_MARGIN {
+            return Err(LzaError::Truncated { at: out.len() });
+        }
         if dec.decode_bit(&mut models.is_match[prev_flag]) {
             prev_flag = 1;
             let len = models.length.decode(&mut dec) as usize + MIN_MATCH;
             let slot = models.dist_slot.decode(&mut dec);
             let (base, extra) = slot_base(slot);
-            let dist_minus_1 = if extra > 0 { base + dec.decode_direct(extra) } else { base };
+            let dist_minus_1 = if extra > 0 {
+                base + dec.decode_direct(extra)
+            } else {
+                base
+            };
             let dist = dist_minus_1 as usize + 1;
             if dist > out.len() {
-                return Err(LzaError::BadDistance { at: out.len(), dist });
+                return Err(LzaError::BadDistance {
+                    at: out.len(),
+                    dist,
+                });
             }
             let start = out.len() - dist;
             for j in 0..len {
@@ -206,8 +230,12 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..2000 {
             data.extend_from_slice(
-                format!("INSERT INTO orders VALUES ({i}, 'Clerk#{:09}', {});\n", i % 1000, i * 7)
-                    .as_bytes(),
+                format!(
+                    "INSERT INTO orders VALUES ({i}, 'Clerk#{:09}', {});\n",
+                    i % 1000,
+                    i * 7
+                )
+                .as_bytes(),
             );
         }
         let lza_len = roundtrip(&data);
@@ -224,7 +252,9 @@ mod tests {
 
     #[test]
     fn pseudo_random_binary_roundtrip() {
-        let data: Vec<u8> = (0..50_000u64).map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8).collect();
+        let data: Vec<u8> = (0..50_000u64)
+            .map(|i| (i.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u8)
+            .collect();
         roundtrip(&data);
     }
 

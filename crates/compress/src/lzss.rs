@@ -88,7 +88,7 @@ impl std::error::Error for LzssError {}
 
 /// Decompress an LZSS stream, producing exactly `expected_len` bytes.
 pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, LzssError> {
-    let mut out = Vec::with_capacity(expected_len);
+    let mut out = Vec::with_capacity(expected_len.min(crate::MAX_PREALLOC));
     let mut i = 0usize;
     while out.len() < expected_len {
         if i >= stream.len() {
@@ -113,7 +113,10 @@ pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, LzssErr
                 let dist = (token & 0x0FFF) as usize + 1;
                 let len = (token >> 12) as usize + MIN_MATCH;
                 if dist > out.len() {
-                    return Err(LzssError::BadDistance { at: out.len(), dist });
+                    return Err(LzssError::BadDistance {
+                        at: out.len(),
+                        dist,
+                    });
                 }
                 let start = out.len() - dist;
                 for j in 0..len {
@@ -181,7 +184,10 @@ mod tests {
     #[test]
     fn truncated_stream_detected() {
         let c = compress(b"hello hello hello hello");
-        assert_eq!(decompress(&c[..c.len() - 1], 24).unwrap_err(), LzssError::Truncated);
+        assert_eq!(
+            decompress(&c[..c.len() - 1], 24).unwrap_err(),
+            LzssError::Truncated
+        );
     }
 
     #[test]
@@ -196,7 +202,9 @@ mod tests {
 
     #[test]
     fn binary_data_roundtrip() {
-        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         roundtrip(&data);
     }
 

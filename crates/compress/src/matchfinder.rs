@@ -34,7 +34,13 @@ fn hash3(a: u8, b: u8, c: u8) -> usize {
 }
 
 impl<'a> MatchFinder<'a> {
-    pub fn new(data: &'a [u8], window: usize, max_depth: usize, min_len: usize, max_len: usize) -> Self {
+    pub fn new(
+        data: &'a [u8],
+        window: usize,
+        max_depth: usize,
+        min_len: usize,
+        max_len: usize,
+    ) -> Self {
         assert!(min_len >= 3, "hash covers 3 bytes");
         Self {
             data,
@@ -89,7 +95,10 @@ impl<'a> MatchFinder<'a> {
                     l += 1;
                 }
                 if l >= self.min_len && l > best_len {
-                    best = Some(Match { dist: (pos - c) as u32, len: l as u32 });
+                    best = Some(Match {
+                        dist: (pos - c) as u32,
+                        len: l as u32,
+                    });
                     if l == max_here {
                         break;
                     }

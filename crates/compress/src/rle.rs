@@ -53,7 +53,7 @@ impl std::error::Error for RleError {}
 
 /// Decompress an RLE stream; `expected_len` bounds the output.
 pub fn decompress(stream: &[u8], expected_len: usize) -> Result<Vec<u8>, RleError> {
-    let mut out = Vec::with_capacity(expected_len);
+    let mut out = Vec::with_capacity(expected_len.min(crate::MAX_PREALLOC));
     let mut i = 0usize;
     while out.len() < expected_len {
         let count = *stream.get(i).ok_or(RleError::Truncated)?;

@@ -52,12 +52,20 @@ pub struct ArchiveStats {
 impl MicrOlonys {
     /// The configuration of the paper's §4 paper-archive experiment.
     pub fn paper_default() -> Self {
-        Self { medium: Medium::paper_a4_600dpi(), scheme: Scheme::Lzss, with_parity: true }
+        Self {
+            medium: Medium::paper_a4_600dpi(),
+            scheme: Scheme::Lzss,
+            with_parity: true,
+        }
     }
 
     /// Small configuration for tests and examples.
     pub fn test_tiny() -> Self {
-        Self { medium: Medium::test_tiny(), scheme: Scheme::Lzss, with_parity: true }
+        Self {
+            medium: Medium::test_tiny(),
+            scheme: Scheme::Lzss,
+            with_parity: true,
+        }
     }
 
     /// Archive a textual database dump: compress (DBCoder), lay out as
@@ -89,7 +97,12 @@ impl MicrOlonys {
             system_emblems: system_frames.len(),
             density_per_frame: dump.len() as f64 / plan.data_emblems as f64,
         };
-        ArchiveOutput { data_frames, system_frames, bootstrap, stats }
+        ArchiveOutput {
+            data_frames,
+            system_frames,
+            bootstrap,
+            stats,
+        }
     }
 
     /// Build the Bootstrap for this configuration (independent of any
@@ -155,8 +168,11 @@ mod tests {
 
     #[test]
     fn micro_medium_archive_has_single_data_emblem() {
-        let sys =
-            MicrOlonys { medium: ule_media::Medium::test_micro(), scheme: Scheme::Lzss, with_parity: false };
+        let sys = MicrOlonys {
+            medium: ule_media::Medium::test_micro(),
+            scheme: Scheme::Lzss,
+            with_parity: false,
+        };
         let dump = b"COPY t (a) FROM stdin;\n1\n\\.\n".to_vec();
         let out = sys.archive(&dump);
         assert_eq!(out.stats.data_emblems, 1);

@@ -75,8 +75,11 @@ impl Bootstrap {
         out.push_str(&format!("words: {}\n", self.image_prefix.len()));
         let mut syms: Vec<(&String, &u32)> = self.symbols.iter().collect();
         syms.sort();
-        let sym_line =
-            syms.iter().map(|(k, v)| format!("{k}={v}")).collect::<Vec<_>>().join(" ");
+        let sym_line = syms
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         out.push_str(&format!("symbols: {sym_line}\n"));
         out.push_str(&format!("prog-capacity: {}\n", self.prog_capacity));
         out.push_str(&letters::wrap_lines(
@@ -108,21 +111,32 @@ impl Bootstrap {
     pub fn parse(text: &str) -> Result<Bootstrap, BootstrapParseError> {
         use BootstrapParseError as E;
         let sec2_full = text.split(SECTION2).nth(1).ok_or(E::MissingSection(2))?;
-        let sec3 = sec2_full.split(SECTION3).nth(1).ok_or(E::MissingSection(3))?;
+        let sec3 = sec2_full
+            .split(SECTION3)
+            .nth(1)
+            .ok_or(E::MissingSection(3))?;
         let sec2 = sec2_full.split(SECTION3).next().unwrap_or("");
         let sec3 = sec3.split(SECTION4).next().unwrap_or(sec3);
         let mut lines = sec2.lines().filter(|l| !l.trim().is_empty());
         let words_line = lines.next().ok_or(E::MissingField("words"))?;
-        let n_words: usize = field_value(words_line, "words:")?.trim().parse().map_err(|_| E::BadNumber("words"))?;
+        let n_words: usize = field_value(words_line, "words:")?
+            .trim()
+            .parse()
+            .map_err(|_| E::BadNumber("words"))?;
         let sym_line = lines.next().ok_or(E::MissingField("symbols"))?;
         let mut symbols = HashMap::new();
         for pair in field_value(sym_line, "symbols:")?.split_whitespace() {
             let (k, v) = pair.split_once('=').ok_or(E::MissingField("symbols"))?;
-            symbols.insert(k.to_string(), v.parse().map_err(|_| E::BadNumber("symbols"))?);
+            symbols.insert(
+                k.to_string(),
+                v.parse().map_err(|_| E::BadNumber("symbols"))?,
+            );
         }
         let cap_line = lines.next().ok_or(E::MissingField("prog-capacity"))?;
-        let prog_capacity: usize =
-            field_value(cap_line, "prog-capacity:")?.trim().parse().map_err(|_| E::BadNumber("prog-capacity"))?;
+        let prog_capacity: usize = field_value(cap_line, "prog-capacity:")?
+            .trim()
+            .parse()
+            .map_err(|_| E::BadNumber("prog-capacity"))?;
         // The letter block runs until SECTION 3.
         let letters_text = sec2
             .split_once("prog-capacity:")
@@ -131,7 +145,10 @@ impl Bootstrap {
         let image_prefix =
             letters::decode_words(letters_text).map_err(|e| E::Letters(e.to_string()))?;
         if image_prefix.len() != n_words {
-            return Err(E::WordCount { expected: n_words, got: image_prefix.len() });
+            return Err(E::WordCount {
+                expected: n_words,
+                got: image_prefix.len(),
+            });
         }
         let mut geometry = HashMap::new();
         let mut frame = HashMap::new();
@@ -141,13 +158,19 @@ impl Bootstrap {
             if let Some(v) = line.strip_prefix("geometry:") {
                 for pair in v.split_whitespace() {
                     if let Some((k, v)) = pair.split_once('=') {
-                        geometry.insert(k.to_string(), v.parse::<usize>().map_err(|_| E::BadNumber("geometry"))?);
+                        geometry.insert(
+                            k.to_string(),
+                            v.parse::<usize>().map_err(|_| E::BadNumber("geometry"))?,
+                        );
                     }
                 }
             } else if let Some(v) = line.strip_prefix("frame:") {
                 for pair in v.split_whitespace() {
                     if let Some((k, v)) = pair.split_once('=') {
-                        frame.insert(k.to_string(), v.parse::<usize>().map_err(|_| E::BadNumber("frame"))?);
+                        frame.insert(
+                            k.to_string(),
+                            v.parse::<usize>().map_err(|_| E::BadNumber("frame"))?,
+                        );
                     }
                 }
             } else if let Some(v) = line.strip_prefix("scheme:") {
@@ -180,12 +203,17 @@ impl Bootstrap {
         let letter_lines = self.image_prefix.len() * 8 / PAGE_COLS + 1;
         let total_lines = text.lines().count();
         let prose_lines = total_lines - letter_lines;
-        (prose_lines.div_ceil(PAGE_LINES), letter_lines.div_ceil(PAGE_LINES))
+        (
+            prose_lines.div_ceil(PAGE_LINES),
+            letter_lines.div_ceil(PAGE_LINES),
+        )
     }
 }
 
 fn field_value<'a>(line: &'a str, key: &'static str) -> Result<&'a str, BootstrapParseError> {
-    line.trim().strip_prefix(key).ok_or(BootstrapParseError::MissingField(key))
+    line.trim()
+        .strip_prefix(key)
+        .ok_or(BootstrapParseError::MissingField(key))
 }
 
 /// Parse failures for the Bootstrap document.
@@ -206,7 +234,10 @@ impl std::fmt::Display for BootstrapParseError {
             BootstrapParseError::BadNumber(k) => write!(f, "bootstrap field {k} is not a number"),
             BootstrapParseError::Letters(e) => write!(f, "letter block: {e}"),
             BootstrapParseError::WordCount { expected, got } => {
-                write!(f, "letter block decodes to {got} words, header says {expected}")
+                write!(
+                    f,
+                    "letter block decodes to {got} words, header says {expected}"
+                )
             }
         }
     }
@@ -254,10 +285,11 @@ mod tests {
 
     fn sample() -> Bootstrap {
         let mut symbols = HashMap::new();
-        for (i, name) in
-            ["DYNMEM", "PROG", "DPC", "SP", "CFLAG", "ZFLAG", "NFLAG", "REGS", "PTRS", "STACK"]
-                .iter()
-                .enumerate()
+        for (i, name) in [
+            "DYNMEM", "PROG", "DPC", "SP", "CFLAG", "ZFLAG", "NFLAG", "REGS", "PTRS", "STACK",
+        ]
+        .iter()
+        .enumerate()
         {
             symbols.insert(name.to_string(), 1000 + i as u32);
         }
@@ -298,13 +330,21 @@ mod tests {
     #[test]
     fn corrupted_letters_detected() {
         let b = sample();
-        let text = b.to_text().replace("prog-capacity: 512\n", "prog-capacity: 512\nZZZZZZZZ\n");
-        assert!(matches!(Bootstrap::parse(&text), Err(BootstrapParseError::Letters(_))));
+        let text = b
+            .to_text()
+            .replace("prog-capacity: 512\n", "prog-capacity: 512\nZZZZZZZZ\n");
+        assert!(matches!(
+            Bootstrap::parse(&text),
+            Err(BootstrapParseError::Letters(_))
+        ));
     }
 
     #[test]
     fn missing_section_detected() {
-        assert_eq!(Bootstrap::parse("nothing here"), Err(BootstrapParseError::MissingSection(2)));
+        assert_eq!(
+            Bootstrap::parse("nothing here"),
+            Err(BootstrapParseError::MissingSection(2))
+        );
     }
 
     #[test]

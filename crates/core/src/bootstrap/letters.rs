@@ -54,7 +54,9 @@ pub fn decode_words(text: &str) -> Result<Vec<u32>, LetterError> {
         }
     }
     if nibbles != 0 {
-        return Err(LetterError::PartialWord { trailing_nibbles: nibbles });
+        return Err(LetterError::PartialWord {
+            trailing_nibbles: nibbles,
+        });
     }
     Ok(words)
 }
@@ -84,7 +86,9 @@ pub fn decode_bytes(text: &str) -> Result<Vec<u8>, LetterError> {
         }
     }
     if hi.is_some() {
-        return Err(LetterError::PartialWord { trailing_nibbles: 1 });
+        return Err(LetterError::PartialWord {
+            trailing_nibbles: 1,
+        });
     }
     Ok(out)
 }
@@ -161,17 +165,26 @@ mod tests {
 
     #[test]
     fn bad_characters_rejected() {
-        assert!(matches!(decode_words("ABCDEFG1"), Err(LetterError::BadCharacter { .. })));
+        assert!(matches!(
+            decode_words("ABCDEFG1"),
+            Err(LetterError::BadCharacter { .. })
+        ));
     }
 
     #[test]
     fn partial_word_rejected() {
-        assert!(matches!(decode_words("ABC"), Err(LetterError::PartialWord { .. })));
+        assert!(matches!(
+            decode_words("ABC"),
+            Err(LetterError::PartialWord { .. })
+        ));
     }
 
     #[test]
     fn encoding_uses_only_a_through_p() {
         let letters = encode_words(&[0x0123_4567, 0x89AB_CDEF]);
-        assert!(letters.chars().all(|c| ('A'..='P').contains(&c)), "{letters}");
+        assert!(
+            letters.chars().all(|c| ('A'..='P').contains(&c)),
+            "{letters}"
+        );
     }
 }

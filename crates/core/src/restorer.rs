@@ -44,6 +44,9 @@ pub enum RestoreError {
     /// Data emblems missing in the emulated path (it has no outer-code
     /// recovery; use the native path for damaged media).
     MissingData { index: usize },
+    /// System emblems missing in the emulated path: the DBDecode
+    /// instruction stream cannot be assembled.
+    MissingSystem { index: usize },
 }
 
 impl std::fmt::Display for RestoreError {
@@ -57,6 +60,9 @@ impl std::fmt::Display for RestoreError {
             RestoreError::NoDecoder => write!(f, "no system emblems found"),
             RestoreError::MissingData { index } => {
                 write!(f, "data emblem {index} missing (emulated path needs all)")
+            }
+            RestoreError::MissingSystem { index } => {
+                write!(f, "system emblem {index} missing (DBDecode incomplete)")
             }
         }
     }
@@ -140,7 +146,10 @@ impl MicrOlonys {
     ) -> Result<(Vec<u8>, RestoreStats), RestoreError> {
         let boot = Bootstrap::parse(bootstrap_text)
             .map_err(|e| RestoreError::Archive(ArchiveError::Corrupt(e.to_string())))?;
-        let mut stats = RestoreStats { scans: scans.len(), ..Default::default() };
+        let mut stats = RestoreStats {
+            scans: scans.len(),
+            ..Default::default()
+        };
 
         // Step 1 per the walkthrough: threshold pixels.
         let mut decoded: Vec<(EmblemHeader, Vec<u8>)> = Vec::with_capacity(scans.len());
@@ -153,36 +162,78 @@ impl MicrOlonys {
         }
 
         // Step 5: assemble DBDecode from system emblems.
-        let mut system: Vec<&(EmblemHeader, Vec<u8>)> =
-            decoded.iter().filter(|(h, _)| h.kind == EmblemKind::System).collect();
+        let mut system: Vec<&(EmblemHeader, Vec<u8>)> = decoded
+            .iter()
+            .filter(|(h, _)| h.kind == EmblemKind::System)
+            .collect();
         if system.is_empty() {
             return Err(RestoreError::NoDecoder);
         }
         system.sort_by_key(|(h, _)| h.index);
+        // The caller may hand us redundant scans of the same frame.
+        system.dedup_by_key(|(h, _)| h.index);
+        // System emblem indices are contiguous from 0; a gap would splice a
+        // garbled DBDecode program and fail far from the real cause.
+        for (expected, (h, _)) in system.iter().enumerate() {
+            if h.index as usize != expected {
+                return Err(RestoreError::MissingSystem { index: expected });
+            }
+        }
         let mut sys_bytes = Vec::new();
         for (_, p) in &system {
             sys_bytes.extend_from_slice(p);
         }
+        // Contiguous indices with too few bytes means the tail of the
+        // DBDecode stream never arrived; running a truncated program would
+        // fail far from the cause (or, worse, happen to "work").
+        let sys_total = system
+            .first()
+            .map(|(h, _)| h.total_len as usize)
+            .unwrap_or(0);
+        if sys_bytes.len() < sys_total {
+            return Err(RestoreError::MissingSystem {
+                index: system.len(),
+            });
+        }
+        sys_bytes.truncate(sys_total);
         let dbdecode_words: Vec<u16> = sys_bytes
             .chunks_exact(2)
             .map(|c| u16::from_le_bytes([c[0], c[1]]))
             .collect();
 
         // Step 6: assemble the data archive.
-        let mut data: Vec<&(EmblemHeader, Vec<u8>)> =
-            decoded.iter().filter(|(h, _)| h.kind == EmblemKind::Data).collect();
+        let mut data: Vec<&(EmblemHeader, Vec<u8>)> = decoded
+            .iter()
+            .filter(|(h, _)| h.kind == EmblemKind::Data)
+            .collect();
         data.sort_by_key(|(h, _)| h.index);
+        // Redundant scans of the same frame must not concatenate twice.
+        data.dedup_by_key(|(h, _)| h.index);
+        // Even an empty dump occupies one data emblem, so an empty set here
+        // means emblem 0 never arrived (otherwise `total` would be 0 and the
+        // shortfall check below could not fire).
+        if data.is_empty() {
+            return Err(RestoreError::MissingData { index: 0 });
+        }
         let total = data.first().map(|(h, _)| h.total_len as usize).unwrap_or(0);
         let mut archive = Vec::with_capacity(total);
-        for (i, (h, p)) in data.iter().enumerate() {
-            // Data emblem indices are global but contiguous per group; a
-            // gap means a missing emblem.
-            let _ = h;
-            let _ = i;
+        // Data emblem indices are contiguous from 0; the first gap in the
+        // sorted sequence names the missing emblem.
+        let mut first_gap = None;
+        for (expected, (h, p)) in data.iter().enumerate() {
+            if first_gap.is_none() && h.index as usize != expected {
+                first_gap = Some(expected);
+            }
             archive.extend_from_slice(p);
         }
+        // A gap is fatal even when the byte count happens to add up (payload
+        // sizes can coincide); a shortfall with contiguous indices means the
+        // tail emblems never arrived.
+        if let Some(index) = first_gap {
+            return Err(RestoreError::MissingData { index });
+        }
         if archive.len() < total {
-            return Err(RestoreError::MissingData { index: archive.len() / 1.max(1) });
+            return Err(RestoreError::MissingData { index: data.len() });
         }
         archive.truncate(total);
         stats.archive_bytes = archive.len();
@@ -194,18 +245,13 @@ impl MicrOlonys {
             0
         };
         let (guest_mem, out_base) = layout::build_memory(&archive, out_len, &[]);
-        let mut emu = NestedEmulator::from_image_prefix(
-            &boot.image_prefix,
-            boot.symbols.clone(),
-            &guest_mem,
-        );
+        let mut emu =
+            NestedEmulator::from_image_prefix(&boot.image_prefix, boot.symbols.clone(), &guest_mem);
         emu.load_guest_program(&dbdecode_words, boot.prog_capacity);
         emu.reset_guest();
         // ~5k VeRisc instructions per guest-decoded byte was measured;
         // budget 4× that for safety.
-        let budget = 100_000u64.saturating_add(
-            20_000 * (archive.len() as u64 + out_len as u64),
-        );
+        let budget = 100_000u64.saturating_add(20_000 * (archive.len() as u64 + out_len as u64));
         stats.verisc_steps += emu.run(engine, budget)?;
         let guest = emu.dyn_mem();
         let status = u16::from_le_bytes([guest[0], guest[1]]);
@@ -225,8 +271,11 @@ fn run_modecode_emulated(
 ) -> Result<Vec<u8>, RestoreError> {
     // Host-side preprocessing sanctioned by the Bootstrap: pixel array,
     // threshold 128.
-    let pixels: Vec<u8> =
-        scan.as_bytes().iter().map(|&p| if p < 128 { 0u8 } else { 255 }).collect();
+    let pixels: Vec<u8> = scan
+        .as_bytes()
+        .iter()
+        .map(|&p| if p < 128 { 0u8 } else { 255 })
+        .collect();
     let params = [
         scan.width() as u16,
         scan.height() as u16,

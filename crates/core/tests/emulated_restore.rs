@@ -8,13 +8,20 @@ use ule_media::Medium;
 use ule_verisc::vm::EngineKind;
 
 fn micro_system() -> MicrOlonys {
-    MicrOlonys { medium: Medium::test_micro(), scheme: Scheme::Lzss, with_parity: false }
+    MicrOlonys {
+        medium: Medium::test_micro(),
+        scheme: Scheme::Lzss,
+        with_parity: false,
+    }
 }
 
 fn sample_dump() -> Vec<u8> {
     let mut s = String::from("CREATE TABLE nation (n_nationkey integer, n_name text);\n");
     s.push_str("COPY nation (n_nationkey, n_name) FROM stdin;\n");
-    for (i, n) in ["ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT"].iter().enumerate() {
+    for (i, n) in ["ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT"]
+        .iter()
+        .enumerate()
+    {
         s.push_str(&format!("{i}\t{n}\n"));
     }
     s.push_str("\\.\n");
@@ -38,7 +45,11 @@ fn full_emulated_restoration_from_bootstrap_text() {
         MicrOlonys::restore_emulated(&bootstrap_text, &scans, EngineKind::MatchBased)
             .expect("emulated restore");
     assert_eq!(restored, dump, "restored dump differs");
-    assert!(stats.verisc_steps > 1_000_000, "suspiciously few VeRisc steps: {}", stats.verisc_steps);
+    assert!(
+        stats.verisc_steps > 1_000_000,
+        "suspiciously few VeRisc steps: {}",
+        stats.verisc_steps
+    );
 }
 
 #[test]
@@ -54,8 +65,7 @@ fn emulated_restore_agrees_across_all_engines() {
 
     let mut results = Vec::new();
     for kind in EngineKind::ALL {
-        let (restored, _) =
-            MicrOlonys::restore_emulated(&text, &scans, kind).expect("restore");
+        let (restored, _) = MicrOlonys::restore_emulated(&text, &scans, kind).expect("restore");
         results.push((kind, restored));
     }
     for w in results.windows(2) {
@@ -79,8 +89,9 @@ fn native_restore_handles_degraded_scans() {
 fn native_restore_survives_three_missing_frames() {
     let sys = MicrOlonys::test_tiny();
     // Enough data for several emblems in one group.
-    let dump: Vec<u8> =
-        (0..6000u32).flat_map(|i| format!("{}\t{}\n", i, i * 31).into_bytes()).collect();
+    let dump: Vec<u8> = (0..6000u32)
+        .flat_map(|i| format!("{}\t{}\n", i, i * 31).into_bytes())
+        .collect();
     let out = sys.archive(&dump);
     assert!(out.data_frames.len() >= 6, "want a multi-emblem group");
     let kept: Vec<_> = out

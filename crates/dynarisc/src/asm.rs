@@ -317,7 +317,11 @@ fn format_instr(i: &Instr) -> String {
         (Move, Mode::M4) => format!("MOVE R{a}, D{}.HI", b & 7),
         (Move, Mode::M5) => format!("MOVE D{}, R{b}:R{}", a & 7, (b + 1) & 15),
         (Ldi, Mode::M1) => {
-            format!("LDI D{}, #{:#010x}", a & 7, ((i.imm2 as u32) << 16) | i.imm as u32)
+            format!(
+                "LDI D{}, #{:#010x}",
+                a & 7,
+                ((i.imm2 as u32) << 16) | i.imm as u32
+            )
         }
         (Ldi, _) => format!("LDI R{a}, #{:#06x}", i.imm),
         (Ldm, Mode::M0) => format!("LDM R{a}, [D{}]", b & 7),
@@ -402,9 +406,31 @@ mod tests {
         a.call(l);
         a.ret();
         let listing = disassemble(&a.finish());
-        for mn in ["ADD", "ADC", "SUB D0", "SBB", "CMP", "MUL.HI", "AND", "OR R1", "XOR",
-            "LSL", "LSR", "ASR", "ROR", "MOVE D2, R8:R9", "LDI D1, #0x12345678",
-            "LDM.W R0, [D1]+", "STM R2, [D3]", "JUMP", "JZ", "JNZ", "JC", "CALL", "RET"] {
+        for mn in [
+            "ADD",
+            "ADC",
+            "SUB D0",
+            "SBB",
+            "CMP",
+            "MUL.HI",
+            "AND",
+            "OR R1",
+            "XOR",
+            "LSL",
+            "LSR",
+            "ASR",
+            "ROR",
+            "MOVE D2, R8:R9",
+            "LDI D1, #0x12345678",
+            "LDM.W R0, [D1]+",
+            "STM R2, [D3]",
+            "JUMP",
+            "JZ",
+            "JNZ",
+            "JC",
+            "CALL",
+            "RET",
+        ] {
             assert!(listing.contains(mn), "missing `{mn}` in:\n{listing}");
         }
     }

@@ -156,11 +156,25 @@ pub enum DecodeErr {
 
 impl Instr {
     pub fn new(opcode: Opcode, a: u8, b: u8, mode: Mode) -> Self {
-        Self { opcode, a, b, mode, imm: 0, imm2: 0 }
+        Self {
+            opcode,
+            a,
+            b,
+            mode,
+            imm: 0,
+            imm2: 0,
+        }
     }
 
     pub fn with_imm(opcode: Opcode, a: u8, b: u8, mode: Mode, imm: u16) -> Self {
-        Self { opcode, a, b, mode, imm, imm2: 0 }
+        Self {
+            opcode,
+            a,
+            b,
+            mode,
+            imm,
+            imm2: 0,
+        }
     }
 
     /// Number of 16-bit words this instruction occupies.
@@ -238,7 +252,11 @@ pub fn table1() -> Vec<(&'static str, &'static str, &'static str)> {
         ("Logical", "LSR", "Rd, Rs | Rd, #n"),
         ("Logical", "ASR", "Rd, Rs | Rd, #n"),
         ("Logical", "ROR", "Rd, Rs | Rd, #n"),
-        ("Control/Data", "MOVE", "Rd, Rs | Dd, Rs | Rd, Ds(lo/hi) | Dd, Ds | Dd, Rs:Rs+1"),
+        (
+            "Control/Data",
+            "MOVE",
+            "Rd, Rs | Dd, Rs | Rd, Ds(lo/hi) | Dd, Ds | Dd, Rs:Rs+1",
+        ),
         ("Control/Data", "LDI", "Rd, #imm16 | Dd, #imm32"),
         ("Control/Data", "LDM", "Rd, [Ds] (byte/word, ±post-inc)"),
         ("Control/Data", "STM", "Rs, [Dd] (byte/word, ±post-inc)"),
@@ -247,7 +265,11 @@ pub fn table1() -> Vec<(&'static str, &'static str, &'static str)> {
         ("Control/Data", "JNZ", "address"),
         ("Control/Data", "JC", "address"),
         ("Control/Data", "CALL", "address"),
-        ("Control/Data", "RET", "(halts when the call stack is empty)"),
+        (
+            "Control/Data",
+            "RET",
+            "(halts when the call stack is empty)",
+        ),
     ]
 }
 
@@ -266,8 +288,10 @@ mod tests {
     fn table1_covers_every_paper_sample_instruction() {
         // Every mnemonic the paper's Table 1 shows must exist.
         let ours: Vec<&str> = table1().iter().map(|(_, m, _)| *m).collect();
-        for paper in ["ADC", "SBB", "SUB", "CMP", "MUL", "AND", "OR", "XOR", "LSL", "LSR", "ASR",
-            "ROR", "MOVE", "LDI", "LDM", "STM", "JUMP"] {
+        for paper in [
+            "ADC", "SBB", "SUB", "CMP", "MUL", "AND", "OR", "XOR", "LSL", "LSR", "ASR", "ROR",
+            "MOVE", "LDI", "LDM", "STM", "JUMP",
+        ] {
             assert!(ours.contains(&paper), "missing {paper}");
         }
     }
@@ -306,18 +330,31 @@ mod tests {
     fn truncated_stream_detected() {
         let instr = Instr::with_imm(Opcode::Ldi, 0, 0, Mode::M0, 42);
         let words = instr.encode();
-        assert_eq!(Instr::decode(&words[..1], 0).unwrap_err(), DecodeErr::Truncated);
+        assert_eq!(
+            Instr::decode(&words[..1], 0).unwrap_err(),
+            DecodeErr::Truncated
+        );
     }
 
     #[test]
     fn bad_opcode_detected() {
         let w = (31u16) << 11;
-        assert_eq!(Instr::decode(&[w], 0).unwrap_err(), DecodeErr::BadOpcode(31));
+        assert_eq!(
+            Instr::decode(&[w], 0).unwrap_err(),
+            DecodeErr::BadOpcode(31)
+        );
     }
 
     #[test]
     fn ldi_d_is_three_words() {
-        let instr = Instr { opcode: Opcode::Ldi, a: 2, b: 0, mode: Mode::M1, imm: 0x5678, imm2: 0x1234 };
+        let instr = Instr {
+            opcode: Opcode::Ldi,
+            a: 2,
+            b: 0,
+            mode: Mode::M1,
+            imm: 0x5678,
+            imm2: 0x1234,
+        };
         assert_eq!(instr.len_words(), 3);
         let w = instr.encode();
         let back = Instr::decode(&w, 0).unwrap();

@@ -54,7 +54,9 @@ pub fn build_memory(input: &[u8], max_output_len: usize, params: &[u16]) -> (Vec
 /// Read the program's output back out of memory.
 pub fn read_output(mem: &[u8], out_base: u32) -> Vec<u8> {
     let len = u32::from_le_bytes(
-        mem[OUT_LEN_ADDR as usize..OUT_LEN_ADDR as usize + 4].try_into().unwrap(),
+        mem[OUT_LEN_ADDR as usize..OUT_LEN_ADDR as usize + 4]
+            .try_into()
+            .unwrap(),
     ) as usize;
     let base = out_base as usize;
     mem[base..base + len].to_vec()
@@ -69,7 +71,10 @@ mod tests {
         let (mem, out_base) = build_memory(b"hello", 100, &[7, 9]);
         assert_eq!(&mem[IN_BASE as usize..IN_BASE as usize + 5], b"hello");
         assert_eq!(u32::from_le_bytes(mem[0x10..0x14].try_into().unwrap()), 5);
-        assert_eq!(u32::from_le_bytes(mem[0x18..0x1C].try_into().unwrap()), out_base);
+        assert_eq!(
+            u32::from_le_bytes(mem[0x18..0x1C].try_into().unwrap()),
+            out_base
+        );
         assert_eq!(u16::from_le_bytes(mem[0x1C..0x1E].try_into().unwrap()), 7);
         assert_eq!(u16::from_le_bytes(mem[0x1E..0x20].try_into().unwrap()), 9);
         assert_eq!(out_base % 16, 0);

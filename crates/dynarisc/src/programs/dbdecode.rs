@@ -65,7 +65,7 @@ pub fn program() -> Vec<u16> {
     // original length u64 LE at offset 6; we use the low 32 bits.
     a.ldm_word_inc(10, 0); // len low 16
     a.ldm_word_inc(11, 0); // len high 16
-    // skip len[4..8] and crc32 (4+4 bytes)
+                           // skip len[4..8] and crc32 (4+4 bytes)
     a.addi_d(0, 8);
 
     // D1 = out_base (u32 LE at 0x18)
@@ -104,7 +104,7 @@ pub fn program() -> Vec<u16> {
     a.addi(5, 1); // dist in 1..=4096
     a.lsr_i(6, 12);
     a.addi(6, 3); // len in 3..=18
-    // D2 = D1 - dist (32-bit)
+                  // D2 = D1 - dist (32-bit)
     a.move_r_dlo(1, 1); // R1 = D1 low
     a.move_r_dhi(0, 1); // R0 = D1 high
     a.sub(1, 5);
@@ -217,8 +217,9 @@ mod tests {
 
     #[test]
     fn decodes_binary() {
-        let data: Vec<u8> =
-            (0..3000u32).map(|i| (i.wrapping_mul(2654435761) >> 11) as u8).collect();
+        let data: Vec<u8> = (0..3000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+            .collect();
         assert_eq!(run(&archive(&data)).unwrap(), data);
     }
 
@@ -241,14 +242,20 @@ mod tests {
     #[test]
     fn rejects_wrong_scheme() {
         let arc = compress(Scheme::Lza, b"not lzss");
-        assert_eq!(run(&arc).unwrap_err(), ProgError::Status(status::BAD_SCHEME));
+        assert_eq!(
+            run(&arc).unwrap_err(),
+            ProgError::Status(status::BAD_SCHEME)
+        );
     }
 
     #[test]
     fn rejects_wrong_version() {
         let mut arc = archive(b"data");
         arc[4] = 7;
-        assert_eq!(run(&arc).unwrap_err(), ProgError::Status(status::BAD_VERSION));
+        assert_eq!(
+            run(&arc).unwrap_err(),
+            ProgError::Status(status::BAD_VERSION)
+        );
     }
 
     #[test]

@@ -88,7 +88,7 @@ pub fn program() -> Vec<u16> {
     a.ldm_word_inc(8, 3); // nblocks
     a.ldm_word_inc(12, 3); // xoff
     a.ldm_word_inc(13, 3); // yoff
-    // base_x = xoff + origin + cell/2 ; base_y = yoff + origin + cell/2
+                           // base_x = xoff + origin + cell/2 ; base_y = yoff + origin + cell/2
     a.move_r(4, 14);
     a.lsr_i(4, 1);
     a.add(12, 5);
@@ -118,7 +118,7 @@ pub fn program() -> Vec<u16> {
     a.stm_word(8, 3);
     a.ldi(4, 255);
     a.mul(8, 4); // coded_total (fits 16 bits for all geometries)
-    // D6 = codedbase = out_base + 16 + coded_total
+                 // D6 = codedbase = out_base + 16 + coded_total
     a.move_d_d(6, 4);
     a.addi_d(6, 16);
     a.add_d_r(6, 8);
@@ -271,8 +271,9 @@ mod tests {
     #[test]
     fn reads_pristine_emblem_exactly() {
         let geom = EmblemGeometry::test_small();
-        let payload: Vec<u8> =
-            (0..geom.payload_capacity()).map(|i| (i as u8).wrapping_mul(73).wrapping_add(5)).collect();
+        let payload: Vec<u8> = (0..geom.payload_capacity())
+            .map(|i| (i as u8).wrapping_mul(73).wrapping_add(5))
+            .collect();
         let header = EmblemHeader::new(
             EmblemKind::Data,
             2,
@@ -291,8 +292,13 @@ mod tests {
     fn short_payload_reports_its_length() {
         let geom = EmblemGeometry::test_small();
         let payload = b"short payload".to_vec();
-        let header =
-            EmblemHeader::new(EmblemKind::System, 0, 0, payload.len() as u32, payload.len() as u32);
+        let header = EmblemHeader::new(
+            EmblemKind::System,
+            0,
+            0,
+            payload.len() as u32,
+            payload.len() as u32,
+        );
         let img = encode_emblem(&geom, &header, &payload);
         let p = params_for(&geom, img.width() as u16, img.height() as u16);
         let out = run(img.as_bytes(), &p).unwrap();
@@ -305,8 +311,13 @@ mod tests {
     fn matches_native_emblem_decoder() {
         let geom = EmblemGeometry::test_small();
         let payload: Vec<u8> = (0..500).map(|i| (i % 251) as u8).collect();
-        let header =
-            EmblemHeader::new(EmblemKind::Data, 1, 0, payload.len() as u32, payload.len() as u32);
+        let header = EmblemHeader::new(
+            EmblemKind::Data,
+            1,
+            0,
+            payload.len() as u32,
+            payload.len() as u32,
+        );
         let img = encode_emblem(&geom, &header, &payload);
         // Native path
         let (nh, np, _) = ule_emblem::decode_emblem(&geom, &img).unwrap();

@@ -36,7 +36,10 @@ impl std::fmt::Display for AsmError {
 impl std::error::Error for AsmError {}
 
 fn err(line: usize, msg: impl Into<String>) -> AsmError {
-    AsmError { line, msg: msg.into() }
+    AsmError {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// An operand token.
@@ -72,7 +75,9 @@ fn parse_operand(tok: &str, line: usize) -> Result<Op, AsmError> {
         let (body, inc) = match inner.strip_suffix("]+") {
             Some(b) => (b, true),
             None => (
-                inner.strip_suffix(']').ok_or_else(|| err(line, format!("unclosed {t:?}")))?,
+                inner
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(line, format!("unclosed {t:?}")))?,
                 false,
             ),
         };
@@ -84,8 +89,14 @@ fn parse_operand(tok: &str, line: usize) -> Result<Op, AsmError> {
         return Ok(Op::Mem(d, inc));
     }
     if let Some((a, b)) = t.split_once(':') {
-        let ra = a.trim().strip_prefix('R').and_then(|n| n.parse::<u8>().ok());
-        let rb = b.trim().strip_prefix('R').and_then(|n| n.parse::<u8>().ok());
+        let ra = a
+            .trim()
+            .strip_prefix('R')
+            .and_then(|n| n.parse::<u8>().ok());
+        let rb = b
+            .trim()
+            .strip_prefix('R')
+            .and_then(|n| n.parse::<u8>().ok());
         if let (Some(ra), Some(rb)) = (ra, rb) {
             if rb != (ra + 1) & 15 {
                 return Err(err(line, format!("pair must be adjacent: R{ra}:R{rb}")));
@@ -103,7 +114,9 @@ fn parse_operand(tok: &str, line: usize) -> Result<Op, AsmError> {
     }
     if let Some(rest) = t.strip_prefix('D') {
         if let Some((n, part)) = rest.split_once('.') {
-            let d = n.parse::<u8>().map_err(|_| err(line, format!("bad register {t:?}")))?;
+            let d = n
+                .parse::<u8>()
+                .map_err(|_| err(line, format!("bad register {t:?}")))?;
             return match part {
                 "LO" => Ok(Op::DPart(d, false)),
                 "HI" => Ok(Op::DPart(d, true)),
@@ -133,9 +146,7 @@ fn encode_line(
     let alu = |op: Opcode| -> Result<(Instr, Option<(usize, String)>), AsmError> {
         match ops {
             [Op::R(a), Op::R(b)] => Ok((Instr::new(op, *a, *b, Mode::M0), None)),
-            [Op::R(a), Op::Imm(v)] => {
-                Ok((Instr::with_imm(op, *a, 0, Mode::M2, *v as u16), None))
-            }
+            [Op::R(a), Op::Imm(v)] => Ok((Instr::with_imm(op, *a, 0, Mode::M2, *v as u16), None)),
             [Op::D(d), Op::R(b)] if matches!(op, Add | Sub) => {
                 Ok((Instr::new(op, *d, *b, Mode::M1), None))
             }
@@ -148,18 +159,14 @@ fn encode_line(
     let shift = |op: Opcode| -> Result<(Instr, Option<(usize, String)>), AsmError> {
         match ops {
             [Op::R(a), Op::R(b)] => Ok((Instr::new(op, *a, *b, Mode::M0), None)),
-            [Op::R(a), Op::Imm(v)] if *v < 16 => {
-                Ok((Instr::new(op, *a, *v as u8, Mode::M1), None))
-            }
+            [Op::R(a), Op::Imm(v)] if *v < 16 => Ok((Instr::new(op, *a, *v as u8, Mode::M1), None)),
             _ => Err(bad()),
         }
     };
     let jump = |op: Opcode| -> Result<(Instr, Option<(usize, String)>), AsmError> {
         match ops {
             [Op::Imm(v)] => Ok((Instr::with_imm(op, 0, 0, Mode::M0, *v as u16), None)),
-            [Op::Label(l)] => {
-                Ok((Instr::with_imm(op, 0, 0, Mode::M0, 0), Some((1, l.clone()))))
-            }
+            [Op::Label(l)] => Ok((Instr::with_imm(op, 0, 0, Mode::M0, 0), Some((1, l.clone())))),
             _ => Err(bad()),
         }
     };
@@ -269,7 +276,10 @@ pub fn assemble(src: &str) -> Result<Vec<u16>, AsmError> {
             if name.is_empty() || name.contains(char::is_whitespace) {
                 break; // ':' inside an operand (e.g. a pair) — not a label
             }
-            if labels.insert(name.to_string(), words.len() as u16).is_some() {
+            if labels
+                .insert(name.to_string(), words.len() as u16)
+                .is_some()
+            {
                 return Err(err(line, format!("label {name:?} defined twice")));
             }
             text = rest[1..].trim();
@@ -297,8 +307,9 @@ pub fn assemble(src: &str) -> Result<Vec<u16>, AsmError> {
         }
     }
     for (at, label, line) in fixups {
-        let pos =
-            *labels.get(&label).ok_or_else(|| err(line, format!("undefined label {label:?}")))?;
+        let pos = *labels
+            .get(&label)
+            .ok_or_else(|| err(line, format!("undefined label {label:?}")))?;
         words[at] = pos;
     }
     Ok(words)
@@ -350,10 +361,11 @@ mod tests {
         let words1 = assemble(src).unwrap();
         let listing = disassemble(&words1);
         // Strip the address prefixes the disassembler adds.
-        let relisted: String =
-            listing.lines().map(|l| l.split_once(": ").map(|(_, i)| i).unwrap_or(l))
-                .collect::<Vec<_>>()
-                .join("\n");
+        let relisted: String = listing
+            .lines()
+            .map(|l| l.split_once(": ").map(|(_, i)| i).unwrap_or(l))
+            .collect::<Vec<_>>()
+            .join("\n");
         let words2 = assemble(&relisted).unwrap();
         assert_eq!(words1, words2, "listing:\n{listing}");
     }
@@ -388,9 +400,10 @@ mod tests {
         "#;
         let words = assemble(src).unwrap();
         let listing = disassemble(&words);
-        for mnemonic in ["ADD", "ADC", "SUB", "SBB", "CMP", "MUL", "AND", "OR", "XOR", "LSL",
-            "LSR", "ASR", "ROR", "MOVE", "LDI", "LDM", "STM", "JUMP", "JZ", "JNZ", "JC", "CALL",
-            "RET"] {
+        for mnemonic in [
+            "ADD", "ADC", "SUB", "SBB", "CMP", "MUL", "AND", "OR", "XOR", "LSL", "LSR", "ASR",
+            "ROR", "MOVE", "LDI", "LDM", "STM", "JUMP", "JZ", "JNZ", "JC", "CALL", "RET",
+        ] {
             assert!(listing.contains(mnemonic), "missing {mnemonic}");
         }
     }

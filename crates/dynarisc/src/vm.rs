@@ -101,7 +101,9 @@ impl Vm {
         let start = self.steps;
         while !self.halted {
             if self.steps - start >= max_steps {
-                return Err(VmError::StepLimit { steps: self.steps - start });
+                return Err(VmError::StepLimit {
+                    steps: self.steps - start,
+                });
             }
             self.step()?;
         }
@@ -116,7 +118,10 @@ impl Vm {
 
     #[inline]
     fn load_byte(&self, addr: u32) -> Result<u8, VmError> {
-        self.mem.get(addr as usize).copied().ok_or(VmError::MemFault { addr, len: 1 })
+        self.mem
+            .get(addr as usize)
+            .copied()
+            .ok_or(VmError::MemFault { addr, len: 1 })
     }
 
     #[inline]
@@ -156,7 +161,11 @@ impl Vm {
         use Opcode::*;
         match instr.opcode {
             Add | Adc => {
-                let carry_in = if instr.opcode == Adc && self.flags.c { 1u32 } else { 0 };
+                let carry_in = if instr.opcode == Adc && self.flags.c {
+                    1u32
+                } else {
+                    0
+                };
                 match instr.mode {
                     Mode::M1 => {
                         self.ptrs[da] = self.ptrs[da].wrapping_add(self.regs[b] as u32);
@@ -165,7 +174,11 @@ impl Vm {
                         self.ptrs[da] = self.ptrs[da].wrapping_add(instr.imm as u32);
                     }
                     m => {
-                        let rhs = if m == Mode::M2 { instr.imm } else { self.regs[b] };
+                        let rhs = if m == Mode::M2 {
+                            instr.imm
+                        } else {
+                            self.regs[b]
+                        };
                         let sum = self.regs[a] as u32 + rhs as u32 + carry_in;
                         self.flags.c = sum > 0xFFFF;
                         let v = sum as u16;
@@ -174,36 +187,50 @@ impl Vm {
                     }
                 }
             }
-            Sub | Sbb | Cmp => {
-                match (instr.opcode, instr.mode) {
-                    (Sub, Mode::M1) => {
-                        self.ptrs[da] = self.ptrs[da].wrapping_sub(self.regs[b] as u32);
-                    }
-                    (Sub, Mode::M3) => {
-                        self.ptrs[da] = self.ptrs[da].wrapping_sub(instr.imm as u32);
-                    }
-                    (_, m) => {
-                        let borrow_in = if instr.opcode == Sbb && self.flags.c { 1u32 } else { 0 };
-                        let rhs = if m == Mode::M2 { instr.imm } else { self.regs[b] };
-                        let lhs = self.regs[a] as u32;
-                        let total = rhs as u32 + borrow_in;
-                        self.flags.c = lhs < total;
-                        let v = (lhs.wrapping_sub(total)) as u16;
-                        if instr.opcode != Cmp {
-                            self.regs[a] = v;
-                        }
-                        self.set_zn(v);
-                    }
+            Sub | Sbb | Cmp => match (instr.opcode, instr.mode) {
+                (Sub, Mode::M1) => {
+                    self.ptrs[da] = self.ptrs[da].wrapping_sub(self.regs[b] as u32);
                 }
-            }
+                (Sub, Mode::M3) => {
+                    self.ptrs[da] = self.ptrs[da].wrapping_sub(instr.imm as u32);
+                }
+                (_, m) => {
+                    let borrow_in = if instr.opcode == Sbb && self.flags.c {
+                        1u32
+                    } else {
+                        0
+                    };
+                    let rhs = if m == Mode::M2 {
+                        instr.imm
+                    } else {
+                        self.regs[b]
+                    };
+                    let lhs = self.regs[a] as u32;
+                    let total = rhs as u32 + borrow_in;
+                    self.flags.c = lhs < total;
+                    let v = (lhs.wrapping_sub(total)) as u16;
+                    if instr.opcode != Cmp {
+                        self.regs[a] = v;
+                    }
+                    self.set_zn(v);
+                }
+            },
             Mul => {
                 let prod = self.regs[a] as u32 * self.regs[b] as u32;
-                let v = if instr.mode == Mode::M1 { (prod >> 16) as u16 } else { prod as u16 };
+                let v = if instr.mode == Mode::M1 {
+                    (prod >> 16) as u16
+                } else {
+                    prod as u16
+                };
                 self.regs[a] = v;
                 self.set_zn(v);
             }
             And | Or | Xor => {
-                let rhs = if instr.mode == Mode::M2 { instr.imm } else { self.regs[b] };
+                let rhs = if instr.mode == Mode::M2 {
+                    instr.imm
+                } else {
+                    self.regs[b]
+                };
                 let v = match instr.opcode {
                     And => self.regs[a] & rhs,
                     Or => self.regs[a] | rhs,
@@ -588,7 +615,10 @@ mod tests {
         a.ldm_byte(0, 0);
         a.ret();
         let mut vm = Vm::new(a.finish(), vec![0u8; 10]);
-        assert_eq!(vm.run(10).unwrap_err(), VmError::MemFault { addr: 1000, len: 1 });
+        assert_eq!(
+            vm.run(10).unwrap_err(),
+            VmError::MemFault { addr: 1000, len: 1 }
+        );
     }
 
     #[test]

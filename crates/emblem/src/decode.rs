@@ -50,7 +50,11 @@ impl std::fmt::Display for DecodeError {
         match self {
             DecodeError::BorderNotFound => write!(f, "emblem border not found"),
             DecodeError::CalibrationMismatch { matched_pm } => {
-                write!(f, "calibration dots mismatch ({}% matched)", *matched_pm as f64 / 10.0)
+                write!(
+                    f,
+                    "calibration dots mismatch ({}% matched)",
+                    *matched_pm as f64 / 10.0
+                )
             }
             DecodeError::HeaderUnreadable => write!(f, "no readable header copy"),
             DecodeError::RsFailure { block } => write!(f, "inner RS failure in block {block}"),
@@ -81,7 +85,14 @@ impl<'a> GridSampler<'a> {
         let cell_h = bbox.height() as f64 / total_rows;
         let border_px = cell_w * 3.0;
         let edges = edge_map(bit, bbox, border_px);
-        Some(Self { scan, edges, cols: geom.cols, rows: geom.rows, cell_w, cell_h })
+        Some(Self {
+            scan,
+            edges,
+            cols: geom.cols,
+            rows: geom.rows,
+            cell_w,
+            cell_h,
+        })
     }
 
     /// Scan-pixel centre of content cell (cx, cy).
@@ -92,7 +103,8 @@ impl<'a> GridSampler<'a> {
         // First approximation of the row from the box, then interpolate
         // along the border edge maps (which absorb smooth distortion).
         let y_rough = self.edges.bbox.y0 as f64 + v * (self.edges.bbox.height() as f64 - 1.0);
-        let yi = ((y_rough - self.edges.bbox.y0 as f64).round() as usize).min(self.edges.left.len() - 1);
+        let yi =
+            ((y_rough - self.edges.bbox.y0 as f64).round() as usize).min(self.edges.left.len() - 1);
         let xl = self.edges.left[yi];
         let xr = self.edges.right[yi];
         let x = xl + u * (xr - xl + 1.0);
@@ -137,7 +149,9 @@ pub fn decode_emblem(
     }
     stats.calibration_match_pm = (matched * 1000 / geom.cols) as u16;
     if stats.calibration_match_pm < 850 {
-        return Err(DecodeError::CalibrationMismatch { matched_pm: stats.calibration_match_pm });
+        return Err(DecodeError::CalibrationMismatch {
+            matched_pm: stats.calibration_match_pm,
+        });
     }
 
     // Header copies.
@@ -146,8 +160,9 @@ pub fn decode_emblem(
     let mut copies_bits: Vec<Vec<bool>> = Vec::with_capacity(HEADER_COPIES);
     for copy in 0..HEADER_COPIES {
         let row = 1 + copy;
-        let cells: Vec<bool> =
-            (0..header_cells_len).map(|cx| is_white(sampler.sample(cx, row))).collect();
+        let cells: Vec<bool> = (0..header_cells_len)
+            .map(|cx| is_white(sampler.sample(cx, row)))
+            .collect();
         let dec = decode_cells(&cells, true);
         let bytes = bits_to_bytes(&dec.bits);
         if let Ok(h) = EmblemHeader::from_bytes(&bytes) {
@@ -164,7 +179,10 @@ pub fn decode_emblem(
             let nbits = HEADER_BYTES * 8;
             let mut voted = vec![false; nbits];
             for (i, slot) in voted.iter_mut().enumerate() {
-                let ones = copies_bits.iter().filter(|c| c.get(i) == Some(&true)).count();
+                let ones = copies_bits
+                    .iter()
+                    .filter(|c| c.get(i) == Some(&true))
+                    .count();
                 *slot = ones * 2 > copies_bits.len();
             }
             stats.header_copy_used = HEADER_COPIES;
@@ -216,7 +234,9 @@ mod tests {
     }
 
     fn payload(n: usize) -> Vec<u8> {
-        (0..n).map(|i| (i as u8).wrapping_mul(37).wrapping_add(11)).collect()
+        (0..n)
+            .map(|i| (i as u8).wrapping_mul(37).wrapping_add(11))
+            .collect()
     }
 
     fn hdr(len: usize) -> EmblemHeader {
@@ -267,7 +287,11 @@ mod tests {
         let g = geom();
         let data = payload(200);
         let img = encode_emblem(&g, &hdr(200), &data);
-        let params = DegradeParams { scan_scale: 1.5, noise_sigma: 10.0, ..Default::default() };
+        let params = DegradeParams {
+            scan_scale: 1.5,
+            noise_sigma: 10.0,
+            ..Default::default()
+        };
         let scan = Scanner::new(params, 5).scan(&img);
         let (_, p, _) = decode_emblem(&g, &scan).unwrap();
         assert_eq!(p, data);
@@ -294,7 +318,10 @@ mod tests {
     fn blank_image_reports_border_not_found() {
         let g = geom();
         let img = GrayImage::new(400, 300, 255);
-        assert_eq!(decode_emblem(&g, &img).unwrap_err(), DecodeError::BorderNotFound);
+        assert_eq!(
+            decode_emblem(&g, &img).unwrap_err(),
+            DecodeError::BorderNotFound
+        );
     }
 
     #[test]
@@ -307,7 +334,10 @@ mod tests {
         let wrong = EmblemGeometry::new(512, 96, 3);
         let err = decode_emblem(&wrong, &img).unwrap_err();
         assert!(
-            matches!(err, DecodeError::CalibrationMismatch { .. } | DecodeError::HeaderUnreadable),
+            matches!(
+                err,
+                DecodeError::CalibrationMismatch { .. } | DecodeError::HeaderUnreadable
+            ),
             "{err:?}"
         );
     }

@@ -13,7 +13,10 @@ use ule_raster::GrayImage;
 /// patch spreads across many blocks.
 pub fn inner_encode(geom: &EmblemGeometry, payload: &[u8]) -> Vec<u8> {
     let nblocks = geom.rs_blocks();
-    assert!(payload.len() <= nblocks * RS_K, "payload exceeds emblem capacity");
+    assert!(
+        payload.len() <= nblocks * RS_K,
+        "payload exceeds emblem capacity"
+    );
     let rs = geom.inner_code();
     let mut padded = payload.to_vec();
     padded.resize(nblocks * RS_K, 0);
@@ -82,9 +85,23 @@ pub fn encode_emblem(geom: &EmblemGeometry, header: &EmblemHeader, payload: &[u8
     let border_size_h = (geom.rows + 2 * EDGE_CELLS) * cp;
     let t = (EDGE_CELLS - GAP_CELLS) * cp;
     fill_rect(&mut img, border_off, border_off, border_size_w, t, 0);
-    fill_rect(&mut img, border_off, border_off + border_size_h - t, border_size_w, t, 0);
+    fill_rect(
+        &mut img,
+        border_off,
+        border_off + border_size_h - t,
+        border_size_w,
+        t,
+        0,
+    );
     fill_rect(&mut img, border_off, border_off, t, border_size_h, 0);
-    fill_rect(&mut img, border_off + border_size_w - t, border_off, t, border_size_h, 0);
+    fill_rect(
+        &mut img,
+        border_off + border_size_w - t,
+        border_off,
+        t,
+        border_size_h,
+        0,
+    );
 
     // Content cells.
     let cells = content_cells(geom, header, payload);

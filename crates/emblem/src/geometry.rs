@@ -51,11 +51,18 @@ pub struct EmblemGeometry {
 
 impl EmblemGeometry {
     pub fn new(cols: usize, rows: usize, cell_px: usize) -> Self {
-        assert!(cols >= 256, "content must be at least 256 cells wide for the header");
+        assert!(
+            cols >= 256,
+            "content must be at least 256 cells wide for the header"
+        );
         assert!(cols % 4 == 0, "cols must be a multiple of 4");
         assert!(rows > OVERHEAD_ROWS, "no data rows");
         assert!(cell_px >= 1);
-        Self { cols, rows, cell_px }
+        Self {
+            cols,
+            rows,
+            cell_px,
+        }
     }
 
     /// A4 paper at 600 dpi (Canon IR 6255i class, §4 "Paper archive"):
@@ -150,7 +157,11 @@ mod tests {
         assert!(g.image_width() <= 3888, "{}", g.image_width());
         assert!(g.image_height() <= 5498, "{}", g.image_height());
         // The paper wrote a 102 KB image as 3 emblems: ≥ 34 KB each.
-        assert!(g.payload_capacity() >= 34_000, "payload {}", g.payload_capacity());
+        assert!(
+            g.payload_capacity() >= 34_000,
+            "payload {}",
+            g.payload_capacity()
+        );
     }
 
     #[test]
@@ -158,7 +169,11 @@ mod tests {
         let g = EmblemGeometry::cinema_2k();
         assert!(g.image_width() <= 2048, "{}", g.image_width());
         assert!(g.image_height() <= 1556, "{}", g.image_height());
-        assert!(g.payload_capacity() >= 34_000, "payload {}", g.payload_capacity());
+        assert!(
+            g.payload_capacity() >= 34_000,
+            "payload {}",
+            g.payload_capacity()
+        );
     }
 
     #[test]

@@ -78,7 +78,14 @@ impl std::error::Error for HeaderError {}
 
 impl EmblemHeader {
     pub fn new(kind: EmblemKind, index: u16, group: u16, payload_len: u32, total_len: u32) -> Self {
-        Self { version: HEADER_VERSION, kind, index, group, payload_len, total_len }
+        Self {
+            version: HEADER_VERSION,
+            kind,
+            index,
+            group,
+            payload_len,
+            total_len,
+        }
     }
 
     /// Serialize to the 16-byte wire format.
@@ -136,7 +143,11 @@ mod tests {
         for i in 0..HEADER_BYTES {
             let mut b = h.to_bytes();
             b[i] ^= 0x10;
-            assert_eq!(EmblemHeader::from_bytes(&b).unwrap_err(), HeaderError::BadCrc, "byte {i}");
+            assert_eq!(
+                EmblemHeader::from_bytes(&b).unwrap_err(),
+                HeaderError::BadCrc,
+                "byte {i}"
+            );
         }
     }
 
@@ -150,7 +161,10 @@ mod tests {
 
     #[test]
     fn wrong_length_rejected() {
-        assert_eq!(EmblemHeader::from_bytes(&[0; 15]).unwrap_err(), HeaderError::BadLength);
+        assert_eq!(
+            EmblemHeader::from_bytes(&[0; 15]).unwrap_err(),
+            HeaderError::BadLength
+        );
     }
 
     #[test]
@@ -160,6 +174,9 @@ mod tests {
         b[1] = 9;
         let crc = ule_gf256::crc::crc16_ccitt(&b[..14]);
         b[14..16].copy_from_slice(&crc.to_le_bytes());
-        assert_eq!(EmblemHeader::from_bytes(&b).unwrap_err(), HeaderError::BadKind(9));
+        assert_eq!(
+            EmblemHeader::from_bytes(&b).unwrap_err(),
+            HeaderError::BadKind(9)
+        );
     }
 }

@@ -109,9 +109,19 @@ pub fn find_border_box(bit: &GrayImage) -> Option<BorderBox> {
     // nearly solid, the data region sits around 50%).
     let margin = 2 * gap;
     let rp2 = row_profile(bit, cx0, cx1);
-    let (y0, y1) = first_last(&rp2, 0.30, ry0.saturating_sub(margin), (ry1 + margin).min(rp2.len() - 1))?;
+    let (y0, y1) = first_last(
+        &rp2,
+        0.30,
+        ry0.saturating_sub(margin),
+        (ry1 + margin).min(rp2.len() - 1),
+    )?;
     let cp2 = col_profile(bit, y0, y1);
-    let (x0, x1) = first_last(&cp2, 0.30, cx0.saturating_sub(margin), (cx1 + margin).min(cp2.len() - 1))?;
+    let (x0, x1) = first_last(
+        &cp2,
+        0.30,
+        cx0.saturating_sub(margin),
+        (cx1 + margin).min(cp2.len() - 1),
+    )?;
     if x1 <= x0 + 8 || y1 <= y0 + 8 {
         return None;
     }
@@ -203,7 +213,13 @@ pub fn edge_map(bit: &GrayImage, bbox: BorderBox, border_px: f64) -> EdgeMap {
         fill_nan(arr);
         median_smooth(arr, 7);
     }
-    EdgeMap { bbox, left, right, top, bottom }
+    EdgeMap {
+        bbox,
+        left,
+        right,
+        top,
+        bottom,
+    }
 }
 
 /// Replace NaNs with the nearest valid neighbour (linear fill).

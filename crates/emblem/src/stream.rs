@@ -44,8 +44,17 @@ impl StreamPlan {
 pub fn plan(geom: &EmblemGeometry, len: usize, with_parity: bool) -> StreamPlan {
     let chunk = geom.payload_capacity();
     let data = len.div_ceil(chunk).max(1);
-    let parity = if with_parity { data.div_ceil(GROUP_DATA) * GROUP_PARITY } else { 0 };
-    StreamPlan { chunk_size: chunk, data_emblems: data, parity_emblems: parity, total_len: len }
+    let parity = if with_parity {
+        data.div_ceil(GROUP_DATA) * GROUP_PARITY
+    } else {
+        0
+    };
+    StreamPlan {
+        chunk_size: chunk,
+        data_emblems: data,
+        parity_emblems: parity,
+        total_len: len,
+    }
 }
 
 /// Encode a payload into a sequence of emblem print masters.
@@ -119,7 +128,11 @@ pub enum StreamError {
     /// Emblems disagree about the stream length.
     InconsistentHeaders,
     /// A group lost more emblems than the outer code can restore.
-    TooManyMissing { group: u16, missing: usize, correctable: usize },
+    TooManyMissing {
+        group: u16,
+        missing: usize,
+        correctable: usize,
+    },
 }
 
 impl std::fmt::Display for StreamError {
@@ -156,7 +169,10 @@ pub fn decode_stream(
     geom: &EmblemGeometry,
     scans: &[GrayImage],
 ) -> Result<(Vec<u8>, StreamStats), StreamError> {
-    let mut stats = StreamStats { scans: scans.len(), ..Default::default() };
+    let mut stats = StreamStats {
+        scans: scans.len(),
+        ..Default::default()
+    };
     // Individual decode; tolerate per-scan failures (the outer code's job).
     let mut decoded: Vec<(EmblemHeader, Vec<u8>, DecodeStats)> = Vec::new();
     for scan in scans {
@@ -214,8 +230,9 @@ pub fn decode_stream(
     for group in 0..n_chunks.div_ceil(GROUP_DATA) {
         let in_group = group_data_count(group, n_chunks);
         let base = group * GROUP_DATA;
-        let missing: Vec<usize> =
-            (0..in_group).filter(|&i| chunks[base + i].is_none()).collect();
+        let missing: Vec<usize> = (0..in_group)
+            .filter(|&i| chunks[base + i].is_none())
+            .collect();
         if missing.is_empty() {
             continue;
         }
@@ -240,16 +257,19 @@ pub fn decode_stream(
         let mut col = vec![0u8; in_group + GROUP_PARITY];
         for j in 0..cap {
             for i in 0..in_group {
-                col[i] = chunks[base + i].as_ref().map_or(0, |c| c.get(j).copied().unwrap_or(0));
+                col[i] = chunks[base + i]
+                    .as_ref()
+                    .map_or(0, |c| c.get(j).copied().unwrap_or(0));
             }
             for (pi, p) in parity[group].iter().enumerate() {
                 col[in_group + pi] = p.as_ref().map_or(0, |c| c[j]);
             }
-            rs.decode(&mut col, &erasures).map_err(|_| StreamError::TooManyMissing {
-                group: group as u16,
-                missing: erasures.len(),
-                correctable: GROUP_PARITY,
-            })?;
+            rs.decode(&mut col, &erasures)
+                .map_err(|_| StreamError::TooManyMissing {
+                    group: group as u16,
+                    missing: erasures.len(),
+                    correctable: GROUP_PARITY,
+                })?;
             for (mi, &m) in missing.iter().enumerate() {
                 recovered[mi][j] = col[m];
             }
@@ -304,7 +324,9 @@ mod tests {
     }
 
     fn payload(n: usize) -> Vec<u8> {
-        (0..n).map(|i| (i as u8).wrapping_mul(131).wrapping_add(7)).collect()
+        (0..n)
+            .map(|i| (i as u8).wrapping_mul(131).wrapping_add(7))
+            .collect()
     }
 
     #[test]

@@ -61,7 +61,10 @@ impl Gf256 {
             if x & 0x100 != 0 {
                 x ^= poly;
             }
-            assert!(!(i < GROUP_ORDER - 1 && x == 1), "polynomial is not primitive");
+            assert!(
+                !(i < GROUP_ORDER - 1 && x == 1),
+                "polynomial is not primitive"
+            );
         }
         // Duplicate so mul can index exp[log a + log b] without reduction.
         for i in GROUP_ORDER..512 {

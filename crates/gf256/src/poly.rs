@@ -93,7 +93,10 @@ mod tests {
         let b = [1u8, 7];
         let ab = mul(&gf, &a, &b);
         for x in [0u8, 1, 2, 50, 200] {
-            assert_eq!(eval(&gf, &ab, x), gf.mul(eval(&gf, &a, x), eval(&gf, &b, x)));
+            assert_eq!(
+                eval(&gf, &ab, x),
+                gf.mul(eval(&gf, &a, x), eval(&gf, &b, x))
+            );
         }
     }
 

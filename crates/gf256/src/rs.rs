@@ -33,8 +33,14 @@ impl std::fmt::Display for RsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RsError::TooManyErrors => write!(f, "uncorrectable codeword"),
-            RsError::BadErasure { index, codeword_len } => {
-                write!(f, "erasure index {index} out of range for codeword of {codeword_len}")
+            RsError::BadErasure {
+                index,
+                codeword_len,
+            } => {
+                write!(
+                    f,
+                    "erasure index {index} out of range for codeword of {codeword_len}"
+                )
             }
             RsError::LengthMismatch { expected, got } => {
                 write!(f, "expected slice of length {expected}, got {got}")
@@ -163,11 +169,17 @@ impl RsCode {
     /// Capacity: `2 * errors + erasures <= n - k`.
     pub fn decode(&self, cw: &mut [u8], erasures: &[usize]) -> Result<usize, RsError> {
         if cw.len() != self.n {
-            return Err(RsError::LengthMismatch { expected: self.n, got: cw.len() });
+            return Err(RsError::LengthMismatch {
+                expected: self.n,
+                got: cw.len(),
+            });
         }
         for &e in erasures {
             if e >= self.n {
-                return Err(RsError::BadErasure { index: e, codeword_len: self.n });
+                return Err(RsError::BadErasure {
+                    index: e,
+                    codeword_len: self.n,
+                });
             }
         }
         let p = self.parity_len();
@@ -278,7 +290,9 @@ mod tests {
     use super::*;
 
     fn sample_msg(k: usize, seed: u8) -> Vec<u8> {
-        (0..k).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..k)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -422,7 +436,10 @@ mod tests {
         let mut short = vec![0u8; 10];
         assert!(matches!(
             rs.decode(&mut short, &[]),
-            Err(RsError::LengthMismatch { expected: 20, got: 10 })
+            Err(RsError::LengthMismatch {
+                expected: 20,
+                got: 10
+            })
         ));
     }
 
@@ -430,7 +447,10 @@ mod tests {
     fn decode_reports_bad_erasure_index() {
         let rs = RsCode::new(20, 17);
         let mut cw = rs.encode(&sample_msg(17, 0));
-        assert!(matches!(rs.decode(&mut cw, &[25]), Err(RsError::BadErasure { .. })));
+        assert!(matches!(
+            rs.decode(&mut cw, &[25]),
+            Err(RsError::BadErasure { .. })
+        ));
     }
 
     #[test]

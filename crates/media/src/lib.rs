@@ -133,7 +133,11 @@ impl Medium {
             geometry,
             frame_width: geometry.image_width() + 60,
             frame_height: geometry.image_height() + 40,
-            degrade: DegradeParams { noise_sigma: 10.0, row_jitter: 0.3, ..Default::default() },
+            degrade: DegradeParams {
+                noise_sigma: 10.0,
+                row_jitter: 0.3,
+                ..Default::default()
+            },
             frames_per_meter: 100.0,
         }
     }
@@ -191,7 +195,11 @@ impl Medium {
 
     /// Scan a set of frames (seed is perturbed per frame).
     pub fn scan_all(&self, frames: &[GrayImage], seed: u64) -> Vec<GrayImage> {
-        frames.iter().enumerate().map(|(i, f)| self.scan(f, seed ^ (i as u64 + 1))).collect()
+        frames
+            .iter()
+            .enumerate()
+            .map(|(i, f)| self.scan(f, seed ^ (i as u64 + 1)))
+            .collect()
     }
 
     /// Payload bytes stored per frame.
@@ -224,7 +232,11 @@ mod tests {
 
     #[test]
     fn emblems_fit_their_media_frames() {
-        for m in [Medium::paper_a4_600dpi(), Medium::microfilm_16mm(), Medium::cinema_35mm()] {
+        for m in [
+            Medium::paper_a4_600dpi(),
+            Medium::microfilm_16mm(),
+            Medium::cinema_35mm(),
+        ] {
             assert!(m.geometry.image_width() <= m.frame_width, "{}", m.name);
             assert!(m.geometry.image_height() <= m.frame_height, "{}", m.name);
         }
@@ -265,7 +277,8 @@ mod tests {
         let m = Medium::test_tiny();
         let g = m.geometry;
         let data: Vec<u8> = (0..200u16).map(|i| (i % 251) as u8).collect();
-        let header = EmblemHeader::new(EmblemKind::Data, 0, 0, data.len() as u32, data.len() as u32);
+        let header =
+            EmblemHeader::new(EmblemKind::Data, 0, 0, data.len() as u32, data.len() as u32);
         let emblem = encode_emblem(&g, &header, &data);
         let scan = m.scan(&m.print(&emblem), 77);
         let (h, p, _) = decode_emblem(&g, &scan).unwrap();

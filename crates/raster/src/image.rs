@@ -19,13 +19,21 @@ impl std::fmt::Debug for GrayImage {
 impl GrayImage {
     /// A `width` × `height` image filled with `fill`.
     pub fn new(width: usize, height: usize, fill: u8) -> Self {
-        Self { width, height, data: vec![fill; width * height] }
+        Self {
+            width,
+            height,
+            data: vec![fill; width * height],
+        }
     }
 
     /// Wrap an existing buffer (len must equal `width * height`).
     pub fn from_raw(width: usize, height: usize, data: Vec<u8>) -> Self {
         assert_eq!(data.len(), width * height, "buffer size mismatch");
-        Self { width, height, data }
+        Self {
+            width,
+            height,
+            data,
+        }
     }
 
     pub fn width(&self) -> usize {
@@ -82,8 +90,16 @@ impl GrayImage {
 
     /// Global threshold: pixels `< t` become 0, others 255.
     pub fn threshold(&self, t: u8) -> GrayImage {
-        let data = self.data.iter().map(|&p| if p < t { 0 } else { 255 }).collect();
-        GrayImage { width: self.width, height: self.height, data }
+        let data = self
+            .data
+            .iter()
+            .map(|&p| if p < t { 0 } else { 255 })
+            .collect();
+        GrayImage {
+            width: self.width,
+            height: self.height,
+            data,
+        }
     }
 
     /// Otsu's method: the threshold that minimises intra-class variance.
@@ -137,7 +153,12 @@ impl GrayImage {
         if self.data.is_empty() {
             return 0.0;
         }
-        let differing = self.data.iter().zip(&other.data).filter(|(a, b)| a != b).count();
+        let differing = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .filter(|(a, b)| a != b)
+            .count();
         differing as f64 / self.data.len() as f64
     }
 }

@@ -74,7 +74,10 @@ fn parse_header(data: &[u8], want: usize) -> Result<(Vec<usize>, usize), PnmErro
             return Err(PnmError::BadHeader("expected integer".into()));
         }
         let tok = std::str::from_utf8(&data[start..i]).unwrap();
-        vals.push(tok.parse().map_err(|_| PnmError::BadHeader("integer overflow".into()))?);
+        vals.push(
+            tok.parse()
+                .map_err(|_| PnmError::BadHeader("integer overflow".into()))?,
+        );
     }
     // exactly one whitespace byte separates header from pixels
     if i >= data.len() {
@@ -97,7 +100,11 @@ pub fn decode_pgm(data: &[u8]) -> Result<GrayImage, PnmError> {
     if data.len() < pix_start + need {
         return Err(PnmError::Truncated);
     }
-    Ok(GrayImage::from_raw(w, h, data[pix_start..pix_start + need].to_vec()))
+    Ok(GrayImage::from_raw(
+        w,
+        h,
+        data[pix_start..pix_start + need].to_vec(),
+    ))
 }
 
 /// Decode a binary PBM (P4) into a 0/255 bitonal image.
@@ -174,14 +181,23 @@ mod tests {
 
     #[test]
     fn bad_magic_rejected() {
-        assert_eq!(decode_pgm(b"P6\n1 1\n255\nxxx").unwrap_err(), PnmError::BadMagic);
-        assert_eq!(decode_pbm(b"P5\n1 1\n255\nx").unwrap_err(), PnmError::BadMagic);
+        assert_eq!(
+            decode_pgm(b"P6\n1 1\n255\nxxx").unwrap_err(),
+            PnmError::BadMagic
+        );
+        assert_eq!(
+            decode_pbm(b"P5\n1 1\n255\nx").unwrap_err(),
+            PnmError::BadMagic
+        );
     }
 
     #[test]
     fn truncation_rejected() {
         let img = checker(8, 8);
         let enc = encode_pgm(&img);
-        assert_eq!(decode_pgm(&enc[..enc.len() - 1]).unwrap_err(), PnmError::Truncated);
+        assert_eq!(
+            decode_pgm(&enc[..enc.len() - 1]).unwrap_err(),
+            PnmError::Truncated
+        );
     }
 }

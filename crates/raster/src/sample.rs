@@ -30,7 +30,11 @@ pub fn resize(img: &GrayImage, new_w: usize, new_h: usize) -> GrayImage {
             // Map pixel centres, not corners.
             let src_x = (x as f64 + 0.5) * sx - 0.5;
             let src_y = (y as f64 + 0.5) * sy - 0.5;
-            out.set(x, y, bilinear(img, src_x, src_y).round().clamp(0.0, 255.0) as u8);
+            out.set(
+                x,
+                y,
+                bilinear(img, src_x, src_y).round().clamp(0.0, 255.0) as u8,
+            );
         }
     }
     out

@@ -223,7 +223,12 @@ impl Scanner {
                 for x in (hx - r).max(0)..(hx + r + 1).min(out_w as isize) {
                     let d2 = (x as f64 - h.x).powi(2) + (y as f64 - h.y).powi(2);
                     if d2 < h.r * h.r {
-                        add_clamped(&mut out, x as usize, y as usize, h.delta * (1.0 - d2 / (h.r * h.r)));
+                        add_clamped(
+                            &mut out,
+                            x as usize,
+                            y as usize,
+                            h.delta * (1.0 - d2 / (h.r * h.r)),
+                        );
                     }
                 }
             }
@@ -236,7 +241,9 @@ impl Scanner {
                 let x = scr.x0 + t * scr.dx;
                 let y = scr.y0 + t * scr.dy;
                 t += 0.5;
-                if x < -scr.width || y < -scr.width || x >= out_w as f64 + scr.width
+                if x < -scr.width
+                    || y < -scr.width
+                    || x >= out_w as f64 + scr.width
                     || y >= out_h as f64 + scr.width
                 {
                     continue;
@@ -297,7 +304,12 @@ mod tests {
     #[test]
     fn scan_is_deterministic_per_seed() {
         let m = master();
-        let p = DegradeParams { noise_sigma: 10.0, dust_per_mpx: 500.0, dust_max_radius: 2.0, ..Default::default() };
+        let p = DegradeParams {
+            noise_sigma: 10.0,
+            dust_per_mpx: 500.0,
+            dust_max_radius: 2.0,
+            ..Default::default()
+        };
         let a = Scanner::new(p.clone(), 7).scan(&m);
         let b = Scanner::new(p.clone(), 7).scan(&m);
         let c = Scanner::new(p, 8).scan(&m);
@@ -308,7 +320,10 @@ mod tests {
     #[test]
     fn noise_perturbs_but_preserves_structure() {
         let m = master();
-        let p = DegradeParams { noise_sigma: 8.0, ..Default::default() };
+        let p = DegradeParams {
+            noise_sigma: 8.0,
+            ..Default::default()
+        };
         let s = Scanner::new(p, 3).scan(&m);
         // Interior of the black square stays predominantly dark.
         assert!(s.get(50, 50) < 80);
@@ -321,7 +336,10 @@ mod tests {
     #[test]
     fn scan_scale_resizes_output() {
         let m = master();
-        let p = DegradeParams { scan_scale: 2.0, ..Default::default() };
+        let p = DegradeParams {
+            scan_scale: 2.0,
+            ..Default::default()
+        };
         let s = Scanner::new(p, 1).scan(&m);
         assert_eq!(s.width(), 200);
         assert_eq!(s.height(), 200);
@@ -333,7 +351,11 @@ mod tests {
     #[test]
     fn dust_creates_saturated_specks() {
         let m = GrayImage::new(200, 200, 128);
-        let p = DegradeParams { dust_per_mpx: 2000.0, dust_max_radius: 3.0, ..Default::default() };
+        let p = DegradeParams {
+            dust_per_mpx: 2000.0,
+            dust_max_radius: 3.0,
+            ..Default::default()
+        };
         let s = Scanner::new(p, 11).scan(&m);
         let extremes = s.as_bytes().iter().filter(|&&v| v == 0 || v == 255).count();
         assert!(extremes > 50, "only {extremes} saturated pixels");
@@ -342,7 +364,10 @@ mod tests {
     #[test]
     fn lens_distortion_moves_edges_not_centre() {
         let m = master();
-        let p = DegradeParams { lens_k: 0.05, ..Default::default() };
+        let p = DegradeParams {
+            lens_k: 0.05,
+            ..Default::default()
+        };
         let s = Scanner::new(p, 1).scan(&m);
         // Centre pixel unchanged; some pixels near the square's border moved.
         assert_eq!(s.get(50, 50), m.get(50, 50));

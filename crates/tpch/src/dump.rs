@@ -10,12 +10,19 @@ use crate::gen::{Database, Table};
 /// Column type names used in the DDL (cosmetic — the archive pipeline is
 /// type-agnostic, but a real DBMS could replay this DDL).
 fn column_type(col: &str) -> &'static str {
-    if col.ends_with("key") || col.ends_with("size") || col.ends_with("qty")
-        || col.ends_with("number") || col.ends_with("priority") && col.starts_with("o_ship")
+    if col.ends_with("key")
+        || col.ends_with("size")
+        || col.ends_with("qty")
+        || col.ends_with("number")
+        || col.ends_with("priority") && col.starts_with("o_ship")
     {
         "integer"
-    } else if col.ends_with("price") || col.ends_with("bal") || col.ends_with("cost")
-        || col.ends_with("discount") || col.ends_with("tax") || col.ends_with("quantity")
+    } else if col.ends_with("price")
+        || col.ends_with("bal")
+        || col.ends_with("cost")
+        || col.ends_with("discount")
+        || col.ends_with("tax")
+        || col.ends_with("quantity")
     {
         "numeric(15,2)"
     } else if col.ends_with("date") {
@@ -35,7 +42,11 @@ fn write_table(out: &mut String, t: &Table) {
 }
 
 fn write_copy(out: &mut String, t: &Table) {
-    out.push_str(&format!("COPY {} ({}) FROM stdin;\n", t.name, t.columns.join(", ")));
+    out.push_str(&format!(
+        "COPY {} ({}) FROM stdin;\n",
+        t.name,
+        t.columns.join(", ")
+    ));
     for row in &t.rows {
         out.push_str(&row.join("\t"));
         out.push('\n');
@@ -46,7 +57,9 @@ fn write_copy(out: &mut String, t: &Table) {
 /// Serialize the database as a pg_dump-style SQL text archive.
 pub fn sql_dump(db: &Database) -> Vec<u8> {
     let mut out = String::with_capacity(db.total_rows() * 96);
-    out.push_str("--\n-- PostgreSQL database dump (ULE reproduction of pg_dump plain format)\n--\n\n");
+    out.push_str(
+        "--\n-- PostgreSQL database dump (ULE reproduction of pg_dump plain format)\n--\n\n",
+    );
     out.push_str("SET statement_timeout = 0;\nSET client_encoding = 'UTF8';\nSET standard_conforming_strings = on;\n\n");
     for t in &db.tables {
         write_table(&mut out, t);
@@ -67,8 +80,9 @@ mod tests {
     fn dump_contains_ddl_and_copy_for_every_table() {
         let db = Database::generate(0.0002, 1);
         let dump = String::from_utf8(sql_dump(&db)).unwrap();
-        for t in ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
-        {
+        for t in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ] {
             assert!(dump.contains(&format!("CREATE TABLE {t} (")), "DDL for {t}");
             assert!(dump.contains(&format!("COPY {t} (")), "COPY for {t}");
         }

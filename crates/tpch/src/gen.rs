@@ -52,10 +52,20 @@ const NATIONS: [(&str, usize); 25] = [
     ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
-const INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
@@ -63,18 +73,55 @@ const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINERS1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
 const CONTAINERS2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 const COLORS: [&str; 12] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
 ];
 const NOUNS: [&str; 12] = [
-    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto beans",
-    "instructions", "dependencies", "excuses", "platelets",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto beans",
+    "instructions",
+    "dependencies",
+    "excuses",
+    "platelets",
 ];
 const VERBS: [&str; 10] = [
-    "sleep", "haggle", "nag", "wake", "cajole", "detect", "integrate", "boost", "doze", "unwind",
+    "sleep",
+    "haggle",
+    "nag",
+    "wake",
+    "cajole",
+    "detect",
+    "integrate",
+    "boost",
+    "doze",
+    "unwind",
 ];
-const ADVERBS: [&str; 8] =
-    ["quickly", "slowly", "carefully", "furiously", "blithely", "daringly", "ruthlessly", "never"];
+const ADVERBS: [&str; 8] = [
+    "quickly",
+    "slowly",
+    "carefully",
+    "furiously",
+    "blithely",
+    "daringly",
+    "ruthlessly",
+    "never",
+];
 
 /// Grammar-ish comment text of bounded length.
 fn comment(rng: &mut Xorshift, max_words: usize) -> String {
@@ -100,7 +147,6 @@ fn money(rng: &mut Xorshift, lo_cents: i64, hi_cents: i64) -> String {
     format!("{}.{:02}", cents / 100, (cents % 100).abs())
 }
 
-
 /// Day `base + offset` counted from 1992-01-01, rendered YYYY-MM-DD.
 fn date_with_offset(base: i64, offset: i64) -> String {
     let mut days = base + offset;
@@ -115,8 +161,20 @@ fn date_with_offset(base: i64, offset: i64) -> String {
         year += 1;
     }
     let leap = year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
-    let month_days =
-        [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    let month_days = [
+        31,
+        if leap { 29 } else { 28 },
+        31,
+        30,
+        31,
+        30,
+        31,
+        31,
+        30,
+        31,
+        30,
+        31,
+    ];
     let mut month = 0usize;
     while days >= month_days[month] {
         days -= month_days[month];
@@ -170,14 +228,24 @@ impl Database {
                 .iter()
                 .enumerate()
                 .map(|(i, (name, r))| {
-                    vec![i.to_string(), name.to_string(), r.to_string(), comment(&mut rng, 10)]
+                    vec![
+                        i.to_string(),
+                        name.to_string(),
+                        r.to_string(),
+                        comment(&mut rng, 10),
+                    ]
                 })
                 .collect(),
         };
         let supplier = Table {
             name: "supplier",
             columns: vec![
-                "s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal",
+                "s_suppkey",
+                "s_name",
+                "s_address",
+                "s_nationkey",
+                "s_phone",
+                "s_acctbal",
                 "s_comment",
             ],
             rows: (1..=n_supplier)
@@ -198,8 +266,14 @@ impl Database {
         let customer = Table {
             name: "customer",
             columns: vec![
-                "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal",
-                "c_mktsegment", "c_comment",
+                "c_custkey",
+                "c_name",
+                "c_address",
+                "c_nationkey",
+                "c_phone",
+                "c_acctbal",
+                "c_mktsegment",
+                "c_comment",
             ],
             rows: (1..=n_customer)
                 .map(|k| {
@@ -220,8 +294,15 @@ impl Database {
         let part = Table {
             name: "part",
             columns: vec![
-                "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container",
-                "p_retailprice", "p_comment",
+                "p_partkey",
+                "p_name",
+                "p_mfgr",
+                "p_brand",
+                "p_type",
+                "p_size",
+                "p_container",
+                "p_retailprice",
+                "p_comment",
             ],
             rows: (1..=n_part)
                 .map(|k| {
@@ -247,7 +328,13 @@ impl Database {
         };
         let partsupp = Table {
             name: "partsupp",
-            columns: vec!["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"],
+            columns: vec![
+                "ps_partkey",
+                "ps_suppkey",
+                "ps_availqty",
+                "ps_supplycost",
+                "ps_comment",
+            ],
             rows: (1..=n_part)
                 .flat_map(|p| (0..4).map(move |s| (p, s)))
                 .map(|(p, s)| {
@@ -310,23 +397,44 @@ impl Database {
         let orders = Table {
             name: "orders",
             columns: vec![
-                "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
-                "o_orderpriority", "o_clerk", "o_shippriority", "o_comment",
+                "o_orderkey",
+                "o_custkey",
+                "o_orderstatus",
+                "o_totalprice",
+                "o_orderdate",
+                "o_orderpriority",
+                "o_clerk",
+                "o_shippriority",
+                "o_comment",
             ],
             rows: orders_rows,
         };
         let lineitem = Table {
             name: "lineitem",
             columns: vec![
-                "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber", "l_quantity",
-                "l_extendedprice", "l_discount", "l_tax", "l_returnflag", "l_linestatus",
-                "l_shipdate", "l_commitdate", "l_receiptdate", "l_shipinstruct", "l_shipmode",
+                "l_orderkey",
+                "l_partkey",
+                "l_suppkey",
+                "l_linenumber",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_tax",
+                "l_returnflag",
+                "l_linestatus",
+                "l_shipdate",
+                "l_commitdate",
+                "l_receiptdate",
+                "l_shipinstruct",
+                "l_shipmode",
                 "l_comment",
             ],
             rows: lineitem_rows,
         };
         Database {
-            tables: vec![region, nation, supplier, customer, part, partsupp, orders, lineitem],
+            tables: vec![
+                region, nation, supplier, customer, part, partsupp, orders, lineitem,
+            ],
         }
     }
 
@@ -448,7 +556,11 @@ mod tests {
         let t = Table {
             name: "t",
             columns: vec!["v"],
-            rows: vec![vec!["1.50".into()], vec!["2.25".into()], vec!["-0.75".into()]],
+            rows: vec![
+                vec!["1.50".into()],
+                vec!["2.25".into()],
+                vec!["-0.75".into()],
+            ],
         };
         assert_eq!(t.sum_cents("v"), Some(300));
     }

@@ -35,23 +35,75 @@ impl std::error::Error for LoadError {}
 /// `Database` values compare equal.
 fn intern_column(name: &str) -> Option<&'static str> {
     const ALL: [&str; 61] = [
-        "r_regionkey", "r_name", "r_comment", "n_nationkey", "n_name", "n_regionkey", "n_comment",
-        "s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone", "s_acctbal", "s_comment",
-        "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone", "c_acctbal", "c_mktsegment",
-        "c_comment", "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_container",
-        "p_retailprice", "p_comment", "ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
-        "ps_comment", "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice", "o_orderdate",
-        "o_orderpriority", "o_clerk", "o_shippriority", "o_comment", "l_orderkey", "l_partkey",
-        "l_suppkey", "l_linenumber", "l_quantity", "l_extendedprice", "l_discount", "l_tax",
-        "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate", "l_receiptdate",
-        "l_shipinstruct", "l_shipmode", "l_comment",
+        "r_regionkey",
+        "r_name",
+        "r_comment",
+        "n_nationkey",
+        "n_name",
+        "n_regionkey",
+        "n_comment",
+        "s_suppkey",
+        "s_name",
+        "s_address",
+        "s_nationkey",
+        "s_phone",
+        "s_acctbal",
+        "s_comment",
+        "c_custkey",
+        "c_name",
+        "c_address",
+        "c_nationkey",
+        "c_phone",
+        "c_acctbal",
+        "c_mktsegment",
+        "c_comment",
+        "p_partkey",
+        "p_name",
+        "p_mfgr",
+        "p_brand",
+        "p_type",
+        "p_size",
+        "p_container",
+        "p_retailprice",
+        "p_comment",
+        "ps_partkey",
+        "ps_suppkey",
+        "ps_availqty",
+        "ps_supplycost",
+        "ps_comment",
+        "o_orderkey",
+        "o_custkey",
+        "o_orderstatus",
+        "o_totalprice",
+        "o_orderdate",
+        "o_orderpriority",
+        "o_clerk",
+        "o_shippriority",
+        "o_comment",
+        "l_orderkey",
+        "l_partkey",
+        "l_suppkey",
+        "l_linenumber",
+        "l_quantity",
+        "l_extendedprice",
+        "l_discount",
+        "l_tax",
+        "l_returnflag",
+        "l_linestatus",
+        "l_shipdate",
+        "l_commitdate",
+        "l_receiptdate",
+        "l_shipinstruct",
+        "l_shipmode",
+        "l_comment",
     ];
     ALL.iter().find(|&&c| c == name).copied()
 }
 
 fn intern_table(name: &str) -> Option<&'static str> {
-    const ALL: [&str; 8] =
-        ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"];
+    const ALL: [&str; 8] = [
+        "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+    ];
     ALL.iter().find(|&&t| t == name).copied()
 }
 
@@ -91,14 +143,21 @@ pub fn parse_dump(dump: &[u8]) -> Result<Database, LoadError> {
             }
             let fields: Vec<String> = row_line.split('\t').map(str::to_owned).collect();
             if fields.len() != columns.len() {
-                return Err(LoadError::RaggedRow { table: name.to_string(), line: lno + 1 });
+                return Err(LoadError::RaggedRow {
+                    table: name.to_string(),
+                    line: lno + 1,
+                });
             }
             rows.push(fields);
         }
         if !terminated {
             return Err(LoadError::UnterminatedCopy(name.to_string()));
         }
-        tables.push(Table { name, columns, rows });
+        tables.push(Table {
+            name,
+            columns,
+            rows,
+        });
     }
     Ok(Database { tables })
 }
@@ -120,27 +179,44 @@ mod tests {
     fn aggregates_survive_roundtrip() {
         let db = Database::generate(0.0005, 21);
         let parsed = parse_dump(&sql_dump(&db)).unwrap();
-        let a = db.table("orders").unwrap().sum_cents("o_totalprice").unwrap();
-        let b = parsed.table("orders").unwrap().sum_cents("o_totalprice").unwrap();
+        let a = db
+            .table("orders")
+            .unwrap()
+            .sum_cents("o_totalprice")
+            .unwrap();
+        let b = parsed
+            .table("orders")
+            .unwrap()
+            .sum_cents("o_totalprice")
+            .unwrap();
         assert_eq!(a, b);
     }
 
     #[test]
     fn detects_unterminated_copy() {
         let text = b"COPY nation (n_nationkey, n_name, n_regionkey, n_comment) FROM stdin;\n0\tALGERIA\t0\tx\n";
-        assert_eq!(parse_dump(text).unwrap_err(), LoadError::UnterminatedCopy("nation".into()));
+        assert_eq!(
+            parse_dump(text).unwrap_err(),
+            LoadError::UnterminatedCopy("nation".into())
+        );
     }
 
     #[test]
     fn detects_ragged_rows() {
         let text = b"COPY region (r_regionkey, r_name, r_comment) FROM stdin;\n0\tAFRICA\n\\.\n";
-        assert!(matches!(parse_dump(text).unwrap_err(), LoadError::RaggedRow { .. }));
+        assert!(matches!(
+            parse_dump(text).unwrap_err(),
+            LoadError::RaggedRow { .. }
+        ));
     }
 
     #[test]
     fn rejects_unknown_tables() {
         let text = b"COPY mystery (a) FROM stdin;\n\\.\n";
-        assert!(matches!(parse_dump(text).unwrap_err(), LoadError::UnknownTableShape(_)));
+        assert!(matches!(
+            parse_dump(text).unwrap_err(),
+            LoadError::UnknownTableShape(_)
+        ));
     }
 
     #[test]

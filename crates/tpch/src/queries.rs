@@ -33,7 +33,9 @@ fn cents(v: &str) -> i64 {
 /// TPC-H Q1 shape: pricing summary grouped by (returnflag, linestatus)
 /// for lineitems shipped on or before `cutoff_date` (YYYY-MM-DD).
 pub fn pricing_summary(db: &Database, cutoff_date: &str) -> Vec<PricingSummaryRow> {
-    let Some(li) = db.table("lineitem") else { return Vec::new() };
+    let Some(li) = db.table("lineitem") else {
+        return Vec::new();
+    };
     let flag = li.column_index("l_returnflag").unwrap();
     let status = li.column_index("l_linestatus").unwrap();
     let qty = li.column_index("l_quantity").unwrap();
@@ -52,21 +54,25 @@ pub fn pricing_summary(db: &Database, cutoff_date: &str) -> Vec<PricingSummaryRo
     }
     groups
         .into_iter()
-        .map(|((rf, ls), (count, sum_qty, sum_price))| PricingSummaryRow {
-            returnflag: rf,
-            linestatus: ls,
-            count,
-            sum_qty,
-            sum_base_price_cents: sum_price,
-            avg_qty: sum_qty as f64 / count as f64,
-        })
+        .map(
+            |((rf, ls), (count, sum_qty, sum_price))| PricingSummaryRow {
+                returnflag: rf,
+                linestatus: ls,
+                count,
+                sum_qty,
+                sum_base_price_cents: sum_price,
+                avg_qty: sum_qty as f64 / count as f64,
+            },
+        )
         .collect()
 }
 
 /// TPC-H Q6 shape: revenue from discounted lineitems in a date window and
 /// quantity bound. Returns cents of `extendedprice * discount`.
 pub fn forecast_revenue(db: &Database, year: &str, max_qty: i64) -> i64 {
-    let Some(li) = db.table("lineitem") else { return 0 };
+    let Some(li) = db.table("lineitem") else {
+        return 0;
+    };
     let qty = li.column_index("l_quantity").unwrap();
     let price = li.column_index("l_extendedprice").unwrap();
     let disc = li.column_index("l_discount").unwrap();
@@ -92,7 +98,9 @@ pub fn forecast_revenue(db: &Database, year: &str, max_qty: i64) -> i64 {
 /// Top-N customers by total order value (a Q3-ish shape without the join
 /// pruning, adequate at archive scales).
 pub fn top_customers(db: &Database, n: usize) -> Vec<(String, i64)> {
-    let Some(orders) = db.table("orders") else { return Vec::new() };
+    let Some(orders) = db.table("orders") else {
+        return Vec::new();
+    };
     let cust = orders.column_index("o_custkey").unwrap();
     let total = orders.column_index("o_totalprice").unwrap();
     let mut by_cust: BTreeMap<String, i64> = BTreeMap::new();
@@ -131,8 +139,14 @@ mod tests {
     #[test]
     fn q1_cutoff_filters() {
         let db = db();
-        let all: u64 = pricing_summary(&db, "1999-12-31").iter().map(|r| r.count).sum();
-        let some: u64 = pricing_summary(&db, "1995-01-01").iter().map(|r| r.count).sum();
+        let all: u64 = pricing_summary(&db, "1999-12-31")
+            .iter()
+            .map(|r| r.count)
+            .sum();
+        let some: u64 = pricing_summary(&db, "1995-01-01")
+            .iter()
+            .map(|r| r.count)
+            .sum();
         assert!(some < all);
         assert!(some > 0);
     }
@@ -165,7 +179,10 @@ mod tests {
             pricing_summary(&original, "1996-06-30"),
             pricing_summary(&restored, "1996-06-30")
         );
-        assert_eq!(forecast_revenue(&original, "1995", 24), forecast_revenue(&restored, "1995", 24));
+        assert_eq!(
+            forecast_revenue(&original, "1995", 24),
+            forecast_revenue(&restored, "1995", 24)
+        );
         assert_eq!(top_customers(&original, 10), top_customers(&restored, 10));
     }
 }

@@ -134,7 +134,8 @@ impl Masm {
         assert!(init.len() <= len);
         let first = Cell(self.cells.len());
         for i in 0..len {
-            self.cells.push(CellInit::Lit(init.get(i).copied().unwrap_or(0)));
+            self.cells
+                .push(CellInit::Lit(init.get(i).copied().unwrap_or(0)));
         }
         first
     }
@@ -426,9 +427,8 @@ impl Masm {
     pub fn finish(self, extra_zeros: usize) -> Image {
         let code_words = self.code.len();
         let cell_base = CODE_BASE as usize + code_words;
-        let resolve_label = |l: &Label| -> u32 {
-            CODE_BASE + self.labels[l.0].expect("unbound label")
-        };
+        let resolve_label =
+            |l: &Label| -> u32 { CODE_BASE + self.labels[l.0].expect("unbound label") };
         let total_cells = self.cells.len();
         let pinned = self.pinned;
         let cell_addr = move |c: &Cell| -> u32 {
@@ -463,9 +463,16 @@ impl Masm {
                 CellInit::AddrOf(c) => cell_addr(c),
             };
         }
-        let symbols =
-            self.named.iter().map(|(n, c)| (n.clone(), cell_addr(c))).collect::<HashMap<_, _>>();
-        Image { mem, symbols, code_words }
+        let symbols = self
+            .named
+            .iter()
+            .map(|(n, c)| (n.clone(), cell_addr(c)))
+            .collect::<HashMap<_, _>>();
+        Image {
+            mem,
+            symbols,
+            code_words,
+        }
     }
 }
 
@@ -680,8 +687,10 @@ mod tests {
         m.halt();
         let img = m.finish(0);
         let syms = img.symbols.clone();
-        let results: Vec<u32> =
-            run_all_engines(&img, 100_000).iter().map(|mem| mem[syms["x"] as usize]).collect();
+        let results: Vec<u32> = run_all_engines(&img, 100_000)
+            .iter()
+            .map(|mem| mem[syms["x"] as usize])
+            .collect();
         assert!(results.windows(2).all(|w| w[0] == w[1]));
         assert_eq!(results[0], 1 << 20);
     }

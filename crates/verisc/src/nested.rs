@@ -448,9 +448,11 @@ impl Gen {
             self.alu_finish(true);
         }
         // 2 SUB, 3 SBB, 4 CMP
-        for (code, with_borrow, write_back) in
-            [(2usize, false, true), (3usize, true, true), (4usize, false, false)]
-        {
+        for (code, with_borrow, write_back) in [
+            (2usize, false, true),
+            (3usize, true, true),
+            (4usize, false, false),
+        ] {
             self.m.bind(labels[code]);
             if code == 2 {
                 let k1 = self.m.konst(1);
@@ -608,7 +610,7 @@ impl Gen {
                 self.m.jeq(self.mode, ks[v], case);
             }
             self.m.jmp(cases[5]); // modes 6/7 behave like mode 5 (native `_` arm)
-            // m0: Ra ← Rb
+                                  // m0: Ra ← Rb
             self.m.bind(cases[0]);
             self.getreg(self.va, fb);
             self.setreg(fa, self.va);
@@ -707,7 +709,7 @@ impl Gen {
             let fa = self.fa;
             let fb = self.fb;
             self.getptr(self.t1, fb); // guest address
-            // byte0 = DYNMEM[addr]
+                                      // byte0 = DYNMEM[addr]
             self.m.add(self.ptr_t, self.k_dynmem, self.t1);
             self.m.ld_ind(self.ptr_t);
             self.m.st(self.va);
@@ -997,7 +999,10 @@ impl NestedEmulator {
     /// Read back the guest data memory (one byte per cell).
     pub fn dyn_mem(&self) -> Vec<u8> {
         let base = self.symbols["DYNMEM"] as usize;
-        self.image[base..base + self.dyn_mem_len].iter().map(|&w| w as u8).collect()
+        self.image[base..base + self.dyn_mem_len]
+            .iter()
+            .map(|&w| w as u8)
+            .collect()
     }
 
     /// Guest register file (for differential testing).
@@ -1049,7 +1054,10 @@ impl NestedEmulator {
     /// decoder stream into PROG" step). Panics if it does not fit the
     /// region allocated at generation time.
     pub fn load_guest_program(&mut self, program: &[u16], capacity: usize) {
-        assert!(program.len() <= capacity, "guest program exceeds PROG capacity");
+        assert!(
+            program.len() <= capacity,
+            "guest program exceeds PROG capacity"
+        );
         let base = self.symbols["PROG"] as usize;
         for (i, &w) in program.iter().enumerate() {
             self.image[base + i] = w as u32;
@@ -1078,10 +1086,18 @@ impl NestedEmulator {
         dyn_mem: &[u8],
     ) -> Self {
         let dynmem_base = symbols["DYNMEM"] as usize;
-        assert!(prefix.len() >= dynmem_base, "prefix shorter than DYNMEM base");
+        assert!(
+            prefix.len() >= dynmem_base,
+            "prefix shorter than DYNMEM base"
+        );
         let mut image = prefix[..dynmem_base].to_vec();
         image.extend(dyn_mem.iter().map(|&b| b as u32));
         image.extend(std::iter::repeat(0).take(8));
-        Self { dyn_mem_len: dyn_mem.len(), symbols, code_words: 0, image }
+        Self {
+            dyn_mem_len: dyn_mem.len(),
+            symbols,
+            code_words: 0,
+            image,
+        }
     }
 }

@@ -29,7 +29,9 @@ pub enum VeriscError {
 impl std::fmt::Display for VeriscError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            VeriscError::OutOfBounds { addr } => write!(f, "verisc access out of bounds: {addr:#x}"),
+            VeriscError::OutOfBounds { addr } => {
+                write!(f, "verisc access out of bounds: {addr:#x}")
+            }
             VeriscError::BadOpcode { at, op } => write!(f, "bad verisc opcode {op} at {at:#x}"),
             VeriscError::StepLimit { steps } => write!(f, "verisc step limit after {steps}"),
         }
@@ -47,8 +49,11 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    pub const ALL: [EngineKind; 3] =
-        [EngineKind::MatchBased, EngineKind::TableDriven, EngineKind::MicroCoded];
+    pub const ALL: [EngineKind; 3] = [
+        EngineKind::MatchBased,
+        EngineKind::TableDriven,
+        EngineKind::MicroCoded,
+    ];
 
     pub fn name(&self) -> &'static str {
         match self {
@@ -69,10 +74,16 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Wrap a memory image (MEM[0] must already hold the entry PC).
+    /// Wrap a memory image (`MEM[0]` must already hold the entry PC).
     pub fn new(kind: EngineKind, mem: Vec<u32>) -> Self {
         assert!(mem.len() > 2, "memory too small");
-        Self { kind, mem, acc: 0, steps: 0, halted: false }
+        Self {
+            kind,
+            mem,
+            acc: 0,
+            steps: 0,
+            halted: false,
+        }
     }
 
     pub fn halted(&self) -> bool {
@@ -96,7 +107,10 @@ impl Engine {
 
     #[inline]
     fn read(&self, addr: u32) -> Result<u32, VeriscError> {
-        self.mem.get(addr as usize).copied().ok_or(VeriscError::OutOfBounds { addr })
+        self.mem
+            .get(addr as usize)
+            .copied()
+            .ok_or(VeriscError::OutOfBounds { addr })
     }
 
     #[inline]
@@ -152,7 +166,9 @@ impl Engine {
             if self.steps >= budget_end {
                 return Err(VeriscError::StepLimit { steps: self.steps });
             }
-            let Some((op, addr)) = self.fetch()? else { break };
+            let Some((op, addr)) = self.fetch()? else {
+                break;
+            };
             self.steps += 1;
             match op {
                 OP_LD => self.acc = self.read(addr)?,
@@ -205,7 +221,9 @@ impl Engine {
             if self.steps >= budget_end {
                 return Err(VeriscError::StepLimit { steps: self.steps });
             }
-            let Some((op, addr)) = self.fetch()? else { break };
+            let Some((op, addr)) = self.fetch()? else {
+                break;
+            };
             self.steps += 1;
             let handler = TABLE.get(op as usize).ok_or(VeriscError::BadOpcode {
                 at: self.mem[PC_ADDR as usize].wrapping_sub(2),
@@ -244,7 +262,9 @@ impl Engine {
             if self.steps >= budget_end {
                 return Err(VeriscError::StepLimit { steps: self.steps });
             }
-            let Some((op, addr)) = self.fetch()? else { break };
+            let Some((op, addr)) = self.fetch()? else {
+                break;
+            };
             self.steps += 1;
             let prog: &[Uop] = match op {
                 OP_LD => U_LD,
@@ -326,8 +346,20 @@ mod tests {
         let borrow_out = 19;
         let halt_cell = 20;
         let code = vec![
-            OP_LD, a, OP_SBB, b, OP_ST, diff, OP_LD, BORROW_ADDR, OP_ST, borrow_out, OP_LD,
-            halt_cell, OP_ST, PC_ADDR,
+            OP_LD,
+            a,
+            OP_SBB,
+            b,
+            OP_ST,
+            diff,
+            OP_LD,
+            BORROW_ADDR,
+            OP_ST,
+            borrow_out,
+            OP_LD,
+            halt_cell,
+            OP_ST,
+            PC_ADDR,
         ];
         for kind in EngineKind::ALL {
             let mut mem = image(&code, 5);
@@ -358,7 +390,9 @@ mod tests {
         let b = 13;
         let diff = 14;
         let halt_cell = 15;
-        let code = vec![OP_LD, a, OP_SBB, b, OP_ST, diff, OP_LD, halt_cell, OP_ST, PC_ADDR];
+        let code = vec![
+            OP_LD, a, OP_SBB, b, OP_ST, diff, OP_LD, halt_cell, OP_ST, PC_ADDR,
+        ];
         for kind in EngineKind::ALL {
             let mut mem = image(&code, 4);
             mem[1] = u32::MAX; // borrow set
@@ -377,7 +411,9 @@ mod tests {
         let b = 13;
         let out = 14;
         let halt_cell = 15;
-        let code = vec![OP_LD, a, OP_AND, b, OP_ST, out, OP_LD, halt_cell, OP_ST, PC_ADDR];
+        let code = vec![
+            OP_LD, a, OP_AND, b, OP_ST, out, OP_LD, halt_cell, OP_ST, PC_ADDR,
+        ];
         for kind in EngineKind::ALL {
             let mut mem = image(&code, 4);
             mem[a as usize] = 0xFF00FF00;
@@ -393,7 +429,16 @@ mod tests {
     fn store_to_borrow_normalises_to_mask() {
         let v = 10;
         let halt_cell = 11;
-        let code = vec![OP_LD, v, OP_ST, BORROW_ADDR, OP_LD, halt_cell, OP_ST, PC_ADDR];
+        let code = vec![
+            OP_LD,
+            v,
+            OP_ST,
+            BORROW_ADDR,
+            OP_LD,
+            halt_cell,
+            OP_ST,
+            PC_ADDR,
+        ];
         for kind in EngineKind::ALL {
             let mut mem = image(&code, 2);
             mem[v as usize] = 7; // any non-zero
@@ -438,8 +483,18 @@ mod tests {
         // code: LD ptr; ST (addr of LD operand below); LD <patched>; ST out; halt
         let patched_operand_addr = CODE_BASE + 5; // word index of the 3rd instr's ADDR
         let code = vec![
-            OP_LD, ptr, OP_ST, patched_operand_addr, OP_LD, 0xDEAD, OP_ST, out, OP_LD, halt_cell,
-            OP_ST, PC_ADDR,
+            OP_LD,
+            ptr,
+            OP_ST,
+            patched_operand_addr,
+            OP_LD,
+            0xDEAD,
+            OP_ST,
+            out,
+            OP_LD,
+            halt_cell,
+            OP_ST,
+            PC_ADDR,
         ];
         for kind in EngineKind::ALL {
             let mut mem = image(&code, 4);
@@ -518,7 +573,10 @@ mod tests {
             let mut mem = image(&code, 1);
             mem[k as usize] = CODE_BASE;
             let mut e = Engine::new(kind, mem);
-            assert!(matches!(e.run(1000), Err(VeriscError::StepLimit { .. })), "{kind:?}");
+            assert!(
+                matches!(e.run(1000), Err(VeriscError::StepLimit { .. })),
+                "{kind:?}"
+            );
         }
     }
 
@@ -527,7 +585,10 @@ mod tests {
         let code = vec![9, 0];
         for kind in EngineKind::ALL {
             let mut e = Engine::new(kind, image(&code, 0));
-            assert!(matches!(e.run(10), Err(VeriscError::BadOpcode { op: 9, .. })), "{kind:?}");
+            assert!(
+                matches!(e.run(10), Err(VeriscError::BadOpcode { op: 9, .. })),
+                "{kind:?}"
+            );
         }
     }
 

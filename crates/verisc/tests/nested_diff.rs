@@ -17,9 +17,19 @@ fn differential(program: Vec<u16>, mem: Vec<u8>, dyn_steps: u64) {
     for kind in EngineKind::ALL {
         let mut nested = NestedEmulator::new(&program, &mem);
         // Generous host budget: ~4000 VeRisc instructions per guest step.
-        nested.run(kind, dyn_steps.saturating_mul(4000).max(1_000_000)).expect("nested run");
-        assert_eq!(nested.guest_regs(), native.regs, "regs mismatch on {kind:?}");
-        assert_eq!(nested.guest_ptrs(), native.ptrs, "ptrs mismatch on {kind:?}");
+        nested
+            .run(kind, dyn_steps.saturating_mul(4000).max(1_000_000))
+            .expect("nested run");
+        assert_eq!(
+            nested.guest_regs(),
+            native.regs,
+            "regs mismatch on {kind:?}"
+        );
+        assert_eq!(
+            nested.guest_ptrs(),
+            native.ptrs,
+            "ptrs mismatch on {kind:?}"
+        );
         assert_eq!(nested.dyn_mem(), native.mem, "memory mismatch on {kind:?}");
     }
 }
@@ -76,7 +86,7 @@ fn memory_and_pointers() {
     let mut a = Asm::new();
     a.ldi_d(0, 4); // src
     a.ldi_d(1, 40); // dst
-    // copy 8 bytes with post-increment
+                    // copy 8 bytes with post-increment
     a.ldi(1, 8);
     let top = a.here();
     a.ldm_byte_inc(2, 0);

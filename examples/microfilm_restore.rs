@@ -32,7 +32,10 @@ fn logo_payload() -> Vec<u8> {
 fn main() {
     let medium = Medium::microfilm_16mm();
     let payload = logo_payload();
-    println!("payload: {} bytes (the paper's 102 KB image)", payload.len());
+    println!(
+        "payload: {} bytes (the paper's 102 KB image)",
+        payload.len()
+    );
 
     // Encode to emblems (no outer parity: the paper's film test used 3
     // emblems exactly).
@@ -64,7 +67,10 @@ fn main() {
 
     // Capacity model (§4: "capable of storing 1.3GB in a single 66 meter reel").
     let cap = medium.capacity_bytes(66.0);
-    println!("reel model: {:.2} GB per 66 m reel (paper: 1.3 GB)", cap as f64 / 1e9);
+    println!(
+        "reel model: {:.2} GB per 66 m reel (paper: 1.3 GB)",
+        cap as f64 / 1e9
+    );
     println!(
         "            => a 1 TB data lake needs ~{} reels (paper: ~800)",
         (1.0e12 / cap as f64).ceil()

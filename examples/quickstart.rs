@@ -12,7 +12,10 @@ fn main() {
     //    emits; here a miniature one).
     let mut dump = String::from("CREATE TABLE nation (n_nationkey integer, n_name text);\n");
     dump.push_str("COPY nation (n_nationkey, n_name) FROM stdin;\n");
-    for (i, n) in ["ALGERIA", "BRAZIL", "CANADA", "EGYPT", "FRANCE"].iter().enumerate() {
+    for (i, n) in ["ALGERIA", "BRAZIL", "CANADA", "EGYPT", "FRANCE"]
+        .iter()
+        .enumerate()
+    {
         dump.push_str(&format!("{i}\t{n}\n"));
     }
     dump.push_str("\\.\n");
@@ -21,17 +24,28 @@ fn main() {
     // 2. Configure Micr'Olonys for a medium. `test_tiny` keeps this example
     //    fast; swap in `Medium::paper_a4_600dpi()` / `Medium::microfilm_16mm()`
     //    / `Medium::cinema_35mm()` for the paper's real profiles.
-    let system = MicrOlonys { medium: Medium::test_tiny(), ..MicrOlonys::test_tiny() };
+    let system = MicrOlonys {
+        medium: Medium::test_tiny(),
+        ..MicrOlonys::test_tiny()
+    };
 
     // 3. Archive: DBCoder compression, MOCoder emblems, media frames, and
     //    the Bootstrap document.
     let out = system.archive(&dump);
     println!("dump:            {} bytes", out.stats.dump_bytes);
-    println!("compressed:      {} bytes ({})", out.stats.archive_bytes, system.scheme);
-    println!("data emblems:    {} (+ outer parity -> {} frames)",
-        out.stats.data_emblems, out.data_frames.len());
-    println!("system emblems:  {} frames (the DBDecode instruction stream)",
-        out.system_frames.len());
+    println!(
+        "compressed:      {} bytes ({})",
+        out.stats.archive_bytes, system.scheme
+    );
+    println!(
+        "data emblems:    {} (+ outer parity -> {} frames)",
+        out.stats.data_emblems,
+        out.data_frames.len()
+    );
+    println!(
+        "system emblems:  {} frames (the DBDecode instruction stream)",
+        out.system_frames.len()
+    );
     let (prose, letters) = out.bootstrap.page_count();
     println!("bootstrap:       {prose} pages of pseudocode+manifest, {letters} pages of letters");
 

@@ -5,7 +5,9 @@ use ule::emblem::{decode_emblem, decode_stream, encode_stream, EmblemGeometry, E
 use ule::raster::{DegradeParams, Scanner};
 
 fn payload(n: usize, seed: u8) -> Vec<u8> {
-    (0..n).map(|i| (i as u8).wrapping_mul(97).wrapping_add(seed)).collect()
+    (0..n)
+        .map(|i| (i as u8).wrapping_mul(97).wrapping_add(seed))
+        .collect()
 }
 
 #[test]
@@ -24,8 +26,11 @@ fn heavy_but_correctable_degradation() {
         scratch_width: 1.0,
         ..Default::default()
     };
-    let scans: Vec<_> =
-        images.iter().enumerate().map(|(i, im)| Scanner::new(params.clone(), i as u64).scan(im)).collect();
+    let scans: Vec<_> = images
+        .iter()
+        .enumerate()
+        .map(|(i, im)| Scanner::new(params.clone(), i as u64).scan(im))
+        .collect();
     let (restored, stats) = decode_stream(&geom, &scans).expect("decode");
     assert_eq!(restored, data);
     assert!(stats.rs_corrected > 0);
@@ -65,8 +70,8 @@ fn whole_group_loss_patterns() {
             .filter(|(i, _)| !lost.contains(i))
             .map(|(_, im)| im.clone())
             .collect();
-        let (restored, _) = decode_stream(&geom, &kept)
-            .unwrap_or_else(|e| panic!("lost {lost:?}: {e}"));
+        let (restored, _) =
+            decode_stream(&geom, &kept).unwrap_or_else(|e| panic!("lost {lost:?}: {e}"));
         assert_eq!(restored, data, "lost {lost:?}");
     }
 }
@@ -89,5 +94,8 @@ fn single_emblem_headers_survive_damage_to_one_copy() {
     let (h, p, stats) = decode_emblem(&geom, &img).expect("decode");
     assert_eq!(p, data);
     assert_eq!(h.payload_len as usize, data.len());
-    assert!(stats.header_copy_used >= 1, "should have fallen back past copy 0");
+    assert!(
+        stats.header_copy_used >= 1,
+        "should have fallen back past copy 0"
+    );
 }

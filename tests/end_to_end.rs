@@ -9,7 +9,11 @@ use ule::olonys::MicrOlonys;
 fn tpch_dump_archives_and_restores_bit_exact() {
     let dump = ule::tpch::dump_for_scale(0.00005, 11);
     assert!(dump.len() > 5_000);
-    let system = MicrOlonys { medium: Medium::test_tiny(), scheme: Scheme::Lzss, with_parity: true };
+    let system = MicrOlonys {
+        medium: Medium::test_tiny(),
+        scheme: Scheme::Lzss,
+        with_parity: true,
+    };
     let out = system.archive(&dump);
     let scans = system.medium.scan_all(&out.data_frames, 4242);
     let (restored, _) = system.restore_native(&scans).expect("restore");
@@ -25,7 +29,11 @@ fn tpch_dump_archives_and_restores_bit_exact() {
 fn all_schemes_survive_the_media_path() {
     let dump = ule::tpch::dump_for_scale(0.00002, 3);
     for scheme in Scheme::ALL {
-        let system = MicrOlonys { medium: Medium::test_tiny(), scheme, with_parity: true };
+        let system = MicrOlonys {
+            medium: Medium::test_tiny(),
+            scheme,
+            with_parity: true,
+        };
         let out = system.archive(&dump);
         let scans = system.medium.scan_all(&out.data_frames, 7 + scheme as u64);
         let (restored, _) = system.restore_native(&scans).expect("restore");
@@ -41,7 +49,10 @@ fn archive_stats_are_consistent() {
     assert_eq!(out.stats.dump_bytes, dump.len());
     assert!(out.stats.archive_bytes > 0);
     let cap = system.medium.geometry.payload_capacity();
-    assert_eq!(out.stats.data_emblems, out.stats.archive_bytes.div_ceil(cap));
+    assert_eq!(
+        out.stats.data_emblems,
+        out.stats.archive_bytes.div_ceil(cap)
+    );
     let per_frame = out.stats.density_per_frame;
     assert!((per_frame - dump.len() as f64 / out.stats.data_emblems as f64).abs() < 1.0);
 }

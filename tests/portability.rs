@@ -8,7 +8,11 @@ use ule::olonys::{Bootstrap, MicrOlonys};
 use ule::verisc::vm::EngineKind;
 
 fn micro() -> MicrOlonys {
-    MicrOlonys { medium: Medium::test_micro(), scheme: Scheme::Lzss, with_parity: false }
+    MicrOlonys {
+        medium: Medium::test_micro(),
+        scheme: Scheme::Lzss,
+        with_parity: false,
+    }
 }
 
 #[test]
@@ -66,7 +70,11 @@ fn engines_restore_identically_from_the_printed_document() {
     // fully specified, nothing implementation-defined leaks through.
     for w in outputs.windows(2) {
         assert_eq!(w[0].1, w[1].1, "{:?} vs {:?}", w[0].0, w[1].0);
-        assert_eq!(w[0].2, w[1].2, "step counts differ: {:?} vs {:?}", w[0].0, w[1].0);
+        assert_eq!(
+            w[0].2, w[1].2,
+            "step counts differ: {:?} vs {:?}",
+            w[0].0, w[1].0
+        );
     }
     assert_eq!(outputs[0].1, dump);
 }

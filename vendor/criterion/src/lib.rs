@@ -1,0 +1,320 @@
+//! Offline stand-in for the [`criterion`](https://docs.rs/criterion) benchmark
+//! harness.
+//!
+//! This workspace must build with **no network access**, so instead of the
+//! crates.io `criterion` we vendor a small, API-compatible subset that covers
+//! exactly what the benches in `crates/bench/benches/` use: configurable
+//! groups, throughput annotations, `bench_function`/`bench_with_input`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Semantics follow real criterion where it matters for CI:
+//!
+//! * under `cargo bench` the binary receives `--bench` and runs timed
+//!   measurements (warm-up, then `sample_size` timed iterations, reporting
+//!   mean wall-clock time and throughput);
+//! * under `cargo test` no `--bench` flag is passed and every benchmark body
+//!   runs **once** as a smoke test, so `cargo test -q` stays fast while still
+//!   exercising each bench target end to end.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group, as in real criterion.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form (the function name is the group's).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement configuration plus the entry point handed to bench targets.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    /// True when running without `--bench` (i.e. under `cargo test`):
+    /// each benchmark body executes a single untimed iteration.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed iterations per benchmark (builder style).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Upper bound on the timed phase of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Upper bound on the warm-up phase of one benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Inspect the process arguments the way real criterion does: `cargo
+    /// bench` appends `--bench`, `cargo test` does not. Called by
+    /// [`criterion_group!`]; not part of the public criterion API surface
+    /// the benches use directly.
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = !std::env::args().any(|a| a == "--bench");
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmark a closure outside of any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = id.to_string();
+        let cfg = self.clone();
+        run_benchmark(&label, &cfg, None, f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample-size settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the per-benchmark sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotate how much data one iteration processes.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the measurement-time cap for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Override the warm-up cap for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.warm_up_time = d;
+        self
+    }
+
+    /// Benchmark a closure under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let cfg = self.effective_config();
+        run_benchmark(&label, &cfg, self.throughput, f);
+        self
+    }
+
+    /// Benchmark a closure that borrows a prepared input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let cfg = self.effective_config();
+        run_benchmark(&label, &cfg, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; reporting is per-bench).
+    pub fn finish(self) {}
+
+    fn effective_config(&self) -> Criterion {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        cfg
+    }
+}
+
+/// The timing loop handle passed to every benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    ran: bool,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`, recording total elapsed wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.ran = true;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    label: &str,
+    cfg: &Criterion,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if cfg.test_mode {
+        // `cargo test` smoke mode: one untimed iteration, no report.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            ran: false,
+        };
+        f(&mut b);
+        assert!(b.ran, "benchmark {label} never called Bencher::iter");
+        return;
+    }
+
+    // Warm-up: run single iterations until the warm-up budget is spent, so
+    // the first timed sample doesn't pay cold-cache costs.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < cfg.warm_up_time && warm_iters < cfg.sample_size as u64 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            ran: false,
+        };
+        f(&mut b);
+        warm_iters += 1;
+    }
+
+    // Timed phase: one batch of `sample_size` iterations, capped by the
+    // measurement-time budget via the warm-up estimate.
+    let per_iter = if warm_iters > 0 {
+        warm_start.elapsed() / warm_iters as u32
+    } else {
+        Duration::ZERO
+    };
+    let mut iters = cfg.sample_size as u64;
+    if per_iter > Duration::ZERO {
+        let affordable = (cfg.measurement_time.as_secs_f64() / per_iter.as_secs_f64()).ceil();
+        iters = iters.min(affordable.max(1.0) as u64);
+    }
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+        ran: false,
+    };
+    f(&mut b);
+    assert!(b.ran, "benchmark {label} never called Bencher::iter");
+
+    let mean = if b.iters > 0 {
+        b.elapsed / b.iters as u32
+    } else {
+        Duration::ZERO
+    };
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!(
+                "  {:>10.3} MiB/s",
+                n as f64 / mean.as_secs_f64() / (1024.0 * 1024.0)
+            )
+        }
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>10.3} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("{label:<60} time: {mean:>12.3?}  ({} iters){rate}", b.iters);
+}
+
+/// Define a named benchmark-group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the bench binary's `main`, invoking each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for the [`proptest`](https://docs.rs/proptest)
+//! property-testing framework.
+//!
+//! This workspace must build with **no network access**, so instead of the
+//! crates.io `proptest` we vendor a small, API-compatible subset covering
+//! exactly what the four property suites in this repo use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` and
+//!   `arg in strategy` bindings;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * [`prop_oneof!`] over [`strategy::Just`] alternatives;
+//! * `any::<T>()` for the primitive integer types;
+//! * integer and `f64` range strategies (`0usize..255`, `1u8..=255`,
+//!   `0.0f64..1.0`);
+//! * [`collection::vec`] / [`collection::hash_set`] with exact, half-open
+//!   and inclusive size ranges;
+//! * `&str` regex strategies for the character-class/repetition subset
+//!   (e.g. `"[a-z]{1,12}"`).
+//!
+//! Generation is purely random (seeded deterministically per test from the
+//! test name, overridable via `PROPTEST_SEED`); there is **no shrinking** —
+//! a failing case panics with the generated seed so it can be replayed.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Assert a condition inside a `proptest!` body (maps to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Assert equality inside a `proptest!` body (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Assert inequality inside a `proptest!` body (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+/// (Weighted alternatives from real proptest are not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Define property tests: each `arg in strategy` binding is regenerated for
+/// every case and the body must hold for all of them.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let seed = $crate::test_runner::resolve_seed(stringify!($name));
+            let mut rng = $crate::test_runner::TestRng::deterministic(seed);
+            for case in 0..config.cases {
+                let case_seed = rng.next_u64();
+                let result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| {
+                        let mut rng = $crate::test_runner::TestRng::deterministic(case_seed);
+                        $(let $arg =
+                            $crate::strategy::Strategy::generate(&$strategy, &mut rng);)+
+                        $body
+                    }),
+                );
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed (replay with PROPTEST_SEED={seed})",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+}

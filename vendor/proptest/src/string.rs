@@ -1,0 +1,121 @@
+//! String generation from the regex subset used as `&str` strategies.
+//!
+//! Supported syntax: literal characters, character classes `[a-z0-9_]`
+//! (ranges and singletons, no negation), and the quantifiers `{n}`,
+//! `{m,n}`, `?`, `*`, `+` (the unbounded ones cap at 8 repetitions, like
+//! real proptest's default repeat bound). Anything else panics with a
+//! clear message — extend this module if a test needs more.
+
+use crate::test_runner::TestRng;
+
+/// Generate one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut output = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a character class or a literal character.
+        let alphabet: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated [class in pattern {pattern:?}"));
+                let class = &chars[i + 1..i + close];
+                i += close + 1;
+                expand_class(class, pattern)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                vec![c]
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!(
+                    "unsupported regex feature {:?} in pattern {pattern:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated {{quantifier in pattern {pattern:?}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (parse_bound(lo, pattern), parse_bound(hi, pattern)),
+                    None => {
+                        let n = parse_bound(&body, pattern);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+
+        assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+        let count = min + rng.below((max - min + 1) as u128) as usize;
+        for _ in 0..count {
+            let pick = rng.below(alphabet.len() as u128) as usize;
+            output.push(alphabet[pick]);
+        }
+    }
+    output
+}
+
+fn parse_bound(text: &str, pattern: &str) -> usize {
+    text.trim()
+        .parse()
+        .unwrap_or_else(|_| panic!("bad quantifier bound {text:?} in pattern {pattern:?}"))
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(
+        !class.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    assert!(
+        class[0] != '^',
+        "negated classes unsupported in pattern {pattern:?}"
+    );
+    let mut alphabet = Vec::new();
+    let mut j = 0;
+    while j < class.len() {
+        if j + 2 < class.len() && class[j + 1] == '-' {
+            let (lo, hi) = (class[j], class[j + 2]);
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            for c in lo..=hi {
+                alphabet.push(c);
+            }
+            j += 3;
+        } else {
+            alphabet.push(class[j]);
+            j += 1;
+        }
+    }
+    alphabet
+}
