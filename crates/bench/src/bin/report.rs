@@ -2,17 +2,44 @@
 //! run, printing paper-reported vs. measured values side by side.
 //!
 //! ```sh
-//! cargo run --release -p ule-bench --bin report            # quick (small TPC-H)
-//! cargo run --release -p ule-bench --bin report -- --full  # paper-scale (~1.2 MB dump)
+//! cargo run --release -p ule_bench --bin report            # quick (small TPC-H)
+//! cargo run --release -p ule_bench --bin report -- --full  # paper-scale (~1.2 MB dump)
 //! ```
 //!
 //! Results are recorded in `EXPERIMENTS.md`.
+//!
+//! The report is a CI gate, not just prose: every quantitative paper claim
+//! it reproduces (E1 density, E4 damage boundaries, E8 byte-identity, ...)
+//! is also asserted through [`Checks`], and the process exits non-zero if
+//! any check fails — so a regression in a reproduced number breaks the
+//! build instead of waiting for someone to eyeball the output.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use ule_compress::Scheme;
+use ule_emblem::stream::stream_crc32;
 use ule_emblem::{decode_emblem, decode_stream, encode_stream, EmblemGeometry, EmblemKind};
 use ule_media::Medium;
+use ule_par::ThreadConfig;
 use ule_verisc::vm::EngineKind;
+
+/// Accumulated paper-claim checks; a failure turns into exit code 1.
+#[derive(Default)]
+struct Checks {
+    passed: usize,
+    failures: Vec<String>,
+}
+
+impl Checks {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        if ok {
+            self.passed += 1;
+            println!("  [check ok]   {name}: {detail}");
+        } else {
+            self.failures.push(format!("{name}: {detail}"));
+            println!("  [CHECK FAIL] {name}: {detail}");
+        }
+    }
+}
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -21,15 +48,32 @@ fn main() {
         if full { "full" } else { "quick" }
     );
     println!("==========================================================");
+    let mut checks = Checks::default();
     t1_isa();
-    e1_paper_archive(full);
+    e1_paper_archive(full, &mut checks);
     e2_microfilm();
     e3_cinema();
-    e4_robustness();
+    e4_robustness(&mut checks);
     e5_portability();
     e6_compression(full);
     e7_emulation_overhead();
-    println!("\nreport complete.");
+    e8_parallel_scaling(full, &mut checks);
+    if checks.failures.is_empty() {
+        println!(
+            "\nreport complete: all {} paper-claim checks passed.",
+            checks.passed
+        );
+    } else {
+        println!(
+            "\nreport FAILED: {} of {} paper-claim checks did not hold:",
+            checks.failures.len(),
+            checks.passed + checks.failures.len()
+        );
+        for f in &checks.failures {
+            println!("  - {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 fn t1_isa() {
@@ -47,7 +91,7 @@ fn t1_isa() {
     }
 }
 
-fn e1_paper_archive(full: bool) {
+fn e1_paper_archive(full: bool, checks: &mut Checks) {
     let scale = if full { 0.00115 } else { 0.0002 };
     println!("\n[E1] Paper archive (§4) — TPC-H SF {scale} on A4 @600dpi");
     let t0 = Instant::now();
@@ -66,6 +110,20 @@ fn e1_paper_archive(full: bool) {
         "  raw-payload emblems: {} -> density {:.1} KB/page   (paper: 26 emblems, 50 KB/page)",
         raw_pages,
         dump.len() as f64 / raw_pages as f64 / 1000.0
+    );
+    // The paper's density row, checked on its own 1.23 MB archive size so
+    // the gate is independent of the --full/quick workload scale.
+    let paper_pages = geom.emblems_for(1_230_000);
+    let paper_density = 1_230_000.0 / paper_pages as f64 / 1000.0;
+    checks.check(
+        "e1_pages",
+        (25..=27).contains(&paper_pages),
+        format!("1.23 MB -> {paper_pages} pages (paper: 26)"),
+    );
+    checks.check(
+        "e1_density",
+        (44.0..=53.0).contains(&paper_density),
+        format!("{paper_density:.1} KB/page (paper: ~50 KB/page)"),
     );
 
     // With DBCoder compression (the design's actual pipeline).
@@ -139,7 +197,7 @@ fn e3_cinema() {
     film_roundtrip(&Medium::cinema_35mm(), 3);
 }
 
-fn e4_robustness() {
+fn e4_robustness(checks: &mut Checks) {
     println!(
         "\n[E4] Robustness (§3.1) — inner code: 'up to 7.2% damaged data within a single emblem'"
     );
@@ -148,35 +206,75 @@ fn e4_robustness() {
     println!("  (theoretical per-block limit: 16/223 = 7.17%; area damage also clips");
     println!("   partial cells, so decodability ends just under the byte-level bound)");
     println!("  damage%  decoded  rs_corrected");
+    let mut ok_below = true;
+    let mut garbage_above = false;
     for pct in [0.0, 0.02, 0.04, 0.05, 0.06, 0.065, 0.07, 0.08, 0.10] {
         let damaged = ule_bench::damage_emblem(&img, &geom, pct, 23);
         match decode_emblem(&geom, &damaged) {
             Ok((_, p, stats)) if p == payload => {
                 println!("  {:>6.1}%  yes      {}", pct * 100.0, stats.rs_corrected)
             }
-            Ok(_) => println!("  {:>6.1}%  WRONG    -", pct * 100.0),
-            Err(e) => println!("  {:>6.1}%  no ({e})", pct * 100.0),
+            Ok(_) => {
+                garbage_above = true;
+                println!("  {:>6.1}%  WRONG    -", pct * 100.0)
+            }
+            Err(e) => {
+                // EXPERIMENTS.md E4: area damage decodes through 6.0%; the
+                // 7.17% byte-level bound is unreachable by area damage
+                // because clipped partial cells also corrupt bytes.
+                if pct <= 0.06 {
+                    ok_below = false;
+                }
+                println!("  {:>6.1}%  no ({e})", pct * 100.0)
+            }
         }
     }
+    checks.check(
+        "e4_inner_below_boundary",
+        ok_below,
+        "area damage <= 6.0% decodes bit-exact (paper: up to 7.2% of bytes)".into(),
+    );
+    checks.check(
+        "e4_inner_no_garbage",
+        !garbage_above,
+        "beyond-boundary damage never yields silently wrong bytes".into(),
+    );
 
     println!("  outer code: 'full restoration ... in which any three are missing'");
     let payload = ule_bench::random_payload(geom.payload_capacity() * 17, 9);
     let emblems = encode_stream(&geom, EmblemKind::Data, &payload, true);
     println!("  group: {} emblems (17 data + 3 parity)", emblems.len());
     println!("  missing  restored");
+    let mut outer_ok = true;
     for missing in 0..=4usize {
         let kept: Vec<_> = emblems.iter().skip(missing).cloned().collect();
         match decode_stream(&geom, &kept) {
             Ok((p, stats)) if p == payload => {
+                if missing > 3 {
+                    outer_ok = false;
+                }
                 println!(
                     "  {missing:>7}  yes (recovered {} whole emblems)",
                     stats.emblems_recovered
                 )
             }
-            Ok(_) => println!("  {missing:>7}  WRONG"),
-            Err(e) => println!("  {missing:>7}  no ({e})"),
+            Ok(_) => {
+                outer_ok = false;
+                println!("  {missing:>7}  WRONG")
+            }
+            Err(e) => {
+                if missing <= 3 {
+                    outer_ok = false;
+                }
+                println!("  {missing:>7}  no ({e})")
+            }
         }
     }
+    checks.check(
+        "e4_outer_any_three",
+        outer_ok,
+        "any 3 of 20 emblems recoverable, 4 fails cleanly".into(),
+    );
 }
 
 fn e5_portability() {
@@ -187,6 +285,7 @@ fn e5_portability() {
         medium: Medium::test_micro(),
         scheme: Scheme::Lzss,
         with_parity: false,
+        threads: ThreadConfig::Serial,
     };
     let dump = b"COPY t (k) FROM stdin;\n1\n2\n3\n\\.\n".to_vec();
     let out = sys.archive(&dump);
@@ -277,4 +376,87 @@ fn e7_emulation_overhead() {
         t_nested.as_secs_f64() / t_native.as_secs_f64().max(1e-9),
         v_steps as f64 / dyn_steps as f64
     );
+}
+
+fn e8_parallel_scaling(full: bool, checks: &mut Checks) {
+    let scale = if full { 0.00115 } else { 0.0002 };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "\n[E8] Parallel archive/restore scaling — E1 workload (TPC-H SF {scale}, A4 @600dpi), {cores} core(s) available"
+    );
+    let dump = ule_tpch::dump_for_scale(scale, 42);
+    // Untimed warm-up so the serial baseline is not charged for first-run
+    // costs (page faults, allocator growth) that later runs skip.
+    let warmup = micr_olonys::MicrOlonys::paper_default().archive(&dump);
+    drop(warmup);
+    println!("  threads  archive                     restore                     frames");
+    let mut serial: Option<(Duration, Duration, u32)> = None;
+    let mut speedup4 = 1.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let sys = micr_olonys::MicrOlonys {
+            medium: Medium::paper_a4_600dpi(),
+            scheme: Scheme::Lzss,
+            with_parity: true,
+            threads: if threads == 1 {
+                ThreadConfig::Serial
+            } else {
+                ThreadConfig::Fixed(threads)
+            },
+        };
+        let t = Instant::now();
+        let out = sys.archive(&dump);
+        let t_arch = t.elapsed();
+        // The same fingerprint the golden-vector suite pins, so E8 can hold
+        // a u32 per run instead of hundreds of MB of A4 frames.
+        let crc = stream_crc32(&out.data_frames) ^ stream_crc32(&out.system_frames);
+        let t = Instant::now();
+        let (restored, _) = sys.restore_native(&out.data_frames).expect("restore");
+        let t_rest = t.elapsed();
+        assert_eq!(restored, dump, "E8 restore must be bit-exact");
+        let (s_arch, s_rest, s_crc) = *serial.get_or_insert((t_arch, t_rest, crc));
+        let sp_a = s_arch.as_secs_f64() / t_arch.as_secs_f64().max(1e-9);
+        let sp_r = s_rest.as_secs_f64() / t_rest.as_secs_f64().max(1e-9);
+        if threads == 4 {
+            speedup4 = sp_a;
+        }
+        let mbs = dump.len() as f64 / 1e6 / t_arch.as_secs_f64().max(1e-9);
+        println!(
+            "  {threads:>7}  {t_arch:>10.2?} ({mbs:>5.2} MB/s, {sp_a:>4.2}x)  {t_rest:>10.2?} ({sp_r:>4.2}x)         {}",
+            if threads == 1 {
+                "serial baseline"
+            } else if crc == s_crc {
+                "identical to serial"
+            } else {
+                "DIFFER FROM SERIAL"
+            }
+        );
+        // threads == 1 *is* the baseline — comparing its CRC to itself
+        // would be a vacuous check, so only the parallel runs are gated.
+        if threads > 1 {
+            checks.check(
+                "e8_byte_identity",
+                crc == s_crc,
+                format!("frames at {threads} threads are byte-identical to serial"),
+            );
+        }
+    }
+    // The scaling claim needs hardware the pool can actually use (>= 4
+    // cores) AND a quiet machine — wall-clock speedup on a shared CI
+    // runner is noise, not a regression signal. So the hard gate is
+    // opt-in: set ULE_E8_STRICT=1 when measuring on dedicated multicore
+    // hardware (EXPERIMENTS.md E8). Byte-identity, the deterministic half
+    // of the E8 contract, is gated unconditionally above.
+    let strict = std::env::var("ULE_E8_STRICT").is_ok_and(|v| v != "0");
+    if strict && cores >= 4 {
+        checks.check(
+            "e8_speedup_4t",
+            speedup4 > 1.5,
+            format!("archive speedup at 4 threads = {speedup4:.2}x (target > 1.5x)"),
+        );
+    } else {
+        println!(
+            "  4-thread archive speedup {speedup4:.2}x (target > 1.5x on >= 4 dedicated cores; \
+             hard gate via ULE_E8_STRICT=1, see EXPERIMENTS.md E8)"
+        );
+    }
 }

@@ -4,8 +4,9 @@ use crate::bootstrap::document::Bootstrap;
 use ule_compress::Scheme;
 use ule_dynarisc::programs::{dbdecode, modecode};
 use ule_emblem::geometry::{EDGE_CELLS, QUIET_CELLS};
-use ule_emblem::{encode_stream, EmblemKind};
+use ule_emblem::{encode_stream_with, EmblemKind};
 use ule_media::Medium;
+use ule_par::ThreadConfig;
 use ule_raster::GrayImage;
 use ule_verisc::NestedEmulator;
 
@@ -24,6 +25,16 @@ pub struct MicrOlonys {
     pub scheme: Scheme,
     /// Whether to add the outer RS(20,17) parity emblems.
     pub with_parity: bool,
+    /// Worker pool for the archive and native-restore hot paths (per-emblem
+    /// encode/decode, inner/outer RS coding, frame rasterisation). Output
+    /// is byte-identical at any setting — the on-medium format is frozen —
+    /// so this only changes wall-clock time. Defaults to
+    /// [`ThreadConfig::Serial`]; the emulated restore path ignores it and
+    /// always runs sequentially (`DESIGN.md` §9: the Bootstrap walkthrough
+    /// a future restorer follows is specified as a sequential procedure,
+    /// and the fifty-years-from-now reimplementation must not need
+    /// threads).
+    pub threads: ThreadConfig,
 }
 
 /// Everything `archive` produces — the package that goes to the film
@@ -56,6 +67,7 @@ impl MicrOlonys {
             medium: Medium::paper_a4_600dpi(),
             scheme: Scheme::Lzss,
             with_parity: true,
+            threads: ThreadConfig::Serial,
         }
     }
 
@@ -65,7 +77,15 @@ impl MicrOlonys {
             medium: Medium::test_tiny(),
             scheme: Scheme::Lzss,
             with_parity: true,
+            threads: ThreadConfig::Serial,
         }
+    }
+
+    /// This configuration with a different worker-pool setting (builder
+    /// style: `MicrOlonys::paper_default().with_threads(ThreadConfig::Auto)`).
+    pub fn with_threads(mut self, threads: ThreadConfig) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Archive a textual database dump: compress (DBCoder), lay out as
@@ -73,22 +93,35 @@ impl MicrOlonys {
     /// Bootstrap document.
     pub fn archive(&self, dump: &[u8]) -> ArchiveOutput {
         let geom = self.medium.geometry;
-        // Step 2: DBCoder.
+        // Step 2: DBCoder. (Inherently sequential: LZSS match-finding and
+        // the arithmetic coder both thread state through every byte.)
         let archive_bytes = ule_compress::compress(self.scheme, dump);
-        // Step 3: MOCoder — data emblems.
-        let data_emblems = encode_stream(&geom, EmblemKind::Data, &archive_bytes, self.with_parity);
+        // Step 3: MOCoder — data emblems, fanned out per emblem.
+        let data_emblems = encode_stream_with(
+            &geom,
+            EmblemKind::Data,
+            &archive_bytes,
+            self.with_parity,
+            self.threads,
+        );
         // Steps 4–5: the DBCoder decoder as system emblems.
         let db_words = dbdecode::program();
         let mut sys_bytes = Vec::with_capacity(db_words.len() * 2);
         for w in &db_words {
             sys_bytes.extend_from_slice(&w.to_le_bytes());
         }
-        let system_emblems = encode_stream(&geom, EmblemKind::System, &sys_bytes, self.with_parity);
+        let system_emblems = encode_stream_with(
+            &geom,
+            EmblemKind::System,
+            &sys_bytes,
+            self.with_parity,
+            self.threads,
+        );
         // Step 6: MODecode + the DynaRisc emulator into the Bootstrap.
         let bootstrap = self.make_bootstrap();
-        // Step 7: physical layout on frames.
-        let data_frames = self.medium.print_all(&data_emblems);
-        let system_frames = self.medium.print_all(&system_emblems);
+        // Step 7: physical layout on frames, one rasterisation job each.
+        let data_frames = self.medium.print_all_with(&data_emblems, self.threads);
+        let system_frames = self.medium.print_all_with(&system_emblems, self.threads);
         let plan = ule_emblem::stream::plan(&geom, archive_bytes.len(), self.with_parity);
         let stats = ArchiveStats {
             dump_bytes: dump.len(),
@@ -172,6 +205,7 @@ mod tests {
             medium: ule_media::Medium::test_micro(),
             scheme: Scheme::Lzss,
             with_parity: false,
+            threads: ThreadConfig::Serial,
         };
         let dump = b"COPY t (a) FROM stdin;\n1\n\\.\n".to_vec();
         let out = sys.archive(&dump);

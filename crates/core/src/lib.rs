@@ -18,6 +18,11 @@
 //! the whole chain without calling any native decoder, while
 //! [`MicrOlonys::restore_native`] is the fast path with full Reed–Solomon
 //! damage recovery.
+//!
+//! Both the archive pipeline and the native restore fan their per-emblem
+//! work out across a [`ThreadConfig`] worker pool (`MicrOlonys { threads,
+//! .. }`); the emulated path is sequential by design. Output never depends
+//! on the thread count — the on-medium format is frozen (`DESIGN.md` §9).
 
 pub mod archiver;
 pub mod bootstrap;
@@ -26,3 +31,4 @@ pub mod restorer;
 pub use archiver::{ArchiveOutput, ArchiveStats, MicrOlonys};
 pub use bootstrap::document::{Bootstrap, BootstrapParseError};
 pub use restorer::{RestoreError, RestoreStats};
+pub use ule_par::ThreadConfig;

@@ -21,7 +21,7 @@ use crate::archiver::MicrOlonys;
 use crate::bootstrap::document::Bootstrap;
 use ule_compress::ArchiveError;
 use ule_dynarisc::layout;
-use ule_emblem::{decode_stream, EmblemHeader, EmblemKind, StreamError};
+use ule_emblem::{decode_stream, decode_stream_with, EmblemHeader, EmblemKind, StreamError};
 use ule_raster::GrayImage;
 use ule_verisc::vm::{EngineKind, VeriscError};
 use ule_verisc::NestedEmulator;
@@ -100,13 +100,17 @@ pub struct RestoreStats {
 
 impl MicrOlonys {
     /// Native restoration: full damage tolerance (inner RS correction,
-    /// outer-code erasure recovery), no emulation.
+    /// outer-code erasure recovery), no emulation. The per-scan pipeline
+    /// (locate → decode → inner RS errors correction) fans out across
+    /// `self.threads`; the outer errors-and-erasures recovery joins the
+    /// results in index order, so the restored bytes are identical at any
+    /// thread count.
     pub fn restore_native(
         &self,
         data_scans: &[GrayImage],
     ) -> Result<(Vec<u8>, RestoreStats), RestoreError> {
         let geom = self.medium.geometry;
-        let (archive, s) = decode_stream(&geom, data_scans)?;
+        let (archive, s) = decode_stream_with(&geom, data_scans, self.threads)?;
         let dump = ule_compress::decompress(&archive)?;
         Ok((
             dump,
@@ -139,6 +143,14 @@ impl MicrOlonys {
     /// (pristine or lightly degraded) — the archived MODecode handles the
     /// paper's zero-error film scans; damaged media go through
     /// [`MicrOlonys::restore_native`].
+    ///
+    /// This path is sequential **by design** and takes no
+    /// [`ule_par::ThreadConfig`]: it mechanises the Bootstrap walkthrough a
+    /// future restorer follows by hand, and that document specifies a
+    /// sequential procedure a from-scratch interpreter written in any
+    /// language must be able to reproduce (`DESIGN.md` §9).
+    /// `tests/parallel_identity.rs` asserts its output matches the
+    /// (parallelisable) native path bit for bit.
     pub fn restore_emulated(
         bootstrap_text: &str,
         scans: &[GrayImage],

@@ -12,6 +12,7 @@ fn micro_system() -> MicrOlonys {
         medium: Medium::test_micro(),
         scheme: Scheme::Lzss,
         with_parity: false,
+        threads: micr_olonys::ThreadConfig::Serial,
     }
 }
 

@@ -16,6 +16,7 @@ use crate::geometry::{EmblemGeometry, EDGE_CELLS, HEADER_COPIES, OVERHEAD_ROWS, 
 use crate::header::{EmblemHeader, HEADER_BYTES};
 use crate::locate::{edge_map, find_border_box, EdgeMap};
 use crate::manchester::{bits_to_bytes, decode_cells};
+use ule_par::ThreadConfig;
 use ule_raster::sample::block_mean;
 use ule_raster::GrayImage;
 
@@ -204,22 +205,52 @@ pub fn decode_emblem(
     let coded_all = bits_to_bytes(&dec.bits);
 
     // De-interleave and correct each inner block.
-    let nblocks = geom.rs_blocks();
-    let rs = geom.inner_code();
-    let mut payload = Vec::with_capacity(nblocks * RS_K);
-    let mut cw = vec![0u8; RS_N];
-    for b in 0..nblocks {
-        for i in 0..RS_N {
-            cw[i] = coded_all[i * nblocks + b];
-        }
-        match rs.decode(&mut cw, &[]) {
-            Ok(fixed) => stats.rs_corrected += fixed,
-            Err(_) => return Err(DecodeError::RsFailure { block: b }),
-        }
-        payload.extend_from_slice(&cw[..RS_K]);
-    }
+    let (mut payload, fixed) = inner_decode_with(geom, &coded_all, ThreadConfig::Serial)?;
+    stats.rs_corrected += fixed;
     payload.truncate(header.payload_len as usize);
     Ok((header, payload, stats))
+}
+
+/// De-interleave an inner-coded byte stream (the layout
+/// [`crate::encode::inner_encode`] produces) and run errors-only
+/// Reed–Solomon correction on every block,
+/// fanning the independent blocks out across `threads` workers.
+///
+/// Returns the untruncated payload (`rs_blocks() * 223` bytes) plus the
+/// total number of corrected byte positions. This is the byte-level half
+/// of [`decode_emblem`], exposed so damage experiments can drive the §3.1
+/// intra-emblem boundary without synthesising pixel scans.
+pub fn inner_decode_with(
+    geom: &EmblemGeometry,
+    coded: &[u8],
+    threads: ThreadConfig,
+) -> Result<(Vec<u8>, usize), DecodeError> {
+    let nblocks = geom.rs_blocks();
+    assert!(
+        coded.len() >= nblocks * RS_N,
+        "coded stream shorter than {} blocks",
+        nblocks
+    );
+    // De-interleave inside each parallel job: the codeword is built,
+    // corrected and returned by the same worker, so no intermediate
+    // block table (or per-block clone) is ever materialised.
+    let rs = geom.inner_code();
+    let results = ule_par::map_indexed(threads, nblocks, |b| {
+        let mut cw: Vec<u8> = (0..RS_N).map(|i| coded[i * nblocks + b]).collect();
+        rs.decode(&mut cw, &[]).map(|fixed| (cw, fixed))
+    });
+    let mut payload = Vec::with_capacity(nblocks * RS_K);
+    let mut corrected = 0;
+    for (b, r) in results.into_iter().enumerate() {
+        match r {
+            Ok((cw, fixed)) => {
+                corrected += fixed;
+                payload.extend_from_slice(&cw[..RS_K]);
+            }
+            Err(_) => return Err(DecodeError::RsFailure { block: b }),
+        }
+    }
+    Ok((payload, corrected))
 }
 
 #[cfg(test)]

@@ -18,6 +18,13 @@
 //! consumes (possibly degraded, rescaled) scans and follows the border
 //! geometry to resample the cell grid, so lens curvature and transport
 //! jitter are compensated exactly the way §3.1 demands.
+//!
+//! Emblems in a stream are independent, so the batch entry points
+//! ([`encode_stream_with`], [`decode_stream_with`], plus the
+//! `inner_*_with` block-level helpers) accept a [`ThreadConfig`] and fan
+//! the per-emblem work out across a scoped worker pool — with output
+//! byte-identical to the serial path at any thread count, because the
+//! on-medium format is frozen (`DESIGN.md` §9).
 
 pub mod decode;
 pub mod encode;
@@ -27,8 +34,11 @@ pub mod locate;
 pub mod manchester;
 pub mod stream;
 
-pub use decode::{decode_emblem, DecodeError, DecodeStats};
-pub use encode::encode_emblem;
+pub use decode::{decode_emblem, inner_decode_with, DecodeError, DecodeStats};
+pub use encode::{encode_emblem, inner_encode, inner_encode_with};
 pub use geometry::EmblemGeometry;
 pub use header::{EmblemHeader, EmblemKind};
-pub use stream::{decode_stream, encode_stream, StreamError};
+pub use stream::{
+    decode_stream, decode_stream_with, encode_stream, encode_stream_with, StreamError,
+};
+pub use ule_par::ThreadConfig;

@@ -14,6 +14,7 @@ use crate::encode::encode_emblem;
 use crate::geometry::EmblemGeometry;
 use crate::header::{EmblemHeader, EmblemKind};
 use ule_gf256::RsCode;
+use ule_par::ThreadConfig;
 use ule_raster::GrayImage;
 
 /// Data emblems per full group.
@@ -69,36 +70,46 @@ pub fn encode_stream(
     payload: &[u8],
     with_parity: bool,
 ) -> Vec<GrayImage> {
+    encode_stream_with(geom, kind, payload, with_parity, ThreadConfig::Serial)
+}
+
+/// [`encode_stream`] with the per-emblem work (outer-code parity, inner RS
+/// encode, cell layout, rasterisation) fanned out across `threads` workers.
+///
+/// Determinism: emblem content is a pure function of `(header, chunk)`, and
+/// both the outer-parity stage (one job per group) and the render stage
+/// (one job per emblem) join their results in index order, so the produced
+/// images are byte-identical to the serial path at any thread count
+/// (`tests/parallel_identity.rs` pins this; `tests/golden_format.rs` pins
+/// the absolute bytes so the frozen format cannot drift).
+pub fn encode_stream_with(
+    geom: &EmblemGeometry,
+    kind: EmblemKind,
+    payload: &[u8],
+    with_parity: bool,
+    threads: ThreadConfig,
+) -> Vec<GrayImage> {
     let p = plan(geom, payload.len(), with_parity);
     let cap = p.chunk_size;
     let total = payload.len() as u32;
-    let mut images = Vec::with_capacity(p.total_emblems());
-    let mut index = 0u16;
-    let mut group = 0u16;
-    let mut chunk_iter = (0..p.data_emblems).map(|c| {
+    let n_groups = p.data_emblems.div_ceil(GROUP_DATA);
+    let chunk = |c: usize| -> &[u8] {
         let start = c * cap;
         let end = ((c + 1) * cap).min(payload.len());
         &payload[start.min(payload.len())..end]
-    });
-    let mut remaining = p.data_emblems;
-    while remaining > 0 {
-        let in_group = remaining.min(GROUP_DATA);
-        let mut group_chunks: Vec<&[u8]> = Vec::with_capacity(in_group);
-        for _ in 0..in_group {
-            group_chunks.push(chunk_iter.next().expect("plan covers all chunks"));
-        }
-        for chunk in &group_chunks {
-            let header = EmblemHeader::new(kind, index, group, chunk.len() as u32, total);
-            images.push(encode_emblem(geom, &header, chunk));
-            index += 1;
-        }
-        if with_parity {
+    };
+
+    // Stage 1: outer-code parity chunks, one independent job per group.
+    let parity_chunks: Vec<Vec<Vec<u8>>> = if with_parity {
+        ule_par::map_indexed(threads, n_groups, |g| {
+            let base = g * GROUP_DATA;
+            let in_group = (p.data_emblems - base).min(GROUP_DATA);
             let rs = RsCode::new(in_group + GROUP_PARITY, in_group);
             let mut parity = vec![vec![0u8; cap]; GROUP_PARITY];
             let mut col = vec![0u8; in_group + GROUP_PARITY];
             for j in 0..cap {
-                for (i, chunk) in group_chunks.iter().enumerate() {
-                    col[i] = chunk.get(j).copied().unwrap_or(0);
+                for (i, slot) in col[..in_group].iter_mut().enumerate() {
+                    *slot = chunk(base + i).get(j).copied().unwrap_or(0);
                 }
                 for v in col[in_group..].iter_mut() {
                     *v = 0;
@@ -108,16 +119,38 @@ pub fn encode_stream(
                     pchunk[j] = col[in_group + pi];
                 }
             }
-            for pchunk in &parity {
-                let header = EmblemHeader::new(EmblemKind::Parity, index, group, cap as u32, total);
-                images.push(encode_emblem(geom, &header, pchunk));
+            parity
+        })
+    } else {
+        Vec::new()
+    };
+
+    // Stage 2: flatten to the emission order (group's data, then its
+    // parity; global sequential indices), then render every emblem in
+    // parallel.
+    let mut jobs: Vec<(EmblemHeader, &[u8])> = Vec::with_capacity(p.total_emblems());
+    let mut index = 0u16;
+    for g in 0..n_groups {
+        let base = g * GROUP_DATA;
+        let in_group = (p.data_emblems - base).min(GROUP_DATA);
+        for i in 0..in_group {
+            let ch = chunk(base + i);
+            let header = EmblemHeader::new(kind, index, g as u16, ch.len() as u32, total);
+            jobs.push((header, ch));
+            index += 1;
+        }
+        if with_parity {
+            for pchunk in &parity_chunks[g] {
+                let header =
+                    EmblemHeader::new(EmblemKind::Parity, index, g as u16, cap as u32, total);
+                jobs.push((header, pchunk.as_slice()));
                 index += 1;
             }
         }
-        remaining -= in_group;
-        group += 1;
     }
-    images
+    ule_par::map(threads, &jobs, |(header, ch)| {
+        encode_emblem(geom, header, ch)
+    })
 }
 
 /// Stream-level decode failures.
@@ -169,14 +202,28 @@ pub fn decode_stream(
     geom: &EmblemGeometry,
     scans: &[GrayImage],
 ) -> Result<(Vec<u8>, StreamStats), StreamError> {
+    decode_stream_with(geom, scans, ThreadConfig::Serial)
+}
+
+/// [`decode_stream`] with the per-scan pipeline (locate border → resample
+/// grid → inner RS errors correction) fanned out across `threads` workers.
+/// The outer-code erasure recovery and reassembly run after the join and
+/// consume per-scan results in input order, so payload bytes and
+/// [`StreamStats`] are identical to the serial path at any thread count.
+pub fn decode_stream_with(
+    geom: &EmblemGeometry,
+    scans: &[GrayImage],
+    threads: ThreadConfig,
+) -> Result<(Vec<u8>, StreamStats), StreamError> {
     let mut stats = StreamStats {
         scans: scans.len(),
         ..Default::default()
     };
     // Individual decode; tolerate per-scan failures (the outer code's job).
+    let results = ule_par::map(threads, scans, |scan| decode_emblem(geom, scan));
     let mut decoded: Vec<(EmblemHeader, Vec<u8>, DecodeStats)> = Vec::new();
-    for scan in scans {
-        match decode_emblem(geom, scan) {
+    for r in results {
+        match r {
             Ok(r) => decoded.push(r),
             Err(_) => stats.failed_scans += 1,
         }
@@ -296,6 +343,19 @@ pub fn decode_stream(
     }
     out.truncate(total_len as usize);
     Ok((out, stats))
+}
+
+/// CRC-32 fingerprint of an image sequence (order-sensitive): the
+/// byte-identity check used by the conformance net — `tests/golden_format.rs`
+/// pins these against checked-in vectors and the report's `[E8]` section
+/// compares them across thread counts — so both sides measure exactly the
+/// same thing.
+pub fn stream_crc32(images: &[GrayImage]) -> u32 {
+    let mut st = 0xFFFF_FFFFu32;
+    for im in images {
+        st = ule_gf256::crc::crc32_update(st, im.as_bytes());
+    }
+    st ^ 0xFFFF_FFFF
 }
 
 /// Global emblem index at which `group`'s data emblems start.

@@ -19,6 +19,7 @@
 //! the paper reports (pages per archive, GB per reel) can be regenerated.
 
 use ule_emblem::EmblemGeometry;
+use ule_par::ThreadConfig;
 use ule_raster::draw::blit;
 use ule_raster::{DegradeParams, GrayImage, Scanner};
 
@@ -190,16 +191,33 @@ impl Medium {
 
     /// Print a whole emblem stream to frames.
     pub fn print_all(&self, emblems: &[GrayImage]) -> Vec<GrayImage> {
-        emblems.iter().map(|e| self.print(e)).collect()
+        self.print_all_with(emblems, ThreadConfig::Serial)
+    }
+
+    /// [`Medium::print_all`] with frame rasterisation fanned out across
+    /// `threads` workers. Each frame is a pure function of its emblem, so
+    /// the frames are byte-identical to the serial path.
+    pub fn print_all_with(&self, emblems: &[GrayImage], threads: ThreadConfig) -> Vec<GrayImage> {
+        ule_par::map(threads, emblems, |e| self.print(e))
     }
 
     /// Scan a set of frames (seed is perturbed per frame).
     pub fn scan_all(&self, frames: &[GrayImage], seed: u64) -> Vec<GrayImage> {
-        frames
-            .iter()
-            .enumerate()
-            .map(|(i, f)| self.scan(f, seed ^ (i as u64 + 1)))
-            .collect()
+        self.scan_all_with(frames, seed, ThreadConfig::Serial)
+    }
+
+    /// [`Medium::scan_all`] across `threads` workers. The per-frame seed
+    /// depends only on the frame index, so scans are identical to the
+    /// serial path at any thread count.
+    pub fn scan_all_with(
+        &self,
+        frames: &[GrayImage],
+        seed: u64,
+        threads: ThreadConfig,
+    ) -> Vec<GrayImage> {
+        ule_par::map_indexed(threads, frames.len(), |i| {
+            self.scan(&frames[i], seed ^ (i as u64 + 1))
+        })
     }
 
     /// Payload bytes stored per frame.

@@ -1,0 +1,189 @@
+//! Deterministic scoped worker pool (system **S14** in `DESIGN.md` §9).
+//!
+//! Every stage of the Figure 2a/2b pipeline is embarrassingly parallel per
+//! emblem (encode, inner/outer Reed–Solomon coding, frame rasterisation,
+//! per-scan decode), but the archival format is *frozen*: the bytes written
+//! to the medium must never depend on how many worker threads happened to
+//! run. This crate therefore provides exactly one parallel primitive —
+//! an **ordered map**: work items are claimed dynamically by a pool of
+//! scoped threads (`std::thread::scope`, no external dependencies), and
+//! results are joined back in input-index order. Output is byte-identical
+//! to the serial path at any thread count; `tests/parallel_identity.rs`
+//! asserts this end to end and `tests/golden_format.rs` pins the absolute
+//! bytes.
+//!
+//! [`ThreadConfig::Serial`] bypasses the pool entirely (no threads are
+//! spawned), which is the default everywhere: parallelism is strictly
+//! opt-in via `MicrOlonys { threads, .. }` or the `*_with` entry points.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads a batch entry point may use.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ThreadConfig {
+    /// Run on the calling thread, in input order. The default, and the
+    /// required configuration for the emulated restore path (DESIGN.md §9:
+    /// the Bootstrap walkthrough is specified as a sequential procedure).
+    #[default]
+    Serial,
+    /// Spawn exactly `n` workers (clamped to ≥ 1). Output is identical to
+    /// `Serial` — only wall-clock time changes.
+    Fixed(usize),
+    /// Use [`std::thread::available_parallelism`] workers.
+    Auto,
+}
+
+impl ThreadConfig {
+    /// Number of worker threads this configuration resolves to (≥ 1).
+    pub fn workers(self) -> usize {
+        match self {
+            ThreadConfig::Serial => 1,
+            ThreadConfig::Fixed(n) => n.max(1),
+            ThreadConfig::Auto => std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1),
+        }
+    }
+
+    /// Resolve the `ULE_TEST_THREADS` environment variable (the CI matrix
+    /// knob): unset or unparsable → `default`; `0` or `1` → `Serial`;
+    /// `n > 1` → `Fixed(n)`.
+    pub fn from_env_or(default: ThreadConfig) -> ThreadConfig {
+        match std::env::var("ULE_TEST_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n > 1 => ThreadConfig::Fixed(n),
+                Ok(_) => ThreadConfig::Serial,
+                Err(_) => default,
+            },
+            Err(_) => default,
+        }
+    }
+}
+
+impl std::fmt::Display for ThreadConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ThreadConfig::Serial => write!(f, "serial"),
+            ThreadConfig::Fixed(n) => write!(f, "{} threads", n.max(&1)),
+            ThreadConfig::Auto => write!(f, "auto ({} threads)", self.workers()),
+        }
+    }
+}
+
+/// Ordered parallel map over `0..n`: returns `[f(0), f(1), .., f(n-1)]`.
+///
+/// Work items are claimed dynamically (an atomic cursor, so uneven item
+/// costs balance across workers) but results land in their input slot, so
+/// the output is independent of scheduling. A panic in `f` propagates to
+/// the caller when the scope joins.
+pub fn map_indexed<R, F>(cfg: ThreadConfig, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = cfg.workers().min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let slots = Mutex::new(slots);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // Compute outside the lock: the lock only guards the
+                // (cheap) result placement, not the work.
+                let r = f(i);
+                slots.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|o| o.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// Ordered parallel map over a slice: returns `[f(&items[0]), ..]`.
+pub fn map<T, R, F>(cfg: ThreadConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    map_indexed(cfg, items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = map(ThreadConfig::Serial, &items, |&x| x * x + 1);
+        for threads in [2, 3, 4, 8] {
+            let par = map(ThreadConfig::Fixed(threads), &items, |&x| x * x + 1);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn order_is_input_order_not_completion_order() {
+        // Make early items slow: with dynamic claiming, later items finish
+        // first, but the output must still be in index order.
+        let out = map_indexed(ThreadConfig::Fixed(4), 16, |i| {
+            if i < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map(ThreadConfig::Fixed(8), &empty, |&x| x).is_empty());
+        assert_eq!(map(ThreadConfig::Fixed(8), &[7u8], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn workers_are_clamped() {
+        assert_eq!(ThreadConfig::Serial.workers(), 1);
+        assert_eq!(ThreadConfig::Fixed(0).workers(), 1);
+        assert_eq!(ThreadConfig::Fixed(6).workers(), 6);
+        assert!(ThreadConfig::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = map_indexed(ThreadConfig::Fixed(32), 3, |i| i * 10);
+        assert_eq!(out, vec![0, 10, 20]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        map_indexed(ThreadConfig::Fixed(2), 8, |i| {
+            if i == 5 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn default_is_serial() {
+        assert_eq!(ThreadConfig::default(), ThreadConfig::Serial);
+    }
+}

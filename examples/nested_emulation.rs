@@ -16,6 +16,7 @@ fn main() {
         medium: Medium::test_micro(),
         scheme: ule::compress::Scheme::Lzss,
         with_parity: false,
+        threads: ule::par::ThreadConfig::Serial,
     };
     let dump = b"CREATE TABLE r (k integer, v text);\n\
 COPY r (k, v) FROM stdin;\n\

@@ -9,6 +9,7 @@ pub use ule_dynarisc as dynarisc;
 pub use ule_emblem as emblem;
 pub use ule_gf256 as gf256;
 pub use ule_media as media;
+pub use ule_par as par;
 pub use ule_raster as raster;
 pub use ule_tpch as tpch;
 pub use ule_verisc as verisc;

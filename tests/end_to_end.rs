@@ -13,6 +13,9 @@ fn tpch_dump_archives_and_restores_bit_exact() {
         medium: Medium::test_tiny(),
         scheme: Scheme::Lzss,
         with_parity: true,
+        // The CI matrix runs this suite serial and at 4 threads; the
+        // restored bytes must not notice (ULE_TEST_THREADS).
+        threads: ule::par::ThreadConfig::from_env_or(ule::par::ThreadConfig::Serial),
     };
     let out = system.archive(&dump);
     let scans = system.medium.scan_all(&out.data_frames, 4242);
@@ -33,6 +36,7 @@ fn all_schemes_survive_the_media_path() {
             medium: Medium::test_tiny(),
             scheme,
             with_parity: true,
+            threads: ule::par::ThreadConfig::from_env_or(ule::par::ThreadConfig::Serial),
         };
         let out = system.archive(&dump);
         let scans = system.medium.scan_all(&out.data_frames, 7 + scheme as u64);

@@ -1,0 +1,328 @@
+--
+-- PostgreSQL database dump (ULE reproduction of pg_dump plain format)
+--
+
+SET statement_timeout = 0;
+SET client_encoding = 'UTF8';
+SET standard_conforming_strings = on;
+
+CREATE TABLE region (
+    r_regionkey integer,
+    r_name text,
+    r_comment text
+);
+
+CREATE TABLE nation (
+    n_nationkey integer,
+    n_name text,
+    n_regionkey integer,
+    n_comment text
+);
+
+CREATE TABLE supplier (
+    s_suppkey integer,
+    s_name text,
+    s_address text,
+    s_nationkey integer,
+    s_phone text,
+    s_acctbal numeric(15,2),
+    s_comment text
+);
+
+CREATE TABLE customer (
+    c_custkey integer,
+    c_name text,
+    c_address text,
+    c_nationkey integer,
+    c_phone text,
+    c_acctbal numeric(15,2),
+    c_mktsegment text,
+    c_comment text
+);
+
+CREATE TABLE part (
+    p_partkey integer,
+    p_name text,
+    p_mfgr text,
+    p_brand text,
+    p_type text,
+    p_size integer,
+    p_container text,
+    p_retailprice numeric(15,2),
+    p_comment text
+);
+
+CREATE TABLE partsupp (
+    ps_partkey integer,
+    ps_suppkey integer,
+    ps_availqty integer,
+    ps_supplycost numeric(15,2),
+    ps_comment text
+);
+
+CREATE TABLE orders (
+    o_orderkey integer,
+    o_custkey integer,
+    o_orderstatus text,
+    o_totalprice numeric(15,2),
+    o_orderdate date,
+    o_orderpriority text,
+    o_clerk text,
+    o_shippriority integer,
+    o_comment text
+);
+
+CREATE TABLE lineitem (
+    l_orderkey integer,
+    l_partkey integer,
+    l_suppkey integer,
+    l_linenumber integer,
+    l_quantity numeric(15,2),
+    l_extendedprice numeric(15,2),
+    l_discount numeric(15,2),
+    l_tax numeric(15,2),
+    l_returnflag text,
+    l_linestatus text,
+    l_shipdate date,
+    l_commitdate date,
+    l_receiptdate date,
+    l_shipinstruct text,
+    l_shipmode text,
+    l_comment text
+);
+
+COPY region (r_regionkey, r_name, r_comment) FROM stdin;
+0	AFRICA	slowly platelets nag
+1	AMERICA	never excuses
+2	ASIA	ruthlessly theodolites sleep
+3	EUROPE	blithely pinto beans unwind slowly foxes nag blithely foxes
+4	MIDDLE EAST	blithely platelets doze quickly theodolites integrate
+\.
+
+COPY nation (n_nationkey, n_name, n_regionkey, n_comment) FROM stdin;
+0	ALGERIA	0	never dependencies wake ruthlessly deposits
+1	ARGENTINA	1	slowly instructions wake blithely requests doze blithely dependencies
+2	BRAZIL	1	carefully accounts cajole ruthlessly ideas sleep never
+3	CANADA	1	quickly accounts cajole carefully pinto beans unwind quickly theodolites
+4	EGYPT	4	blithely theodolites unwind never deposits sleep blithely dependencies doze never
+5	ETHIOPIA	0	slowly foxes
+6	FRANCE	3	blithely theodolites sleep ruthlessly dependencies
+7	GERMANY	3	ruthlessly theodolites unwind carefully theodolites cajole daringly pinto beans
+8	INDIA	2	blithely theodolites integrate carefully foxes doze carefully ideas
+9	INDONESIA	2	never requests
+10	IRAN	4	never deposits haggle carefully excuses boost
+11	IRAQ	4	slowly deposits detect slowly excuses wake slowly foxes wake slowly
+12	JAPAN	2	daringly foxes unwind
+13	JORDAN	4	carefully dependencies integrate never theodolites detect quickly platelets
+14	KENYA	0	carefully requests sleep daringly
+15	MOROCCO	0	slowly packages integrate carefully instructions
+16	MOZAMBIQUE	0	carefully instructions sleep carefully deposits
+17	PERU	1	carefully pinto beans wake daringly instructions sleep blithely platelets
+18	CHINA	2	quickly deposits sleep furiously
+19	ROMANIA	3	carefully dependencies haggle carefully platelets unwind
+20	SAUDI ARABIA	4	never accounts integrate never pinto beans
+21	VIETNAM	2	never instructions doze
+22	RUSSIA	3	ruthlessly theodolites
+23	UNITED KINGDOM	3	never excuses sleep daringly
+24	UNITED STATES	1	quickly pinto beans integrate carefully packages unwind slowly theodolites haggle
+\.
+
+COPY supplier (s_suppkey, s_name, s_address, s_nationkey, s_phone, s_acctbal, s_comment) FROM stdin;
+1	Supplier#000000001	xtrc3hkqp 7bz5fi53r	23	33-344-270-4336	89.45	daringly foxes cajole slowly excuses sleep daringly dependencies wake carefully foxes haggle
+\.
+
+COPY customer (c_custkey, c_name, c_address, c_nationkey, c_phone, c_acctbal, c_mktsegment, c_comment) FROM stdin;
+1	Customer#000000001	qmdagues	16	26-537-816-8013	-606.87	HOUSEHOLD	quickly platelets integrate ruthlessly platelets integrate furiously packages nag
+2	Customer#000000002	tp2mnh1d42c83x3l	9	19-703-221-4372	8580.59	AUTOMOBILE	daringly platelets nag never accounts doze slowly instructions integrate
+3	Customer#000000003	gu3gevan	22	32-705-550-1249	3393.37	HOUSEHOLD	carefully ideas nag carefully excuses doze quickly requests unwind carefully dependencies doze
+\.
+
+COPY part (p_partkey, p_name, p_mfgr, p_brand, p_type, p_size, p_container, p_retailprice, p_comment) FROM stdin;
+1	almond foxes	Manufacturer#4	Brand#44	PROMO ANODIZED STEEL	38	MED DRUM	1233.45	quickly instructions haggle daringly
+2	antique instructions	Manufacturer#2	Brand#23	MEDIUM ANODIZED NICKEL	17	LG CAN	1758.04	quickly requests doze
+3	burlywood deposits	Manufacturer#2	Brand#21	LARGE PLATED COPPER	20	LG CASE	1124.31	slowly instructions doze ruthlessly
+4	beige accounts	Manufacturer#2	Brand#21	PROMO ANODIZED STEEL	2	LG JAR	1189.32	never pinto beans
+\.
+
+COPY partsupp (ps_partkey, ps_suppkey, ps_availqty, ps_supplycost, ps_comment) FROM stdin;
+1	1	7288	789.73	slowly excuses haggle blithely platelets haggle daringly ideas boost slowly packages haggle carefully requests detect
+1	1	926	282.99	blithely instructions integrate carefully ideas boost ruthlessly theodolites cajole ruthlessly excuses
+1	1	1260	734.02	slowly ideas integrate ruthlessly packages nag
+1	1	8150	193.93	ruthlessly theodolites unwind quickly packages nag furiously accounts boost never excuses doze ruthlessly requests unwind never platelets
+2	1	105	985.40	daringly theodolites doze carefully excuses
+2	1	8424	426.66	quickly pinto beans wake daringly platelets
+2	1	5460	77.29	never packages unwind blithely accounts cajole carefully
+2	1	4811	278.69	quickly deposits cajole carefully pinto beans
+3	1	2648	364.99	never platelets detect blithely platelets doze quickly dependencies wake quickly accounts cajole quickly ideas integrate quickly platelets integrate quickly
+3	1	6425	929.49	never instructions unwind never excuses doze never excuses nag ruthlessly ideas doze ruthlessly platelets detect quickly excuses detect
+3	1	9431	489.65	carefully instructions
+3	1	7857	963.81	daringly foxes wake quickly deposits detect furiously deposits detect carefully theodolites boost daringly excuses boost slowly excuses boost blithely excuses
+4	1	5232	979.07	quickly pinto beans doze quickly foxes detect daringly deposits sleep furiously instructions wake blithely instructions sleep never deposits doze furiously
+4	1	3649	56.56	carefully instructions haggle ruthlessly platelets nag furiously instructions sleep slowly requests integrate
+4	1	7372	605.28	ruthlessly ideas integrate quickly accounts wake never
+4	1	6471	186.63	furiously deposits boost daringly packages doze daringly excuses boost
+\.
+
+COPY orders (o_orderkey, o_custkey, o_orderstatus, o_totalprice, o_orderdate, o_orderpriority, o_clerk, o_shippriority, o_comment) FROM stdin;
+1	1	F	8860.28	1993-07-25	4-NOT SPECIFIED	Clerk#000000001	0	furiously pinto beans wake quickly requests doze blithely accounts cajole furiously dependencies unwind
+2	3	F	748.42	1996-01-01	5-LOW	Clerk#000000001	0	blithely instructions
+3	3	F	28681.82	1994-07-24	5-LOW	Clerk#000000001	0	never requests nag carefully dependencies wake ruthlessly foxes doze carefully
+4	3	F	22680.45	1995-10-17	2-HIGH	Clerk#000000001	0	never platelets unwind never ideas haggle never instructions unwind
+5	3	F	21213.55	1996-02-21	3-MEDIUM	Clerk#000000002	0	ruthlessly theodolites integrate blithely dependencies boost quickly instructions boost ruthlessly
+6	2	F	14917.19	1994-04-24	1-URGENT	Clerk#000000001	0	blithely foxes cajole never excuses cajole carefully ideas detect
+7	1	F	17025.51	1994-05-07	5-LOW	Clerk#000000001	0	quickly ideas wake never requests sleep
+8	1	F	22159.17	1997-06-23	2-HIGH	Clerk#000000001	0	carefully deposits boost blithely
+33	2	O	6916.88	1997-12-09	1-URGENT	Clerk#000000002	0	carefully pinto beans wake slowly ideas unwind quickly deposits
+34	1	F	20843.98	1997-06-08	5-LOW	Clerk#000000002	0	ruthlessly platelets doze slowly excuses sleep slowly requests integrate
+35	2	F	11315.02	1993-05-07	3-MEDIUM	Clerk#000000002	0	daringly foxes boost never instructions integrate blithely
+36	1	F	10877.61	1993-08-08	1-URGENT	Clerk#000000002	0	blithely platelets wake furiously platelets haggle carefully accounts nag never ideas
+37	2	F	22347.18	1994-04-05	2-HIGH	Clerk#000000002	0	quickly dependencies boost carefully
+38	3	F	21154.61	1994-05-29	4-NOT SPECIFIED	Clerk#000000001	0	slowly packages doze daringly instructions wake slowly deposits
+39	2	O	25990.54	1998-03-27	3-MEDIUM	Clerk#000000002	0	never platelets cajole blithely instructions sleep furiously excuses sleep daringly packages cajole daringly
+40	2	F	2703.15	1997-07-11	1-URGENT	Clerk#000000001	0	slowly foxes nag carefully theodolites sleep blithely
+65	3	F	17131.56	1993-03-16	1-URGENT	Clerk#000000002	0	never foxes
+66	3	F	10697.34	1997-07-31	4-NOT SPECIFIED	Clerk#000000001	0	furiously dependencies sleep blithely accounts
+67	2	F	20730.53	1995-08-11	4-NOT SPECIFIED	Clerk#000000001	0	daringly pinto beans nag ruthlessly foxes haggle quickly ideas doze quickly theodolites
+68	1	F	13390.28	1996-01-07	2-HIGH	Clerk#000000001	0	quickly ideas haggle furiously theodolites unwind never
+69	2	O	4850.62	1998-04-03	2-HIGH	Clerk#000000002	0	quickly dependencies haggle daringly pinto beans cajole slowly instructions cajole quickly instructions sleep
+70	1	F	10603.34	1993-11-03	1-URGENT	Clerk#000000002	0	never requests detect
+71	3	F	22161.06	1995-06-07	2-HIGH	Clerk#000000002	0	ruthlessly ideas integrate
+72	2	F	3818.73	1996-06-12	4-NOT SPECIFIED	Clerk#000000001	0	quickly packages cajole ruthlessly pinto beans
+97	3	F	28847.93	1993-09-28	3-MEDIUM	Clerk#000000002	0	quickly packages cajole quickly accounts sleep never theodolites
+98	3	F	14226.87	1995-10-17	1-URGENT	Clerk#000000001	0	daringly excuses boost ruthlessly pinto beans unwind quickly packages detect slowly accounts wake never
+99	1	F	17256.75	1995-03-25	5-LOW	Clerk#000000001	0	quickly foxes doze furiously foxes nag quickly dependencies boost
+100	2	F	17398.01	1997-02-22	5-LOW	Clerk#000000002	0	quickly foxes sleep quickly dependencies integrate
+101	3	F	525.49	1993-09-14	3-MEDIUM	Clerk#000000002	0	never deposits detect daringly dependencies doze ruthlessly instructions sleep
+102	3	F	14448.29	1993-01-06	5-LOW	Clerk#000000001	0	ruthlessly foxes doze never ideas boost furiously deposits wake
+\.
+
+COPY lineitem (l_orderkey, l_partkey, l_suppkey, l_linenumber, l_quantity, l_extendedprice, l_discount, l_tax, l_returnflag, l_linestatus, l_shipdate, l_commitdate, l_receiptdate, l_shipinstruct, l_shipmode, l_comment) FROM stdin;
+1	3	1	1	10	1063.22	0.07	0.04	R	F	1993-08-08	1993-08-29	1993-09-07	TAKE BACK RETURN	RAIL	furiously excuses detect blithely foxes doze quickly deposits
+1	4	1	2	45	7797.06	0.03	0.00	R	F	1993-08-08	1993-08-21	1993-08-28	COLLECT COD	MAIL	blithely instructions
+2	2	1	1	4	748.42	0.08	0.05	R	F	1996-01-28	1996-02-24	1996-02-02	COLLECT COD	SHIP	ruthlessly theodolites haggle carefully theodolites boost blithely
+3	2	1	1	20	3084.20	0.09	0.03	N	F	1994-08-28	1994-09-24	1994-09-21	NONE	FOB	daringly instructions detect furiously foxes
+3	2	1	2	1	145.59	0.05	0.02	N	F	1994-08-03	1994-09-01	1994-08-29	NONE	FOB	carefully packages integrate slowly dependencies integrate never
+3	3	1	3	38	6887.72	0.04	0.00	N	F	1994-10-23	1994-11-16	1994-11-12	NONE	FOB	carefully deposits wake
+3	3	1	4	11	1513.86	0.04	0.08	N	F	1994-10-01	1994-10-04	1994-10-26	COLLECT COD	FOB	slowly ideas doze carefully ideas nag ruthlessly ideas
+3	3	1	5	32	5987.10	0.04	0.06	N	F	1994-10-25	1994-11-13	1994-11-20	NONE	AIR	slowly pinto beans haggle
+3	4	1	6	41	7395.12	0.02	0.05	N	F	1994-08-11	1994-09-06	1994-09-06	DELIVER IN PERSON	SHIP	never excuses unwind
+3	4	1	7	22	3668.23	0.04	0.06	R	F	1994-08-15	1994-08-31	1994-09-07	DELIVER IN PERSON	AIR	furiously foxes wake
+4	2	1	1	32	4097.63	0.08	0.00	N	F	1996-01-16	1996-02-07	1996-01-28	DELIVER IN PERSON	SHIP	daringly pinto beans wake furiously foxes doze
+4	1	1	2	25	4909.87	0.06	0.00	N	F	1996-01-29	1996-02-02	1996-02-17	NONE	SHIP	blithely requests doze carefully platelets haggle
+4	4	1	3	5	610.29	0.08	0.06	N	F	1995-11-21	1995-12-15	1995-11-24	NONE	SHIP	blithely platelets haggle quickly theodolites nag
+4	3	1	4	25	2500.77	0.08	0.06	N	F	1995-11-24	1995-12-12	1995-11-25	TAKE BACK RETURN	FOB	carefully theodolites boost ruthlessly theodolites
+4	3	1	5	49	5024.65	0.09	0.01	N	F	1995-10-31	1995-11-01	1995-11-29	COLLECT COD	MAIL	quickly foxes
+4	4	1	6	9	1173.26	0.09	0.08	N	F	1996-01-30	1996-02-28	1996-02-17	NONE	AIR	daringly instructions boost ruthlessly
+4	3	1	7	39	4363.98	0.08	0.02	N	F	1996-02-15	1996-02-26	1996-02-19	NONE	FOB	ruthlessly excuses integrate never excuses
+5	2	1	1	50	8019.10	0.09	0.07	N	F	1996-03-03	1996-03-10	1996-03-10	TAKE BACK RETURN	MAIL	slowly dependencies nag ruthlessly accounts
+5	3	1	2	32	6124.67	0.02	0.07	N	F	1996-04-13	1996-05-11	1996-04-15	NONE	MAIL	quickly excuses wake furiously
+5	4	1	3	44	7069.78	0.04	0.03	N	F	1996-04-14	1996-05-03	1996-05-12	COLLECT COD	SHIP	never ideas
+6	3	1	1	46	6496.85	0.01	0.04	N	F	1994-07-09	1994-08-02	1994-08-08	DELIVER IN PERSON	REG AIR	quickly instructions nag ruthlessly platelets doze
+6	3	1	2	34	4643.55	0.04	0.01	N	F	1994-07-18	1994-08-07	1994-07-31	TAKE BACK RETURN	REG AIR	never requests
+6	4	1	3	30	3776.79	0.04	0.02	N	F	1994-05-27	1994-05-29	1994-06-10	DELIVER IN PERSON	RAIL	ruthlessly excuses wake daringly excuses integrate never excuses
+7	1	1	1	6	1085.52	0.10	0.05	N	F	1994-07-20	1994-08-09	1994-07-30	NONE	RAIL	slowly ideas unwind furiously deposits doze furiously
+7	1	1	2	37	6862.90	0.06	0.00	R	F	1994-08-20	1994-09-10	1994-09-02	DELIVER IN PERSON	TRUCK	quickly foxes unwind
+7	3	1	3	11	1874.13	0.02	0.02	N	F	1994-05-24	1994-06-12	1994-06-17	COLLECT COD	REG AIR	ruthlessly packages doze daringly accounts integrate
+7	2	1	4	19	2229.72	0.02	0.04	N	F	1994-08-18	1994-08-30	1994-09-07	TAKE BACK RETURN	FOB	blithely pinto beans unwind
+7	3	1	5	30	4809.18	0.01	0.04	N	F	1994-06-15	1994-06-24	1994-07-05	DELIVER IN PERSON	REG AIR	blithely theodolites sleep furiously ideas
+7	2	1	6	1	164.06	0.03	0.00	N	F	1994-05-18	1994-06-07	1994-05-24	TAKE BACK RETURN	FOB	ruthlessly accounts detect
+8	1	1	1	22	3795.44	0.10	0.07	N	F	1997-09-12	1997-09-17	1997-09-27	NONE	MAIL	quickly foxes cajole ruthlessly dependencies boost
+8	4	1	2	50	9642.95	0.07	0.02	N	F	1997-10-01	1997-10-21	1997-10-18	TAKE BACK RETURN	REG AIR	slowly platelets haggle carefully packages sleep
+8	3	1	3	23	3025.90	0.06	0.01	N	F	1997-09-07	1997-10-02	1997-10-05	TAKE BACK RETURN	FOB	slowly foxes sleep carefully requests boost
+8	2	1	4	45	5694.88	0.05	0.07	N	F	1997-09-17	1997-10-13	1997-09-20	TAKE BACK RETURN	REG AIR	blithely foxes unwind daringly foxes doze blithely
+33	4	1	1	16	2846.96	0.01	0.01	R	O	1998-03-13	1998-03-31	1998-04-07	COLLECT COD	MAIL	daringly platelets haggle never accounts
+33	1	1	2	25	4069.92	0.01	0.08	N	O	1998-02-18	1998-02-22	1998-03-05	TAKE BACK RETURN	FOB	quickly theodolites integrate furiously platelets unwind
+34	2	1	1	20	2932.66	0.03	0.00	N	F	1997-07-25	1997-08-24	1997-08-06	TAKE BACK RETURN	RAIL	carefully requests nag ruthlessly deposits unwind
+34	1	1	2	49	5543.17	0.01	0.04	R	F	1997-09-25	1997-10-01	1997-10-06	TAKE BACK RETURN	SHIP	carefully deposits boost furiously packages haggle
+34	1	1	3	37	6094.75	0.02	0.04	R	F	1997-10-02	1997-10-24	1997-10-19	TAKE BACK RETURN	AIR	slowly dependencies unwind slowly excuses
+34	3	1	4	48	6273.40	0.03	0.07	N	F	1997-09-26	1997-10-14	1997-10-03	COLLECT COD	REG AIR	blithely pinto beans
+35	2	1	1	15	2081.08	0.10	0.06	R	F	1993-07-30	1993-08-06	1993-08-15	NONE	RAIL	blithely theodolites nag ruthlessly pinto beans
+35	3	1	2	47	9233.94	0.01	0.08	R	F	1993-07-16	1993-07-20	1993-07-18	TAKE BACK RETURN	AIR	never dependencies wake furiously pinto beans haggle daringly foxes
+36	1	1	1	3	310.63	0.00	0.03	N	F	1993-09-05	1993-09-16	1993-09-29	TAKE BACK RETURN	RAIL	daringly instructions
+36	1	1	2	6	604.18	0.00	0.00	N	F	1993-12-04	1993-12-11	1993-12-23	NONE	FOB	ruthlessly foxes sleep
+36	1	1	3	38	5301.38	0.00	0.01	N	F	1993-08-31	1993-09-19	1993-09-06	COLLECT COD	FOB	quickly deposits sleep ruthlessly instructions haggle carefully instructions
+36	3	1	4	25	4661.42	0.05	0.05	N	F	1993-08-25	1993-09-09	1993-08-28	COLLECT COD	REG AIR	furiously theodolites integrate furiously packages doze blithely
+37	3	1	1	31	3911.85	0.00	0.01	N	F	1994-05-25	1994-06-18	1994-06-04	TAKE BACK RETURN	REG AIR	carefully ideas integrate quickly
+37	4	1	2	24	2999.88	0.04	0.02	N	F	1994-05-11	1994-06-03	1994-06-03	DELIVER IN PERSON	AIR	slowly foxes
+37	3	1	3	10	1803.52	0.08	0.03	N	F	1994-06-02	1994-06-11	1994-07-01	DELIVER IN PERSON	REG AIR	furiously pinto beans nag never theodolites wake daringly
+37	2	1	4	13	2500.70	0.05	0.00	N	F	1994-06-24	1994-07-12	1994-06-25	TAKE BACK RETURN	AIR	carefully instructions cajole daringly dependencies wake furiously
+37	4	1	5	31	4749.66	0.09	0.04	N	F	1994-05-28	1994-06-15	1994-06-16	COLLECT COD	RAIL	never theodolites
+37	3	1	6	2	304.86	0.09	0.03	N	F	1994-07-23	1994-07-27	1994-07-31	DELIVER IN PERSON	REG AIR	furiously excuses
+37	2	1	7	31	6076.71	0.08	0.03	R	F	1994-05-04	1994-05-14	1994-05-28	COLLECT COD	AIR	never pinto beans
+38	4	1	1	49	7318.78	0.05	0.00	N	F	1994-09-11	1994-09-28	1994-09-15	NONE	AIR	quickly instructions haggle daringly
+38	2	1	2	26	2680.99	0.08	0.03	R	F	1994-09-11	1994-09-26	1994-09-22	NONE	RAIL	never theodolites
+38	4	1	3	25	2658.62	0.08	0.02	N	F	1994-07-29	1994-08-18	1994-08-14	DELIVER IN PERSON	RAIL	ruthlessly instructions integrate ruthlessly accounts wake
+38	1	1	4	44	8496.22	0.05	0.08	N	F	1994-07-28	1994-08-04	1994-08-02	TAKE BACK RETURN	TRUCK	quickly instructions doze carefully
+39	3	1	1	36	3961.98	0.08	0.01	N	O	1998-04-29	1998-05-28	1998-05-10	COLLECT COD	TRUCK	never accounts boost
+39	2	1	2	34	3273.01	0.03	0.02	N	O	1998-03-31	1998-04-09	1998-04-25	DELIVER IN PERSON	RAIL	carefully deposits
+39	2	1	3	27	4079.48	0.07	0.05	R	O	1998-06-18	1998-06-25	1998-06-19	DELIVER IN PERSON	SHIP	carefully dependencies detect
+39	3	1	4	6	668.57	0.06	0.00	N	O	1998-07-22	1998-07-23	1998-08-03	COLLECT COD	MAIL	quickly platelets doze furiously theodolites
+39	3	1	5	49	9232.23	0.10	0.04	N	O	1998-06-11	1998-06-14	1998-07-07	NONE	AIR	daringly requests boost carefully packages nag
+39	2	1	6	41	4775.27	0.10	0.03	N	O	1998-07-05	1998-08-04	1998-07-20	TAKE BACK RETURN	TRUCK	never pinto beans detect
+40	3	1	1	27	2703.15	0.07	0.00	R	F	1997-09-23	1997-10-14	1997-10-13	DELIVER IN PERSON	REG AIR	quickly foxes unwind slowly
+65	1	1	1	19	2705.90	0.09	0.02	N	F	1993-06-05	1993-06-30	1993-06-12	DELIVER IN PERSON	REG AIR	daringly pinto beans haggle carefully instructions doze furiously
+65	1	1	2	13	2281.87	0.09	0.02	R	F	1993-07-12	1993-07-24	1993-07-30	COLLECT COD	REG AIR	blithely packages cajole blithely
+65	4	1	3	18	2586.60	0.08	0.07	N	F	1993-04-09	1993-05-08	1993-04-29	COLLECT COD	AIR	blithely platelets sleep daringly ideas integrate daringly
+65	1	1	4	2	350.13	0.01	0.02	N	F	1993-04-24	1993-05-13	1993-05-22	DELIVER IN PERSON	REG AIR	ruthlessly platelets cajole quickly pinto beans detect furiously
+65	2	1	5	39	4908.50	0.06	0.03	N	F	1993-05-02	1993-05-25	1993-05-06	DELIVER IN PERSON	REG AIR	carefully packages
+65	4	1	6	27	4298.56	0.01	0.04	N	F	1993-04-21	1993-04-26	1993-05-16	COLLECT COD	REG AIR	never theodolites unwind quickly excuses
+66	1	1	1	18	2910.24	0.02	0.02	N	F	1997-10-09	1997-10-20	1997-10-10	TAKE BACK RETURN	MAIL	slowly packages
+66	2	1	2	29	4780.04	0.05	0.02	N	F	1997-08-17	1997-08-23	1997-08-19	TAKE BACK RETURN	MAIL	slowly theodolites unwind ruthlessly ideas wake daringly
+66	3	1	3	4	487.77	0.06	0.07	R	F	1997-10-14	1997-10-15	1997-10-15	COLLECT COD	RAIL	furiously dependencies doze never foxes nag carefully
+66	4	1	4	11	1538.48	0.06	0.08	N	F	1997-09-05	1997-09-23	1997-10-05	COLLECT COD	TRUCK	quickly theodolites haggle blithely requests haggle
+66	2	1	5	5	980.81	0.06	0.08	R	F	1997-08-14	1997-09-05	1997-08-27	DELIVER IN PERSON	RAIL	ruthlessly excuses wake carefully excuses haggle blithely foxes
+67	4	1	1	25	4070.60	0.07	0.03	N	F	1995-09-21	1995-09-25	1995-10-04	TAKE BACK RETURN	REG AIR	furiously pinto beans wake daringly accounts
+67	2	1	2	11	2186.75	0.01	0.07	N	F	1995-10-07	1995-10-19	1995-10-22	COLLECT COD	REG AIR	quickly packages sleep ruthlessly excuses cajole
+67	1	1	3	32	6233.56	0.08	0.06	N	F	1995-10-14	1995-10-26	1995-11-10	COLLECT COD	AIR	furiously deposits detect furiously dependencies nag blithely ideas
+67	1	1	4	36	6834.02	0.02	0.07	N	F	1995-11-20	1995-12-02	1995-12-01	COLLECT COD	RAIL	daringly dependencies boost
+67	2	1	5	12	1405.60	0.04	0.05	R	F	1995-11-05	1995-11-30	1995-12-04	NONE	RAIL	never accounts unwind carefully accounts haggle quickly excuses
+68	1	1	1	8	1357.86	0.00	0.07	N	F	1996-01-24	1996-02-18	1996-02-20	TAKE BACK RETURN	MAIL	quickly packages nag furiously ideas detect ruthlessly
+68	2	1	2	45	8115.97	0.05	0.08	R	F	1996-04-16	1996-05-08	1996-05-06	DELIVER IN PERSON	FOB	daringly dependencies
+68	1	1	3	6	800.25	0.01	0.06	N	F	1996-01-13	1996-01-14	1996-02-09	NONE	FOB	blithely ideas cajole
+68	2	1	4	16	1812.38	0.01	0.08	N	F	1996-02-04	1996-03-04	1996-02-27	COLLECT COD	RAIL	never deposits haggle ruthlessly
+68	1	1	5	13	1303.82	0.10	0.08	N	F	1996-03-25	1996-04-16	1996-04-19	COLLECT COD	FOB	daringly accounts sleep ruthlessly
+69	1	1	1	32	4850.62	0.03	0.04	N	O	1998-06-03	1998-06-11	1998-06-24	COLLECT COD	REG AIR	furiously foxes nag ruthlessly
+70	1	1	1	31	3358.23	0.07	0.03	N	F	1994-01-02	1994-01-05	1994-01-06	DELIVER IN PERSON	SHIP	quickly foxes wake quickly pinto beans unwind blithely ideas
+70	2	1	2	12	1816.65	0.00	0.06	N	F	1994-02-19	1994-03-03	1994-02-20	DELIVER IN PERSON	RAIL	daringly foxes haggle carefully deposits wake slowly
+70	4	1	3	29	4115.33	0.07	0.06	R	F	1993-12-26	1994-01-13	1994-01-14	TAKE BACK RETURN	REG AIR	slowly theodolites nag
+70	4	1	4	11	1313.13	0.03	0.06	N	F	1993-11-27	1993-12-14	1993-12-25	NONE	FOB	carefully deposits unwind
+71	3	1	1	20	2740.36	0.08	0.01	R	F	1995-06-15	1995-06-24	1995-06-21	COLLECT COD	FOB	quickly foxes unwind quickly excuses
+71	2	1	2	26	3843.50	0.04	0.00	N	F	1995-06-24	1995-07-21	1995-07-20	TAKE BACK RETURN	AIR	daringly foxes wake slowly foxes cajole carefully deposits
+71	4	1	3	35	5575.99	0.02	0.05	N	F	1995-08-21	1995-09-13	1995-09-18	TAKE BACK RETURN	SHIP	slowly accounts detect carefully requests
+71	2	1	4	17	2127.24	0.00	0.08	R	F	1995-08-13	1995-08-16	1995-08-28	TAKE BACK RETURN	SHIP	ruthlessly packages sleep quickly
+71	3	1	5	2	242.92	0.00	0.00	N	F	1995-06-10	1995-06-19	1995-06-26	COLLECT COD	RAIL	daringly deposits doze ruthlessly instructions wake quickly ideas
+71	3	1	6	28	3549.42	0.09	0.00	R	F	1995-06-13	1995-06-30	1995-07-03	COLLECT COD	MAIL	furiously accounts integrate furiously
+71	1	1	7	22	4081.63	0.04	0.04	N	F	1995-07-19	1995-08-03	1995-08-11	NONE	TRUCK	carefully excuses detect
+72	3	1	1	31	3818.73	0.05	0.08	N	F	1996-09-17	1996-10-02	1996-10-11	TAKE BACK RETURN	RAIL	slowly dependencies haggle quickly accounts haggle never
+97	2	1	1	1	120.60	0.04	0.07	N	F	1993-10-16	1993-10-22	1993-10-29	COLLECT COD	REG AIR	ruthlessly requests
+97	2	1	2	23	4572.46	0.01	0.06	N	F	1993-12-01	1993-12-11	1993-12-24	DELIVER IN PERSON	REG AIR	slowly accounts wake slowly instructions detect slowly deposits
+97	1	1	3	45	5990.44	0.08	0.01	R	F	1994-01-02	1994-01-05	1994-01-27	TAKE BACK RETURN	MAIL	daringly deposits detect daringly
+97	3	1	4	41	4707.12	0.01	0.02	N	F	1993-10-23	1993-11-19	1993-11-19	DELIVER IN PERSON	REG AIR	slowly accounts haggle ruthlessly dependencies doze
+97	2	1	5	21	3466.99	0.10	0.06	R	F	1993-10-20	1993-11-07	1993-10-23	DELIVER IN PERSON	AIR	furiously ideas wake ruthlessly requests boost daringly
+97	3	1	6	30	5464.92	0.07	0.06	N	F	1993-12-09	1994-01-03	1993-12-11	NONE	TRUCK	quickly pinto beans nag
+97	4	1	7	43	4525.40	0.04	0.02	R	F	1994-01-03	1994-01-26	1994-01-29	DELIVER IN PERSON	MAIL	blithely requests wake ruthlessly foxes sleep carefully pinto beans
+98	4	1	1	7	1313.41	0.00	0.02	N	F	1995-11-17	1995-12-16	1995-12-07	NONE	MAIL	carefully packages sleep quickly excuses detect carefully theodolites
+98	2	1	2	37	3770.63	0.08	0.02	N	F	1996-01-21	1996-01-25	1996-02-17	DELIVER IN PERSON	RAIL	quickly foxes cajole blithely foxes
+98	1	1	3	26	3255.79	0.02	0.05	R	F	1995-11-05	1995-11-20	1995-11-29	COLLECT COD	AIR	slowly packages wake daringly deposits cajole carefully requests
+98	3	1	4	43	5887.04	0.06	0.08	N	F	1995-12-11	1995-12-20	1995-12-17	TAKE BACK RETURN	RAIL	carefully packages unwind ruthlessly instructions cajole
+99	2	1	1	1	198.19	0.08	0.08	N	F	1995-07-19	1995-08-14	1995-07-24	COLLECT COD	SHIP	furiously platelets
+99	1	1	2	10	1736.53	0.06	0.06	N	F	1995-06-16	1995-07-09	1995-07-16	TAKE BACK RETURN	MAIL	carefully theodolites haggle ruthlessly instructions wake
+99	3	1	3	8	1210.00	0.00	0.03	N	F	1995-06-25	1995-07-14	1995-07-17	COLLECT COD	FOB	ruthlessly excuses wake blithely dependencies unwind furiously platelets
+99	2	1	4	49	6130.19	0.09	0.07	R	F	1995-04-03	1995-04-09	1995-04-26	DELIVER IN PERSON	SHIP	carefully foxes haggle never instructions sleep
+99	1	1	5	12	1395.22	0.02	0.08	N	F	1995-05-07	1995-05-10	1995-05-29	NONE	FOB	ruthlessly theodolites
+99	1	1	6	37	6586.62	0.04	0.03	N	F	1995-07-07	1995-08-04	1995-08-01	DELIVER IN PERSON	TRUCK	blithely packages cajole slowly packages nag daringly platelets
+100	1	1	1	47	8180.39	0.09	0.04	N	F	1997-03-02	1997-03-19	1997-03-12	NONE	RAIL	ruthlessly excuses haggle quickly dependencies cajole blithely platelets
+100	2	1	2	33	3825.65	0.10	0.01	N	F	1997-04-30	1997-05-23	1997-05-28	TAKE BACK RETURN	SHIP	quickly packages haggle ruthlessly requests cajole
+100	3	1	3	29	4825.33	0.04	0.01	N	F	1997-02-24	1997-03-14	1997-03-21	COLLECT COD	FOB	quickly dependencies
+100	2	1	4	3	414.96	0.01	0.05	N	F	1997-04-09	1997-04-30	1997-04-15	DELIVER IN PERSON	RAIL	blithely platelets doze carefully requests nag quickly
+100	2	1	5	1	151.68	0.04	0.07	N	F	1997-05-28	1997-06-04	1997-06-08	TAKE BACK RETURN	MAIL	quickly accounts nag ruthlessly dependencies haggle ruthlessly theodolites
+101	2	1	1	3	525.49	0.06	0.07	R	F	1993-12-21	1994-01-12	1994-01-09	DELIVER IN PERSON	AIR	furiously foxes
+102	3	1	1	13	2150.27	0.04	0.08	R	F	1993-03-13	1993-03-23	1993-03-25	NONE	AIR	never packages
+102	1	1	2	30	3923.43	0.06	0.02	N	F	1993-04-28	1993-05-19	1993-05-18	COLLECT COD	MAIL	never foxes detect quickly
+102	4	1	3	31	3593.17	0.02	0.07	N	F	1993-01-16	1993-01-23	1993-01-23	COLLECT COD	REG AIR	ruthlessly theodolites sleep
+102	3	1	4	43	4781.42	0.07	0.08	R	F	1993-03-30	1993-04-25	1993-04-25	DELIVER IN PERSON	REG AIR	blithely dependencies nag blithely accounts integrate
+\.
+
+--
+-- PostgreSQL database dump complete
+--

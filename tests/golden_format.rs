@@ -1,0 +1,176 @@
+//! Golden-vector conformance: the on-medium format is *frozen*.
+//!
+//! The paper's whole thesis is that the archived bytes must stay readable
+//! for decades, so no refactor — parallelisation included — may ever change
+//! what lands on the medium. This suite archives a checked-in TPC-H
+//! micro-dump (`tests/fixtures/micro_dump.sql`) and asserts, against
+//! checked-in golden values:
+//!
+//! * the exact `ULEA` container bytes (`tests/fixtures/micro_dump.ulea`);
+//! * CRC-32s of every emblem print-master stream, per `Medium` preset;
+//! * emblem image and frame dimensions, per `Medium` preset;
+//! * the data/parity emblem counts of the stream plan.
+//!
+//! If a change is *meant* to alter the format (a new header version, say),
+//! regenerate with `ULE_REGEN_GOLDEN=1 cargo test --test golden_format`
+//! and justify the diff in review. Any other golden mismatch is a format
+//! regression.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use ule::compress::Scheme;
+use ule::emblem::stream::stream_crc32;
+use ule::emblem::{encode_stream_with, EmblemKind};
+use ule::gf256::crc::crc32;
+use ule::media::Medium;
+use ule::olonys::MicrOlonys;
+use ule::par::ThreadConfig;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn micro_dump() -> Vec<u8> {
+    let path = fixture_path("micro_dump.sql");
+    if !path.exists() && std::env::var("ULE_REGEN_GOLDEN").is_ok() {
+        // First-time bootstrap only: freeze a TPC-H micro-dump as the
+        // conformance input. Once checked in, the file is the reference —
+        // regeneration never overwrites it, so later generator changes
+        // cannot silently move the goalposts.
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, ule::tpch::dump_for_scale(0.00002, 7)).unwrap();
+    }
+    std::fs::read(path).expect("checked-in micro dump")
+}
+
+/// The media presets whose on-medium format is pinned.
+fn media_presets() -> Vec<Medium> {
+    vec![
+        Medium::paper_a4_600dpi(),
+        Medium::microfilm_16mm(),
+        Medium::cinema_35mm(),
+        Medium::test_tiny(),
+    ]
+}
+
+fn slug(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Compute every golden observable as `key = value` lines. The thread
+/// config is taken from `ULE_TEST_THREADS` (CI runs this serial and at 4
+/// threads), which must not change a single line — byte-identity of the
+/// parallel engine is part of what these vectors freeze.
+fn compute_observables() -> String {
+    let threads = ThreadConfig::from_env_or(ThreadConfig::Serial);
+    let dump = micro_dump();
+    let archive = ule::compress::compress(Scheme::Lzss, &dump);
+    let mut out = String::new();
+    writeln!(out, "dump_len = {}", dump.len()).unwrap();
+    writeln!(out, "dump_crc32 = {:08x}", crc32(&dump)).unwrap();
+    writeln!(out, "ulea_len = {}", archive.len()).unwrap();
+    writeln!(out, "ulea_crc32 = {:08x}", crc32(&archive)).unwrap();
+
+    for medium in media_presets() {
+        let key = slug(medium.name);
+        let geom = medium.geometry;
+        writeln!(
+            out,
+            "{key}.frame = {}x{}",
+            medium.frame_width, medium.frame_height
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{key}.emblem = {}x{}",
+            geom.image_width(),
+            geom.image_height()
+        )
+        .unwrap();
+        writeln!(out, "{key}.payload_capacity = {}", geom.payload_capacity()).unwrap();
+        let plan = ule::emblem::stream::plan(&geom, archive.len(), true);
+        writeln!(
+            out,
+            "{key}.emblems = {}+{}",
+            plan.data_emblems, plan.parity_emblems
+        )
+        .unwrap();
+        let images = encode_stream_with(&geom, EmblemKind::Data, &archive, true, threads);
+        writeln!(out, "{key}.stream_crc32 = {:08x}", stream_crc32(&images)).unwrap();
+    }
+
+    // Full pipeline on the tiny medium: printed frames (data + system) and
+    // the Bootstrap text, i.e. everything a restorer would be handed.
+    let sys = MicrOlonys::test_tiny().with_threads(threads);
+    let arch = sys.archive(&dump);
+    writeln!(out, "tiny.data_frames = {}", arch.data_frames.len()).unwrap();
+    writeln!(out, "tiny.system_frames = {}", arch.system_frames.len()).unwrap();
+    writeln!(
+        out,
+        "tiny.data_frames_crc32 = {:08x}",
+        stream_crc32(&arch.data_frames)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "tiny.system_frames_crc32 = {:08x}",
+        stream_crc32(&arch.system_frames)
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "tiny.bootstrap_crc32 = {:08x}",
+        crc32(arch.bootstrap.to_text().as_bytes())
+    )
+    .unwrap();
+    out
+}
+
+#[test]
+fn ulea_container_bytes_are_frozen() {
+    let archive = ule::compress::compress(Scheme::Lzss, &micro_dump());
+    let golden_path = fixture_path("micro_dump.ulea");
+    if std::env::var("ULE_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&golden_path, &archive).expect("write golden container");
+        return;
+    }
+    let golden = std::fs::read(&golden_path).expect("checked-in golden container");
+    assert_eq!(
+        archive.len(),
+        golden.len(),
+        "ULEA container length drifted (format regression)"
+    );
+    if archive != golden {
+        let first = archive
+            .iter()
+            .zip(&golden)
+            .position(|(a, b)| a != b)
+            .unwrap();
+        panic!("ULEA container bytes drifted, first difference at offset {first}");
+    }
+    // The container must still decode to the exact dump, of course.
+    assert_eq!(ule::compress::decompress(&archive).unwrap(), micro_dump());
+}
+
+#[test]
+fn emblem_streams_and_frame_geometry_are_frozen() {
+    let actual = compute_observables();
+    let golden_path = fixture_path("golden_format.txt");
+    if std::env::var("ULE_REGEN_GOLDEN").is_ok() {
+        std::fs::write(&golden_path, &actual).expect("write golden observables");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).expect("checked-in golden observables");
+    // Compare line by line so a failure names the drifted observable
+    // instead of dumping two blobs.
+    let mut golden_lines = golden.lines();
+    for a in actual.lines() {
+        let g = golden_lines.next().unwrap_or("<missing>");
+        assert_eq!(a, g, "golden observable drifted (format regression)");
+    }
+    assert_eq!(golden_lines.next(), None, "golden file has extra lines");
+}

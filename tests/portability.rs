@@ -12,6 +12,7 @@ fn micro() -> MicrOlonys {
         medium: Medium::test_micro(),
         scheme: Scheme::Lzss,
         with_parity: false,
+        threads: ule::par::ThreadConfig::Serial,
     }
 }
 
