@@ -1,0 +1,52 @@
+//! E9 — recovery-envelope campaign: fault-injection throughput per model
+//! and a bounded envelope campaign on the tiny test medium. The
+//! production-media envelopes (and the §3.1 gate) are produced by
+//! `cargo run -p ule_bench --bin report` and recorded in `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use ule_bench::{e9_model_sweep, E9Workload};
+use ule_fault::{FaultPlan, RecoveryEnvelope, ThreadConfig};
+use ule_media::Medium;
+
+fn fault_injection(c: &mut Criterion) {
+    let w = E9Workload::new(Medium::test_tiny(), 11);
+    let bytes: u64 = w.scans.iter().map(|s| s.as_bytes().len() as u64).sum();
+    let mut g = c.benchmark_group("e9_fault_injection");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    for (model, _) in e9_model_sweep() {
+        let name = model.name();
+        let mut plan = FaultPlan::new();
+        plan.push(model);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &plan, |b, plan| {
+            b.iter(|| black_box(plan.apply(&w.scans, 0.3, 7)))
+        });
+    }
+    g.finish();
+}
+
+fn envelope_campaign(c: &mut Criterion) {
+    let w = E9Workload::new(Medium::test_tiny(), 12);
+    let mut g = c.benchmark_group("e9_envelope_campaign");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let pool = if threads == 1 {
+                    ThreadConfig::Serial
+                } else {
+                    ThreadConfig::Fixed(threads)
+                };
+                let env = RecoveryEnvelope::new(2).with_threads(pool);
+                b.iter(|| black_box(env.run(&w.cases())))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fault_injection, envelope_campaign);
+criterion_main!(benches);

@@ -161,6 +161,7 @@ impl MicrOlonys {
             xoff: (self.medium.frame_width - emblem_w) / 2,
             yoff: (self.medium.frame_height - emblem_h) / 2,
             scheme: self.scheme as u8,
+            outer_parity: self.with_parity,
         }
     }
 }

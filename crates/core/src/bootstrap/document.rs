@@ -51,6 +51,12 @@ pub struct Bootstrap {
     pub yoff: usize,
     /// DBCoder scheme id stored on the data emblems.
     pub scheme: u8,
+    /// Whether the outer RS(20,17) code is on the medium: emblem sequence
+    /// numbers then count parity emblems too, so data/system emblem
+    /// indices skip 3 slots after every 17 within a stream. A restorer
+    /// needs this to map sequence numbers back to stream positions when
+    /// frames are missing.
+    pub outer_parity: bool,
 }
 
 impl Bootstrap {
@@ -97,6 +103,10 @@ impl Bootstrap {
             self.frame_w, self.frame_h, self.xoff, self.yoff
         ));
         out.push_str(&format!("scheme: {}\n", self.scheme));
+        out.push_str(&format!(
+            "outer: data_per_group=17 parity_per_group=3 enabled={}\n",
+            self.outer_parity as u8
+        ));
         out.push_str(
             "layout: in_len=0x10 out_len=0x14 out_base_ptr=0x18 params=0x1C in_base=0x40\n",
         );
@@ -153,6 +163,7 @@ impl Bootstrap {
         let mut geometry = HashMap::new();
         let mut frame = HashMap::new();
         let mut scheme = None;
+        let mut outer_parity = None;
         for line in sec3.lines() {
             let line = line.trim();
             if let Some(v) = line.strip_prefix("geometry:") {
@@ -175,6 +186,13 @@ impl Bootstrap {
                 }
             } else if let Some(v) = line.strip_prefix("scheme:") {
                 scheme = Some(v.trim().parse::<u8>().map_err(|_| E::BadNumber("scheme"))?);
+            } else if let Some(v) = line.strip_prefix("outer:") {
+                for pair in v.split_whitespace() {
+                    if let Some(("enabled", v)) = pair.split_once('=') {
+                        outer_parity =
+                            Some(v.parse::<u8>().map_err(|_| E::BadNumber("outer"))? != 0);
+                    }
+                }
             }
         }
         let g = |k: &str| geometry.get(k).copied().ok_or(E::MissingField("geometry"));
@@ -193,6 +211,13 @@ impl Bootstrap {
             xoff: f("xoff")?,
             yoff: f("yoff")?,
             scheme: scheme.ok_or(E::MissingField("scheme"))?,
+            // Documents printed before the outer line existed (or whose
+            // line was damaged away) default to the dense no-parity
+            // numbering those documents' walkthrough described — refusing
+            // an otherwise-readable archival document would be worse than
+            // a degraded-but-typed FrameLoss on a multi-group parity
+            // stream.
+            outer_parity: outer_parity.unwrap_or(false),
         })
     }
 
@@ -276,6 +301,12 @@ const WALKTHROUGH: &str = r#"
     them; place the result in the machine's memory as the new input
     (same layout as step 4, no geometry words needed). Run DBDECODE.
     The output region now holds the original SQL archive text.
+    Note on sequence numbers: if the manifest's outer line says
+    enabled=1, every group of 17 data (or system) emblems is followed
+    by 3 parity emblems sharing the numbering, so the 18th data
+    emblem carries sequence number 20, the 35th carries 40, and so
+    on. Parity emblems are only needed when frames are lost; this
+    walkthrough's sequential path ignores them.
  7. Load the SQL file into any database system of your era.
 "#;
 
@@ -307,6 +338,7 @@ mod tests {
             xoff: 48,
             yoff: 38,
             scheme: 2,
+            outer_parity: true,
         }
     }
 

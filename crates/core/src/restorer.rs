@@ -21,6 +21,8 @@ use crate::archiver::MicrOlonys;
 use crate::bootstrap::document::Bootstrap;
 use ule_compress::ArchiveError;
 use ule_dynarisc::layout;
+use ule_emblem::geometry::RS_K;
+use ule_emblem::stream::{chunk_global_index, GROUP_DATA};
 use ule_emblem::{decode_stream, decode_stream_with, EmblemHeader, EmblemKind, StreamError};
 use ule_raster::GrayImage;
 use ule_verisc::vm::{EngineKind, VeriscError};
@@ -41,12 +43,18 @@ pub enum RestoreError {
     BadHeader(usize),
     /// The emulated path found no system emblems (no decoder!).
     NoDecoder,
-    /// Data emblems missing in the emulated path (it has no outer-code
-    /// recovery; use the native path for damaged media).
-    MissingData { index: usize },
-    /// System emblems missing in the emulated path: the DBDecode
-    /// instruction stream cannot be assembled.
-    MissingSystem { index: usize },
+    /// Whole frames are missing — lost, or too damaged to decode — beyond
+    /// what the restoration path can absorb (the emulated path has no
+    /// outer-code recovery at all; the native path is limited by the
+    /// outer code's budget). `expected`/`found` count the emblems of
+    /// `kind`; `missing` lists the absent frames' global emblem indices,
+    /// so the operator knows exactly which frames to hunt for.
+    FrameLoss {
+        kind: EmblemKind,
+        expected: usize,
+        found: usize,
+        missing: Vec<usize>,
+    },
 }
 
 impl std::fmt::Display for RestoreError {
@@ -58,12 +66,15 @@ impl std::fmt::Display for RestoreError {
             RestoreError::DecoderStatus(s) => write!(f, "emulated decoder status {s}"),
             RestoreError::BadHeader(i) => write!(f, "scan {i}: unparseable emblem header"),
             RestoreError::NoDecoder => write!(f, "no system emblems found"),
-            RestoreError::MissingData { index } => {
-                write!(f, "data emblem {index} missing (emulated path needs all)")
-            }
-            RestoreError::MissingSystem { index } => {
-                write!(f, "system emblem {index} missing (DBDecode incomplete)")
-            }
+            RestoreError::FrameLoss {
+                kind,
+                expected,
+                found,
+                missing,
+            } => write!(
+                f,
+                "frame loss: {found} of {expected} {kind:?} emblems present, missing indices {missing:?}"
+            ),
         }
     }
 }
@@ -110,7 +121,23 @@ impl MicrOlonys {
         data_scans: &[GrayImage],
     ) -> Result<(Vec<u8>, RestoreStats), RestoreError> {
         let geom = self.medium.geometry;
-        let (archive, s) = decode_stream_with(&geom, data_scans, self.threads)?;
+        let (archive, s) =
+            decode_stream_with(&geom, data_scans, self.threads).map_err(|e| match e {
+                // Surface lost frames as the structured top-level error so
+                // campaign runners and operators see indices, not prose.
+                StreamError::FrameLoss {
+                    expected,
+                    found,
+                    missing,
+                    ..
+                } => RestoreError::FrameLoss {
+                    kind: EmblemKind::Data,
+                    expected,
+                    found,
+                    missing: missing.iter().map(|&i| i as usize).collect(),
+                },
+                other => RestoreError::Stream(other),
+            })?;
         let dump = ule_compress::decompress(&archive)?;
         Ok((
             dump,
@@ -173,81 +200,19 @@ impl MicrOlonys {
             decoded.push((header, payload));
         }
 
-        // Step 5: assemble DBDecode from system emblems.
-        let mut system: Vec<&(EmblemHeader, Vec<u8>)> = decoded
-            .iter()
-            .filter(|(h, _)| h.kind == EmblemKind::System)
-            .collect();
-        if system.is_empty() {
-            return Err(RestoreError::NoDecoder);
-        }
-        system.sort_by_key(|(h, _)| h.index);
-        // The caller may hand us redundant scans of the same frame.
-        system.dedup_by_key(|(h, _)| h.index);
-        // System emblem indices are contiguous from 0; a gap would splice a
-        // garbled DBDecode program and fail far from the real cause.
-        for (expected, (h, _)) in system.iter().enumerate() {
-            if h.index as usize != expected {
-                return Err(RestoreError::MissingSystem { index: expected });
-            }
-        }
-        let mut sys_bytes = Vec::new();
-        for (_, p) in &system {
-            sys_bytes.extend_from_slice(p);
-        }
-        // Contiguous indices with too few bytes means the tail of the
-        // DBDecode stream never arrived; running a truncated program would
-        // fail far from the cause (or, worse, happen to "work").
-        let sys_total = system
-            .first()
-            .map(|(h, _)| h.total_len as usize)
-            .unwrap_or(0);
-        if sys_bytes.len() < sys_total {
-            return Err(RestoreError::MissingSystem {
-                index: system.len(),
-            });
-        }
-        sys_bytes.truncate(sys_total);
+        // Steps 5–6: assemble the DBDecode stream (system emblems) and the
+        // data archive. Scans arrive in any order, possibly duplicated,
+        // possibly with frames missing; `assemble_stream` sorts this out
+        // and names any absent frame by its global emblem index.
+        let chunk_cap = boot.nblocks * RS_K;
+        let sys_bytes =
+            assemble_stream(&decoded, EmblemKind::System, chunk_cap, boot.outer_parity)?;
         let dbdecode_words: Vec<u16> = sys_bytes
             .chunks_exact(2)
             .map(|c| u16::from_le_bytes([c[0], c[1]]))
             .collect();
 
-        // Step 6: assemble the data archive.
-        let mut data: Vec<&(EmblemHeader, Vec<u8>)> = decoded
-            .iter()
-            .filter(|(h, _)| h.kind == EmblemKind::Data)
-            .collect();
-        data.sort_by_key(|(h, _)| h.index);
-        // Redundant scans of the same frame must not concatenate twice.
-        data.dedup_by_key(|(h, _)| h.index);
-        // Even an empty dump occupies one data emblem, so an empty set here
-        // means emblem 0 never arrived (otherwise `total` would be 0 and the
-        // shortfall check below could not fire).
-        if data.is_empty() {
-            return Err(RestoreError::MissingData { index: 0 });
-        }
-        let total = data.first().map(|(h, _)| h.total_len as usize).unwrap_or(0);
-        let mut archive = Vec::with_capacity(total);
-        // Data emblem indices are contiguous from 0; the first gap in the
-        // sorted sequence names the missing emblem.
-        let mut first_gap = None;
-        for (expected, (h, p)) in data.iter().enumerate() {
-            if first_gap.is_none() && h.index as usize != expected {
-                first_gap = Some(expected);
-            }
-            archive.extend_from_slice(p);
-        }
-        // A gap is fatal even when the byte count happens to add up (payload
-        // sizes can coincide); a shortfall with contiguous indices means the
-        // tail emblems never arrived.
-        if let Some(index) = first_gap {
-            return Err(RestoreError::MissingData { index });
-        }
-        if archive.len() < total {
-            return Err(RestoreError::MissingData { index: data.len() });
-        }
-        archive.truncate(total);
+        let archive = assemble_stream(&decoded, EmblemKind::Data, chunk_cap, boot.outer_parity)?;
         stats.archive_bytes = archive.len();
 
         // Run DBDecode inside the emulator.
@@ -271,6 +236,197 @@ impl MicrOlonys {
             return Err(RestoreError::DecoderStatus(status));
         }
         Ok((layout::read_output(&guest, out_base), stats))
+    }
+}
+
+/// Reassemble one emblem stream (`kind`) from emulator-decoded emblems,
+/// tolerating arbitrary order, duplicates, and interleaved other-kind
+/// emblems. The emulated path has no outer-code recovery, so *every*
+/// chunk must be present; a shortfall is reported as
+/// [`RestoreError::FrameLoss`] naming the missing frames' global emblem
+/// indices (derived from the Bootstrap's outer-layout line — sequence
+/// numbers skip parity slots when the outer code is on).
+fn assemble_stream(
+    decoded: &[(EmblemHeader, Vec<u8>)],
+    kind: EmblemKind,
+    chunk_cap: usize,
+    outer_parity: bool,
+) -> Result<Vec<u8>, RestoreError> {
+    let items: Vec<&(EmblemHeader, Vec<u8>)> =
+        decoded.iter().filter(|(h, _)| h.kind == kind).collect();
+    if items.is_empty() {
+        // With zero emblems of the kind even the stream length is unknown;
+        // a missing decoder gets its dedicated error, data gets the
+        // minimal truthful report (at least emblem 0 is gone).
+        if kind == EmblemKind::System {
+            return Err(RestoreError::NoDecoder);
+        }
+        return Err(RestoreError::FrameLoss {
+            kind,
+            expected: 1,
+            found: 0,
+            missing: vec![0],
+        });
+    }
+    let total = items[0].0.total_len as usize;
+    let expected_chunks = total.div_ceil(chunk_cap.max(1)).max(1);
+    let mut chunks: Vec<Option<&[u8]>> = vec![None; expected_chunks];
+    for (h, p) in items {
+        let idx = h.index as usize;
+        let group = h.group as usize;
+        let start = chunk_global_index(group * GROUP_DATA, outer_parity);
+        // An index outside the group's own data range is a malformed
+        // header; rejecting it keeps garbage from displacing the genuine
+        // chunk (first copy wins below) — the slot stays missing instead.
+        if idx < start || idx - start >= GROUP_DATA {
+            continue;
+        }
+        let chunk = group * GROUP_DATA + (idx - start);
+        if chunk < expected_chunks && chunks[chunk].is_none() {
+            chunks[chunk] = Some(p.as_slice());
+        }
+    }
+    let missing: Vec<usize> = chunks
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.is_none())
+        .map(|(c, _)| chunk_global_index(c, outer_parity))
+        .collect();
+    if !missing.is_empty() {
+        return Err(RestoreError::FrameLoss {
+            kind,
+            expected: expected_chunks,
+            found: expected_chunks - missing.len(),
+            missing,
+        });
+    }
+    let mut out = Vec::with_capacity(total);
+    for c in &chunks {
+        out.extend_from_slice(c.expect("missing chunks rejected above"));
+    }
+    if out.len() < total {
+        // Every expected emblem arrived but the bytes fall short: an
+        // emblem's payload was truncated, i.e. content corruption rather
+        // than frame loss.
+        return Err(RestoreError::Archive(ArchiveError::Corrupt(format!(
+            "{kind:?} stream holds {} bytes, headers promise {total}",
+            out.len()
+        ))));
+    }
+    out.truncate(total);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic decoded-emblem list: `n_chunks` chunks of `cap` bytes
+    /// (the last one short by `tail_short`), laid out with or without
+    /// outer parity.
+    fn stream(
+        kind: EmblemKind,
+        n_chunks: usize,
+        cap: usize,
+        tail_short: usize,
+        outer_parity: bool,
+    ) -> Vec<(EmblemHeader, Vec<u8>)> {
+        let total = n_chunks * cap - tail_short;
+        (0..n_chunks)
+            .map(|c| {
+                let len = if c + 1 == n_chunks {
+                    cap - tail_short
+                } else {
+                    cap
+                };
+                let h = EmblemHeader::new(
+                    kind,
+                    chunk_global_index(c, outer_parity) as u16,
+                    (c / GROUP_DATA) as u16,
+                    len as u32,
+                    total as u32,
+                );
+                (h, vec![c as u8; len])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parity_layout_index_mapping() {
+        assert_eq!(chunk_global_index(0, true), 0);
+        assert_eq!(chunk_global_index(16, true), 16);
+        // Chunk 17 opens group 1 *after* group 0's three parity emblems.
+        assert_eq!(chunk_global_index(17, true), 20);
+        assert_eq!(chunk_global_index(34, true), 40);
+        assert_eq!(chunk_global_index(17, false), 17);
+    }
+
+    #[test]
+    fn multi_group_parity_stream_assembles() {
+        // 20 chunks span two groups; under the parity layout the second
+        // group's indices are shifted by 3 — the dense-index assumption
+        // this used to hide.
+        let decoded = stream(EmblemKind::Data, 20, 8, 3, true);
+        let out = assemble_stream(&decoded, EmblemKind::Data, 8, true).unwrap();
+        assert_eq!(out.len(), 20 * 8 - 3);
+        assert_eq!(out[17 * 8], 17, "group-1 chunks land at the right offset");
+    }
+
+    #[test]
+    fn missing_chunks_named_by_global_index() {
+        let mut decoded = stream(EmblemKind::Data, 20, 8, 0, true);
+        decoded.remove(18); // chunk 18 = global emblem index 21
+        decoded.remove(2); // chunk 2 = global emblem index 2
+        match assemble_stream(&decoded, EmblemKind::Data, 8, true) {
+            Err(RestoreError::FrameLoss {
+                kind,
+                expected,
+                found,
+                missing,
+            }) => {
+                assert_eq!(kind, EmblemKind::Data);
+                assert_eq!(expected, 20);
+                assert_eq!(found, 18);
+                assert_eq!(missing, vec![2, 21]);
+            }
+            other => panic!("expected FrameLoss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicates_and_shuffle_are_harmless() {
+        let mut decoded = stream(EmblemKind::System, 5, 4, 1, false);
+        let dup = decoded[3].clone();
+        decoded.push(dup);
+        decoded.reverse();
+        let out = assemble_stream(&decoded, EmblemKind::System, 4, false).unwrap();
+        assert_eq!(out.len(), 19);
+        assert_eq!(out[0], 0);
+        assert_eq!(out[16], 4);
+    }
+
+    #[test]
+    fn truncated_payload_is_corruption_not_frame_loss() {
+        let mut decoded = stream(EmblemKind::Data, 3, 6, 0, false);
+        decoded[1].1.truncate(2); // chunk present, bytes short
+        match assemble_stream(&decoded, EmblemKind::Data, 6, false) {
+            Err(RestoreError::Archive(ArchiveError::Corrupt(_))) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_kind_reports_no_decoder_or_loss() {
+        let decoded = stream(EmblemKind::Data, 2, 4, 0, false);
+        assert!(matches!(
+            assemble_stream(&decoded, EmblemKind::System, 4, false),
+            Err(RestoreError::NoDecoder)
+        ));
+        let decoded = stream(EmblemKind::System, 2, 4, 0, false);
+        assert!(matches!(
+            assemble_stream(&decoded, EmblemKind::Data, 4, false),
+            Err(RestoreError::FrameLoss { missing, .. }) if missing == vec![0]
+        ));
     }
 }
 

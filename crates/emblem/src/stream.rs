@@ -160,7 +160,19 @@ pub enum StreamError {
     NoEmblems,
     /// Emblems disagree about the stream length.
     InconsistentHeaders,
-    /// A group lost more emblems than the outer code can restore.
+    /// Whole emblems of one group are missing (lost frames, or scans too
+    /// damaged to decode) beyond the outer code's budget. `expected` and
+    /// `found` count the group's emblems; `missing` lists the absent
+    /// **global** emblem indices, so the caller can name exactly which
+    /// frames to go looking for.
+    FrameLoss {
+        group: u16,
+        expected: usize,
+        found: usize,
+        missing: Vec<u16>,
+    },
+    /// The outer erasure decode itself failed (defensive: unreachable
+    /// when the budget pre-check above holds).
     TooManyMissing {
         group: u16,
         missing: usize,
@@ -173,6 +185,16 @@ impl std::fmt::Display for StreamError {
         match self {
             StreamError::NoEmblems => write!(f, "no decodable emblems"),
             StreamError::InconsistentHeaders => write!(f, "emblem headers disagree"),
+            StreamError::FrameLoss {
+                group,
+                expected,
+                found,
+                missing,
+            } => write!(
+                f,
+                "group {group}: {found} of {expected} emblems present, missing indices {missing:?} \
+                 are beyond outer-code recovery"
+            ),
             StreamError::TooManyMissing { group, missing, correctable } => write!(
                 f,
                 "group {group}: {missing} emblems missing, outer code corrects at most {correctable}"
@@ -241,32 +263,89 @@ pub fn decode_stream_with(
 
     let cap = geom.payload_capacity();
     let n_chunks = (total_len as usize).div_ceil(cap).max(1);
-    let had_parity = decoded.iter().any(|(h, _, _)| h.kind == EmblemKind::Parity);
+    let n_groups = n_chunks.div_ceil(GROUP_DATA);
+    // Did this stream carry outer parity? Surviving parity emblems say so
+    // directly; failing that, a data emblem whose (group, index) pair is
+    // *valid* under the parity layout but *invalid* under the dense one
+    // betrays the parity slots even when every parity frame was lost. The
+    // two-sided consistency check matters: a damaged-but-checksum-
+    // colliding header with an arbitrary out-of-range index must not flip
+    // an intact dense stream into the parity layout (it reads as garbage
+    // under both and is ignored here, then counted as a failed scan
+    // below). Residual blind spot: a stream that lost all its parity
+    // frames and every layout-disambiguating data emblem looks
+    // parity-less; group-0 emblems never disambiguate (both layouts
+    // agree there). Mis-inference can only misreport FrameLoss details
+    // or fail a group whose parity is entirely gone — never silently
+    // corrupt the success path.
+    let data_consistent = |h: &EmblemHeader, with_parity: bool| -> bool {
+        let group = h.group as usize;
+        if group >= n_chunks.div_ceil(GROUP_DATA) {
+            return false;
+        }
+        let start = chunk_global_index(group * GROUP_DATA, with_parity);
+        let idx = h.index as usize;
+        idx >= start && idx - start < group_data_count(group, n_chunks)
+    };
+    let had_parity = decoded.iter().any(|(h, _, _)| h.kind == EmblemKind::Parity)
+        || decoded.iter().any(|(h, _, _)| {
+            h.kind != EmblemKind::Parity && data_consistent(h, true) && !data_consistent(h, false)
+        });
 
     // Rebuild chunk table: chunk c lives in group c / 17 at position c % 17.
     let mut chunks: Vec<Option<Vec<u8>>> = vec![None; n_chunks];
-    let mut parity: Vec<Vec<Option<Vec<u8>>>> =
-        vec![vec![None; GROUP_PARITY]; n_chunks.div_ceil(GROUP_DATA)];
+    let mut parity: Vec<Vec<Option<Vec<u8>>>> = vec![vec![None; GROUP_PARITY]; n_groups];
     for (h, payload, _) in decoded {
         let idx = h.index as usize;
         let group = h.group as usize;
+        // A damaged-but-checksum-colliding header (or a scan from some
+        // other archive) can carry any (group, index) pair; coordinates
+        // inconsistent with this stream's layout count as a failed scan
+        // instead of panicking on index math or clobbering a good slot.
+        let group_start_idx = if group < n_groups {
+            group_start_index(group, n_chunks, had_parity)
+        } else {
+            usize::MAX
+        };
+        if group >= n_groups || idx < group_start_idx {
+            stats.failed_scans += 1;
+            continue;
+        }
+        let in_group = group_data_count(group, n_chunks);
         match h.kind {
             EmblemKind::Parity => {
                 // Parity emblems follow the group's data emblems: their
                 // position within the group is recovered from the index.
-                let group_start_idx = group_start_index(group, n_chunks, had_parity);
-                let in_group = group_data_count(group, n_chunks);
-                let pos = idx.saturating_sub(group_start_idx + in_group);
-                if group < parity.len() && pos < GROUP_PARITY && parity[group][pos].is_none() {
+                // An index inside the data range (or past the parity
+                // slots) is another layout inconsistency — rejecting it
+                // keeps a colliding header from clobbering a slot whose
+                // genuine emblem would then be dropped as a duplicate.
+                if idx < group_start_idx + in_group {
+                    stats.failed_scans += 1;
+                    continue;
+                }
+                let pos = idx - (group_start_idx + in_group);
+                if pos >= GROUP_PARITY {
+                    stats.failed_scans += 1;
+                    continue;
+                }
+                if parity[group][pos].is_none() {
                     let mut p = payload;
                     p.resize(cap, 0);
                     parity[group][pos] = Some(p);
                 }
             }
             _ => {
-                let group_start_idx = group_start_index(group, n_chunks, had_parity);
-                let chunk_no = group * GROUP_DATA + (idx - group_start_idx);
-                if chunk_no < n_chunks && chunks[chunk_no].is_none() {
+                // Same inconsistency guard for data: the index must land
+                // inside its own group's data range, or first-copy-wins
+                // would let garbage displace the genuine chunk.
+                let pos = idx - group_start_idx;
+                if pos >= in_group {
+                    stats.failed_scans += 1;
+                    continue;
+                }
+                let chunk_no = group * GROUP_DATA + pos;
+                if chunks[chunk_no].is_none() {
                     chunks[chunk_no] = Some(payload);
                 }
             }
@@ -286,10 +365,26 @@ pub fn decode_stream_with(
         let parity_avail = parity[group].iter().filter(|p| p.is_some()).count();
         let missing_parity = GROUP_PARITY - parity_avail;
         if missing.len() + missing_parity > GROUP_PARITY {
-            return Err(StreamError::TooManyMissing {
+            // Name the absent frames by their global emblem indices. A
+            // stream encoded without parity counts only its data emblems
+            // as expected — the three "missing" parity slots are not lost
+            // frames, they never existed.
+            let start = group_start_index(group, n_chunks, had_parity);
+            let mut absent: Vec<u16> = missing.iter().map(|&i| (start + i) as u16).collect();
+            let mut expected = in_group;
+            if had_parity {
+                expected += GROUP_PARITY;
+                for (pi, p) in parity[group].iter().enumerate() {
+                    if p.is_none() {
+                        absent.push((start + in_group + pi) as u16);
+                    }
+                }
+            }
+            return Err(StreamError::FrameLoss {
                 group: group as u16,
-                missing: missing.len() + missing_parity,
-                correctable: GROUP_PARITY,
+                expected,
+                found: expected - absent.len(),
+                missing: absent,
             });
         }
         let rs = RsCode::new(in_group + GROUP_PARITY, in_group);
@@ -358,16 +453,24 @@ pub fn stream_crc32(images: &[GrayImage]) -> u32 {
     st ^ 0xFFFF_FFFF
 }
 
-/// Global emblem index at which `group`'s data emblems start.
-fn group_start_index(group: usize, n_chunks: usize, with_parity: bool) -> usize {
-    let full_groups = group.min(n_chunks / GROUP_DATA);
-    let mut idx = full_groups * GROUP_DATA + group.saturating_sub(full_groups) * 0;
+/// Global emblem index of stream chunk `chunk` (a data/system emblem's
+/// position in its stream): with the outer code on, every group of
+/// [`GROUP_DATA`] chunks is followed by [`GROUP_PARITY`] parity emblems
+/// that share the numbering. This is *the* frozen index layout — the
+/// restorer's emulated path maps sequence numbers through it too.
+pub fn chunk_global_index(chunk: usize, with_parity: bool) -> usize {
     if with_parity {
-        idx += group * GROUP_PARITY;
+        (chunk / GROUP_DATA) * (GROUP_DATA + GROUP_PARITY) + chunk % GROUP_DATA
+    } else {
+        chunk
     }
-    // Account for a shorter group only if it precedes `group` (cannot
-    // happen: only the last group is short), so the above suffices.
-    idx
+}
+
+/// Global emblem index at which `group`'s data emblems start. (Only the
+/// last group can be short, so every preceding group is full and the
+/// chunk mapping applies directly.)
+fn group_start_index(group: usize, _n_chunks: usize, with_parity: bool) -> usize {
+    chunk_global_index(group * GROUP_DATA, with_parity)
 }
 
 /// Number of data emblems in `group`.
@@ -452,10 +555,20 @@ mod tests {
             .filter(|(i, _)| ![0usize, 1, 2, 5].contains(i))
             .map(|(_, im)| im.clone())
             .collect();
-        assert!(matches!(
-            decode_stream(&g, &kept),
-            Err(StreamError::TooManyMissing { .. })
-        ));
+        match decode_stream(&g, &kept) {
+            Err(StreamError::FrameLoss {
+                group,
+                expected,
+                found,
+                missing,
+            }) => {
+                assert_eq!(group, 0);
+                assert_eq!(expected, 8); // 5 data + 3 parity
+                assert_eq!(found, 4);
+                assert_eq!(missing, vec![0, 1, 2, 5]);
+            }
+            other => panic!("expected FrameLoss, got {other:?}"),
+        }
     }
 
     #[test]
@@ -486,7 +599,62 @@ mod tests {
         let data = payload(g.payload_capacity() * 3);
         let images = encode_stream(&g, EmblemKind::Data, &data, false);
         let kept = &images[1..];
-        assert!(decode_stream(&g, kept).is_err());
+        match decode_stream(&g, kept) {
+            Err(StreamError::FrameLoss {
+                expected,
+                found,
+                missing,
+                ..
+            }) => {
+                // No parity was ever encoded, so only the three data
+                // emblems count as expected — and only the lost one as
+                // missing.
+                assert_eq!(expected, 3);
+                assert_eq!(found, 2);
+                assert_eq!(missing, vec![0]);
+            }
+            other => panic!("expected FrameLoss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rogue_header_cannot_flip_layout_or_poison_slots() {
+        // A checksum-valid emblem whose header claims coordinates no
+        // layout provides (the damaged-scan collision case): it must be
+        // counted as a failed scan, not flip an intact dense multi-group
+        // stream into the parity layout or displace a genuine chunk.
+        let g = geom();
+        let data = payload(g.payload_capacity() * 20 + 5); // 21 chunks, 2 groups
+        let images = encode_stream(&g, EmblemKind::Data, &data, false);
+        let rogue_h = EmblemHeader::new(EmblemKind::Data, 40, 1, 7, data.len() as u32);
+        let mut scans = images.clone();
+        scans.push(crate::encode::encode_emblem(&g, &rogue_h, &payload(7)));
+        let (out, stats) = decode_stream(&g, &scans).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(stats.failed_scans, 1);
+    }
+
+    #[test]
+    fn losing_every_parity_frame_still_decodes_a_multi_group_stream() {
+        // With all parity emblems gone, the layout must be inferred from
+        // the surviving data indices (group >= 1 disambiguates) so the
+        // dense mapping does not mis-slot the second group.
+        let g = geom();
+        let data = payload(g.payload_capacity() * 20 + 5); // 21 chunks, 2 groups
+        let images = encode_stream(&g, EmblemKind::Data, &data, true);
+        assert_eq!(images.len(), 27); // 21 data + 6 parity
+                                      // Parity emblems sit at indices 17..20 and 24..27 of the emission
+                                      // order (after each group's data).
+        let kept: Vec<GrayImage> = images
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !(17..20).contains(i) && !(24..27).contains(i))
+            .map(|(_, im)| im.clone())
+            .collect();
+        assert_eq!(kept.len(), 21);
+        let (out, stats) = decode_stream(&g, &kept).unwrap();
+        assert_eq!(out, data);
+        assert_eq!(stats.emblems_recovered, 0);
     }
 
     #[test]

@@ -1,0 +1,222 @@
+//! [`RecoveryEnvelope`] — the campaign runner behind experiment E9.
+//!
+//! A *recovery envelope* is, per damage axis, the highest severity at
+//! which full bit-exact restoration still succeeds. The runner treats the
+//! system under test as a black-box predicate `survives(severity)` (E9
+//! wires in archive → fault-inject → restore per `Medium` × model) and
+//! brackets the survival boundary with a bounded number of trials:
+//!
+//! 1. probe the case's **target** severity — the paper-claim gate (e.g.
+//!    "damage consistent with the §3.1 7.2% boundary must survive");
+//! 2. probe severity 1.0 (some axes, like frame reordering, never kill a
+//!    correct restorer);
+//! 3. bisect the bracket `[highest ok, lowest fail]` a fixed number of
+//!    steps.
+//!
+//! Survival is monotone only statistically (a lucky scratch position can
+//! survive past an unlucky one), so results report the *observed*
+//! `max_ok`/`min_fail` bracket rather than pretending to an exact
+//! threshold; with seeded models the whole campaign is replayable.
+
+use ule_par::ThreadConfig;
+
+/// One campaign case: a labelled survival predicate plus the severity the
+/// paper-claim gate demands it survive.
+pub struct EnvelopeCase {
+    /// Report label, conventionally `medium/model`.
+    pub label: String,
+    /// Severity that must survive for the case to pass its gate.
+    pub target: f64,
+    /// Black-box trial: does full recovery succeed at this severity?
+    pub survives: Box<dyn Fn(f64) -> bool + Sync>,
+}
+
+impl EnvelopeCase {
+    pub fn new(
+        label: impl Into<String>,
+        target: f64,
+        survives: impl Fn(f64) -> bool + Sync + 'static,
+    ) -> Self {
+        Self {
+            label: label.into(),
+            target,
+            survives: Box::new(survives),
+        }
+    }
+}
+
+/// Outcome of one [`EnvelopeCase`].
+#[derive(Clone, Debug)]
+pub struct EnvelopeResult {
+    pub label: String,
+    pub target: f64,
+    /// Did the target severity survive? This is the E9 gate bit.
+    pub target_ok: bool,
+    /// Highest severity observed to survive (negative if none did —
+    /// which would mean even severity 0 fails).
+    pub max_ok: f64,
+    /// Lowest severity observed to fail (2.0 when nothing failed, i.e.
+    /// the envelope spans the whole axis).
+    pub min_fail: f64,
+    /// Trials spent on this case.
+    pub trials: usize,
+}
+
+impl EnvelopeResult {
+    /// True when no probed severity failed (full-axis envelope).
+    pub fn full_axis(&self) -> bool {
+        self.min_fail > 1.0
+    }
+}
+
+/// Campaign configuration: bisection depth and the worker pool the cases
+/// fan out across (each case's probes stay sequential — binary search is
+/// inherently so — but independent `medium × model` cases parallelise).
+///
+/// `bisect_steps == 0` is **gate-only** mode: exactly one trial per case
+/// (the target severity), no exploration. The quick report leg uses it so
+/// the paper-claim gate stays cheap; `--full` buys the real brackets.
+pub struct RecoveryEnvelope {
+    pub bisect_steps: usize,
+    pub threads: ThreadConfig,
+}
+
+impl RecoveryEnvelope {
+    pub fn new(bisect_steps: usize) -> Self {
+        Self {
+            bisect_steps,
+            threads: ThreadConfig::Serial,
+        }
+    }
+
+    pub fn with_threads(mut self, threads: ThreadConfig) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Run every case, fanned out across the pool.
+    pub fn run(&self, cases: &[EnvelopeCase]) -> Vec<EnvelopeResult> {
+        ule_par::map(self.threads, cases, |case| self.run_case(case))
+    }
+
+    /// Bracket one case's survival boundary.
+    pub fn run_case(&self, case: &EnvelopeCase) -> EnvelopeResult {
+        let mut trials = 0usize;
+        let mut max_ok = -1.0f64;
+        let mut min_fail = 2.0f64;
+        let probe = |s: f64, trials: &mut usize, max_ok: &mut f64, min_fail: &mut f64| {
+            *trials += 1;
+            let ok = (case.survives)(s);
+            if ok {
+                *max_ok = max_ok.max(s);
+            } else {
+                *min_fail = min_fail.min(s);
+            }
+            ok
+        };
+
+        let target_ok = probe(
+            case.target.clamp(0.0, 1.0),
+            &mut trials,
+            &mut max_ok,
+            &mut min_fail,
+        );
+        if self.bisect_steps > 0 && target_ok && case.target < 1.0 {
+            // Only search above a passing target; a full-axis envelope
+            // needs no bisection at all.
+            probe(1.0, &mut trials, &mut max_ok, &mut min_fail);
+        }
+        for _ in 0..self.bisect_steps {
+            let (lo, hi) = (max_ok.max(0.0), min_fail.min(1.0));
+            if hi <= lo {
+                break;
+            }
+            let mid = (lo + hi) / 2.0;
+            probe(mid, &mut trials, &mut max_ok, &mut min_fail);
+        }
+
+        EnvelopeResult {
+            label: case.label.clone(),
+            target: case.target,
+            target_ok,
+            max_ok,
+            min_fail,
+            trials,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn step_case(boundary: f64, target: f64) -> EnvelopeCase {
+        EnvelopeCase::new(format!("step@{boundary}"), target, move |s: f64| {
+            s <= boundary
+        })
+    }
+
+    #[test]
+    fn brackets_a_sharp_boundary() {
+        let env = RecoveryEnvelope::new(6);
+        let r = env.run_case(&step_case(0.37, 0.05));
+        assert!(r.target_ok);
+        assert!(r.max_ok <= 0.37 && r.max_ok > 0.30, "max_ok={}", r.max_ok);
+        assert!(
+            r.min_fail > 0.37 && r.min_fail < 0.45,
+            "min_fail={}",
+            r.min_fail
+        );
+    }
+
+    #[test]
+    fn failing_target_is_reported() {
+        let env = RecoveryEnvelope::new(4);
+        let r = env.run_case(&step_case(0.02, 0.10));
+        assert!(!r.target_ok);
+        assert!(r.max_ok <= 0.02);
+    }
+
+    #[test]
+    fn gate_only_mode_spends_one_trial() {
+        let env = RecoveryEnvelope::new(0);
+        let r = env.run_case(&step_case(0.5, 0.3));
+        assert!(r.target_ok);
+        assert_eq!(r.trials, 1);
+    }
+
+    #[test]
+    fn full_axis_envelope_detected_cheaply() {
+        let env = RecoveryEnvelope::new(5);
+        let r = env.run_case(&step_case(1.0, 0.5));
+        assert!(r.target_ok);
+        assert!(r.full_axis());
+        assert_eq!(r.trials, 2, "target + 1.0 probe suffice");
+    }
+
+    #[test]
+    fn campaign_runs_all_cases_in_order() {
+        let env = RecoveryEnvelope::new(3).with_threads(ThreadConfig::Fixed(4));
+        let cases: Vec<EnvelopeCase> = (1..=4).map(|i| step_case(i as f64 / 10.0, 0.01)).collect();
+        let results = env.run(&cases);
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.label, format!("step@{}", (i + 1) as f64 / 10.0));
+            assert!(r.target_ok);
+        }
+    }
+
+    #[test]
+    fn trial_budget_is_bounded() {
+        let counter = AtomicUsize::new(0);
+        let case = EnvelopeCase::new("count", 0.05, move |s: f64| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            s < 0.5
+        });
+        let env = RecoveryEnvelope::new(4);
+        let r = env.run_case(&case);
+        // target + 1.0 + 4 bisections
+        assert!(r.trials <= 6, "trials={}", r.trials);
+    }
+}

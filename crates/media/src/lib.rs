@@ -17,8 +17,19 @@
 //! A [`Medium`] couples an emblem geometry with frame dimensions, a
 //! degradation preset, and linear-density figures so the capacity models
 //! the paper reports (pages per archive, GB per reel) can be regenerated.
+//!
+//! Beyond the per-pixel scanner physics, [`Medium::scan_with_faults`]
+//! layers *physical decay* on top: an `ule_fault` [`FaultPlan`] (tears,
+//! stains, scratches, fading, lost or reordered frames) applied at a
+//! severity knob — the workload of the E9 recovery-envelope campaign.
+//! [`Medium::canonical_fault_plan`] names each medium's standard decay
+//! scenario.
 
 use ule_emblem::EmblemGeometry;
+use ule_fault::{
+    Blotch, BurstScratch, ContrastFade, EdgeTear, FaultPlan, FrameLossFault, FrameReorderFault,
+    Orientation, SaltPepper,
+};
 use ule_par::ThreadConfig;
 use ule_raster::draw::blit;
 use ule_raster::{DegradeParams, GrayImage, Scanner};
@@ -220,6 +231,62 @@ impl Medium {
         })
     }
 
+    /// [`Medium::scan_all_with`] followed by physical fault injection: the
+    /// scans are pushed through `plan` at `severity` (see `ule_fault` for
+    /// the model zoo and severity semantics, `DESIGN.md` §10 for the
+    /// method). Faults are applied in the scan domain — decay damage is
+    /// modelled as it *appears* in the digitised image, which keeps
+    /// envelope campaigns re-scannable-free and is equivalent for the
+    /// saturated defects the models produce. Deterministic in
+    /// `(seed, severity)` and independent of `threads`; frame-set models
+    /// in the plan may drop or reorder whole scans.
+    pub fn scan_with_faults(
+        &self,
+        frames: &[GrayImage],
+        seed: u64,
+        plan: &FaultPlan,
+        severity: f64,
+        threads: ThreadConfig,
+    ) -> Vec<GrayImage> {
+        let scans = self.scan_all_with(frames, seed, threads);
+        plan.apply_with(&scans, severity, seed ^ 0xFA17_FA17_FA17_FA17, threads)
+    }
+
+    /// The canonical fault scenario for this medium — the `FaultPlan`
+    /// whose injected scans the golden suite pins (`tests/golden_format.rs`)
+    /// and E9 reports alongside the per-model envelopes. Each plan
+    /// composes the decay modes §3.1 and the archival literature name for
+    /// that carrier: paper tears, stains and foxing; film scratches,
+    /// fading and splice damage.
+    pub fn canonical_fault_plan(&self) -> FaultPlan {
+        match self.name {
+            "A4 paper @600dpi" => FaultPlan::new()
+                .with(EdgeTear)
+                .with(Blotch)
+                .with(SaltPepper)
+                .with(FrameLossFault),
+            "16mm microfilm" => FaultPlan::new()
+                .with(BurstScratch {
+                    orientation: Orientation::Vertical,
+                })
+                .with(ContrastFade)
+                .with(SaltPepper)
+                .with(FrameLossFault),
+            "35mm cinema film" => FaultPlan::new()
+                .with(BurstScratch {
+                    orientation: Orientation::Horizontal,
+                })
+                .with(ContrastFade)
+                .with(FrameReorderFault),
+            // Test media: one cheap pixel model plus both frame-set models
+            // so the fast suites still cross the loss/reorder paths.
+            _ => FaultPlan::new()
+                .with(SaltPepper)
+                .with(FrameLossFault)
+                .with(FrameReorderFault),
+        }
+    }
+
     /// Payload bytes stored per frame.
     pub fn payload_per_frame(&self) -> usize {
         self.geometry.payload_capacity()
@@ -328,5 +395,51 @@ mod tests {
         let m = Medium::test_tiny();
         let cap = m.payload_per_frame();
         assert_eq!(m.frames_for(cap + 1), 2);
+    }
+
+    #[test]
+    fn scan_with_faults_at_severity_zero_matches_plain_scan() {
+        let m = Medium::test_tiny();
+        let g = m.geometry;
+        let header = EmblemHeader::new(EmblemKind::Data, 0, 0, 3, 3);
+        let frames = vec![m.print(&encode_emblem(&g, &header, &[1, 2, 3]))];
+        let plan = m.canonical_fault_plan();
+        let faulted = m.scan_with_faults(&frames, 5, &plan, 0.0, ThreadConfig::Serial);
+        assert_eq!(faulted, m.scan_all(&frames, 5));
+    }
+
+    #[test]
+    fn scan_with_faults_is_thread_identical() {
+        let m = Medium::test_tiny();
+        let g = m.geometry;
+        let frames: Vec<GrayImage> = (0..5u8)
+            .map(|i| {
+                let header = EmblemHeader::new(EmblemKind::Data, i as u16, 0, 1, 1);
+                m.print(&encode_emblem(&g, &header, &[i]))
+            })
+            .collect();
+        let plan = m.canonical_fault_plan();
+        let serial = m.scan_with_faults(&frames, 9, &plan, 0.6, ThreadConfig::Serial);
+        for threads in [2usize, 4] {
+            let par = m.scan_with_faults(&frames, 9, &plan, 0.6, ThreadConfig::Fixed(threads));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn production_media_have_distinct_canonical_plans() {
+        let labels: Vec<String> = [
+            Medium::paper_a4_600dpi(),
+            Medium::microfilm_16mm(),
+            Medium::cinema_35mm(),
+            Medium::test_tiny(),
+        ]
+        .iter()
+        .map(|m| m.canonical_fault_plan().label())
+        .collect();
+        assert_eq!(labels[0], "edge-tear+blotch+salt-pepper+frame-loss");
+        assert_eq!(labels[1], "scratch-v+fade+salt-pepper+frame-loss");
+        assert_eq!(labels[2], "scratch-h+fade+frame-reorder");
+        assert_eq!(labels[3], "salt-pepper+frame-loss+frame-reorder");
     }
 }

@@ -7,6 +7,7 @@ pub use micr_olonys as olonys;
 pub use ule_compress as compress;
 pub use ule_dynarisc as dynarisc;
 pub use ule_emblem as emblem;
+pub use ule_fault as fault;
 pub use ule_gf256 as gf256;
 pub use ule_media as media;
 pub use ule_par as par;

@@ -9,7 +9,9 @@
 //! * the exact `ULEA` container bytes (`tests/fixtures/micro_dump.ulea`);
 //! * CRC-32s of every emblem print-master stream, per `Medium` preset;
 //! * emblem image and frame dimensions, per `Medium` preset;
-//! * the data/parity emblem counts of the stream plan.
+//! * the data/parity emblem counts of the stream plan;
+//! * CRC-32s of fault-injected scans under each medium's canonical
+//!   `FaultPlan` (seeded damage is replayable, so E9 campaigns are too).
 //!
 //! If a change is *meant* to alter the format (a new header version, say),
 //! regenerate with `ULE_REGEN_GOLDEN=1 cargo test --test golden_format`
@@ -101,6 +103,33 @@ fn compute_observables() -> String {
         .unwrap();
         let images = encode_stream_with(&geom, EmblemKind::Data, &archive, true, threads);
         writeln!(out, "{key}.stream_crc32 = {:08x}", stream_crc32(&images)).unwrap();
+
+        // Fault-injected scans under the medium's canonical decay scenario
+        // at severity 0.5: seeded fault injection is part of the frozen
+        // surface, so a drifting damage pattern — which would move every
+        // recorded E9 envelope — fails conformance here first. Frame
+        // counts are the minimum at which *every* model in the plan
+        // engages at this severity (reorder needs >= 2 survivors of the
+        // plan's earlier drops: floor(0.5*8)=4 dropped leaves 4, then
+        // floor(0.5*4)=2 reordered); plans without reorder pin on 2
+        // scans to keep the big-frame media cheap.
+        let plan = medium.canonical_fault_plan();
+        let label = plan.label();
+        let n = match (label.contains("reorder"), label.contains("loss")) {
+            (true, true) => 8,
+            (true, false) => 4,
+            _ => 2,
+        };
+        let frames = medium.print_all_with(&images[..n.min(images.len())], threads);
+        let faulted = medium.scan_with_faults(&frames, 2033, &plan, 0.5, threads);
+        writeln!(out, "{key}.fault_plan = {}", plan.label()).unwrap();
+        writeln!(out, "{key}.fault_scans = {}", faulted.len()).unwrap();
+        writeln!(
+            out,
+            "{key}.fault_scan_crc32 = {:08x}",
+            stream_crc32(&faulted)
+        )
+        .unwrap();
     }
 
     // Full pipeline on the tiny medium: printed frames (data + system) and
