@@ -1,0 +1,46 @@
+//! E10 — vault selective-restore economics: latency of restoring one
+//! table vs the full dump, and the cost of rebuilding a lost reel from
+//! cross-reel parity. The production gates (frames-scanned fraction,
+//! byte-identity, lost-reel recovery) live in the `report` binary's
+//! `[E10]` section; recorded results in `EXPERIMENTS.md` E10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use ule_bench::E10Workload;
+use ule_par::ThreadConfig;
+
+fn selective_vs_full(c: &mut Criterion) {
+    let w = E10Workload::new(0.0001, 11, ThreadConfig::Serial);
+    let mut g = c.benchmark_group("e10_restore");
+    g.sample_size(10);
+    for table in ["nation", "orders", "lineitem"] {
+        g.bench_with_input(BenchmarkId::new("table", table), &table, |b, table| {
+            b.iter(|| {
+                black_box(
+                    w.vault
+                        .restore_table(&w.archive.bootstrap, &w.scans, table)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.bench_function("full", |b| {
+        b.iter(|| black_box(w.vault.restore_all(&w.archive.bootstrap, &w.scans).unwrap()))
+    });
+    g.finish();
+}
+
+fn lost_reel_reconstruction(c: &mut Criterion) {
+    let w = E10Workload::new(0.0001, 12, ThreadConfig::Serial);
+    let mut scans = w.scans.clone();
+    scans[0] = None;
+    let mut g = c.benchmark_group("e10_lost_reel");
+    g.sample_size(10);
+    g.bench_function("restore_all_one_reel_rebuilt", |b| {
+        b.iter(|| black_box(w.vault.restore_all(&w.archive.bootstrap, &scans).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, selective_vs_full, lost_reel_reconstruction);
+criterion_main!(benches);

@@ -59,6 +59,7 @@ fn main() {
     e7_emulation_overhead();
     e8_parallel_scaling(full, &mut checks);
     e9_recovery_envelope(full, &mut checks);
+    e10_vault(full, &mut checks);
     if checks.failures.is_empty() {
         println!(
             "\nreport complete: all {} paper-claim checks passed.",
@@ -460,6 +461,136 @@ fn e8_parallel_scaling(full: bool, checks: &mut Checks) {
              hard gate via ULE_E8_STRICT=1, see EXPERIMENTS.md E8)"
         );
     }
+}
+
+fn e10_vault(full: bool, checks: &mut Checks) {
+    use ule_vault::{RestorePath, Vault, VaultError};
+    let scale = if full { 0.00115 } else { 0.0002 };
+    println!(
+        "\n[E10] Vault: selective restore + cross-reel parity (S16) — TPC-H SF {scale}, \
+         fine-grained tiny geometry"
+    );
+    let t0 = Instant::now();
+    let w = ule_bench::E10Workload::new(scale, 42, ThreadConfig::Serial);
+    println!(
+        "  shelf: {} segments ({} tables), {} data + {} index + {} sys frames, \
+         {} content reels + {} parity reels   [built in {:?}]",
+        w.archive.stats.segments,
+        w.archive.stats.tables,
+        w.archive.stats.data_frames,
+        w.archive.stats.index_frames,
+        w.archive.stats.sys_frames,
+        w.archive.stats.content_reels,
+        w.archive.stats.parity_reels,
+        t0.elapsed()
+    );
+
+    // Full restore: the baseline every selective figure is against.
+    let t = Instant::now();
+    let (full_dump, full_stats) = w
+        .vault
+        .restore_all(&w.archive.bootstrap, &w.scans)
+        .expect("full restore");
+    let t_full = t.elapsed();
+    assert_eq!(full_dump, w.dump, "full restore must be bit-exact");
+    println!(
+        "  full restore: {} frames scanned, {:?}",
+        full_stats.frames_decoded, t_full
+    );
+
+    // Selective restore per table: frames scanned and latency vs full.
+    println!("  table      frames  of-full  latency   vs-full  identical");
+    let mut orders_fraction = 1.0f64;
+    for table in ["lineitem", "orders", "customer", "nation"] {
+        let t = Instant::now();
+        let (bytes, stats) = w
+            .vault
+            .restore_table(&w.archive.bootstrap, &w.scans, table)
+            .expect("selective restore");
+        let dt = t.elapsed();
+        let identical = Some(bytes.as_slice()) == w.expected_table(table);
+        let fraction = stats.frames_decoded as f64 / full_stats.frames_decoded as f64;
+        if table == "orders" {
+            orders_fraction = fraction;
+        }
+        println!(
+            "  {table:<9} {:>6}  {:>6.1}%  {dt:>8.2?}  {:>6.2}x  {}",
+            stats.frames_decoded,
+            fraction * 100.0,
+            t_full.as_secs_f64() / dt.as_secs_f64().max(1e-9),
+            if identical { "yes" } else { "NO" }
+        );
+        checks.check(
+            &format!("e10_selective_identity_{table}"),
+            identical && stats.path == RestorePath::Selective,
+            format!("selective {table} bytes == full-restore slice, no fallback"),
+        );
+    }
+    checks.check(
+        "e10_selective_scan_fraction",
+        orders_fraction < 0.30,
+        format!(
+            "one table (orders) scans {:.1}% of the full-restore frames (target < 30%)",
+            orders_fraction * 100.0
+        ),
+    );
+
+    // Lost-reel recovery gate: drop each content reel in turn; a single
+    // loss per parity group must restore byte-identically.
+    let t = Instant::now();
+    let mut lost_ok = true;
+    for lost in 0..w.archive.stats.content_reels {
+        let mut scans = w.scans.clone();
+        scans[lost] = None;
+        match w.vault.restore_all(&w.archive.bootstrap, &scans) {
+            Ok((dump, stats)) => {
+                lost_ok &= dump == w.dump && stats.reels_reconstructed == 1;
+            }
+            Err(e) => {
+                println!("  lost reel {lost}: {e}");
+                lost_ok = false;
+            }
+        }
+    }
+    println!(
+        "  lost-reel sweep: every single content reel dropped and rebuilt from parity [{:?}]",
+        t.elapsed()
+    );
+    checks.check(
+        "e10_lost_reel_identity",
+        lost_ok,
+        "any single lost reel restores byte-identically via cross-reel parity".into(),
+    );
+
+    // Two reels down in one group must be the structured ReelLoss error.
+    let mut scans = w.scans.clone();
+    scans[0] = None;
+    scans[1] = None;
+    let clean = matches!(
+        w.vault.restore_all(&w.archive.bootstrap, &scans),
+        Err(VaultError::ReelLoss { group: 0, .. })
+    );
+    checks.check(
+        "e10_reel_loss_structured",
+        clean,
+        "two lost reels in one group fail as VaultError::ReelLoss, no panic".into(),
+    );
+
+    // Pre-S16 compatibility: a classic archive (no vault line) restores
+    // through the vault's fallback path.
+    let classic = micr_olonys::MicrOlonys::test_tiny();
+    let out = classic.archive(&w.dump);
+    let scans: ule_vault::ReelScans = vec![Some(classic.medium.scan_all(&out.data_frames, 1964))];
+    let vault = Vault::single_reel(classic);
+    let ok = matches!(
+        vault.restore_all(&out.bootstrap, &scans),
+        Ok((dump, stats)) if dump == w.dump && stats.path == RestorePath::Classic
+    );
+    checks.check(
+        "e10_pre_s16_fallback",
+        ok,
+        "a pre-S16 archive (no vault manifest) restores via the classic path".into(),
+    );
 }
 
 fn e9_recovery_envelope(full: bool, checks: &mut Checks) {

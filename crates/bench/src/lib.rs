@@ -174,6 +174,48 @@ impl E9Workload {
     }
 }
 
+/// The E10 workload: a TPC-H dump archived as a parity-sharded vault on
+/// the fine-grained tiny medium (so the archive spans enough frames for
+/// frames-scanned fractions to be meaningful), with pristine reel scans
+/// cached for the selective-restore / lost-reel measurements.
+pub struct E10Workload {
+    pub vault: ule_vault::Vault,
+    pub dump: Vec<u8>,
+    pub archive: ule_vault::VaultArchive,
+    pub scans: ule_vault::ReelScans,
+}
+
+impl E10Workload {
+    /// Build the workload at TPC-H `scale`. Reel capacity is chosen so
+    /// the shelf holds ~6 content reels in 3-reel parity groups.
+    pub fn new(scale: f64, seed: u64, threads: ule_par::ThreadConfig) -> Self {
+        let dump = ule_tpch::dump_for_scale(scale, seed);
+        let system = micr_olonys::MicrOlonys::test_tiny().with_threads(threads);
+        // Size the shelf from the byte-level plan (no frames rendered) to
+        // pick a capacity giving ~6 content reels (min 8 frames so tiny
+        // dumps still shard).
+        let total = ule_vault::Vault::single_reel(system.clone())
+            .plan_layout(&dump)
+            .total_frames();
+        let vault = ule_vault::Vault::sharded(system, total.div_ceil(6).max(8), 3);
+        let archive = vault.archive(&dump);
+        let scans = vault.scan_reels(&archive, seed ^ 0xE10);
+        Self {
+            vault,
+            dump,
+            archive,
+            scans,
+        }
+    }
+
+    /// The dump slice the catalog maps `table` to — what a selective
+    /// restore must reproduce byte for byte.
+    pub fn expected_table(&self, table: &str) -> Option<&[u8]> {
+        let e = self.archive.index.find(table)?;
+        Some(&self.dump[e.dump_start as usize..(e.dump_start + e.dump_len) as usize])
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,6 +238,19 @@ mod tests {
     fn random_payload_deterministic() {
         assert_eq!(random_payload(64, 5), random_payload(64, 5));
         assert_ne!(random_payload(64, 5), random_payload(64, 6));
+    }
+
+    #[test]
+    fn e10_workload_is_sharded_and_selective_restore_is_cheap() {
+        let w = E10Workload::new(0.0001, 7, ule_par::ThreadConfig::Serial);
+        assert!(w.archive.stats.content_reels >= 2);
+        assert!(w.archive.stats.parity_reels >= 1);
+        let (bytes, stats) = w
+            .vault
+            .restore_table(&w.archive.bootstrap, &w.scans, "orders")
+            .unwrap();
+        assert_eq!(bytes.as_slice(), w.expected_table("orders").unwrap());
+        assert!(stats.frames_decoded < stats.data_frames_total);
     }
 
     #[test]

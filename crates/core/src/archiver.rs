@@ -105,11 +105,7 @@ impl MicrOlonys {
             self.threads,
         );
         // Steps 4–5: the DBCoder decoder as system emblems.
-        let db_words = dbdecode::program();
-        let mut sys_bytes = Vec::with_capacity(db_words.len() * 2);
-        for w in &db_words {
-            sys_bytes.extend_from_slice(&w.to_le_bytes());
-        }
+        let sys_bytes = Self::system_stream_bytes();
         let system_emblems = encode_stream_with(
             &geom,
             EmblemKind::System,
@@ -138,6 +134,19 @@ impl MicrOlonys {
         }
     }
 
+    /// The DBDecode instruction stream serialized as bytes — the payload
+    /// of the system emblem stream. Exposed so alternative archive layers
+    /// (the vault, S16) ship the *same* decoder bytes the classic
+    /// archiver does.
+    pub fn system_stream_bytes() -> Vec<u8> {
+        let db_words = dbdecode::program();
+        let mut sys_bytes = Vec::with_capacity(db_words.len() * 2);
+        for w in &db_words {
+            sys_bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        sys_bytes
+    }
+
     /// Build the Bootstrap for this configuration (independent of any
     /// particular database — it describes the decoding stack).
     pub fn make_bootstrap(&self) -> Bootstrap {
@@ -162,6 +171,9 @@ impl MicrOlonys {
             yoff: (self.medium.frame_height - emblem_h) / 2,
             scheme: self.scheme as u8,
             outer_parity: self.with_parity,
+            // The classic archiver writes single-container archives; the
+            // vault layer (`ule_vault`) stamps its manifest on top.
+            vault: None,
         }
     }
 }

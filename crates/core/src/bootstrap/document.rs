@@ -29,6 +29,30 @@ const SECTION2: &str = "=== SECTION 2: EMULATOR MEMORY IMAGE (LETTERS) ===";
 const SECTION3: &str = "=== SECTION 3: RESTORE MANIFEST ===";
 const SECTION4: &str = "=== SECTION 4: RESTORATION WALKTHROUGH ===";
 
+/// Vault (S16) manifest: everything a restorer needs to locate the
+/// content-index stream and regroup a multi-reel archive. Archives
+/// written before the vault layer existed have no `vault:` line; the
+/// parser tolerates its absence (→ `None`) and those archives restore
+/// through the classic single-container path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VaultManifest {
+    /// Number of catalogued segments (tables + filler segments).
+    pub tables: usize,
+    /// System (DBDecode) stream length in bytes.
+    pub sys_len: usize,
+    /// Content-index stream length in bytes.
+    pub index_len: usize,
+    /// Data stream length in bytes (length-prefixed `ULEA` containers).
+    pub data_len: usize,
+    /// CRC-32 of the serialized content index (integrity check before
+    /// trusting frame ranges).
+    pub index_crc32: u32,
+    /// Frames per content reel (`0` = the whole archive is one reel).
+    pub reel_capacity: usize,
+    /// Content reels per cross-reel parity group (`0` = no parity reels).
+    pub group_reels: usize,
+}
+
 /// Everything a restorer needs, parsed back out of the document text.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Bootstrap {
@@ -57,6 +81,11 @@ pub struct Bootstrap {
     /// needs this to map sequence numbers back to stream positions when
     /// frames are missing.
     pub outer_parity: bool,
+    /// Vault catalog layer (S16): present when the medium carries a
+    /// content-index stream and (possibly) spans multiple reels. `None`
+    /// for classic single-container archives — including every document
+    /// printed before the vault layer existed.
+    pub vault: Option<VaultManifest>,
 }
 
 impl Bootstrap {
@@ -107,6 +136,19 @@ impl Bootstrap {
             "outer: data_per_group=17 parity_per_group=3 enabled={}\n",
             self.outer_parity as u8
         ));
+        match &self.vault {
+            None => out.push_str("vault: none\n"),
+            Some(v) => out.push_str(&format!(
+                "vault: tables={} sys={} index={} data={} index_crc32={:08x} reel_cap={} group={}\n",
+                v.tables,
+                v.sys_len,
+                v.index_len,
+                v.data_len,
+                v.index_crc32,
+                v.reel_capacity,
+                v.group_reels
+            )),
+        }
         out.push_str(
             "layout: in_len=0x10 out_len=0x14 out_base_ptr=0x18 params=0x1C in_base=0x40\n",
         );
@@ -164,6 +206,7 @@ impl Bootstrap {
         let mut frame = HashMap::new();
         let mut scheme = None;
         let mut outer_parity = None;
+        let mut vault = None;
         for line in sec3.lines() {
             let line = line.trim();
             if let Some(v) = line.strip_prefix("geometry:") {
@@ -193,6 +236,41 @@ impl Bootstrap {
                             Some(v.parse::<u8>().map_err(|_| E::BadNumber("outer"))? != 0);
                     }
                 }
+            } else if let Some(v) = line.strip_prefix("vault:") {
+                // Pre-S16 documents have no vault line at all; a present
+                // line saying "none" is the classic-archive marker.
+                if v.trim() != "none" {
+                    let mut fields = HashMap::new();
+                    let mut index_crc32 = None;
+                    for pair in v.split_whitespace() {
+                        if let Some((k, val)) = pair.split_once('=') {
+                            if k == "index_crc32" {
+                                index_crc32 = Some(
+                                    u32::from_str_radix(val, 16)
+                                        .map_err(|_| E::BadNumber("vault"))?,
+                                );
+                            } else {
+                                fields.insert(
+                                    k.to_string(),
+                                    val.parse::<usize>().map_err(|_| E::BadNumber("vault"))?,
+                                );
+                            }
+                        }
+                    }
+                    let vf = |k: &str| fields.get(k).copied().ok_or(E::MissingField("vault"));
+                    vault = Some(VaultManifest {
+                        tables: vf("tables")?,
+                        sys_len: vf("sys")?,
+                        index_len: vf("index")?,
+                        data_len: vf("data")?,
+                        // Required like every other field: a damaged-away
+                        // CRC silently defaulting would mask the document
+                        // defect behind permanent full-scan fallbacks.
+                        index_crc32: index_crc32.ok_or(E::MissingField("vault"))?,
+                        reel_capacity: vf("reel_cap")?,
+                        group_reels: vf("group")?,
+                    });
+                }
             }
         }
         let g = |k: &str| geometry.get(k).copied().ok_or(E::MissingField("geometry"));
@@ -218,6 +296,7 @@ impl Bootstrap {
             // a degraded-but-typed FrameLoss on a multi-group parity
             // stream.
             outer_parity: outer_parity.unwrap_or(false),
+            vault,
         })
     }
 
@@ -307,6 +386,14 @@ const WALKTHROUGH: &str = r#"
     emblem carries sequence number 20, the 35th carries 40, and so
     on. Parity emblems are only needed when frames are lost; this
     walkthrough's sequential path ignores them.
+    Vault note: if the manifest's vault line is not "none", the DATA
+    stream is a catalog archive: a sequence of records, each a 4-byte
+    little-endian length followed by that many bytes of one archive
+    container. Run DBDECODE on each record in order and concatenate
+    the outputs. Emblems of kind 3 carry a plain-text table-of-
+    contents (read it to restore a single table without decoding the
+    rest); kind 4 emblems belong to spare parity reels and are only
+    needed when a whole reel is lost.
  7. Load the SQL file into any database system of your era.
 "#;
 
@@ -339,6 +426,7 @@ mod tests {
             yoff: 38,
             scheme: 2,
             outer_parity: true,
+            vault: None,
         }
     }
 
@@ -347,6 +435,61 @@ mod tests {
         let b = sample();
         let text = b.to_text();
         let parsed = Bootstrap::parse(&text).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn vault_manifest_roundtrips() {
+        let mut b = sample();
+        b.vault = Some(VaultManifest {
+            tables: 8,
+            sys_len: 412,
+            index_len: 702,
+            data_len: 68_342,
+            index_crc32: 0xDEAD_BEEF,
+            reel_capacity: 20,
+            group_reels: 3,
+        });
+        let text = b.to_text();
+        assert!(text.contains("vault: tables=8"));
+        assert_eq!(Bootstrap::parse(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn vault_line_without_index_crc_is_rejected() {
+        // Every manifest field is required; a vault line that lost its
+        // index_crc32 token must error, not default to 0 (which would
+        // silently turn every selective restore into a full scan).
+        let mut b = sample();
+        b.vault = Some(VaultManifest {
+            tables: 2,
+            sys_len: 10,
+            index_len: 20,
+            data_len: 30,
+            index_crc32: 0xABCD_EF01,
+            reel_capacity: 0,
+            group_reels: 0,
+        });
+        let text = b.to_text().replace(" index_crc32=abcdef01", "");
+        assert_eq!(
+            Bootstrap::parse(&text),
+            Err(BootstrapParseError::MissingField("vault"))
+        );
+    }
+
+    #[test]
+    fn missing_vault_line_parses_as_none() {
+        // A pre-S16 document: strip the vault line entirely. The parse
+        // must tolerate its absence, not demand the new field.
+        let b = sample();
+        let text: String = b
+            .to_text()
+            .lines()
+            .filter(|l| !l.starts_with("vault:"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let parsed = Bootstrap::parse(&text).unwrap();
+        assert_eq!(parsed.vault, None);
         assert_eq!(parsed, b);
     }
 

@@ -29,6 +29,6 @@ pub mod bootstrap;
 pub mod restorer;
 
 pub use archiver::{ArchiveOutput, ArchiveStats, MicrOlonys};
-pub use bootstrap::document::{Bootstrap, BootstrapParseError};
+pub use bootstrap::document::{Bootstrap, BootstrapParseError, VaultManifest};
 pub use restorer::{RestoreError, RestoreStats};
 pub use ule_par::ThreadConfig;

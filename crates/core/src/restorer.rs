@@ -151,6 +151,53 @@ impl MicrOlonys {
         ))
     }
 
+    /// Selective-restore primitive (S16, `DESIGN.md` §11): decode *only*
+    /// the named scans — `(global emblem index, scan)` pairs, typically
+    /// the frames a vault content index maps a single table to — fanned
+    /// out across `self.threads`, and return each frame's payload keyed
+    /// by its global emblem index, in input order.
+    ///
+    /// Unlike [`MicrOlonys::restore_native`] this does no outer-code
+    /// recovery (the caller chose exactly these frames; recovery would
+    /// need frames it deliberately did not scan). A scan that fails to
+    /// decode, or whose decoded header names a different global index
+    /// than the caller expected (a frame filed on the wrong spot of the
+    /// shelf), is reported as [`RestoreError::FrameLoss`] naming the
+    /// affected indices so the caller can escalate — fetch the group's
+    /// parity frames, or fall back to a full scan.
+    pub fn restore_frames(
+        &self,
+        scans: &[(usize, &GrayImage)],
+    ) -> Result<Vec<(usize, Vec<u8>)>, RestoreError> {
+        let geom = self.medium.geometry;
+        let results =
+            ule_par::map(
+                self.threads,
+                scans,
+                |(expect, scan)| match ule_emblem::decode_emblem(&geom, scan) {
+                    Ok((h, payload, _)) if h.index as usize == *expect => Ok((*expect, payload)),
+                    _ => Err(*expect),
+                },
+            );
+        let mut out = Vec::with_capacity(scans.len());
+        let mut missing = Vec::new();
+        for r in results {
+            match r {
+                Ok(item) => out.push(item),
+                Err(idx) => missing.push(idx),
+            }
+        }
+        if !missing.is_empty() {
+            return Err(RestoreError::FrameLoss {
+                kind: EmblemKind::Data,
+                expected: scans.len(),
+                found: out.len(),
+                missing,
+            });
+        }
+        Ok(out)
+    }
+
     /// Verify that scanned system emblems really carry the DBDecode
     /// stream (a self-check the archiver can run before shipping media).
     pub fn verify_system_emblems(&self, system_scans: &[GrayImage]) -> Result<bool, RestoreError> {
@@ -412,6 +459,60 @@ mod tests {
         match assemble_stream(&decoded, EmblemKind::Data, 6, false) {
             Err(RestoreError::Archive(ArchiveError::Corrupt(_))) => {}
             other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_frames_decodes_only_the_named_scans() {
+        let sys = MicrOlonys::test_tiny();
+        let dump: Vec<u8> = (0..4000u64)
+            .flat_map(|i| format!("{}\n", i.wrapping_mul(0x9E37_79B9) % 1_000_000_007).into_bytes())
+            .collect();
+        let out = sys.archive(&dump);
+        assert!(out.stats.data_emblems > 5, "want indices 1/4/2 on data");
+        let scans = sys.medium.scan_all(&out.data_frames, 19);
+        // Emission order == global index order, so frame i carries index i.
+        let picks: Vec<(usize, &ule_raster::GrayImage)> =
+            [1usize, 4, 2].iter().map(|&i| (i, &scans[i])).collect();
+        let got = sys.restore_frames(&picks).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(
+            got.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![1, 4, 2],
+            "input order preserved"
+        );
+        // Payloads must match the full-restore bytes chunk for chunk.
+        let cap = sys.medium.geometry.payload_capacity();
+        let archive = ule_compress::compress(sys.scheme, &dump);
+        for (idx, payload) in &got {
+            // Indices 1/4/2 sit in group 0's data range: chunk == index.
+            let start = idx * cap;
+            assert_eq!(payload.as_slice(), &archive[start..start + payload.len()]);
+        }
+    }
+
+    #[test]
+    fn restore_frames_names_misfiled_and_undecodable_scans() {
+        let sys = MicrOlonys::test_tiny();
+        let dump = b"COPY t (a) FROM stdin;\n1\n2\n\\.\n".repeat(40);
+        let out = sys.archive(&dump);
+        let scans = sys.medium.scan_all(&out.data_frames, 23);
+        let blank = ule_raster::GrayImage::new(scans[0].width(), scans[0].height(), 255);
+        // Scan 2 handed in under index 1 (misfiled), a blank under 3.
+        let picks: Vec<(usize, &ule_raster::GrayImage)> =
+            vec![(0, &scans[0]), (1, &scans[2]), (3, &blank)];
+        match sys.restore_frames(&picks) {
+            Err(RestoreError::FrameLoss {
+                expected,
+                found,
+                missing,
+                ..
+            }) => {
+                assert_eq!(expected, 3);
+                assert_eq!(found, 1);
+                assert_eq!(missing, vec![1, 3]);
+            }
+            other => panic!("expected FrameLoss, got {other:?}"),
         }
     }
 

@@ -15,6 +15,15 @@ pub enum EmblemKind {
     System = 1,
     /// Outer-code parity emblem.
     Parity = 2,
+    /// Vault content-index stream (S16): the table → chunk → frame-range
+    /// catalog that enables selective restore. Self-delimiting — a
+    /// restorer that does not know about vaults can skip these emblems
+    /// and still perform a full restore.
+    Index = 3,
+    /// Cross-reel parity stream (S16): the byte-wise RS parity of a group
+    /// of content reels, written on its own parity reel so any single
+    /// lost reel in the group is recoverable.
+    ReelParity = 4,
 }
 
 impl EmblemKind {
@@ -23,6 +32,8 @@ impl EmblemKind {
             0 => Some(EmblemKind::Data),
             1 => Some(EmblemKind::System),
             2 => Some(EmblemKind::Parity),
+            3 => Some(EmblemKind::Index),
+            4 => Some(EmblemKind::ReelParity),
             _ => None,
         }
     }
@@ -156,7 +167,9 @@ mod tests {
         assert_eq!(EmblemKind::Data as u8, 0);
         assert_eq!(EmblemKind::System as u8, 1);
         assert_eq!(EmblemKind::Parity as u8, 2);
-        assert_eq!(EmblemKind::from_u8(3), None);
+        assert_eq!(EmblemKind::Index as u8, 3);
+        assert_eq!(EmblemKind::ReelParity as u8, 4);
+        assert_eq!(EmblemKind::from_u8(5), None);
     }
 
     #[test]

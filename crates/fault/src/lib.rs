@@ -36,8 +36,8 @@ pub mod plan;
 
 pub use envelope::{EnvelopeCase, EnvelopeResult, RecoveryEnvelope};
 pub use models::{
-    Blotch, BurstScratch, ContrastFade, EdgeTear, FaultModel, FrameLossFault, FrameReorderFault,
-    Orientation, SaltPepper,
+    Blotch, BurstScratch, ContrastFade, EdgeTear, FaultModel, FrameBlankFault, FrameLossFault,
+    FrameReorderFault, Orientation, SaltPepper,
 };
 pub use plan::FaultPlan;
 pub use ule_par::ThreadConfig;

@@ -293,6 +293,34 @@ impl FaultModel for SaltPepper {
     }
 }
 
+/// Whole-frame blanking: a frame left in place but unreadable end to end
+/// — overexposure, a glued-shut page, emulsion stripped by mould. Unlike
+/// [`FrameLossFault`] the scan *list keeps its shape* (the frame is
+/// physically still on the reel), which is exactly the failure the
+/// vault's positional reel maps (S16) must survive: a blanked frame must
+/// cost an outer-code recovery or a documented fallback, never a
+/// misaligned shelf. Severity is the probability that each frame is
+/// blanked (seeded per frame), saturating every pixel to white.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrameBlankFault;
+
+impl FaultModel for FrameBlankFault {
+    fn name(&self) -> &'static str {
+        "frame-blank"
+    }
+
+    fn apply_frame(&self, frame: &mut GrayImage, severity: f64, rng: &mut SplitMix64) {
+        if severity <= 0.0 || rng.next_f64() >= severity.clamp(0.0, 1.0) {
+            return;
+        }
+        for y in 0..frame.height() {
+            for x in 0..frame.width() {
+                frame.set(x, y, 255);
+            }
+        }
+    }
+}
+
 /// Whole-frame loss: pages dropped from a folder, a reel segment torn out.
 /// Severity is the fraction of frames removed (`floor(severity * n)`
 /// seeded distinct victims), so the outer code's any-3-of-20 budget puts
@@ -366,6 +394,7 @@ pub fn standard_models() -> Vec<Box<dyn FaultModel>> {
         Box::new(ContrastFade),
         Box::new(EdgeTear),
         Box::new(SaltPepper),
+        Box::new(FrameBlankFault),
         Box::new(FrameLossFault),
         Box::new(FrameReorderFault),
     ]
@@ -389,6 +418,25 @@ mod tests {
             }
         }
         f
+    }
+
+    #[test]
+    fn frame_blank_whitens_whole_frames_but_keeps_the_list_shape() {
+        let m = FrameBlankFault;
+        // Severity 1.0 blanks every frame.
+        let mut f = checker();
+        m.apply_frame(&mut f, 1.0, &mut SplitMix64::new(3));
+        assert_eq!(f, frame(255));
+        // At intermediate severity each frame is either untouched or
+        // fully white — never half-damaged — and determinism holds.
+        for seed in [1u64, 9, 77] {
+            let mut a = checker();
+            let mut b = checker();
+            m.apply_frame(&mut a, 0.5, &mut SplitMix64::new(seed));
+            m.apply_frame(&mut b, 0.5, &mut SplitMix64::new(seed));
+            assert_eq!(a, b);
+            assert!(a == checker() || a == frame(255));
+        }
     }
 
     #[test]

@@ -121,6 +121,43 @@ impl RsCode {
         cw
     }
 
+    /// Column-wise parity over `k` equal-length message streams: byte `j`
+    /// of stream `i` sits at codeword position `i` of column `j`. Returns
+    /// the `parity_len()` parity streams, each of the shared stream
+    /// length. This is the shape both stream-level RS uses share — the
+    /// inter-emblem outer code (three parity emblems per group of 17) and
+    /// the cross-reel parity reels of the vault (S16, one parity reel per
+    /// reel group): any `parity_len()` whole streams may be lost and
+    /// recovered per column via [`RsCode::decode`] with their positions
+    /// given as erasures.
+    ///
+    /// # Panics
+    /// Panics unless exactly `k` streams of one common length are given.
+    pub fn parity_of(&self, msgs: &[&[u8]]) -> Vec<Vec<u8>> {
+        assert_eq!(msgs.len(), self.k, "need exactly k message streams");
+        let len = msgs.first().map_or(0, |m| m.len());
+        assert!(
+            msgs.iter().all(|m| m.len() == len),
+            "message streams must share one length"
+        );
+        let p = self.parity_len();
+        let mut parity = vec![vec![0u8; len]; p];
+        let mut col = vec![0u8; self.n];
+        for j in 0..len {
+            for (i, m) in msgs.iter().enumerate() {
+                col[i] = m[j];
+            }
+            for v in col[self.k..].iter_mut() {
+                *v = 0;
+            }
+            self.fill_parity(&mut col);
+            for (pi, ps) in parity.iter_mut().enumerate() {
+                ps[j] = col[self.k + pi];
+            }
+        }
+        parity
+    }
+
     /// Compute parity over `cw[..k]` and write it into `cw[k..]`.
     pub fn fill_parity(&self, cw: &mut [u8]) {
         assert_eq!(cw.len(), self.n);
@@ -324,6 +361,50 @@ mod tests {
         (0..k)
             .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
             .collect()
+    }
+
+    #[test]
+    fn parity_of_recovers_any_lost_stream() {
+        // The cross-reel shape: 3 content streams + 1 parity stream under
+        // RS(4,3); dropping any one stream must be recoverable per column.
+        let rs = RsCode::new(4, 3);
+        let streams: Vec<Vec<u8>> = (0..3u8).map(|s| sample_msg(40, s * 7 + 1)).collect();
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let parity = rs.parity_of(&refs);
+        assert_eq!(parity.len(), 1);
+        assert_eq!(parity[0].len(), 40);
+        for lost in 0..3usize {
+            let mut recovered = vec![0u8; 40];
+            for j in 0..40 {
+                let mut cw = [0u8; 4];
+                for (i, s) in streams.iter().enumerate() {
+                    cw[i] = if i == lost { 0 } else { s[j] };
+                }
+                cw[3] = parity[0][j];
+                rs.decode(&mut cw, &[lost]).unwrap();
+                recovered[j] = cw[lost];
+            }
+            assert_eq!(recovered, streams[lost], "lost stream {lost}");
+        }
+    }
+
+    #[test]
+    fn parity_of_matches_fill_parity_per_column() {
+        let rs = RsCode::new(20, 17);
+        let streams: Vec<Vec<u8>> = (0..17u8).map(|s| sample_msg(9, s)).collect();
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let parity = rs.parity_of(&refs);
+        assert_eq!(parity.len(), 3);
+        for j in 0..9 {
+            let mut cw = vec![0u8; 20];
+            for (i, s) in streams.iter().enumerate() {
+                cw[i] = s[j];
+            }
+            rs.fill_parity(&mut cw);
+            for (pi, ps) in parity.iter().enumerate() {
+                assert_eq!(ps[j], cw[17 + pi]);
+            }
+        }
     }
 
     #[test]

@@ -298,6 +298,15 @@ impl Medium {
         (self.frames_per_meter * meters * self.payload_per_frame() as f64) as u64
     }
 
+    /// Frames that fit on one physical reel (or archive box) of `meters`
+    /// of this medium — the natural `reel_capacity` for a vault (S16)
+    /// sharded over real carriers: 66 m of 16 mm microfilm, a 305 m
+    /// cinema reel, a 200-sheet archive box. At least 1, so a
+    /// pathologically short reel still holds a frame.
+    pub fn reel_capacity(&self, meters: f64) -> usize {
+        ((self.frames_per_meter * meters) as usize).max(1)
+    }
+
     /// Frames (pages) needed for `len` payload bytes, data emblems only.
     pub fn frames_for(&self, len: usize) -> usize {
         self.geometry.emblems_for(len)
@@ -388,6 +397,15 @@ mod tests {
         assert_eq!(m.degrade.scan_scale, 2.0);
         // 2048 * 2 = 4096 — the Scanity 4K scan dimension of §4.
         assert_eq!((m.frame_width as f64 * m.degrade.scan_scale) as usize, 4096);
+    }
+
+    #[test]
+    fn reel_capacity_tracks_physical_reel_lengths() {
+        let m = Medium::microfilm_16mm();
+        // 66 m reel ≈ 1.3 GB / ~44 KB per frame.
+        let frames = m.reel_capacity(66.0);
+        assert!((28_000..32_000).contains(&frames), "frames={frames}");
+        assert_eq!(Medium::test_tiny().reel_capacity(0.0), 1, "floor of 1");
     }
 
     #[test]

@@ -31,19 +31,35 @@ pub enum ThreadConfig {
     /// Spawn exactly `n` workers (clamped to ≥ 1). Output is identical to
     /// `Serial` — only wall-clock time changes.
     Fixed(usize),
-    /// Use [`std::thread::available_parallelism`] workers.
+    /// Use [`std::thread::available_parallelism`] workers, capped at
+    /// [`ThreadConfig::AUTO_MAX_WORKERS`]. When the runtime cannot
+    /// determine the core count (sandboxed or exotic platforms return
+    /// `Err`), `Auto` degrades to a single worker — i.e. exactly the
+    /// `Serial` behaviour, never a guess above the hardware.
     Auto,
 }
 
 impl ThreadConfig {
+    /// Upper bound on what `Auto` resolves to. The pipeline's work items
+    /// are whole emblems (tens of KB to MBs each), so past this width the
+    /// ordered join and allocator pressure dominate any extra cores;
+    /// machines wider than this should opt in explicitly via `Fixed(n)`.
+    pub const AUTO_MAX_WORKERS: usize = 64;
+
     /// Number of worker threads this configuration resolves to (≥ 1).
+    ///
+    /// Edge cases are pinned by unit tests: `Serial` is always exactly 1,
+    /// `Fixed(0)` clamps to 1 (a zero-width pool cannot make progress),
+    /// and `Auto` is `min(available_parallelism(), AUTO_MAX_WORKERS)`
+    /// with a documented fallback of 1 when the core count is unknown.
     pub fn workers(self) -> usize {
         match self {
             ThreadConfig::Serial => 1,
             ThreadConfig::Fixed(n) => n.max(1),
             ThreadConfig::Auto => std::thread::available_parallelism()
                 .map(NonZeroUsize::get)
-                .unwrap_or(1),
+                .unwrap_or(1)
+                .min(Self::AUTO_MAX_WORKERS),
         }
     }
 
@@ -163,6 +179,33 @@ mod tests {
         assert_eq!(ThreadConfig::Fixed(0).workers(), 1);
         assert_eq!(ThreadConfig::Fixed(6).workers(), 6);
         assert!(ThreadConfig::Auto.workers() >= 1);
+    }
+
+    #[test]
+    fn auto_is_capped_at_available_parallelism() {
+        // Auto must never exceed the hardware (capped further at
+        // AUTO_MAX_WORKERS) — and must still be a usable pool width.
+        let auto = ThreadConfig::Auto.workers();
+        let avail = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        assert!(auto <= avail.min(ThreadConfig::AUTO_MAX_WORKERS));
+        assert!(auto >= 1, "fallback when the core count is unknown");
+    }
+
+    #[test]
+    fn serial_and_fixed_zero_run_on_the_calling_thread() {
+        // The Serial / Fixed(0) edge cases: both resolve to one worker,
+        // and map() must not spawn — observable via thread id equality.
+        let caller = std::thread::current().id();
+        for cfg in [ThreadConfig::Serial, ThreadConfig::Fixed(0)] {
+            assert_eq!(cfg.workers(), 1, "{cfg:?}");
+            let ids = map_indexed(cfg, 4, |_| std::thread::current().id());
+            assert!(ids.iter().all(|&id| id == caller), "{cfg:?} spawned");
+        }
+        // Fixed(1) also degenerates to the calling thread: one worker
+        // never beats zero spawn overhead.
+        assert_eq!(ThreadConfig::Fixed(1).workers(), 1);
     }
 
     #[test]

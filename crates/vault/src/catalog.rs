@@ -1,0 +1,305 @@
+//! The content index: the vault's `table → compressed chunk → frame
+//! range` catalog, serialized as a self-delimiting plain-text stream.
+//!
+//! The index is written on the medium as its own emblem stream (kind
+//! [`ule_emblem::EmblemKind::Index`], outer-parity protected), so a
+//! reader can decode a few index frames and then jump straight to the
+//! frames that carry one table. The serialization is plain text in the
+//! spirit of the Bootstrap document — a future restorer can read it with
+//! their eyes:
+//!
+//! ```text
+//! ULE VAULT INDEX 1
+//! chunk: 1115
+//! segments: 10
+//! seg: name=lineitem archive=8200+41833 dump=31650+152113 crc32=9fe2a1b0
+//! ...
+//! end: crc32=deadbeef
+//! ```
+//!
+//! `archive=<start>+<len>` is the byte range of the segment's record
+//! (4-byte little-endian length prefix + `ULEA` container) inside the
+//! data stream; `dump=<start>+<len>` is the byte range of the original
+//! segment in the restored dump; `crc32` is the CRC-32 of those original
+//! bytes, so a selectively restored table can be verified without
+//! restoring anything else. The trailing `end:` line carries the CRC-32
+//! of every byte before it — the self-check consulted before any frame
+//! range is trusted.
+
+use std::fmt::Write as _;
+use ule_gf256::crc::crc32;
+
+/// One catalogued segment (a table's `COPY` block, or filler text).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Segment name (table name, or `_`-prefixed filler).
+    pub name: String,
+    /// Byte offset of the segment's record in the data stream.
+    pub archive_start: u64,
+    /// Record length in bytes (length prefix + container).
+    pub archive_len: u64,
+    /// Byte offset of the segment in the original dump.
+    pub dump_start: u64,
+    /// Segment length in the original dump.
+    pub dump_len: u64,
+    /// CRC-32 of the original segment bytes.
+    pub crc32: u32,
+}
+
+/// The full catalog.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContentIndex {
+    /// Payload bytes per emblem (the chunk size frame ranges are in).
+    pub chunk_cap: u32,
+    /// Entries in dump order (their archive ranges tile the data stream).
+    pub entries: Vec<IndexEntry>,
+}
+
+/// Index (de)serialization failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum IndexError {
+    /// Missing or wrong magic/version line.
+    BadMagic,
+    /// A header or entry line failed to parse.
+    BadLine(String),
+    /// Entry count disagrees with the `segments:` header.
+    CountMismatch { expected: usize, got: usize },
+    /// The trailing CRC does not match the preceding bytes.
+    BadCrc { stored: u32, computed: u32 },
+    /// No `end:` trailer found.
+    Truncated,
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::BadMagic => write!(f, "not a vault index (bad magic)"),
+            IndexError::BadLine(l) => write!(f, "unparseable index line: {l:?}"),
+            IndexError::CountMismatch { expected, got } => {
+                write!(f, "index promises {expected} segments, holds {got}")
+            }
+            IndexError::BadCrc { stored, computed } => {
+                write!(
+                    f,
+                    "index crc mismatch: stored {stored:08x}, computed {computed:08x}"
+                )
+            }
+            IndexError::Truncated => write!(f, "index stream ends before the end: trailer"),
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
+const MAGIC_LINE: &str = "ULE VAULT INDEX 1";
+
+impl ContentIndex {
+    /// Serialize to the self-delimiting text format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = String::new();
+        writeln!(out, "{MAGIC_LINE}").unwrap();
+        writeln!(out, "chunk: {}", self.chunk_cap).unwrap();
+        writeln!(out, "segments: {}", self.entries.len()).unwrap();
+        for e in &self.entries {
+            writeln!(
+                out,
+                "seg: name={} archive={}+{} dump={}+{} crc32={:08x}",
+                e.name, e.archive_start, e.archive_len, e.dump_start, e.dump_len, e.crc32
+            )
+            .unwrap();
+        }
+        let body_crc = crc32(out.as_bytes());
+        writeln!(out, "end: crc32={body_crc:08x}").unwrap();
+        out.into_bytes()
+    }
+
+    /// Parse and verify a serialized index. Trailing bytes after the
+    /// `end:` line are ignored (the emblem stream may pad).
+    pub fn parse(bytes: &[u8]) -> Result<ContentIndex, IndexError> {
+        let text = String::from_utf8_lossy(bytes);
+        let mut lines = text.lines();
+        if lines.next() != Some(MAGIC_LINE) {
+            return Err(IndexError::BadMagic);
+        }
+        let chunk_line = lines.next().ok_or(IndexError::Truncated)?;
+        let chunk_cap: u32 = chunk_line
+            .strip_prefix("chunk: ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| IndexError::BadLine(chunk_line.to_string()))?;
+        let count_line = lines.next().ok_or(IndexError::Truncated)?;
+        let expected: usize = count_line
+            .strip_prefix("segments: ")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| IndexError::BadLine(count_line.to_string()))?;
+        let mut entries = Vec::with_capacity(expected);
+        let mut end_crc = None;
+        for line in lines {
+            if let Some(v) = line.strip_prefix("end: crc32=") {
+                end_crc = Some(
+                    u32::from_str_radix(v.trim(), 16)
+                        .map_err(|_| IndexError::BadLine(line.to_string()))?,
+                );
+                break;
+            }
+            let rest = line
+                .strip_prefix("seg: ")
+                .ok_or_else(|| IndexError::BadLine(line.to_string()))?;
+            entries.push(parse_entry(rest).ok_or_else(|| IndexError::BadLine(line.to_string()))?);
+        }
+        let stored = end_crc.ok_or(IndexError::Truncated)?;
+        // The CRC covers everything up to (not including) the end line.
+        let end_pos = text.find("end: crc32=").expect("end line found above");
+        let computed = crc32(&bytes[..end_pos]);
+        if computed != stored {
+            return Err(IndexError::BadCrc { stored, computed });
+        }
+        if entries.len() != expected {
+            return Err(IndexError::CountMismatch {
+                expected,
+                got: entries.len(),
+            });
+        }
+        Ok(ContentIndex { chunk_cap, entries })
+    }
+
+    /// Look up a segment by name.
+    pub fn find(&self, name: &str) -> Option<&IndexEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Names of the queryable tables (filler segments excluded).
+    pub fn tables(&self) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|e| !e.name.starts_with('_'))
+            .map(|e| e.name.as_str())
+            .collect()
+    }
+
+    /// Data-stream chunk indices covering `entry`'s archive byte range —
+    /// the chunks (and hence frames) a selective restore must decode.
+    pub fn chunk_range(&self, entry: &IndexEntry) -> std::ops::Range<usize> {
+        let cap = self.chunk_cap.max(1) as u64;
+        let first = entry.archive_start / cap;
+        let last = (entry.archive_start + entry.archive_len).div_ceil(cap);
+        first as usize..last.max(first + 1) as usize
+    }
+}
+
+fn parse_entry(rest: &str) -> Option<IndexEntry> {
+    let mut name = None;
+    let mut archive = None;
+    let mut dump = None;
+    let mut crc = None;
+    for pair in rest.split_whitespace() {
+        let (k, v) = pair.split_once('=')?;
+        match k {
+            "name" => name = Some(v.to_string()),
+            "archive" => archive = parse_span(v),
+            "dump" => dump = parse_span(v),
+            "crc32" => crc = u32::from_str_radix(v, 16).ok(),
+            _ => return None,
+        }
+    }
+    let (archive_start, archive_len) = archive?;
+    let (dump_start, dump_len) = dump?;
+    Some(IndexEntry {
+        name: name?,
+        archive_start,
+        archive_len,
+        dump_start,
+        dump_len,
+        crc32: crc?,
+    })
+}
+
+fn parse_span(v: &str) -> Option<(u64, u64)> {
+    let (a, b) = v.split_once('+')?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ContentIndex {
+        ContentIndex {
+            chunk_cap: 1115,
+            entries: vec![
+                IndexEntry {
+                    name: "_preamble".into(),
+                    archive_start: 0,
+                    archive_len: 180,
+                    dump_start: 0,
+                    dump_len: 400,
+                    crc32: 0x1111_2222,
+                },
+                IndexEntry {
+                    name: "lineitem".into(),
+                    archive_start: 180,
+                    archive_len: 41_833,
+                    dump_start: 400,
+                    dump_len: 152_113,
+                    crc32: 0x9FE2_A1B0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let idx = sample();
+        let bytes = idx.to_bytes();
+        assert_eq!(ContentIndex::parse(&bytes).unwrap(), idx);
+    }
+
+    #[test]
+    fn trailing_padding_is_ignored() {
+        let idx = sample();
+        let mut bytes = idx.to_bytes();
+        bytes.extend_from_slice(&[0u8; 37]);
+        assert_eq!(ContentIndex::parse(&bytes).unwrap(), idx);
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let idx = sample();
+        let mut bytes = idx.to_bytes();
+        // Flip a digit inside an entry line.
+        let pos = bytes.iter().position(|&b| b == b'8').unwrap();
+        bytes[pos] = b'9';
+        match ContentIndex::parse(&bytes) {
+            Err(IndexError::BadCrc { .. }) | Err(IndexError::BadLine(_)) => {}
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let idx = sample();
+        let bytes = idx.to_bytes();
+        assert_eq!(
+            ContentIndex::parse(&bytes[..bytes.len() - 20]),
+            Err(IndexError::Truncated)
+        );
+    }
+
+    #[test]
+    fn chunk_range_covers_the_archive_span() {
+        let idx = sample();
+        let li = idx.find("lineitem").unwrap();
+        let r = idx.chunk_range(li);
+        assert_eq!(r.start, 0); // 180 / 1115 = 0
+        assert_eq!(r.end, (180 + 41_833usize).div_ceil(1115));
+        assert!(idx.find("nope").is_none());
+        assert_eq!(idx.tables(), vec!["lineitem"]);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            ContentIndex::parse(b"WRONG\nstuff"),
+            Err(IndexError::BadMagic)
+        );
+    }
+}

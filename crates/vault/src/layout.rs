@@ -1,0 +1,362 @@
+//! Reel layout: the frozen mapping between stream chunks, global frame
+//! positions, and reels.
+//!
+//! A vault medium carries three content streams in one fixed frame
+//! sequence — system (DBDecode), index (catalog), data (segment records)
+//! — each laid out by [`ule_emblem::stream::encode_stream`]'s emission
+//! order (every group's data emblems followed by its outer-parity
+//! emblems). The sequence is split into content reels of
+//! `reel_capacity` frames, and every group of `group_reels` content
+//! reels gets one cross-reel parity reel appended after all content
+//! reels.
+//!
+//! Everything here is *derivable*: given the Bootstrap's vault manifest
+//! (stream byte lengths, reel capacity, group size) and the emblem
+//! geometry, the layout reconstructs the exact [`EmblemHeader`] of any
+//! frame position without decoding it — which is what lets a lost reel's
+//! frames be re-encoded bit-for-bit from cross-reel parity.
+
+use micr_olonys::VaultManifest;
+use ule_emblem::stream::{GROUP_DATA, GROUP_PARITY};
+use ule_emblem::{EmblemHeader, EmblemKind};
+
+/// Which content stream a frame belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamId {
+    System,
+    Index,
+    Data,
+}
+
+impl StreamId {
+    /// The emblem kind of the stream's *data* slots (parity slots always
+    /// carry [`EmblemKind::Parity`]).
+    pub fn kind(self) -> EmblemKind {
+        match self {
+            StreamId::System => EmblemKind::System,
+            StreamId::Index => EmblemKind::Index,
+            StreamId::Data => EmblemKind::Data,
+        }
+    }
+}
+
+/// Everything known about one global frame position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrameInfo {
+    pub stream: StreamId,
+    /// Emission position within the stream (== the header's `index`).
+    pub emission: usize,
+    /// The exact header the emblem at this position carries.
+    pub header: EmblemHeader,
+}
+
+/// The frozen reel layout (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReelLayout {
+    /// Payload bytes per emblem.
+    pub chunk_cap: usize,
+    /// Stream byte lengths.
+    pub sys_len: usize,
+    pub index_len: usize,
+    pub data_len: usize,
+    /// Whether the content streams carry the outer RS(20,17) code.
+    pub outer_parity: bool,
+    /// Frames per content reel (`0` = single reel holding everything).
+    pub reel_capacity: usize,
+    /// Content reels per parity group (`0` = no parity reels).
+    pub group_reels: usize,
+}
+
+/// Frames of one stream: data chunks plus outer-parity emblems.
+fn stream_frames(len: usize, chunk_cap: usize, outer_parity: bool) -> usize {
+    let chunks = len.div_ceil(chunk_cap.max(1)).max(1);
+    if outer_parity {
+        chunks + chunks.div_ceil(GROUP_DATA) * GROUP_PARITY
+    } else {
+        chunks
+    }
+}
+
+impl ReelLayout {
+    /// Build the layout from a parsed manifest plus the geometry facts the
+    /// Bootstrap carries anyway.
+    pub fn from_manifest(m: &VaultManifest, chunk_cap: usize, outer_parity: bool) -> Self {
+        Self {
+            chunk_cap,
+            sys_len: m.sys_len,
+            index_len: m.index_len,
+            data_len: m.data_len,
+            outer_parity,
+            reel_capacity: m.reel_capacity,
+            group_reels: m.group_reels,
+        }
+    }
+
+    pub fn sys_frames(&self) -> usize {
+        stream_frames(self.sys_len, self.chunk_cap, self.outer_parity)
+    }
+    pub fn index_frames(&self) -> usize {
+        stream_frames(self.index_len, self.chunk_cap, self.outer_parity)
+    }
+    pub fn data_frames(&self) -> usize {
+        stream_frames(self.data_len, self.chunk_cap, self.outer_parity)
+    }
+
+    /// Total frames across the content reels.
+    pub fn total_frames(&self) -> usize {
+        self.sys_frames() + self.index_frames() + self.data_frames()
+    }
+
+    /// Number of content reels.
+    pub fn content_reels(&self) -> usize {
+        if self.reel_capacity == 0 {
+            1
+        } else {
+            self.total_frames().div_ceil(self.reel_capacity).max(1)
+        }
+    }
+
+    /// Number of cross-reel parity reels (one per full-or-partial group).
+    pub fn parity_reels(&self) -> usize {
+        if self.group_reels == 0 || self.reel_capacity == 0 {
+            0
+        } else {
+            self.content_reels().div_ceil(self.group_reels)
+        }
+    }
+
+    /// Total reels: content reels first, then parity reels in group order.
+    pub fn total_reels(&self) -> usize {
+        self.content_reels() + self.parity_reels()
+    }
+
+    /// Frames on content reel `r`.
+    pub fn reel_frames(&self, r: usize) -> usize {
+        let total = self.total_frames();
+        if self.reel_capacity == 0 {
+            return total;
+        }
+        total
+            .saturating_sub(r * self.reel_capacity)
+            .min(self.reel_capacity)
+    }
+
+    /// `(reel, offset)` of global frame position `pos`.
+    pub fn reel_of(&self, pos: usize) -> (usize, usize) {
+        if self.reel_capacity == 0 {
+            (0, pos)
+        } else {
+            (pos / self.reel_capacity, pos % self.reel_capacity)
+        }
+    }
+
+    /// Parity group of content reel `r`.
+    pub fn group_of(&self, r: usize) -> usize {
+        r / self.group_reels.max(1)
+    }
+
+    /// Content reel indices of parity group `g`.
+    pub fn group_members(&self, g: usize) -> std::ops::Range<usize> {
+        let start = g * self.group_reels;
+        start..((g + 1) * self.group_reels).min(self.content_reels())
+    }
+
+    /// Reel index of group `g`'s parity reel.
+    pub fn parity_reel_of(&self, g: usize) -> usize {
+        self.content_reels() + g
+    }
+
+    /// Byte length of group `g`'s cross-reel parity stream: the longest
+    /// member reel, in padded-chunk bytes. (Members shorter than that —
+    /// only ever the final reel — contribute zero chunks beyond their
+    /// end.)
+    pub fn parity_stream_len(&self, g: usize) -> usize {
+        self.group_members(g)
+            .map(|r| self.reel_frames(r))
+            .max()
+            .unwrap_or(0)
+            * self.chunk_cap
+    }
+
+    /// Global frame position of emission slot `emission` in `stream`.
+    pub fn position(&self, stream: StreamId, emission: usize) -> usize {
+        let base = match stream {
+            StreamId::System => 0,
+            StreamId::Index => self.sys_frames(),
+            StreamId::Data => self.sys_frames() + self.index_frames(),
+        };
+        base + emission
+    }
+
+    /// Global frame position of `stream`'s data chunk `chunk`.
+    pub fn chunk_position(&self, stream: StreamId, chunk: usize) -> usize {
+        self.position(
+            stream,
+            ule_emblem::stream::chunk_global_index(chunk, self.outer_parity),
+        )
+    }
+
+    /// Decode a global frame position back to its stream, emission slot,
+    /// and exact header. Panics if `pos >= total_frames()`.
+    pub fn frame_info(&self, pos: usize) -> FrameInfo {
+        assert!(pos < self.total_frames(), "position {pos} beyond layout");
+        let (stream, emission, len) = if pos < self.sys_frames() {
+            (StreamId::System, pos, self.sys_len)
+        } else if pos < self.sys_frames() + self.index_frames() {
+            (StreamId::Index, pos - self.sys_frames(), self.index_len)
+        } else {
+            (
+                StreamId::Data,
+                pos - self.sys_frames() - self.index_frames(),
+                self.data_len,
+            )
+        };
+        let cap = self.chunk_cap;
+        let n_chunks = len.div_ceil(cap.max(1)).max(1);
+        let header = if !self.outer_parity {
+            let payload = chunk_len(emission, n_chunks, cap, len);
+            EmblemHeader::new(
+                stream.kind(),
+                emission as u16,
+                (emission / GROUP_DATA) as u16,
+                payload as u32,
+                len as u32,
+            )
+        } else {
+            let group = emission / (GROUP_DATA + GROUP_PARITY);
+            let within = emission % (GROUP_DATA + GROUP_PARITY);
+            let in_group = (n_chunks - group * GROUP_DATA).min(GROUP_DATA);
+            if within < in_group {
+                let chunk = group * GROUP_DATA + within;
+                EmblemHeader::new(
+                    stream.kind(),
+                    emission as u16,
+                    group as u16,
+                    chunk_len(chunk, n_chunks, cap, len) as u32,
+                    len as u32,
+                )
+            } else {
+                EmblemHeader::new(
+                    EmblemKind::Parity,
+                    emission as u16,
+                    group as u16,
+                    cap as u32,
+                    len as u32,
+                )
+            }
+        };
+        FrameInfo {
+            stream,
+            emission,
+            header,
+        }
+    }
+}
+
+/// Payload length of data chunk `chunk` in a `len`-byte stream.
+fn chunk_len(chunk: usize, n_chunks: usize, cap: usize, len: usize) -> usize {
+    if chunk + 1 == n_chunks {
+        len - chunk * cap
+    } else {
+        cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> ReelLayout {
+        ReelLayout {
+            chunk_cap: 100,
+            sys_len: 250,   // 3 chunks -> 1 group -> 6 frames with parity
+            index_len: 90,  // 1 chunk  -> 4 frames
+            data_len: 2405, // 25 chunks -> 2 groups -> 31 frames
+            outer_parity: true,
+            reel_capacity: 10,
+            group_reels: 2,
+        }
+    }
+
+    #[test]
+    fn frame_counts() {
+        let l = layout();
+        assert_eq!(l.sys_frames(), 6);
+        assert_eq!(l.index_frames(), 4);
+        assert_eq!(l.data_frames(), 31);
+        assert_eq!(l.total_frames(), 41);
+        assert_eq!(l.content_reels(), 5); // 41 frames / 10 per reel
+        assert_eq!(l.reel_frames(4), 1);
+        assert_eq!(l.parity_reels(), 3); // groups {0,1} {2,3} {4}
+        assert_eq!(l.total_reels(), 8);
+        assert_eq!(l.parity_reel_of(1), 6);
+        assert_eq!(l.group_members(2), 4..5);
+        assert_eq!(l.parity_stream_len(0), 1000);
+        assert_eq!(l.parity_stream_len(2), 100);
+    }
+
+    #[test]
+    fn headers_match_the_encoder_emission_order() {
+        let l = layout();
+        // System stream, tail group of 3 chunks: data at emissions 0..3,
+        // parity directly after at 3..6.
+        let f = l.frame_info(0);
+        assert_eq!(f.stream, StreamId::System);
+        assert_eq!(f.header.kind, EmblemKind::System);
+        assert_eq!(f.header.payload_len, 100);
+        let f = l.frame_info(2);
+        assert_eq!(f.header.payload_len, 50); // 250 - 2*100
+        let f = l.frame_info(3);
+        assert_eq!(f.header.kind, EmblemKind::Parity);
+        assert_eq!(f.header.index, 3);
+        // Index stream starts at position 6.
+        let f = l.frame_info(6);
+        assert_eq!(f.stream, StreamId::Index);
+        assert_eq!(f.header.kind, EmblemKind::Index);
+        assert_eq!(f.header.payload_len, 90);
+        // Data stream: chunk 17 opens group 1 at emission 20.
+        let pos = l.chunk_position(StreamId::Data, 17);
+        assert_eq!(pos, 10 + 20);
+        let f = l.frame_info(pos);
+        assert_eq!(f.header.kind, EmblemKind::Data);
+        assert_eq!(f.header.index, 20);
+        assert_eq!(f.header.group, 1);
+        // Data group 1 holds 8 chunks; its parity sits right after them.
+        let f = l.frame_info(10 + 28);
+        assert_eq!(f.header.kind, EmblemKind::Parity);
+        assert_eq!(f.header.group, 1);
+    }
+
+    #[test]
+    fn reel_mapping_is_positional() {
+        let l = layout();
+        assert_eq!(l.reel_of(0), (0, 0));
+        assert_eq!(l.reel_of(37), (3, 7));
+        assert_eq!(l.group_of(3), 1);
+    }
+
+    #[test]
+    fn single_reel_no_parity_layout() {
+        let l = ReelLayout {
+            reel_capacity: 0,
+            group_reels: 0,
+            ..layout()
+        };
+        assert_eq!(l.content_reels(), 1);
+        assert_eq!(l.parity_reels(), 0);
+        assert_eq!(l.reel_of(40), (0, 40));
+        assert_eq!(l.reel_frames(0), 41);
+    }
+
+    #[test]
+    fn dense_layout_headers() {
+        let l = ReelLayout {
+            outer_parity: false,
+            ..layout()
+        };
+        assert_eq!(l.sys_frames(), 3);
+        let f = l.frame_info(3); // index stream, dense
+        assert_eq!(f.stream, StreamId::Index);
+        assert_eq!(f.header.index, 0);
+    }
+}

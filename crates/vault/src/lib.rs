@@ -1,0 +1,1070 @@
+//! Vault — the multi-reel archive catalog layer (system **S16**,
+//! `DESIGN.md` §11).
+//!
+//! The paper's restore path (Figure 2b) is monolithic: decode every
+//! frame, rebuild the whole database, then query it. A shelf-scale
+//! archive needs three things the base pipeline does not provide:
+//!
+//! 1. a **content index** — each dump segment (one `COPY` block per
+//!    table) is compressed *independently* into a length-prefixed record,
+//!    and a plain-text catalog mapping `table → record byte range →
+//!    chunk/frame range` is written on the medium as its own emblem
+//!    stream ([`ule_emblem::EmblemKind::Index`]);
+//! 2. **selective restore** — [`Vault::restore_table`] decodes only the
+//!    frames the index names (via [`MicrOlonys::restore_frames`], fanned
+//!    over `ule_par`) and returns bytes identical to the corresponding
+//!    slice of a full restore. A damaged index degrades to the full-scan
+//!    path, never to wrong bytes;
+//! 3. **multi-reel sharding with cross-reel parity** — the frame
+//!    sequence is split into reels of `reel_capacity` frames, and every
+//!    group of `group_reels` content reels gets one RS parity reel
+//!    (shortened `RS(k+1, k)` over the reels' padded chunk bytes, built
+//!    on [`ule_gf256::RsCode::parity_of`]), so any single lost reel per
+//!    group is reconstructed bit for bit; a second loss in the same
+//!    group fails as the structured [`VaultError::ReelLoss`].
+//!
+//! The vault is a *layer over* Micr'Olonys, not a fork of it: emblem
+//! framing, inner/outer RS and the scanner channel are untouched, and
+//! the Bootstrap document grows exactly one manifest line (`vault:`)
+//! that pre-S16 parsers never see and the S16 parser tolerates missing —
+//! classic archives restore through [`Vault::restore_all`] unchanged.
+
+pub mod catalog;
+pub mod layout;
+pub mod segment;
+
+use std::collections::HashMap;
+use std::ops::Range;
+
+use catalog::{ContentIndex, IndexEntry, IndexError};
+use layout::{ReelLayout, StreamId};
+use micr_olonys::{Bootstrap, MicrOlonys, RestoreError, VaultManifest};
+use segment::{segment_dump, Segment};
+use ule_compress::ArchiveError;
+use ule_emblem::stream::{chunk_global_index, StreamError, GROUP_DATA, GROUP_PARITY};
+use ule_emblem::{decode_emblem, encode_emblem, encode_stream_with, EmblemKind};
+use ule_gf256::crc::crc32;
+use ule_gf256::RsCode;
+use ule_raster::GrayImage;
+
+/// Scanned reels, aligned with [`VaultArchive::reels`]: `None` marks a
+/// reel that is physically gone (lost, burned, unreadable end to end).
+pub type ReelScans = Vec<Option<Vec<GrayImage>>>;
+
+/// A reel's role on the shelf.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReelRole {
+    /// Carries a slice of the content frame sequence.
+    Content,
+    /// Carries the cross-reel parity stream of one reel group.
+    Parity { group: usize },
+}
+
+/// One physical reel: an ordered run of printed frames.
+pub struct Reel {
+    pub id: usize,
+    pub role: ReelRole,
+    pub frames: Vec<GrayImage>,
+}
+
+/// Everything [`Vault::archive`] produces.
+pub struct VaultArchive {
+    /// Content reels in shelf order, then parity reels in group order.
+    pub reels: Vec<Reel>,
+    /// Bootstrap document with the `vault:` manifest line stamped in.
+    pub bootstrap: Bootstrap,
+    /// The catalog (also on the medium as the index stream).
+    pub index: ContentIndex,
+    /// The frozen position math for this archive.
+    pub layout: ReelLayout,
+    pub stats: VaultStats,
+}
+
+/// Headline numbers of one vault archival run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VaultStats {
+    pub dump_bytes: usize,
+    /// Data stream length (length-prefixed records).
+    pub archive_bytes: usize,
+    /// Catalogued segments (tables + filler).
+    pub segments: usize,
+    /// Queryable tables among them.
+    pub tables: usize,
+    pub sys_frames: usize,
+    pub index_frames: usize,
+    pub data_frames: usize,
+    pub content_reels: usize,
+    pub parity_reels: usize,
+}
+
+/// Which path a restore ended up taking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RestorePath {
+    /// Index consulted, only the named frames decoded.
+    Selective,
+    /// Selective decode hit damage and escalated to a full scan.
+    SelectiveFallback,
+    /// Full scan (requested, or index unusable).
+    Full,
+    /// Pre-S16 archive: classic single-container restore.
+    Classic,
+}
+
+/// Diagnostics of one vault restore. `frames_decoded` counts the frames
+/// pushed through the emblem decoder *to serve the restore itself* (the
+/// E10 "frames scanned" metric); sibling/parity frames decoded while
+/// rebuilding a lost reel are counted separately in
+/// `recovery_frames_decoded`, so selective-restore economics stay
+/// visible — and honest — even when a reel was rebuilt.
+#[derive(Clone, Copy, Debug)]
+pub struct VaultRestoreStats {
+    pub frames_decoded: usize,
+    /// Sibling + parity frames decoded during cross-reel reconstruction.
+    pub recovery_frames_decoded: usize,
+    pub frames_reconstructed: usize,
+    pub reels_reconstructed: usize,
+    /// Data frames a full restore would decode (the E10 denominator).
+    pub data_frames_total: usize,
+    pub path: RestorePath,
+    /// True when the index stream was unusable and the restore fell back
+    /// to a full scan.
+    pub index_fallback: bool,
+}
+
+impl VaultRestoreStats {
+    fn new(path: RestorePath, data_frames_total: usize) -> Self {
+        Self {
+            frames_decoded: 0,
+            recovery_frames_decoded: 0,
+            frames_reconstructed: 0,
+            reels_reconstructed: 0,
+            data_frames_total,
+            path,
+            index_fallback: false,
+        }
+    }
+}
+
+/// Vault failures. Reel-level loss beyond the parity budget is the
+/// structured [`VaultError::ReelLoss`] naming the group and the lost
+/// reel ids — never a panic, never silent garbage.
+#[derive(Debug)]
+pub enum VaultError {
+    Restore(RestoreError),
+    Stream(StreamError),
+    Archive(ArchiveError),
+    Index(IndexError),
+    /// The named table is not in the catalog.
+    UnknownTable(String),
+    /// More reels lost in one parity group than the parity reel covers.
+    ReelLoss {
+        group: usize,
+        lost: Vec<usize>,
+        recoverable: usize,
+    },
+    /// Scans disagree with the manifest (reel count, frame count, record
+    /// framing) — the shelf does not match the document.
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for VaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VaultError::Restore(e) => write!(f, "restore: {e}"),
+            VaultError::Stream(e) => write!(f, "stream: {e}"),
+            VaultError::Archive(e) => write!(f, "archive: {e}"),
+            VaultError::Index(e) => write!(f, "index: {e}"),
+            VaultError::UnknownTable(t) => write!(f, "table {t:?} is not in the catalog"),
+            VaultError::ReelLoss {
+                group,
+                lost,
+                recoverable,
+            } => write!(
+                f,
+                "group {group}: reels {lost:?} lost, parity recovers at most {recoverable}"
+            ),
+            VaultError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for VaultError {}
+
+impl From<RestoreError> for VaultError {
+    fn from(e: RestoreError) -> Self {
+        VaultError::Restore(e)
+    }
+}
+impl From<StreamError> for VaultError {
+    fn from(e: StreamError) -> Self {
+        VaultError::Stream(e)
+    }
+}
+impl From<ArchiveError> for VaultError {
+    fn from(e: ArchiveError) -> Self {
+        VaultError::Archive(e)
+    }
+}
+impl From<IndexError> for VaultError {
+    fn from(e: IndexError) -> Self {
+        VaultError::Index(e)
+    }
+}
+
+/// The vault configuration: a base [`MicrOlonys`] system (medium, DBCoder
+/// scheme, worker pool) plus the reel topology.
+#[derive(Clone)]
+pub struct Vault {
+    pub system: MicrOlonys,
+    /// Frames per content reel; `0` = everything on one reel.
+    pub reel_capacity: usize,
+    /// Content reels per cross-reel parity group; `0` = no parity reels.
+    pub group_reels: usize,
+}
+
+impl Vault {
+    /// A single-reel vault (catalog + selective restore, no sharding).
+    pub fn single_reel(system: MicrOlonys) -> Self {
+        Self {
+            system,
+            reel_capacity: 0,
+            group_reels: 0,
+        }
+    }
+
+    /// A sharded vault: `reel_capacity` frames per reel, one parity reel
+    /// per `group_reels` content reels.
+    pub fn sharded(system: MicrOlonys, reel_capacity: usize, group_reels: usize) -> Self {
+        assert!(reel_capacity > 0, "sharding needs a positive reel capacity");
+        Self {
+            system,
+            reel_capacity,
+            group_reels,
+        }
+    }
+
+    /// Segmentation + per-segment compression + catalog serialization:
+    /// the byte-level composition of a vault archive, shared by
+    /// [`Vault::archive`] and [`Vault::plan_layout`]. Returns the data
+    /// stream (length-prefixed records), the catalog, and its serialized
+    /// bytes.
+    fn compose(&self, dump: &[u8]) -> (Vec<u8>, ContentIndex, Vec<u8>) {
+        let cap = self.system.medium.geometry.payload_capacity();
+        let segments = segment_dump(dump);
+        // Per-segment compression into length-prefixed records.
+        let records: Vec<Vec<u8>> = ule_par::map(self.system.threads, &segments, |s| {
+            let container =
+                ule_compress::compress(self.system.scheme, &dump[s.start..s.start + s.len]);
+            let mut rec = Vec::with_capacity(4 + container.len());
+            rec.extend_from_slice(&(container.len() as u32).to_le_bytes());
+            rec.extend_from_slice(&container);
+            rec
+        });
+        let mut data_bytes = Vec::new();
+        let mut entries = Vec::with_capacity(segments.len());
+        for (s, rec) in segments.iter().zip(&records) {
+            entries.push(IndexEntry {
+                name: s.name.clone(),
+                archive_start: data_bytes.len() as u64,
+                archive_len: rec.len() as u64,
+                dump_start: s.start as u64,
+                dump_len: s.len as u64,
+                crc32: crc32(&dump[s.start..s.start + s.len]),
+            });
+            data_bytes.extend_from_slice(rec);
+        }
+        let index = ContentIndex {
+            chunk_cap: cap as u32,
+            entries,
+        };
+        let index_bytes = index.to_bytes();
+        (data_bytes, index, index_bytes)
+    }
+
+    /// Archive a dump as a catalogued, (optionally) sharded vault.
+    pub fn archive(&self, dump: &[u8]) -> VaultArchive {
+        let geom = self.system.medium.geometry;
+        let threads = self.system.threads;
+        let (data_bytes, index, index_bytes) = self.compose(dump);
+        let sys_bytes = MicrOlonys::system_stream_bytes();
+
+        let layout = ReelLayout {
+            chunk_cap: geom.payload_capacity(),
+            sys_len: sys_bytes.len(),
+            index_len: index_bytes.len(),
+            data_len: data_bytes.len(),
+            outer_parity: self.system.with_parity,
+            reel_capacity: self.reel_capacity,
+            group_reels: self.group_reels,
+        };
+        assert!(
+            layout.sys_frames() <= u16::MAX as usize
+                && layout.index_frames() <= u16::MAX as usize
+                && layout.data_frames() <= u16::MAX as usize,
+            "stream exceeds the u16 emblem index space"
+        );
+
+        // Encode + print the three content streams in shelf order.
+        let parity = self.system.with_parity;
+        let mut frames = Vec::with_capacity(layout.total_frames());
+        for (kind, bytes) in [
+            (EmblemKind::System, &sys_bytes),
+            (EmblemKind::Index, &index_bytes),
+            (EmblemKind::Data, &data_bytes),
+        ] {
+            let emblems = encode_stream_with(&geom, kind, bytes, parity, threads);
+            frames.extend(self.system.medium.print_all_with(&emblems, threads));
+        }
+        debug_assert_eq!(frames.len(), layout.total_frames());
+
+        // Split into content reels.
+        let mut reels: Vec<Reel> = Vec::with_capacity(layout.total_reels());
+        let mut it = frames.into_iter();
+        for r in 0..layout.content_reels() {
+            reels.push(Reel {
+                id: r,
+                role: ReelRole::Content,
+                frames: it.by_ref().take(layout.reel_frames(r)).collect(),
+            });
+        }
+
+        // Cross-reel parity reels: RS(k+1, k) column parity over the
+        // group members' padded chunk bytes (DESIGN.md §11 for the math;
+        // with one parity reel this degenerates to GF(2^8) XOR).
+        if layout.parity_reels() > 0 {
+            let payloads = self.emission_payloads(&layout, &sys_bytes, &index_bytes, &data_bytes);
+            for g in 0..layout.parity_reels() {
+                let members: Vec<usize> = layout.group_members(g).collect();
+                let plen = layout.parity_stream_len(g);
+                let streams: Vec<Vec<u8>> = members
+                    .iter()
+                    .map(|&r| {
+                        let mut bytes = Vec::with_capacity(plen);
+                        let base = r * layout.reel_capacity;
+                        for j in 0..layout.reel_frames(r) {
+                            bytes.extend_from_slice(&payloads[base + j]);
+                        }
+                        bytes.resize(plen, 0);
+                        bytes
+                    })
+                    .collect();
+                let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+                let rs = RsCode::new(members.len() + 1, members.len());
+                let parity_bytes = rs.parity_of(&refs).swap_remove(0);
+                let emblems = encode_stream_with(
+                    &geom,
+                    EmblemKind::ReelParity,
+                    &parity_bytes,
+                    false,
+                    threads,
+                );
+                reels.push(Reel {
+                    id: layout.parity_reel_of(g),
+                    role: ReelRole::Parity { group: g },
+                    frames: self.system.medium.print_all_with(&emblems, threads),
+                });
+            }
+        }
+
+        let mut bootstrap = self.system.make_bootstrap();
+        bootstrap.vault = Some(VaultManifest {
+            tables: index.entries.len(),
+            sys_len: sys_bytes.len(),
+            index_len: index_bytes.len(),
+            data_len: data_bytes.len(),
+            index_crc32: crc32(&index_bytes),
+            reel_capacity: self.reel_capacity,
+            group_reels: self.group_reels,
+        });
+
+        let stats = VaultStats {
+            dump_bytes: dump.len(),
+            archive_bytes: data_bytes.len(),
+            segments: index.entries.len(),
+            tables: index.tables().len(),
+            sys_frames: layout.sys_frames(),
+            index_frames: layout.index_frames(),
+            data_frames: layout.data_frames(),
+            content_reels: layout.content_reels(),
+            parity_reels: layout.parity_reels(),
+        };
+        VaultArchive {
+            reels,
+            bootstrap,
+            index,
+            layout,
+            stats,
+        }
+    }
+
+    /// Padded chunk payload (exactly `chunk_cap` bytes) of every global
+    /// frame position, in shelf order — the byte streams cross-reel
+    /// parity is computed over. Outer-parity chunks are recomputed with
+    /// the same column code the emblem encoder uses, so these bytes match
+    /// the medium bit for bit.
+    fn emission_payloads(
+        &self,
+        layout: &ReelLayout,
+        sys: &[u8],
+        index: &[u8],
+        data: &[u8],
+    ) -> Vec<Vec<u8>> {
+        let cap = layout.chunk_cap;
+        let mut out = Vec::with_capacity(layout.total_frames());
+        for payload in [sys, index, data] {
+            let n_chunks = payload.len().div_ceil(cap.max(1)).max(1);
+            let chunk = |c: usize| -> Vec<u8> {
+                let start = (c * cap).min(payload.len());
+                let end = ((c + 1) * cap).min(payload.len());
+                let mut v = payload[start..end].to_vec();
+                v.resize(cap, 0);
+                v
+            };
+            if !layout.outer_parity {
+                out.extend((0..n_chunks).map(chunk));
+                continue;
+            }
+            for g in 0..n_chunks.div_ceil(GROUP_DATA) {
+                let base = g * GROUP_DATA;
+                let in_group = (n_chunks - base).min(GROUP_DATA);
+                let chunks: Vec<Vec<u8>> = (0..in_group).map(|i| chunk(base + i)).collect();
+                let refs: Vec<&[u8]> = chunks.iter().map(|c| c.as_slice()).collect();
+                let rs = RsCode::new(in_group + GROUP_PARITY, in_group);
+                let parity = rs.parity_of(&refs);
+                out.extend(chunks);
+                out.extend(parity);
+            }
+        }
+        out
+    }
+
+    /// Scan every present reel of `archive` through the medium's channel
+    /// (per-frame seeds perturbed per reel) — the test/bench convenience
+    /// for producing a [`ReelScans`] shelf.
+    pub fn scan_reels(&self, archive: &VaultArchive, seed: u64) -> ReelScans {
+        archive
+            .reels
+            .iter()
+            .map(|r| {
+                Some(self.system.medium.scan_all_with(
+                    &r.frames,
+                    seed ^ ((r.id as u64 + 1) << 32),
+                    self.system.threads,
+                ))
+            })
+            .collect()
+    }
+
+    /// Full restore: the entire dump, bit-identical to what was archived.
+    ///
+    /// Works on vault archives (manifest present: records are split and
+    /// decompressed per segment, lost reels reconstructed from parity)
+    /// *and* on pre-S16 classic archives (no manifest: the scans are
+    /// treated as one classic data stream and restored through
+    /// [`MicrOlonys::restore_native`]).
+    pub fn restore_all(
+        &self,
+        bootstrap: &Bootstrap,
+        reels: &ReelScans,
+    ) -> Result<(Vec<u8>, VaultRestoreStats), VaultError> {
+        let Some(manifest) = &bootstrap.vault else {
+            // Pre-S16 archive: no catalog, no reel map — concatenate
+            // whatever survives and lean on the outer code.
+            let scans: Vec<GrayImage> = reels
+                .iter()
+                .flatten()
+                .flat_map(|r| r.iter().cloned())
+                .collect();
+            let mut stats = VaultRestoreStats::new(RestorePath::Classic, scans.len());
+            stats.frames_decoded = scans.len();
+            let (dump, _) = self.system.restore_native(&scans)?;
+            return Ok((dump, stats));
+        };
+        let layout = self.layout_of(bootstrap, manifest);
+        let mut stats = VaultRestoreStats::new(RestorePath::Full, layout.data_frames());
+        let mut source = FrameSource::new(layout, reels)?;
+        let dump = self.full_restore(&mut source, &mut stats)?;
+        Ok((dump, stats))
+    }
+
+    /// Selective restore: the named table's dump segment, decoded from
+    /// only the frames the content index maps it to. The returned bytes
+    /// are identical to the same slice of [`Vault::restore_all`]'s dump —
+    /// a damaged index or damaged data frames degrade to the full-scan
+    /// fallback, never to different bytes.
+    pub fn restore_table(
+        &self,
+        bootstrap: &Bootstrap,
+        reels: &ReelScans,
+        table: &str,
+    ) -> Result<(Vec<u8>, VaultRestoreStats), VaultError> {
+        let Some(manifest) = &bootstrap.vault else {
+            // Classic archive: restore everything, then segment the dump
+            // to find the table.
+            let (dump, mut stats) = self.restore_all(bootstrap, reels)?;
+            let seg = find_segment(&dump, table)
+                .ok_or_else(|| VaultError::UnknownTable(table.to_string()))?;
+            stats.path = RestorePath::Classic;
+            return Ok((dump[seg.start..seg.start + seg.len].to_vec(), stats));
+        };
+        let layout = self.layout_of(bootstrap, manifest);
+        let mut stats = VaultRestoreStats::new(RestorePath::Selective, layout.data_frames());
+        let mut source = FrameSource::new(layout, reels)?;
+
+        // Step 1: the catalog. Unusable index (beyond its own RS budget,
+        // CRC mismatch, parse failure) falls back to the full scan.
+        let index = match self.read_index(manifest, &mut source, &mut stats) {
+            Ok(index) => index,
+            Err(VaultError::ReelLoss {
+                group,
+                lost,
+                recoverable,
+            }) => {
+                // Reel-level loss beyond parity is not an index problem;
+                // a full scan cannot help either.
+                return Err(VaultError::ReelLoss {
+                    group,
+                    lost,
+                    recoverable,
+                });
+            }
+            Err(_) => {
+                stats.index_fallback = true;
+                stats.path = RestorePath::Full;
+                let dump = self.full_restore(&mut source, &mut stats)?;
+                let seg = find_segment(&dump, table)
+                    .ok_or_else(|| VaultError::UnknownTable(table.to_string()))?;
+                return Ok((dump[seg.start..seg.start + seg.len].to_vec(), stats));
+            }
+        };
+        let entry = index
+            .find(table)
+            .ok_or_else(|| VaultError::UnknownTable(table.to_string()))?
+            .clone();
+
+        // Step 2: decode exactly the chunks the catalog names.
+        match self.restore_record(&index, &entry, &mut source, &mut stats) {
+            Ok(bytes) => Ok((bytes, stats)),
+            Err(e @ VaultError::ReelLoss { .. }) => Err(e),
+            Err(_) => {
+                // Damaged frames inside the range: escalate to the full
+                // scan, which brings the outer code to bear.
+                stats.path = RestorePath::SelectiveFallback;
+                let dump = self.full_restore(&mut source, &mut stats)?;
+                let start = entry.dump_start as usize;
+                let len = entry.dump_len as usize;
+                if start + len > dump.len() {
+                    return Err(VaultError::ShapeMismatch(format!(
+                        "catalog names dump range {start}+{len}, dump holds {} bytes",
+                        dump.len()
+                    )));
+                }
+                Ok((dump[start..start + len].to_vec(), stats))
+            }
+        }
+    }
+
+    /// Table names readable from the medium's index stream (plus which
+    /// restore path reading them took).
+    pub fn list_tables(
+        &self,
+        bootstrap: &Bootstrap,
+        reels: &ReelScans,
+    ) -> Result<(Vec<String>, VaultRestoreStats), VaultError> {
+        let Some(manifest) = &bootstrap.vault else {
+            let (dump, stats) = self.restore_all(bootstrap, reels)?;
+            let names = segment_dump(&dump)
+                .into_iter()
+                .filter(|s| s.is_table())
+                .map(|s| s.name)
+                .collect();
+            return Ok((names, stats));
+        };
+        let layout = self.layout_of(bootstrap, manifest);
+        let mut stats = VaultRestoreStats::new(RestorePath::Selective, layout.data_frames());
+        let mut source = FrameSource::new(layout, reels)?;
+        let index = self.read_index(manifest, &mut source, &mut stats)?;
+        Ok((
+            index.tables().iter().map(|t| t.to_string()).collect(),
+            stats,
+        ))
+    }
+
+    fn layout_of(&self, bootstrap: &Bootstrap, manifest: &VaultManifest) -> ReelLayout {
+        ReelLayout::from_manifest(
+            manifest,
+            bootstrap.geometry().payload_capacity(),
+            bootstrap.outer_parity,
+        )
+    }
+
+    /// Decode and verify the content index stream.
+    fn read_index(
+        &self,
+        manifest: &VaultManifest,
+        source: &mut FrameSource<'_>,
+        stats: &mut VaultRestoreStats,
+    ) -> Result<ContentIndex, VaultError> {
+        let layout = source.layout;
+        let positions: Vec<usize> = (0..layout.index_frames())
+            .map(|q| layout.position(StreamId::Index, q))
+            .collect();
+        source.ensure(self, &positions, stats)?;
+        let scans: Vec<GrayImage> = positions.iter().map(|&p| source.get(p).clone()).collect();
+        stats.frames_decoded += scans.len();
+        let (bytes, _) = ule_emblem::decode_stream_with(
+            &self.system.medium.geometry,
+            &scans,
+            self.system.threads,
+        )?;
+        if crc32(&bytes) != manifest.index_crc32 {
+            return Err(VaultError::Index(IndexError::BadCrc {
+                stored: manifest.index_crc32,
+                computed: crc32(&bytes),
+            }));
+        }
+        Ok(ContentIndex::parse(&bytes)?)
+    }
+
+    /// Selective record decode: exactly the chunks covering `entry`.
+    fn restore_record(
+        &self,
+        index: &ContentIndex,
+        entry: &IndexEntry,
+        source: &mut FrameSource<'_>,
+        stats: &mut VaultRestoreStats,
+    ) -> Result<Vec<u8>, VaultError> {
+        let layout = source.layout;
+        let chunks: Range<usize> = index.chunk_range(entry);
+        let positions: Vec<usize> = chunks
+            .clone()
+            .map(|c| layout.chunk_position(StreamId::Data, c))
+            .collect();
+        source.ensure(self, &positions, stats)?;
+        let picks: Vec<(usize, &GrayImage)> = chunks
+            .clone()
+            .zip(&positions)
+            .map(|(c, &p)| (chunk_global_index(c, layout.outer_parity), source.get(p)))
+            .collect();
+        stats.frames_decoded += picks.len();
+        let decoded = self.system.restore_frames(&picks)?;
+        let mut bytes = Vec::with_capacity(chunks.len() * layout.chunk_cap);
+        for (_, payload) in decoded {
+            bytes.extend_from_slice(&payload);
+        }
+        let off = entry.archive_start as usize - chunks.start * layout.chunk_cap;
+        let len = entry.archive_len as usize;
+        if off + len > bytes.len() {
+            return Err(VaultError::ShapeMismatch(format!(
+                "record spans {} bytes past its chunks",
+                off + len - bytes.len()
+            )));
+        }
+        decode_record(&bytes[off..off + len], entry)
+    }
+
+    /// Full-scan restore of the whole dump from a vault data stream.
+    fn full_restore(
+        &self,
+        source: &mut FrameSource<'_>,
+        stats: &mut VaultRestoreStats,
+    ) -> Result<Vec<u8>, VaultError> {
+        let layout = source.layout;
+        let positions: Vec<usize> = (0..layout.data_frames())
+            .map(|q| layout.position(StreamId::Data, q))
+            .collect();
+        source.ensure(self, &positions, stats)?;
+        let scans: Vec<GrayImage> = positions.iter().map(|&p| source.get(p).clone()).collect();
+        stats.frames_decoded += scans.len();
+        let (data_bytes, _) = ule_emblem::decode_stream_with(
+            &self.system.medium.geometry,
+            &scans,
+            self.system.threads,
+        )?;
+        // Walk the length-prefixed records and decompress each segment.
+        let mut dump = Vec::new();
+        let mut off = 0usize;
+        while off < data_bytes.len() {
+            if off + 4 > data_bytes.len() {
+                return Err(VaultError::ShapeMismatch(format!(
+                    "dangling {} bytes after the last record",
+                    data_bytes.len() - off
+                )));
+            }
+            let len = u32::from_le_bytes(data_bytes[off..off + 4].try_into().unwrap()) as usize;
+            let end = off + 4 + len;
+            if end > data_bytes.len() {
+                return Err(VaultError::ShapeMismatch(format!(
+                    "record at {off} promises {len} bytes, stream holds {}",
+                    data_bytes.len() - off - 4
+                )));
+            }
+            dump.extend(ule_compress::decompress(&data_bytes[off + 4..end])?);
+            off = end;
+        }
+        Ok(dump)
+    }
+
+    /// Rebuild every frame of `lost` (a content reel) from its group's
+    /// surviving reels plus the parity reel, returning pristine re-encoded
+    /// emblem images (identical bytes to the originals by construction).
+    fn reconstruct_reel(
+        &self,
+        layout: &ReelLayout,
+        reels: &ReelScans,
+        lost: usize,
+        stats: &mut VaultRestoreStats,
+    ) -> Result<Vec<GrayImage>, VaultError> {
+        let geom = self.system.medium.geometry;
+        let cap = layout.chunk_cap;
+        if layout.parity_reels() == 0 {
+            return Err(VaultError::ReelLoss {
+                group: 0,
+                lost: vec![lost],
+                recoverable: 0,
+            });
+        }
+        let g = layout.group_of(lost);
+        let members: Vec<usize> = layout.group_members(g).collect();
+        let lost_members: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&r| reels[r].is_none())
+            .collect();
+        let parity_reel = layout.parity_reel_of(g);
+        if lost_members.len() > 1 || reels[parity_reel].is_none() {
+            let mut all_lost = lost_members;
+            if reels[parity_reel].is_none() {
+                all_lost.push(parity_reel);
+            }
+            return Err(VaultError::ReelLoss {
+                group: g,
+                lost: all_lost,
+                recoverable: 1,
+            });
+        }
+
+        // A parity reel whose frame count disagrees with the manifest is
+        // rejected up front: consuming it zero-padded would recover wrong
+        // bytes whose failure only surfaces as a distant container-CRC
+        // mismatch naming no reel.
+        let plen = layout.parity_stream_len(g);
+        let parity_scans = reels[parity_reel].as_ref().unwrap();
+        if parity_scans.len() != plen / cap.max(1) {
+            return Err(VaultError::ShapeMismatch(format!(
+                "parity reel {parity_reel} holds {} frames, manifest implies {}",
+                parity_scans.len(),
+                plen / cap.max(1)
+            )));
+        }
+
+        // Cross-reel recovery is column-independent: byte offset `o` of
+        // the lost stream needs only byte `o` of each sibling stream, so
+        // frame `j` of the lost reel needs exactly frame `j` of each
+        // surviving member plus parity frame `j`. Recovery is therefore
+        // per-offset: an undecodable sibling frame costs only the *same
+        // offset* of the lost reel, which comes back as an intentionally
+        // blank frame — downstream that is one more failed scan for the
+        // stream-level outer code (or the selective path's full-scan
+        // fallback) to absorb, not a bricked shelf.
+        let k = members.len();
+        let lost_pos = members.iter().position(|&r| r == lost).expect("member");
+        let base = lost * layout.reel_capacity;
+        let blank = GrayImage::new(geom.image_width(), geom.image_height(), 255);
+        // (image, sibling+parity frames decoded, recovered?)
+        let results: Vec<(GrayImage, usize, bool)> =
+            ule_par::map_indexed(self.system.threads, layout.reel_frames(lost), |j| {
+                let mut decodes = 0usize;
+                let mut columns: Vec<Vec<u8>> = Vec::with_capacity(k + 1);
+                let mut usable = true;
+                for &r in members.iter().chain(std::iter::once(&parity_reel)) {
+                    if r == lost {
+                        columns.push(vec![0u8; cap]);
+                        continue;
+                    }
+                    let scans = reels[r].as_ref().expect("present checked above");
+                    if j >= scans.len() {
+                        // Short tail reel: its stream is zero-padded past
+                        // its end by construction.
+                        columns.push(vec![0u8; cap]);
+                        continue;
+                    }
+                    decodes += 1;
+                    match decode_emblem(&geom, &scans[j]) {
+                        Ok((_, mut payload, _)) => {
+                            payload.resize(cap, 0);
+                            columns.push(payload);
+                        }
+                        Err(_) => {
+                            usable = false;
+                            break;
+                        }
+                    }
+                }
+                if !usable {
+                    return (blank.clone(), decodes, false);
+                }
+                let rs = RsCode::new(k + 1, k);
+                let mut recovered = vec![0u8; cap];
+                let mut cw = vec![0u8; k + 1];
+                for (o, slot) in recovered.iter_mut().enumerate() {
+                    for (i, c) in columns.iter().enumerate() {
+                        cw[i] = c[o];
+                    }
+                    if rs.decode(&mut cw, &[lost_pos]).is_err() {
+                        return (blank.clone(), decodes, false);
+                    }
+                    *slot = cw[lost_pos];
+                }
+                let info = layout.frame_info(base + j);
+                let payload_len = info.header.payload_len as usize;
+                (
+                    encode_emblem(&geom, &info.header, &recovered[..payload_len]),
+                    decodes,
+                    true,
+                )
+            });
+        let mut frames = Vec::with_capacity(results.len());
+        for (image, decodes, recovered) in results {
+            stats.recovery_frames_decoded += decodes;
+            if recovered {
+                stats.frames_reconstructed += 1;
+            }
+            frames.push(image);
+        }
+        stats.reels_reconstructed += 1;
+        Ok(frames)
+    }
+
+    /// The reel layout this configuration would produce for `dump`,
+    /// without rendering a single frame — segmentation, per-segment
+    /// compression, and catalog serialization only. Useful for sizing a
+    /// shelf (how many reels? how many frames?) before committing to the
+    /// full rasterisation cost of [`Vault::archive`].
+    pub fn plan_layout(&self, dump: &[u8]) -> ReelLayout {
+        let (data_bytes, _, index_bytes) = self.compose(dump);
+        ReelLayout {
+            chunk_cap: self.system.medium.geometry.payload_capacity(),
+            sys_len: MicrOlonys::system_stream_bytes().len(),
+            index_len: index_bytes.len(),
+            data_len: data_bytes.len(),
+            outer_parity: self.system.with_parity,
+            reel_capacity: self.reel_capacity,
+            group_reels: self.group_reels,
+        }
+    }
+}
+
+/// Lazily reconstructing view over a [`ReelScans`] shelf: `get` hands out
+/// either the original scan or (for lost reels) a reconstructed pristine
+/// frame, after `ensure` has rebuilt every lost reel the request touches.
+struct FrameSource<'a> {
+    layout: ReelLayout,
+    reels: &'a ReelScans,
+    rebuilt: HashMap<usize, Vec<GrayImage>>,
+}
+
+impl<'a> FrameSource<'a> {
+    fn new(layout: ReelLayout, reels: &'a ReelScans) -> Result<Self, VaultError> {
+        if reels.len() != layout.total_reels() {
+            return Err(VaultError::ShapeMismatch(format!(
+                "manifest describes {} reels, shelf holds {}",
+                layout.total_reels(),
+                reels.len()
+            )));
+        }
+        for r in 0..layout.content_reels() {
+            if let Some(scans) = &reels[r] {
+                if scans.len() != layout.reel_frames(r) {
+                    return Err(VaultError::ShapeMismatch(format!(
+                        "reel {r} holds {} frames, manifest says {}",
+                        scans.len(),
+                        layout.reel_frames(r)
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            layout,
+            reels,
+            rebuilt: HashMap::new(),
+        })
+    }
+
+    /// Reconstruct every lost reel covering `positions`.
+    fn ensure(
+        &mut self,
+        vault: &Vault,
+        positions: &[usize],
+        stats: &mut VaultRestoreStats,
+    ) -> Result<(), VaultError> {
+        for &pos in positions {
+            let (reel, _) = self.layout.reel_of(pos);
+            if self.reels[reel].is_none() && !self.rebuilt.contains_key(&reel) {
+                let frames = vault.reconstruct_reel(&self.layout, self.reels, reel, stats)?;
+                self.rebuilt.insert(reel, frames);
+            }
+        }
+        Ok(())
+    }
+
+    /// The frame at global position `pos` (original scan or rebuilt).
+    /// `ensure` must have covered `pos` first.
+    fn get(&self, pos: usize) -> &GrayImage {
+        let (reel, offset) = self.layout.reel_of(pos);
+        match &self.reels[reel] {
+            Some(scans) => &scans[offset],
+            None => &self.rebuilt[&reel][offset],
+        }
+    }
+}
+
+/// Unwrap one length-prefixed record into its original segment bytes,
+/// verifying the catalog's CRC of the originals.
+fn decode_record(record: &[u8], entry: &IndexEntry) -> Result<Vec<u8>, VaultError> {
+    if record.len() < 4 {
+        return Err(VaultError::ShapeMismatch(
+            "record shorter than its prefix".into(),
+        ));
+    }
+    let len = u32::from_le_bytes(record[..4].try_into().unwrap()) as usize;
+    if 4 + len != record.len() {
+        return Err(VaultError::ShapeMismatch(format!(
+            "record prefix says {len} bytes, catalog span holds {}",
+            record.len() - 4
+        )));
+    }
+    let bytes = ule_compress::decompress(&record[4..])?;
+    if crc32(&bytes) != entry.crc32 {
+        return Err(VaultError::ShapeMismatch(format!(
+            "segment {} fails its catalog crc",
+            entry.name
+        )));
+    }
+    if bytes.len() != entry.dump_len as usize {
+        return Err(VaultError::ShapeMismatch(format!(
+            "segment {} decodes to {} bytes, catalog says {}",
+            entry.name,
+            bytes.len(),
+            entry.dump_len
+        )));
+    }
+    Ok(bytes)
+}
+
+/// Locate `table`'s segment in a restored dump (the index-less fallback).
+fn find_segment(dump: &[u8], table: &str) -> Option<Segment> {
+    segment_dump(dump).into_iter().find(|s| s.name == table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ule_par::ThreadConfig;
+
+    fn tiny_vault() -> Vault {
+        Vault::sharded(MicrOlonys::test_tiny(), 12, 2)
+    }
+
+    fn sample_dump() -> Vec<u8> {
+        ule_tpch::dump_for_scale(0.0001, 77)
+    }
+
+    #[test]
+    fn archive_shape_matches_layout() {
+        let vault = tiny_vault();
+        let dump = sample_dump();
+        let arc = vault.archive(&dump);
+        assert_eq!(arc.reels.len(), arc.layout.total_reels());
+        assert_eq!(arc.stats.content_reels, arc.layout.content_reels());
+        for r in 0..arc.layout.content_reels() {
+            assert_eq!(arc.reels[r].frames.len(), arc.layout.reel_frames(r));
+            assert_eq!(arc.reels[r].role, ReelRole::Content);
+        }
+        for g in 0..arc.layout.parity_reels() {
+            let pr = &arc.reels[arc.layout.parity_reel_of(g)];
+            assert_eq!(pr.role, ReelRole::Parity { group: g });
+        }
+        assert!(arc.bootstrap.vault.is_some());
+        assert!(arc.stats.tables >= 8, "all TPC-H tables catalogued");
+    }
+
+    #[test]
+    fn pristine_full_restore_is_bit_exact() {
+        let vault = tiny_vault();
+        let dump = sample_dump();
+        let arc = vault.archive(&dump);
+        let scans = vault.scan_reels(&arc, 5);
+        let (restored, stats) = vault.restore_all(&arc.bootstrap, &scans).unwrap();
+        assert_eq!(restored, dump);
+        assert_eq!(stats.path, RestorePath::Full);
+        assert_eq!(stats.reels_reconstructed, 0);
+    }
+
+    #[test]
+    fn selective_restore_matches_full_restore_slice() {
+        let vault = tiny_vault();
+        let dump = sample_dump();
+        let arc = vault.archive(&dump);
+        let scans = vault.scan_reels(&arc, 6);
+        let (full, _) = vault.restore_all(&arc.bootstrap, &scans).unwrap();
+        for table in ["nation", "orders"] {
+            let entry = arc.index.find(table).unwrap();
+            let (bytes, stats) = vault.restore_table(&arc.bootstrap, &scans, table).unwrap();
+            assert_eq!(stats.path, RestorePath::Selective, "{table}");
+            assert!(!stats.index_fallback);
+            let start = entry.dump_start as usize;
+            assert_eq!(
+                bytes,
+                &full[start..start + entry.dump_len as usize],
+                "{table}"
+            );
+            assert!(
+                stats.frames_decoded < stats.data_frames_total,
+                "{table}: selective must not scan everything ({} vs {})",
+                stats.frames_decoded,
+                stats.data_frames_total
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_table_is_a_clean_error() {
+        let vault = tiny_vault();
+        let arc = vault.archive(&sample_dump());
+        let scans = vault.scan_reels(&arc, 7);
+        match vault.restore_table(&arc.bootstrap, &scans, "no_such_table") {
+            Err(VaultError::UnknownTable(t)) => assert_eq!(t, "no_such_table"),
+            other => panic!("expected UnknownTable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_reel_vault_works_without_parity() {
+        let vault = Vault::single_reel(MicrOlonys::test_tiny().with_threads(ThreadConfig::Serial));
+        let dump = sample_dump();
+        let arc = vault.archive(&dump);
+        assert_eq!(arc.reels.len(), 1);
+        let scans = vault.scan_reels(&arc, 8);
+        let (restored, _) = vault.restore_all(&arc.bootstrap, &scans).unwrap();
+        assert_eq!(restored, dump);
+        let (names, _) = vault.list_tables(&arc.bootstrap, &scans).unwrap();
+        assert!(names.contains(&"lineitem".to_string()));
+    }
+
+    #[test]
+    fn classic_archive_restores_through_the_vault() {
+        // Pre-S16 archive: plain MicrOlonys output, no vault line.
+        let system = MicrOlonys::test_tiny();
+        let dump = b"COPY t (a) FROM stdin;\n1\n2\n3\n\\.\n".repeat(30);
+        let out = system.archive(&dump);
+        assert_eq!(out.bootstrap.vault, None);
+        let scans: ReelScans = vec![Some(system.medium.scan_all(&out.data_frames, 9))];
+        let vault = Vault::single_reel(system);
+        let (restored, stats) = vault.restore_all(&out.bootstrap, &scans).unwrap();
+        assert_eq!(restored, dump);
+        assert_eq!(stats.path, RestorePath::Classic);
+        let (table, _) = vault.restore_table(&out.bootstrap, &scans, "t").unwrap();
+        assert_eq!(&table[..], &dump[..table.len()]);
+    }
+}

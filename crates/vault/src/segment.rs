@@ -1,0 +1,206 @@
+//! Dump segmentation: split a pg_dump-style SQL archive into contiguous,
+//! named byte segments — one per `COPY` block, with filler segments for
+//! the prose/DDL between them.
+//!
+//! The segment list is the unit of the vault catalog: each segment is
+//! compressed independently, so a reader can decompress one table without
+//! touching the rest of the medium. Segmentation is *exactly covering*:
+//! the segments tile `[0, dump.len())` with no gaps and no overlaps, so
+//! concatenating them (or their independently restored bytes) reproduces
+//! the dump bit for bit.
+//!
+//! The scanner is line-aware, not substring-based: a `COPY` block opens
+//! only at a line starting with `COPY ` and closes only at the `\.`
+//! terminator line, so row *data* containing the word COPY cannot open a
+//! phantom segment. A dump with no `COPY` blocks at all (any non-SQL
+//! payload) becomes a single segment named `_all` — the vault works, it
+//! just cannot offer table-level selectivity.
+
+/// One contiguous byte range of the dump.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Segment {
+    /// Table name for `COPY` blocks; `_preamble`, `_text<n>`, or `_all`
+    /// for filler segments (leading underscore = not a table).
+    pub name: String,
+    /// Byte offset in the dump.
+    pub start: usize,
+    /// Byte length.
+    pub len: usize,
+}
+
+impl Segment {
+    /// Whether this segment is a `COPY` block (a queryable table) rather
+    /// than filler prose/DDL.
+    pub fn is_table(&self) -> bool {
+        !self.name.starts_with('_')
+    }
+}
+
+/// Table name out of a `COPY name (cols) FROM stdin;` line.
+fn copy_table_name(line: &[u8]) -> Option<String> {
+    let rest = line.strip_prefix(b"COPY ")?;
+    let end = rest
+        .iter()
+        .position(|&b| b == b' ' || b == b'(' || b == b'\n')?;
+    if end == 0 {
+        return None;
+    }
+    Some(String::from_utf8_lossy(&rest[..end]).into_owned())
+}
+
+/// Split `dump` into an exactly-covering segment list (see module docs).
+pub fn segment_dump(dump: &[u8]) -> Vec<Segment> {
+    let mut segments = Vec::new();
+    let mut filler_start = 0usize; // start of the pending filler segment
+    let mut fillers = 0usize;
+    let mut in_copy: Option<(String, usize)> = None; // (table, block start)
+    let mut pos = 0usize;
+    let push_filler = |segments: &mut Vec<Segment>, fillers: &mut usize, start, end| {
+        if end > start {
+            let name = if *fillers == 0 {
+                "_preamble".to_string()
+            } else {
+                format!("_text{fillers}")
+            };
+            *fillers += 1;
+            segments.push(Segment {
+                name,
+                start,
+                len: end - start,
+            });
+        }
+    };
+    while pos < dump.len() {
+        let line_end = dump[pos..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map_or(dump.len(), |i| pos + i + 1);
+        let line = &dump[pos..line_end];
+        match &in_copy {
+            None => {
+                if let Some(table) = copy_table_name(line) {
+                    push_filler(&mut segments, &mut fillers, filler_start, pos);
+                    filler_start = pos;
+                    in_copy = Some((table, pos));
+                }
+            }
+            Some((table, block_start)) => {
+                if line == b"\\.\n" || line == b"\\." {
+                    segments.push(Segment {
+                        name: table.clone(),
+                        start: *block_start,
+                        len: line_end - block_start,
+                    });
+                    filler_start = line_end;
+                    in_copy = None;
+                }
+            }
+        }
+        pos = line_end;
+    }
+    // An unterminated COPY block (truncated dump) falls through as filler
+    // so the cover stays exact; `filler_start` already sits at its open.
+    push_filler(&mut segments, &mut fillers, filler_start, dump.len());
+    if segments.is_empty() || (segments.len() == 1 && !segments[0].is_table()) {
+        return vec![Segment {
+            name: "_all".to_string(),
+            start: 0,
+            len: dump.len(),
+        }];
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dump() -> Vec<u8> {
+        b"-- preamble\nSET x = 1;\n\nCREATE TABLE t (a integer);\n\n\
+COPY t (a) FROM stdin;\n1\n2\n\\.\n\n\
+COPY u (b, c) FROM stdin;\nhello\tworld\nCOPY not a header\n\\.\n\n\
+-- done\n"
+            .to_vec()
+    }
+
+    fn assert_exact_cover(dump: &[u8], segs: &[Segment]) {
+        let mut pos = 0;
+        for s in segs {
+            assert_eq!(s.start, pos, "gap before {}", s.name);
+            pos += s.len;
+        }
+        assert_eq!(pos, dump.len(), "cover falls short");
+        let glued: Vec<u8> = segs
+            .iter()
+            .flat_map(|s| dump[s.start..s.start + s.len].to_vec())
+            .collect();
+        assert_eq!(glued, dump);
+    }
+
+    #[test]
+    fn copy_blocks_become_named_segments() {
+        let dump = sample_dump();
+        let segs = segment_dump(&dump);
+        assert_exact_cover(&dump, &segs);
+        let tables: Vec<&str> = segs
+            .iter()
+            .filter(|s| s.is_table())
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(tables, vec!["t", "u"]);
+        let t = segs.iter().find(|s| s.name == "t").unwrap();
+        assert!(dump[t.start..].starts_with(b"COPY t (a) FROM stdin;"));
+        assert!(dump[..t.start + t.len].ends_with(b"\\.\n"));
+    }
+
+    #[test]
+    fn copy_inside_row_data_does_not_open_a_segment() {
+        let dump = sample_dump();
+        let segs = segment_dump(&dump);
+        // "COPY not a header" is a data row of u, not a third table.
+        assert_eq!(segs.iter().filter(|s| s.is_table()).count(), 2);
+    }
+
+    #[test]
+    fn dump_without_copy_is_one_segment() {
+        let dump = b"just some text\nwith lines\n".to_vec();
+        let segs = segment_dump(&dump);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].name, "_all");
+        assert_exact_cover(&dump, &segs);
+    }
+
+    #[test]
+    fn empty_dump_is_one_empty_segment() {
+        let segs = segment_dump(b"");
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].len, 0);
+    }
+
+    #[test]
+    fn truncated_copy_block_stays_covered() {
+        let dump = b"COPY t (a) FROM stdin;\n1\n2\n".to_vec(); // no terminator
+        let segs = segment_dump(&dump);
+        assert_exact_cover(&dump, &segs);
+        assert!(segs.iter().all(|s| !s.is_table()));
+    }
+
+    #[test]
+    fn real_tpch_dump_covers_all_eight_tables() {
+        let dump = ule_tpch::dump_for_scale(0.0002, 7);
+        let segs = segment_dump(&dump);
+        assert_exact_cover(&dump, &segs);
+        let tables: Vec<&str> = segs
+            .iter()
+            .filter(|s| s.is_table())
+            .map(|s| s.name.as_str())
+            .collect();
+        assert_eq!(
+            tables,
+            vec![
+                "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
+                "lineitem"
+            ]
+        );
+    }
+}

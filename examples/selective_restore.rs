@@ -1,0 +1,66 @@
+//! Selective restore from a multi-reel vault (S16, `DESIGN.md` §11):
+//! archive a TPC-H dump as a catalogued, parity-sharded shelf of reels,
+//! read one table back without scanning the rest — then lose a whole
+//! reel and rebuild it from cross-reel parity.
+//!
+//! ```sh
+//! cargo run --release --example selective_restore
+//! ```
+
+use ule::olonys::MicrOlonys;
+use ule::vault::Vault;
+
+fn main() {
+    // 1. A small TPC-H dump (the paper's §4 workload, miniaturised).
+    let dump = ule::tpch::dump_for_scale(0.0001, 7);
+    println!("dump: {} bytes", dump.len());
+
+    // 2. A sharded vault on the tiny test medium: 12 frames per reel,
+    //    one RS parity reel per 2 content reels. On real carriers use
+    //    `medium.reel_capacity(66.0)` (a 66 m microfilm reel) instead.
+    let vault = Vault::sharded(MicrOlonys::test_tiny(), 12, 2);
+    let archive = vault.archive(&dump);
+    println!(
+        "shelf: {} segments -> {} data frames on {} content reels (+{} parity reels)",
+        archive.stats.segments,
+        archive.stats.data_frames,
+        archive.stats.content_reels,
+        archive.stats.parity_reels,
+    );
+    println!(
+        "catalog: {:?} (index stream: {} frames)",
+        archive.index.tables(),
+        archive.stats.index_frames,
+    );
+
+    // 3. Scan every reel through the medium's degradation channel.
+    let scans = vault.scan_reels(&archive, 2026);
+
+    // 4. Selective restore: only the frames the catalog maps `orders` to.
+    let (orders, stats) = vault
+        .restore_table(&archive.bootstrap, &scans, "orders")
+        .expect("selective restore");
+    println!(
+        "selective restore of `orders`: {} bytes from {} of {} data frames ({:?})",
+        orders.len(),
+        stats.frames_decoded,
+        stats.data_frames_total,
+        stats.path,
+    );
+    let entry = archive.index.find("orders").unwrap();
+    let expected = &dump[entry.dump_start as usize..(entry.dump_start + entry.dump_len) as usize];
+    assert_eq!(orders, expected, "identical to the full-restore slice");
+
+    // 5. Catastrophe drill: reel 0 is gone. The group's parity reel
+    //    rebuilds it bit for bit, and the full dump comes back identical.
+    let mut damaged = scans;
+    damaged[0] = None;
+    let (restored, stats) = vault
+        .restore_all(&archive.bootstrap, &damaged)
+        .expect("lost-reel restore");
+    assert_eq!(restored, dump);
+    println!(
+        "reel 0 lost: rebuilt {} frames from cross-reel parity, full dump bit-exact",
+        stats.frames_reconstructed,
+    );
+}

@@ -13,4 +13,5 @@ pub use ule_media as media;
 pub use ule_par as par;
 pub use ule_raster as raster;
 pub use ule_tpch as tpch;
+pub use ule_vault as vault;
 pub use ule_verisc as verisc;

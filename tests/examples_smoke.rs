@@ -7,12 +7,13 @@
 use std::path::Path;
 use std::process::Command;
 
-const DOCUMENTED_EXAMPLES: [&str; 5] = [
+const DOCUMENTED_EXAMPLES: [&str; 6] = [
     "figure1_emblem",
     "microfilm_restore",
     "nested_emulation",
     "paper_archive",
     "quickstart",
+    "selective_restore",
 ];
 
 #[test]

@@ -17,6 +17,15 @@
 //! regenerate with `ULE_REGEN_GOLDEN=1 cargo test --test golden_format`
 //! and justify the diff in review. Any other golden mismatch is a format
 //! regression.
+//!
+//! **Runtime knob:** encoding and fault-scanning the three *production*
+//! media (A4 paper is ~33 MP per emblem) costs tens of seconds, so by
+//! default this suite pins only the cheap observables (geometry, plan
+//! counts, the full tiny-medium pipeline) and skips the production-media
+//! stream/fault CRCs; the comparison is key-based, so skipped keys are
+//! simply not checked. Set `ULE_GOLDEN_FULL=1` to compute and compare
+//! every golden line (CI's `e10-smoke` leg does; regeneration always
+//! runs full so the checked-in file never loses lines).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -63,11 +72,18 @@ fn slug(name: &str) -> String {
         .collect()
 }
 
-/// Compute every golden observable as `key = value` lines. The thread
-/// config is taken from `ULE_TEST_THREADS` (CI runs this serial and at 4
-/// threads), which must not change a single line — byte-identity of the
-/// parallel engine is part of what these vectors freeze.
-fn compute_observables() -> String {
+/// Whether the expensive production-media sweep is on (see module docs).
+fn full_sweep() -> bool {
+    std::env::var("ULE_GOLDEN_FULL").is_ok_and(|v| v != "0")
+        || std::env::var("ULE_REGEN_GOLDEN").is_ok()
+}
+
+/// Compute golden observables as `key = value` lines — every line when
+/// `full` is set, only the cheap ones otherwise. The thread config is
+/// taken from `ULE_TEST_THREADS` (CI runs this serial and at 4 threads),
+/// which must not change a single line — byte-identity of the parallel
+/// engine is part of what these vectors freeze.
+fn compute_observables(full: bool) -> String {
     let threads = ThreadConfig::from_env_or(ThreadConfig::Serial);
     let dump = micro_dump();
     let archive = ule::compress::compress(Scheme::Lzss, &dump);
@@ -101,6 +117,12 @@ fn compute_observables() -> String {
             plan.data_emblems, plan.parity_emblems
         )
         .unwrap();
+        // Everything below renders full-size frames; on the production
+        // media that is the whole cost of this suite (skipped unless the
+        // full sweep is on; the tiny medium is always pinned).
+        if !full && medium.name != "test medium" {
+            continue;
+        }
         let images = encode_stream_with(&geom, EmblemKind::Data, &archive, true, threads);
         writeln!(out, "{key}.stream_crc32 = {:08x}", stream_crc32(&images)).unwrap();
 
@@ -187,19 +209,47 @@ fn ulea_container_bytes_are_frozen() {
 
 #[test]
 fn emblem_streams_and_frame_geometry_are_frozen() {
-    let actual = compute_observables();
+    let full = full_sweep();
+    let actual = compute_observables(full);
     let golden_path = fixture_path("golden_format.txt");
     if std::env::var("ULE_REGEN_GOLDEN").is_ok() {
+        // Regeneration always computes the full sweep (full_sweep() is
+        // true whenever ULE_REGEN_GOLDEN is set), so the checked-in file
+        // keeps every line even when regenerated from a default run.
         std::fs::write(&golden_path, &actual).expect("write golden observables");
         return;
     }
     let golden = std::fs::read_to_string(&golden_path).expect("checked-in golden observables");
-    // Compare line by line so a failure names the drifted observable
-    // instead of dumping two blobs.
-    let mut golden_lines = golden.lines();
-    for a in actual.lines() {
-        let g = golden_lines.next().unwrap_or("<missing>");
-        assert_eq!(a, g, "golden observable drifted (format regression)");
+    // Key-based comparison: every computed observable must match its
+    // golden line (a failure names the drifted key), and every golden
+    // key must be computed when the full sweep is on. In the default
+    // (cheap) mode the production-media CRC keys are simply not
+    // computed, hence not checked — see the module docs.
+    let golden_map: std::collections::HashMap<&str, &str> = golden
+        .lines()
+        .filter_map(|l| l.split_once(" = "))
+        .map(|(k, v)| (k.trim(), v.trim()))
+        .collect();
+    let mut checked = 0usize;
+    for line in actual.lines() {
+        let (k, v) = line
+            .split_once(" = ")
+            .expect("observable lines are key = value");
+        let g = golden_map
+            .get(k.trim())
+            .unwrap_or_else(|| panic!("observable {k:?} missing from golden file"));
+        assert_eq!(
+            v.trim(),
+            *g,
+            "golden observable {k:?} drifted (format regression)"
+        );
+        checked += 1;
     }
-    assert_eq!(golden_lines.next(), None, "golden file has extra lines");
+    if full {
+        assert_eq!(
+            checked,
+            golden_map.len(),
+            "full sweep must cover every golden line"
+        );
+    }
 }

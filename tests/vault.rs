@@ -1,0 +1,199 @@
+//! Vault degradation matrix (S16, `DESIGN.md` §11): the content index,
+//! selective restore, and cross-reel parity exercised under damage.
+//!
+//! The contract mirrors `tests/frame_loss.rs` one layer up:
+//!
+//! * index stream damaged beyond its RS budget → selective restore falls
+//!   back to the full scan and still returns byte-identical tables;
+//! * one content reel missing per parity group → cross-reel
+//!   reconstruction succeeds, full and selective restores bit-exact;
+//! * two reels missing in one group → the structured
+//!   [`VaultError::ReelLoss`] naming the group and reels — never a
+//!   panic, never silent garbage.
+//!
+//! The worker pool is taken from `ULE_TEST_THREADS`, so the CI matrix
+//! (`e10-smoke`) runs this file serial and 4-threaded.
+
+use ule::fault::{FaultPlan, FrameBlankFault};
+use ule::olonys::MicrOlonys;
+use ule::par::ThreadConfig;
+use ule::vault::{ReelScans, RestorePath, Vault, VaultError};
+
+fn threads() -> ThreadConfig {
+    ThreadConfig::from_env_or(ThreadConfig::Serial)
+}
+
+fn vault() -> Vault {
+    Vault::sharded(MicrOlonys::test_tiny().with_threads(threads()), 12, 2)
+}
+
+/// A dump big enough for several reels on the tiny medium.
+fn dump() -> Vec<u8> {
+    ule::tpch::dump_for_scale(0.0001, 77)
+}
+
+#[test]
+fn damaged_index_falls_back_to_full_restore_byte_identical() {
+    let v = vault();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let mut scans = v.scan_reels(&arc, 21);
+
+    // Blank every index frame: the index stream (and its outer parity)
+    // is gone beyond any RS budget. The data frames are untouched.
+    let layout = arc.layout;
+    let idx_start = layout.sys_frames();
+    let blank = FaultPlan::single(FrameBlankFault);
+    for q in 0..layout.index_frames() {
+        let (reel, off) = layout.reel_of(idx_start + q);
+        let frames = scans[reel].as_mut().unwrap();
+        frames[off] = blank.apply(&frames[off..off + 1], 1.0, 99)[0].clone();
+    }
+
+    let entry = arc.index.find("orders").unwrap();
+    let (bytes, stats) = v.restore_table(&arc.bootstrap, &scans, "orders").unwrap();
+    assert!(stats.index_fallback, "index damage must be detected");
+    assert_eq!(stats.path, RestorePath::Full);
+    let start = entry.dump_start as usize;
+    assert_eq!(bytes, &dump[start..start + entry.dump_len as usize]);
+}
+
+#[test]
+fn one_reel_lost_per_group_reconstructs_bit_exact() {
+    let v = vault();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let pristine = v.scan_reels(&arc, 22);
+    let layout = arc.layout;
+    assert!(
+        layout.content_reels() >= 3,
+        "want a multi-reel shelf, got {}",
+        layout.content_reels()
+    );
+
+    // Lose one content reel out of every parity group.
+    for lost in 0..layout.content_reels() {
+        let mut scans: ReelScans = pristine.clone();
+        scans[lost] = None;
+        let (restored, stats) = v
+            .restore_all(&arc.bootstrap, &scans)
+            .unwrap_or_else(|e| panic!("reel {lost} lost: {e}"));
+        assert_eq!(restored, dump, "reel {lost} lost");
+        assert_eq!(stats.reels_reconstructed, 1);
+        assert!(stats.frames_reconstructed > 0);
+    }
+
+    // Selective restore across a lost reel: still byte-identical and
+    // still cheaper than reconstructing everything.
+    let mut scans: ReelScans = pristine.clone();
+    scans[layout.content_reels() - 1] = None;
+    let entry = arc.index.find("lineitem").unwrap();
+    let (bytes, stats) = v.restore_table(&arc.bootstrap, &scans, "lineitem").unwrap();
+    assert_eq!(stats.path, RestorePath::Selective);
+    let start = entry.dump_start as usize;
+    assert_eq!(bytes, &dump[start..start + entry.dump_len as usize]);
+}
+
+#[test]
+fn lost_reel_plus_blanked_sibling_frame_degrades_to_the_outer_code() {
+    // The double fault: a whole reel gone AND one unreadable frame on a
+    // surviving sibling of the same parity group. Cross-reel recovery is
+    // per-offset, so the damaged sibling costs exactly one offset of the
+    // rebuilt reel (returned blank) — and the stream-level outer code
+    // absorbs both failed frames. The shelf must restore bit-exact, not
+    // brick.
+    let v = vault();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let mut scans = v.scan_reels(&arc, 27);
+    let layout = arc.layout;
+    assert!(layout.content_reels() >= 4, "want two full parity groups");
+
+    let lost = layout.content_reels() - 1;
+    let sibling = lost - 1; // same group (group_reels == 2)
+    assert_eq!(layout.group_of(lost), layout.group_of(sibling));
+    let blank = FaultPlan::single(FrameBlankFault);
+    let frames = scans[sibling].as_mut().unwrap();
+    frames[0] = blank.apply(&frames[0..1], 1.0, 7)[0].clone();
+    scans[lost] = None;
+
+    let (restored, stats) = v.restore_all(&arc.bootstrap, &scans).unwrap();
+    assert_eq!(restored, dump);
+    assert_eq!(stats.reels_reconstructed, 1);
+    // Every offset but the damaged one was rebuilt from parity.
+    assert_eq!(stats.frames_reconstructed, layout.reel_frames(lost) - 1);
+    assert!(stats.recovery_frames_decoded > 0);
+}
+
+#[test]
+fn lost_parity_reel_alone_is_harmless() {
+    let v = vault();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let mut scans = v.scan_reels(&arc, 23);
+    for g in 0..arc.layout.parity_reels() {
+        scans[arc.layout.parity_reel_of(g)] = None;
+    }
+    let (restored, stats) = v.restore_all(&arc.bootstrap, &scans).unwrap();
+    assert_eq!(restored, dump);
+    assert_eq!(stats.reels_reconstructed, 0);
+}
+
+#[test]
+fn two_reels_lost_in_one_group_is_a_clean_structured_error() {
+    let v = vault();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let layout = arc.layout;
+    assert!(layout.group_reels == 2 && layout.content_reels() >= 2);
+
+    // Both members of group 0 gone: parity covers only one.
+    let mut scans = v.scan_reels(&arc, 24);
+    scans[0] = None;
+    scans[1] = None;
+    match v.restore_all(&arc.bootstrap, &scans) {
+        Err(VaultError::ReelLoss {
+            group,
+            lost,
+            recoverable,
+        }) => {
+            assert_eq!(group, 0);
+            assert_eq!(lost, vec![0, 1]);
+            assert_eq!(recoverable, 1);
+        }
+        other => panic!("expected ReelLoss, got {other:?}"),
+    }
+
+    // A content reel plus its own parity reel is just as fatal — and just
+    // as clean.
+    let mut scans = v.scan_reels(&arc, 25);
+    scans[0] = None;
+    let parity_reel = layout.parity_reel_of(0);
+    scans[parity_reel] = None;
+    match v.restore_table(&arc.bootstrap, &scans, "orders") {
+        Err(VaultError::ReelLoss { group, lost, .. }) => {
+            assert_eq!(group, 0);
+            assert!(lost.contains(&parity_reel));
+        }
+        other => panic!("expected ReelLoss, got {other:?}"),
+    }
+}
+
+#[test]
+fn selective_restore_scans_a_fraction_of_the_shelf() {
+    // The E10 economics at test scale: one mid-size table must cost a
+    // small fraction of the full-scan frame count (the report gates the
+    // production number; this keeps the property in `cargo test`).
+    let v = vault();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let scans = v.scan_reels(&arc, 26);
+    let (_, full) = v.restore_all(&arc.bootstrap, &scans).unwrap();
+    let (_, sel) = v.restore_table(&arc.bootstrap, &scans, "orders").unwrap();
+    assert!(
+        sel.frames_decoded * 2 < full.frames_decoded,
+        "selective {} vs full {} frames",
+        sel.frames_decoded,
+        full.frames_decoded
+    );
+}
