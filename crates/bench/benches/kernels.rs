@@ -1,0 +1,153 @@
+//! E11 — vectorized GF(256)/CRC kernel layer: scalar-vs-kernel A/B for
+//! every rewritten hot-path primitive (`DESIGN.md` §12). The ratio gates
+//! (RS encode ≥4×, CRC-32 ≥8×, clean decode faster than scalar) live in
+//! the report's `[E11]` section; this target exposes the same pairs to
+//! `cargo bench` for per-primitive numbers, and runs one-shot under
+//! `cargo test` as the CI smoke (with a correctness cross-check so the A
+//! and B sides can never drift apart silently).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use ule_bench::scalar;
+use ule_gf256::{crc16_ccitt, crc32, Gf256, GfKernels, RsCode};
+
+/// 256 KiB is enough for the table/SWAR loops to hit steady state while
+/// keeping the `cargo test` smoke run instant.
+const CRC_BUF: usize = 256 * 1024;
+
+fn crc_kernels(c: &mut Criterion) {
+    let data = ule_bench::random_payload(CRC_BUF, 0xE11);
+    assert_eq!(
+        crc32(&data),
+        scalar::crc32_bitwise(&data),
+        "kernel CRC-32 must match the bitwise baseline"
+    );
+    assert_eq!(
+        crc16_ccitt(&data[..4096]),
+        scalar::crc16_ccitt_bitwise(&data[..4096]),
+        "kernel CRC-16 must match the bitwise baseline"
+    );
+
+    let mut g = c.benchmark_group("e11_crc32");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_with_input(BenchmarkId::from_parameter("bitwise"), &data, |b, d| {
+        b.iter(|| black_box(scalar::crc32_bitwise(black_box(d))))
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("sliced"), &data, |b, d| {
+        b.iter(|| black_box(crc32(black_box(d))))
+    });
+    g.finish();
+
+    let small = &data[..64 * 1024];
+    let mut g = c.benchmark_group("e11_crc16");
+    g.throughput(Throughput::Bytes(small.len() as u64));
+    g.bench_with_input(BenchmarkId::from_parameter("bitwise"), &small, |b, d| {
+        b.iter(|| black_box(scalar::crc16_ccitt_bitwise(black_box(d))))
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("table"), &small, |b, d| {
+        b.iter(|| black_box(crc16_ccitt(black_box(d))))
+    });
+    g.finish();
+}
+
+fn gf_slice_kernels(c: &mut Criterion) {
+    let gf = Gf256::new();
+    let kernels = GfKernels::new(&gf);
+    let src = ule_bench::random_payload(64 * 1024, 7);
+    let mut dst = ule_bench::random_payload(64 * 1024, 8);
+
+    let mut g = c.benchmark_group("e11_mul_add_slice");
+    g.throughput(Throughput::Bytes(src.len() as u64));
+    g.bench_with_input(BenchmarkId::from_parameter("scalar"), &src, |b, s| {
+        b.iter(|| {
+            for (x, d) in s.iter().zip(dst.iter_mut()) {
+                *d ^= gf.mul(0xA7, *x);
+            }
+            black_box(dst[0])
+        })
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("swar"), &src, |b, s| {
+        b.iter(|| {
+            kernels.mul_add_slice(0xA7, s, &mut dst);
+            black_box(dst[0])
+        })
+    });
+    g.finish();
+}
+
+fn rs_kernels(c: &mut Criterion) {
+    let rs = RsCode::new(255, 223);
+    let srs = scalar::ScalarRs::new(255, 223);
+    let msgs: Vec<Vec<u8>> = (0..32u64)
+        .map(|s| ule_bench::random_payload(223, s + 1))
+        .collect();
+    let bytes: u64 = msgs.iter().map(|m| m.len() as u64).sum();
+    for m in &msgs {
+        assert_eq!(rs.encode(m), srs.encode(m), "encoders must agree");
+    }
+
+    let mut g = c.benchmark_group("e11_rs_encode");
+    g.throughput(Throughput::Bytes(bytes));
+    g.bench_with_input(BenchmarkId::from_parameter("scalar"), &msgs, |b, ms| {
+        b.iter(|| {
+            for m in ms {
+                black_box(srs.encode(black_box(m)));
+            }
+        })
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("kernel"), &msgs, |b, ms| {
+        b.iter(|| {
+            for m in ms {
+                black_box(rs.encode(black_box(m)));
+            }
+        })
+    });
+    g.finish();
+
+    // The clean-frame fast path: decoding an undamaged codeword is exactly
+    // one syndromes pass, so this pair is the per-block cost of scanning
+    // clean media.
+    let cws: Vec<Vec<u8>> = msgs.iter().map(|m| rs.encode(m)).collect();
+    let cw_bytes: u64 = cws.iter().map(|c| c.len() as u64).sum();
+    let mut g = c.benchmark_group("e11_clean_decode");
+    g.throughput(Throughput::Bytes(cw_bytes));
+    g.bench_with_input(BenchmarkId::from_parameter("scalar"), &cws, |b, cs| {
+        b.iter(|| {
+            for cw in cs {
+                assert!(srs.is_clean(black_box(cw)));
+            }
+        })
+    });
+    g.bench_with_input(BenchmarkId::from_parameter("kernel"), &cws, |b, cs| {
+        b.iter(|| {
+            for cw in cs {
+                let mut c = cw.clone();
+                assert_eq!(rs.decode(&mut c, &[]).unwrap(), 0);
+            }
+        })
+    });
+    g.finish();
+
+    // Column-batched parity (the vault's cross-reel shape): 17 streams in,
+    // 3 parity streams out.
+    let streams: Vec<Vec<u8>> = (0..17u64)
+        .map(|s| ule_bench::random_payload(16 * 1024, s + 40))
+        .collect();
+    let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+    let rs_outer = RsCode::new(20, 17);
+    let mut g = c.benchmark_group("e11_parity_of");
+    g.throughput(Throughput::Bytes((17 * 16 * 1024) as u64));
+    g.bench_with_input(
+        BenchmarkId::from_parameter("column-batched"),
+        &refs,
+        |b, r| b.iter(|| black_box(rs_outer.parity_of(black_box(r)))),
+    );
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = crc_kernels, gf_slice_kernels, rs_kernels
+}
+criterion_main!(benches);

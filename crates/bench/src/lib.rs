@@ -15,6 +15,8 @@ use ule_fault::{
 use ule_media::Medium;
 use ule_raster::GrayImage;
 
+pub mod scalar;
+
 /// Deterministic pseudo-random payload of `n` bytes (incompressible-ish).
 pub fn random_payload(n: usize, seed: u64) -> Vec<u8> {
     let mut state = seed | 1;

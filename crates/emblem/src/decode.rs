@@ -220,6 +220,11 @@ pub fn decode_emblem(
 /// total number of corrected byte positions. This is the byte-level half
 /// of [`decode_emblem`], exposed so damage experiments can drive the §3.1
 /// intra-emblem boundary without synthesising pixel scans.
+///
+/// Undamaged blocks take [`ule_gf256::RsCode::decode`]'s clean-frame fast
+/// path — one slice-kernel syndromes pass each, no Berlekamp–Massey — so
+/// scanning intact media is syndromes-bound (`DESIGN.md` §12, report
+/// `[E11]`).
 pub fn inner_decode_with(
     geom: &EmblemGeometry,
     coded: &[u8],

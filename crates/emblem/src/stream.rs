@@ -100,26 +100,24 @@ pub fn encode_stream_with(
     };
 
     // Stage 1: outer-code parity chunks, one independent job per group.
+    // `parity_of` batches all `cap` byte columns per slice-kernel call
+    // (DESIGN.md §12) — byte-identical to the old column-at-a-time
+    // `fill_parity` loop, which is exactly the per-column contract
+    // `parity_of` documents and pins.
     let parity_chunks: Vec<Vec<Vec<u8>>> = if with_parity {
         ule_par::map_indexed(threads, n_groups, |g| {
             let base = g * GROUP_DATA;
             let in_group = (p.data_emblems - base).min(GROUP_DATA);
             let rs = RsCode::new(in_group + GROUP_PARITY, in_group);
-            let mut parity = vec![vec![0u8; cap]; GROUP_PARITY];
-            let mut col = vec![0u8; in_group + GROUP_PARITY];
-            for j in 0..cap {
-                for (i, slot) in col[..in_group].iter_mut().enumerate() {
-                    *slot = chunk(base + i).get(j).copied().unwrap_or(0);
-                }
-                for v in col[in_group..].iter_mut() {
-                    *v = 0;
-                }
-                rs.fill_parity(&mut col);
-                for (pi, pchunk) in parity.iter_mut().enumerate() {
-                    pchunk[j] = col[in_group + pi];
-                }
-            }
-            parity
+            let padded: Vec<Vec<u8>> = (0..in_group)
+                .map(|i| {
+                    let mut c = chunk(base + i).to_vec();
+                    c.resize(cap, 0);
+                    c
+                })
+                .collect();
+            let refs: Vec<&[u8]> = padded.iter().map(|c| c.as_slice()).collect();
+            rs.parity_of(&refs)
         })
     } else {
         Vec::new()

@@ -3,19 +3,108 @@
 //! * [`crc16_ccitt`] protects emblem headers (small, 2-byte overhead).
 //! * [`crc32`] protects whole DBCoder archives and decoder payloads; the
 //!   DynaRisc `DBDecode` program re-computes it during emulated restoration.
+//!
+//! Both are table-driven (the S1 kernel layer, `DESIGN.md` §12): CRC-32
+//! uses sliced tables in the slice-by-8 family — 256-entry tables where
+//! row `k` advances a byte through `k` further zero bytes, folded sixteen
+//! input bytes per step (the 8-byte fold doubled, since only the first
+//! word depends on the running state) — and CRC-16 uses a single
+//! 256-entry table (one lookup per byte). The tables are built at compile time from the same bitwise
+//! recurrences the original loops implemented, which are retained below as
+//! `*_bitwise` reference functions; the in-file property tests pin
+//! table ≡ bitwise equivalence under the pinned `PROPTEST_SEED`, and the
+//! report's `[E11]` gate holds the ≥8× CRC-32 speedup over the bitwise
+//! baseline. Public signatures (and every produced checksum) are unchanged.
+
+/// One bitwise step of CRC-16/CCITT-FALSE: fold 8 message bits already
+/// XORed into the top byte of `crc`.
+const fn crc16_fold_bitwise(mut crc: u16) -> u16 {
+    let mut i = 0;
+    while i < 8 {
+        if crc & 0x8000 != 0 {
+            crc = (crc << 1) ^ 0x1021;
+        } else {
+            crc <<= 1;
+        }
+        i += 1;
+    }
+    crc
+}
+
+/// One bitwise step of reflected CRC-32: fold the low byte of `state`.
+const fn crc32_fold_bitwise(mut state: u32) -> u32 {
+    let mut i = 0;
+    while i < 8 {
+        let mask = (state & 1).wrapping_neg();
+        state = (state >> 1) ^ (0xEDB8_8320 & mask);
+        i += 1;
+    }
+    state
+}
+
+/// The original per-byte bitwise CRC-16 loop, kept as the reference the
+/// table implementation is property-tested against (and the scalar side of
+/// the E11 A/B).
+#[cfg(test)]
+fn crc16_ccitt_bitwise(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &b in data {
+        crc = crc16_fold_bitwise(crc ^ ((b as u16) << 8));
+    }
+    crc
+}
+
+/// The original per-byte bitwise CRC-32 loop (streaming form), kept as the
+/// reference the slice-by-8 implementation is property-tested against.
+#[cfg(test)]
+fn crc32_update_bitwise(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = crc32_fold_bitwise(state ^ b as u32);
+    }
+    state
+}
+
+/// CRC-16 lookup table: `CRC16_TABLE[b]` folds one whole message byte.
+static CRC16_TABLE: [u16; 256] = {
+    let mut t = [0u16; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        t[b] = crc16_fold_bitwise((b as u16) << 8);
+        b += 1;
+    }
+    t
+};
+
+/// Sliced CRC-32 tables: `CRC32_TABLES[0]` is the classic one-byte table;
+/// `CRC32_TABLES[k][b]` advances byte `b` through `k` further zero bytes.
+/// Eight rows fold an 8-byte word per step (slice-by-8); the main loop
+/// uses all sixteen rows to fold a 16-byte block per step (slice-by-16),
+/// which halves the loop-carried dependency chain again.
+static CRC32_TABLES: [[u32; 256]; 16] = {
+    let mut t = [[0u32; 256]; 16];
+    let mut b = 0usize;
+    while b < 256 {
+        t[0][b] = crc32_fold_bitwise(b as u32);
+        b += 1;
+    }
+    let mut k = 1usize;
+    while k < 16 {
+        let mut b = 0usize;
+        while b < 256 {
+            let prev = t[k - 1][b];
+            t[k][b] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            b += 1;
+        }
+        k += 1;
+    }
+    t
+};
 
 /// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection).
 pub fn crc16_ccitt(data: &[u8]) -> u16 {
     let mut crc: u16 = 0xFFFF;
     for &b in data {
-        crc ^= (b as u16) << 8;
-        for _ in 0..8 {
-            if crc & 0x8000 != 0 {
-                crc = (crc << 1) ^ 0x1021;
-            } else {
-                crc <<= 1;
-            }
-        }
+        crc = (crc << 8) ^ CRC16_TABLE[((crc >> 8) as u8 ^ b) as usize];
     }
     crc
 }
@@ -28,12 +117,51 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// Streaming form: feed `state` = 0xFFFFFFFF initially, XOR with 0xFFFFFFFF
 /// at the end.
 pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
-    for &b in data {
-        state ^= b as u32;
-        for _ in 0..8 {
-            let mask = (state & 1).wrapping_neg();
-            state = (state >> 1) ^ (0xEDB8_8320 & mask);
-        }
+    let t = &CRC32_TABLES;
+    #[inline(always)]
+    fn fold8(t: &[[u32; 256]; 16], state: u32, ch: &[u8]) -> u32 {
+        let w = u64::from_le_bytes(ch.try_into().unwrap()) ^ state as u64;
+        t[7][(w & 0xFF) as usize]
+            ^ t[6][((w >> 8) & 0xFF) as usize]
+            ^ t[5][((w >> 16) & 0xFF) as usize]
+            ^ t[4][((w >> 24) & 0xFF) as usize]
+            ^ t[3][((w >> 32) & 0xFF) as usize]
+            ^ t[2][((w >> 40) & 0xFF) as usize]
+            ^ t[1][((w >> 48) & 0xFF) as usize]
+            ^ t[0][(w >> 56) as usize]
+    }
+    // Main loop: one 16-byte fold per iteration. Only the first word
+    // depends on the running state, so the second word's eight lookups
+    // issue in parallel with the first's — the dependency chain advances
+    // 16 bytes per L1 round trip instead of 8.
+    let mut chunks = data.chunks_exact(16);
+    for ch in &mut chunks {
+        let w0 = u64::from_le_bytes(ch[..8].try_into().unwrap()) ^ state as u64;
+        let w1 = u64::from_le_bytes(ch[8..].try_into().unwrap());
+        state = t[15][(w0 & 0xFF) as usize]
+            ^ t[14][((w0 >> 8) & 0xFF) as usize]
+            ^ t[13][((w0 >> 16) & 0xFF) as usize]
+            ^ t[12][((w0 >> 24) & 0xFF) as usize]
+            ^ t[11][((w0 >> 32) & 0xFF) as usize]
+            ^ t[10][((w0 >> 40) & 0xFF) as usize]
+            ^ t[9][((w0 >> 48) & 0xFF) as usize]
+            ^ t[8][(w0 >> 56) as usize]
+            ^ t[7][(w1 & 0xFF) as usize]
+            ^ t[6][((w1 >> 8) & 0xFF) as usize]
+            ^ t[5][((w1 >> 16) & 0xFF) as usize]
+            ^ t[4][((w1 >> 24) & 0xFF) as usize]
+            ^ t[3][((w1 >> 32) & 0xFF) as usize]
+            ^ t[2][((w1 >> 40) & 0xFF) as usize]
+            ^ t[1][((w1 >> 48) & 0xFF) as usize]
+            ^ t[0][(w1 >> 56) as usize];
+    }
+    let rem = chunks.remainder();
+    let mut chunks = rem.chunks_exact(8);
+    for ch in &mut chunks {
+        state = fold8(t, state, ch);
+    }
+    for &b in chunks.remainder() {
+        state = (state >> 8) ^ t[0][((state ^ b as u32) & 0xFF) as usize];
     }
     state
 }
@@ -41,6 +169,7 @@ pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn crc16_known_vector() {
@@ -76,5 +205,36 @@ mod tests {
     #[test]
     fn crc32_empty_is_zero() {
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn bitwise_references_agree_on_known_vectors() {
+        assert_eq!(crc16_ccitt_bitwise(b"123456789"), 0x29B1);
+        assert_eq!(
+            crc32_update_bitwise(0xFFFF_FFFF, b"123456789") ^ 0xFFFF_FFFF,
+            0xCBF4_3926
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn crc32_table_matches_bitwise(
+            data in proptest::collection::vec(any::<u8>(), 0..200),
+            state in any::<u32>(),
+        ) {
+            prop_assert_eq!(
+                crc32_update(state, &data),
+                crc32_update_bitwise(state, &data)
+            );
+        }
+
+        #[test]
+        fn crc16_table_matches_bitwise(
+            data in proptest::collection::vec(any::<u8>(), 0..200),
+        ) {
+            prop_assert_eq!(crc16_ccitt(&data), crc16_ccitt_bitwise(&data));
+        }
     }
 }

@@ -12,8 +12,18 @@
 //! RS(255,223) code (16 unknown byte errors per block) and the inter-emblem
 //! RS(20,17) code (3 known-missing emblems per group of 20) are served by
 //! the same implementation.
+//!
+//! The hot paths run on the slice kernels of [`crate::kernels`]
+//! (`DESIGN.md` §12): encoding is one [`GfKernels::mul_add_slice`] per
+//! message coefficient over the parity window, syndromes are Horner over
+//! 8-byte slices ([`GfKernels::eval_desc`]), [`RsCode::parity_of`] batches
+//! whole byte columns per slice call, and [`RsCode::decode`] takes a
+//! **clean-frame fast path**: syndromes are computed first and an all-zero
+//! vector returns immediately, so scanning undamaged media never runs
+//! Berlekamp–Massey/Chien/Forney at all.
 
 use crate::gf::{Gf256, GROUP_ORDER};
+use crate::kernels::{xor_slice, GfKernels};
 use crate::poly;
 use ule_par::ThreadConfig;
 
@@ -67,10 +77,23 @@ impl std::error::Error for RsError {}
 #[derive(Clone)]
 pub struct RsCode {
     gf: Gf256,
+    kernels: GfKernels,
     n: usize,
     k: usize,
     /// Generator polynomial, ascending coefficients, degree n-k (monic).
     gen: Vec<u8>,
+    /// The generator tail in descending coefficient order without the
+    /// monic head: `gen_window[i] = gen[p - 1 - i]` for `i < p`. This is
+    /// the constant slice every long-division step folds into the parity
+    /// window.
+    gen_window: Vec<u8>,
+    /// Per-factor product rows of the generator window: row `f` (at
+    /// `[f * p .. (f + 1) * p]`) is `f · gen_window`, materialised at
+    /// construction with [`GfKernels::mul_slice`]. `fill_parity` folds one
+    /// whole row per message coefficient with a word-wide XOR — the split
+    /// tables fully precomputed for the only constant slice the encoder
+    /// ever multiplies (≤ 8 KB per code).
+    enc_rows: Vec<u8>,
 }
 
 impl RsCode {
@@ -84,7 +107,22 @@ impl RsCode {
         for i in 0..(n - k) {
             gen = poly::mul(&gf, &gen, &[gf.exp(i), 1]);
         }
-        Self { gf, n, k, gen }
+        let p = n - k;
+        let gen_window: Vec<u8> = (0..p).map(|i| gen[p - 1 - i]).collect();
+        let kernels = GfKernels::new(&gf);
+        let mut enc_rows = vec![0u8; 256 * p];
+        for (f, row) in enc_rows.chunks_exact_mut(p).enumerate() {
+            kernels.mul_slice(f as u8, &gen_window, row);
+        }
+        Self {
+            gf,
+            kernels,
+            n,
+            k,
+            gen,
+            gen_window,
+            enc_rows,
+        }
     }
 
     /// Codeword length.
@@ -110,6 +148,17 @@ impl RsCode {
     /// Borrow the field (used by callers embedding GF tables elsewhere).
     pub fn field(&self) -> &Gf256 {
         &self.gf
+    }
+
+    /// Borrow the slice kernels this code runs its hot paths on.
+    pub fn kernels(&self) -> &GfKernels {
+        &self.kernels
+    }
+
+    /// The generator polynomial, ascending coefficients (monic, degree
+    /// `parity_len()`).
+    pub fn generator(&self) -> &[u8] {
+        &self.gen
     }
 
     /// Encode `msg` (length k) into a fresh n-byte codeword `[msg | parity]`.
@@ -141,61 +190,91 @@ impl RsCode {
             "message streams must share one length"
         );
         let p = self.parity_len();
-        let mut parity = vec![vec![0u8; len]; p];
-        let mut col = vec![0u8; self.n];
-        for j in 0..len {
-            for (i, m) in msgs.iter().enumerate() {
-                col[i] = m[j];
-            }
-            for v in col[self.k..].iter_mut() {
-                *v = 0;
-            }
-            self.fill_parity(&mut col);
-            for (pi, ps) in parity.iter_mut().enumerate() {
-                ps[j] = col[self.k + pi];
+        // Column-batched LFSR: run the same synthetic division
+        // `fill_parity` performs, but with whole byte *streams* in each
+        // register slot — every column advances one step per
+        // `mul_add_slice`, instead of re-running the division column by
+        // column. The per-column arithmetic is identical, so the parity
+        // bytes match `fill_parity` exactly (pinned by unit test below).
+        let mut rem: Vec<Vec<u8>> = vec![vec![0u8; len]; p];
+        let mut factor = vec![0u8; len];
+        for m in msgs {
+            factor.copy_from_slice(m);
+            xor_slice(&rem[0], &mut factor);
+            rem.rotate_left(1);
+            rem[p - 1].fill(0);
+            for (i, r) in rem.iter_mut().enumerate() {
+                self.kernels.mul_add_slice(self.gen_window[i], &factor, r);
             }
         }
-        parity
+        rem
     }
 
     /// Compute parity over `cw[..k]` and write it into `cw[k..]`.
+    ///
+    /// Polynomial long division of `msg(x) · x^p` by `g(x)`, shift-free:
+    /// the dividend sits in a `k + p` scratch buffer and each step folds
+    /// `factor · gen_window` — a precomputed kernel row — into the sliding
+    /// parity window with one word-wide XOR. Same remainder as the classic
+    /// LFSR form byte for byte (the scalar reference in the test module
+    /// and `ule_bench::scalar` pin it), ≥4× its throughput (report `[E11]`).
     pub fn fill_parity(&self, cw: &mut [u8]) {
         assert_eq!(cw.len(), self.n);
         let p = self.parity_len();
-        // Synthetic division of msg(x) * x^p by g(x); remainder is parity.
-        // `rem[i]` holds the coefficient of x^(p-1-i) during the division.
-        let mut rem = vec![0u8; p];
+        // n <= 255 always (asserted at construction), so the dividend
+        // scratch lives on the stack.
+        let mut scratch = [0u8; 255];
+        let buf = &mut scratch[..self.n];
+        buf[..self.k].copy_from_slice(&cw[..self.k]);
+        buf[self.k..].fill(0);
         for j in 0..self.k {
-            let factor = cw[j] ^ rem[0];
-            rem.copy_within(1.., 0);
-            rem[p - 1] = 0;
+            let factor = buf[j];
             if factor != 0 {
-                for (i, slot) in rem.iter_mut().enumerate() {
-                    // gen is ascending; coefficient of x^(p-1-i) is gen[p-1-i].
-                    *slot ^= self.gf.mul(factor, self.gen[p - 1 - i]);
-                }
+                let row = &self.enc_rows[factor as usize * p..(factor as usize + 1) * p];
+                xor_slice(row, &mut buf[j + 1..j + 1 + p]);
             }
         }
-        cw[self.k..].copy_from_slice(&rem);
+        cw[self.k..].copy_from_slice(&buf[self.k..]);
     }
 
     /// Syndromes S_i = c(alpha^i), i = 0..2t-1. All-zero means clean.
+    ///
+    /// Each syndrome is a Horner evaluation over 8-byte slices
+    /// ([`GfKernels::eval_desc`]): byte 0 has weight `alpha^(i*(n-1))`.
+    /// This is the whole cost of scanning a clean codeword — see
+    /// [`RsCode::decode`]'s clean-frame fast path and `DESIGN.md` §12.
+    ///
+    /// ```
+    /// use ule_gf256::RsCode;
+    /// let rs = RsCode::new(20, 17);
+    /// let mut cw = rs.encode(&[7u8; 17]);
+    /// assert!(rs.syndromes(&cw).iter().all(|&s| s == 0));
+    /// cw[3] ^= 0x10; // any corruption leaves a non-zero syndrome
+    /// assert!(rs.syndromes(&cw).iter().any(|&s| s != 0));
+    /// ```
     pub fn syndromes(&self, cw: &[u8]) -> Vec<u8> {
         let p = self.parity_len();
         let mut syn = vec![0u8; p];
         for (i, s) in syn.iter_mut().enumerate() {
-            let x = self.gf.exp(i);
-            let mut acc = 0u8;
-            // Horner over descending powers: byte 0 has weight x^(n-1).
-            for &b in cw {
-                acc = self.gf.mul(acc, x) ^ b;
-            }
-            *s = acc;
+            *s = self.kernels.eval_desc(&self.gf, self.gf.exp(i), cw);
         }
         syn
     }
 
     /// True if the codeword has no detectable errors.
+    ///
+    /// This is the syndromes-only check the scan pipeline leans on: for
+    /// undamaged media it is the *entire* decode cost (`DESIGN.md` §12).
+    ///
+    /// ```
+    /// use ule_gf256::RsCode;
+    /// let rs = RsCode::new(255, 223);
+    /// let msg: Vec<u8> = (0..223).map(|i| i as u8).collect();
+    /// let mut cw = rs.encode(&msg);
+    /// assert!(rs.is_clean(&cw));
+    /// cw[100] ^= 1;
+    /// assert!(!rs.is_clean(&cw));
+    /// ```
     pub fn is_clean(&self, cw: &[u8]) -> bool {
         self.syndromes(cw).iter().all(|&s| s == 0)
     }
@@ -205,6 +284,13 @@ impl RsCode {
     /// of corrected byte positions.
     ///
     /// Capacity: `2 * errors + erasures <= n - k`.
+    ///
+    /// **Clean-frame fast path**: syndromes are computed first and an
+    /// all-zero vector returns `Ok(0)` immediately, so a clean codeword
+    /// costs exactly one [`RsCode::syndromes`] pass — Berlekamp–Massey,
+    /// Chien search and Forney never run. Scanning undamaged media (the
+    /// overwhelmingly common archival case) is therefore syndromes-bound;
+    /// `DESIGN.md` §12 and the report's `[E11]` section quantify it.
     pub fn decode(&self, cw: &mut [u8], erasures: &[usize]) -> Result<usize, RsError> {
         if cw.len() != self.n {
             return Err(RsError::LengthMismatch {
@@ -224,6 +310,9 @@ impl RsCode {
         if erasures.len() > p {
             return Err(RsError::TooManyErrors);
         }
+        // Clean-frame fast path: an all-zero syndrome vector proves the
+        // received word is already a codeword (and erasure positions hold
+        // correct values), so the algebraic machinery below never runs.
         let syn = self.syndromes(cw);
         if syn.iter().all(|&s| s == 0) {
             return Ok(0);
@@ -323,7 +412,8 @@ impl RsCode {
     /// Decode a batch of n-byte codewords (no erasures) in parallel. Each
     /// entry yields the corrected codeword plus the number of corrected
     /// positions, or the per-codeword error; one bad block does not poison
-    /// its neighbours.
+    /// its neighbours. Clean codewords ride [`RsCode::decode`]'s fast path
+    /// — a batch from undamaged media costs one syndromes pass per block.
     ///
     /// Note: the emblem hot path (`ule_emblem`'s `inner_decode_with`)
     /// de-interleaves and corrects each block inside its own worker job
@@ -599,6 +689,58 @@ mod tests {
         assert!(out[2].is_err(), "block 2 must fail alone");
         assert!(out[3].is_ok());
         assert_eq!(&out[0].as_ref().unwrap().0[..223], &sample_msg(223, 0)[..]);
+    }
+
+    /// The pre-kernel scalar parity loop, retained as the reference the
+    /// SWAR rewrite is pinned against (and mirrored by the E11 baseline in
+    /// `ule_bench::scalar`).
+    fn fill_parity_scalar(rs: &RsCode, cw: &mut [u8]) {
+        let p = rs.parity_len();
+        let mut rem = vec![0u8; p];
+        for j in 0..rs.k() {
+            let factor = cw[j] ^ rem[0];
+            rem.copy_within(1.., 0);
+            rem[p - 1] = 0;
+            if factor != 0 {
+                for (i, slot) in rem.iter_mut().enumerate() {
+                    *slot ^= rs.gf.mul(factor, rs.gen[p - 1 - i]);
+                }
+            }
+        }
+        cw[rs.k()..].copy_from_slice(&rem);
+    }
+
+    /// The pre-kernel per-byte Horner syndrome loop, same role.
+    fn syndromes_scalar(rs: &RsCode, cw: &[u8]) -> Vec<u8> {
+        (0..rs.parity_len())
+            .map(|i| {
+                let x = rs.gf.exp(i);
+                cw.iter().fold(0u8, |acc, &b| rs.gf.mul(acc, x) ^ b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kernel_parity_and_syndromes_match_scalar_references() {
+        for (n, k) in [(255usize, 223usize), (20, 17), (60, 40), (4, 3)] {
+            let rs = RsCode::new(n, k);
+            for seed in 0..4u8 {
+                let msg = sample_msg(k, seed.wrapping_mul(91));
+                let mut kernel_cw = vec![0u8; n];
+                kernel_cw[..k].copy_from_slice(&msg);
+                let mut scalar_cw = kernel_cw.clone();
+                rs.fill_parity(&mut kernel_cw);
+                fill_parity_scalar(&rs, &mut scalar_cw);
+                assert_eq!(kernel_cw, scalar_cw, "n={n} k={k} seed={seed}");
+                let mut noisy = kernel_cw.clone();
+                noisy[seed as usize % n] ^= 0x5A;
+                assert_eq!(
+                    rs.syndromes(&noisy),
+                    syndromes_scalar(&rs, &noisy),
+                    "n={n} k={k} seed={seed}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -220,6 +220,13 @@ impl Medium {
     /// [`Medium::scan_all`] across `threads` workers. The per-frame seed
     /// depends only on the frame index, so scans are identical to the
     /// serial path at any thread count.
+    ///
+    /// Scans of undamaged frames decode on the Reed–Solomon clean-frame
+    /// fast path (`ule_gf256::RsCode::decode` returns after one
+    /// slice-kernel syndromes pass — `DESIGN.md` §12), so a verification
+    /// sweep over an intact shelf costs sampling plus syndromes, never
+    /// Berlekamp–Massey; the report's `[E11]` section and `EXPERIMENTS.md`
+    /// E11 quantify the resulting scan-throughput gain.
     pub fn scan_all_with(
         &self,
         frames: &[GrayImage],

@@ -90,10 +90,15 @@ impl std::fmt::Display for ThreadConfig {
 
 /// Ordered parallel map over `0..n`: returns `[f(0), f(1), .., f(n-1)]`.
 ///
-/// Work items are claimed dynamically (an atomic cursor, so uneven item
-/// costs balance across workers) but results land in their input slot, so
-/// the output is independent of scheduling. A panic in `f` propagates to
-/// the caller when the scope joins.
+/// Work is claimed dynamically in **chunks**: each worker grabs a run of
+/// `max(1, n / (8 · workers))` consecutive indices per cursor bump, so a
+/// batch of many small items (the shape the kernel layer created — per
+/// 255-byte RS block instead of per emblem) costs one atomic RMW and one
+/// result-lock acquisition per run rather than per item, while ~8 chunks
+/// per worker keep uneven item costs balanced. Results still land in
+/// their input slots, so the output is independent of scheduling at any
+/// thread count (`tests/parallel_identity.rs` pins serial ≡ threaded end
+/// to end). A panic in `f` propagates to the caller when the scope joins.
 pub fn map_indexed<R, F>(cfg: ThreadConfig, n: usize, f: F) -> Vec<R>
 where
     R: Send,
@@ -103,6 +108,7 @@ where
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
+    let chunk = (n / (8 * workers)).max(1);
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
@@ -110,14 +116,18 @@ where
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
+                let start = next.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
+                let end = (start + chunk).min(n);
                 // Compute outside the lock: the lock only guards the
                 // (cheap) result placement, not the work.
-                let r = f(i);
-                slots.lock().unwrap()[i] = Some(r);
+                let run: Vec<R> = (start..end).map(&f).collect();
+                let mut guard = slots.lock().unwrap();
+                for (i, r) in run.into_iter().enumerate() {
+                    guard[start + i] = Some(r);
+                }
             });
         }
     });
@@ -206,6 +216,23 @@ mod tests {
         // Fixed(1) also degenerates to the calling thread: one worker
         // never beats zero spawn overhead.
         assert_eq!(ThreadConfig::Fixed(1).workers(), 1);
+    }
+
+    #[test]
+    fn chunked_claiming_covers_every_index_exactly_once() {
+        // Sizes around the chunk-boundary arithmetic: n < workers,
+        // n == chunk edge, n % chunk != 0, and a many-small-item batch
+        // (the contention shape the chunked cursor exists for).
+        for n in [1usize, 5, 31, 32, 33, 257, 4096] {
+            for threads in [2usize, 4, 8] {
+                let out = map_indexed(ThreadConfig::Fixed(threads), n, |i| i * 3);
+                assert_eq!(
+                    out,
+                    (0..n).map(|i| i * 3).collect::<Vec<_>>(),
+                    "n={n} threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -19,9 +19,17 @@
 //!    sequence is split into reels of `reel_capacity` frames, and every
 //!    group of `group_reels` content reels gets one RS parity reel
 //!    (shortened `RS(k+1, k)` over the reels' padded chunk bytes, built
-//!    on [`ule_gf256::RsCode::parity_of`]), so any single lost reel per
-//!    group is reconstructed bit for bit; a second loss in the same
-//!    group fails as the structured [`VaultError::ReelLoss`].
+//!    on [`ule_gf256::RsCode::parity_of`] — since the kernel layer of
+//!    `DESIGN.md` §12 that is a column-batched slice operation, so parity
+//!    for megabytes of reel stream costs a handful of `mul_add_slice`
+//!    passes rather than a per-byte-column division), so any single lost
+//!    reel per group is reconstructed bit for bit; a second loss in the
+//!    same group fails as the structured [`VaultError::ReelLoss`].
+//!
+//! Verification sweeps over intact shelves ride the same kernel layer
+//! twice more: every catalog and segment check is the sliced
+//! [`ule_gf256::crc32`], and every clean frame decodes through the
+//! syndromes-only fast path of [`ule_gf256::RsCode::decode`].
 //!
 //! The vault is a *layer over* Micr'Olonys, not a fork of it: emblem
 //! framing, inner/outer RS and the scanner channel are untouched, and
