@@ -86,6 +86,9 @@ fn parse_operand(tok: &str, line: usize) -> Result<Op, AsmError> {
             .strip_prefix('D')
             .and_then(|n| n.parse::<u8>().ok())
             .ok_or_else(|| err(line, format!("bad memory operand {t:?}")))?;
+        if d >= 8 {
+            return Err(err(line, format!("pointer register out of range: D{d}")));
+        }
         return Ok(Op::Mem(d, inc));
     }
     if let Some((a, b)) = t.split_once(':') {
@@ -98,6 +101,9 @@ fn parse_operand(tok: &str, line: usize) -> Result<Op, AsmError> {
             .strip_prefix('R')
             .and_then(|n| n.parse::<u8>().ok());
         if let (Some(ra), Some(rb)) = (ra, rb) {
+            if ra >= 16 || rb >= 16 {
+                return Err(err(line, format!("register out of range: R{ra}:R{rb}")));
+            }
             if rb != (ra + 1) & 15 {
                 return Err(err(line, format!("pair must be adjacent: R{ra}:R{rb}")));
             }
@@ -117,6 +123,9 @@ fn parse_operand(tok: &str, line: usize) -> Result<Op, AsmError> {
             let d = n
                 .parse::<u8>()
                 .map_err(|_| err(line, format!("bad register {t:?}")))?;
+            if d >= 8 {
+                return Err(err(line, format!("pointer register out of range: D{d}")));
+            }
             return match part {
                 "LO" => Ok(Op::DPart(d, false)),
                 "HI" => Ok(Op::DPart(d, true)),
@@ -143,15 +152,18 @@ fn encode_line(
     use Opcode::*;
     let m = mnemonic.to_ascii_uppercase();
     let bad = || err(line, format!("bad operands for {m}"));
+    let imm16 = |v: u32| -> Result<u16, AsmError> {
+        u16::try_from(v).map_err(|_| err(line, format!("immediate #{v:#x} exceeds 16 bits")))
+    };
     let alu = |op: Opcode| -> Result<(Instr, Option<(usize, String)>), AsmError> {
         match ops {
             [Op::R(a), Op::R(b)] => Ok((Instr::new(op, *a, *b, Mode::M0), None)),
-            [Op::R(a), Op::Imm(v)] => Ok((Instr::with_imm(op, *a, 0, Mode::M2, *v as u16), None)),
+            [Op::R(a), Op::Imm(v)] => Ok((Instr::with_imm(op, *a, 0, Mode::M2, imm16(*v)?), None)),
             [Op::D(d), Op::R(b)] if matches!(op, Add | Sub) => {
                 Ok((Instr::new(op, *d, *b, Mode::M1), None))
             }
             [Op::D(d), Op::Imm(v)] if matches!(op, Add | Sub) => {
-                Ok((Instr::with_imm(op, *d, 0, Mode::M3, *v as u16), None))
+                Ok((Instr::with_imm(op, *d, 0, Mode::M3, imm16(*v)?), None))
             }
             _ => Err(bad()),
         }
@@ -165,7 +177,7 @@ fn encode_line(
     };
     let jump = |op: Opcode| -> Result<(Instr, Option<(usize, String)>), AsmError> {
         match ops {
-            [Op::Imm(v)] => Ok((Instr::with_imm(op, 0, 0, Mode::M0, *v as u16), None)),
+            [Op::Imm(v)] => Ok((Instr::with_imm(op, 0, 0, Mode::M0, imm16(*v)?), None)),
             [Op::Label(l)] => Ok((Instr::with_imm(op, 0, 0, Mode::M0, 0), Some((1, l.clone())))),
             _ => Err(bad()),
         }
@@ -276,10 +288,9 @@ pub fn assemble(src: &str) -> Result<Vec<u16>, AsmError> {
             if name.is_empty() || name.contains(char::is_whitespace) {
                 break; // ':' inside an operand (e.g. a pair) — not a label
             }
-            if labels
-                .insert(name.to_string(), words.len() as u16)
-                .is_some()
-            {
+            let pos = u16::try_from(words.len())
+                .map_err(|_| err(line, "label address exceeds the 16-bit PC space"))?;
+            if labels.insert(name.to_string(), pos).is_some() {
                 return Err(err(line, format!("label {name:?} defined twice")));
             }
             text = rest[1..].trim();
@@ -302,6 +313,11 @@ pub fn assemble(src: &str) -> Result<Vec<u16>, AsmError> {
         let (instr, fixup) = encode_line(mnemonic, &ops, line)?;
         let base = words.len();
         words.extend(instr.encode());
+        // Jump targets and label addresses are 16-bit; a longer program
+        // would silently wrap them.
+        if words.len() > (u16::MAX as usize) + 1 {
+            return Err(err(line, "program exceeds 65536 words"));
+        }
         if let Some((off, label)) = fixup {
             fixups.push((base + off, label, line));
         }
@@ -406,6 +422,54 @@ mod tests {
         ] {
             assert!(listing.contains(mnemonic), "missing {mnemonic}");
         }
+    }
+
+    #[test]
+    fn out_of_range_immediates_rejected() {
+        for src in ["ADD R0, #0x10000", "SUB D1, #0x10000", "JUMP #0x10000"] {
+            let e = assemble(src).unwrap_err();
+            assert!(e.msg.contains("exceeds 16 bits"), "{src}: {}", e.msg);
+        }
+    }
+
+    #[test]
+    fn out_of_range_registers_rejected() {
+        // Regression: `R255:R0` used to overflow the adjacency check in
+        // debug builds; out-of-range pointer registers used to alias
+        // through the 3-bit field.
+        for src in [
+            "MOVE D2, R255:R0",
+            "LDM R0, [D9]",
+            "MOVE R4, D9.LO",
+            "STM R0, [D200]+",
+        ] {
+            let e = assemble(src).unwrap_err();
+            assert!(e.msg.contains("out of range"), "{src}: {}", e.msg);
+        }
+    }
+
+    #[test]
+    fn overlong_program_rejected() {
+        // 32769 two-word LDIs = 65538 words, one past the 16-bit PC space.
+        let mut src = String::new();
+        for _ in 0..32_769 {
+            src.push_str("LDI R0, #1\n");
+        }
+        let e = assemble(&src).unwrap_err();
+        assert!(e.msg.contains("65536"), "{}", e.msg);
+    }
+
+    #[test]
+    fn label_at_end_of_full_program_rejected() {
+        // Exactly 65536 words of code is encodable, but a label *after*
+        // them has no 16-bit address.
+        let mut src = String::new();
+        for _ in 0..32_768 {
+            src.push_str("LDI R0, #1\n");
+        }
+        src.push_str("end:\n");
+        let e = assemble(&src).unwrap_err();
+        assert!(e.msg.contains("PC space"), "{}", e.msg);
     }
 
     #[test]

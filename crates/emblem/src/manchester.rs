@@ -40,10 +40,14 @@ pub struct CellDecode {
     pub sync_errors: Vec<usize>,
 }
 
-/// Decode cells produced by [`encode_cells`]. `cells.len()` must be even;
-/// `start_level` must match the value passed to the encoder.
+/// Decode cells produced by [`encode_cells`]. `start_level` must match the
+/// value passed to the encoder.
+///
+/// Cells come in half-period pairs, but a scanner that tears mid-bit hands
+/// this decoder an odd run; the dangling half-period decodes to no bit and
+/// is reported as a sync error at the final pair index, instead of
+/// panicking on hostile input.
 pub fn decode_cells(cells: &[bool], start_level: bool) -> CellDecode {
-    assert!(cells.len() % 2 == 0, "cells come in half-period pairs");
     let mut bits = Vec::with_capacity(cells.len() / 2);
     let mut sync_errors = Vec::new();
     let mut prev = start_level;
@@ -55,6 +59,9 @@ pub fn decode_cells(cells: &[bool], start_level: bool) -> CellDecode {
         }
         bits.push(h1 != h2);
         prev = h2;
+    }
+    if cells.len() % 2 != 0 {
+        sync_errors.push(cells.len() / 2);
     }
     CellDecode { bits, sync_errors }
 }
@@ -96,6 +103,24 @@ mod tests {
                 assert!(dec.sync_errors.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn odd_cell_run_decodes_with_sync_error() {
+        // Fuzz regression: a torn scan hands the decoder an odd number of
+        // half-periods; the dangling one must be a sync error, not a panic.
+        let bits = bytes_to_bits(&[0xA5]);
+        let cells = encode_cells(&bits, false);
+        let dec = decode_cells(&cells[..cells.len() - 1], false);
+        assert_eq!(dec.bits, bits[..bits.len() - 1]);
+        assert_eq!(dec.sync_errors, vec![bits.len() - 1]);
+    }
+
+    #[test]
+    fn single_half_period_yields_no_bits() {
+        let dec = decode_cells(&[true], false);
+        assert!(dec.bits.is_empty());
+        assert_eq!(dec.sync_errors, vec![0]);
     }
 
     #[test]

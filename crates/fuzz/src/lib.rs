@@ -1,0 +1,35 @@
+//! Structured fuzzing for every untrusted-input parser (`DESIGN.md` §13).
+//!
+//! An archive that outlives its writing era will be decoded from scans and
+//! documents the decoder has no reason to trust: a vault serving such
+//! archives at scale must return structured errors on crafted bytes, never
+//! panic, hang or balloon. PR 1's LZA decompressor hang proved this bug
+//! class is live in this tree; this crate makes it a *tested* property.
+//!
+//! Like the vendored proptest stand-in, the harness is fully offline — no
+//! cargo-fuzz, no libFuzzer, no network. Three pieces:
+//!
+//! * [`mutate`] — a seeded ([`ule_raster::rng::SplitMix64`]) byte-mutation
+//!   engine: truncation, splicing, bit flips, length-field corruption,
+//!   magic preservation;
+//! * [`runner`] — the [`FuzzTarget`] trait plus a budgeted driver:
+//!   every target runs for a fixed iteration count under a wall-clock
+//!   budget, so a hang *fails* the run instead of stalling it, and every
+//!   panic is caught, minimised and reported with its replay seed;
+//! * [`targets`] — one adapter per untrusted parser: the `ULEA` container
+//!   and its four codecs, emblem header / Manchester / frame / stream
+//!   decode, the vault content index and record framing, the Bootstrap
+//!   document, and the DynaRisc / VeRisc assemblers and fuel-bounded VMs.
+//!
+//! Reproducibility contract: `fuzz_target(t, seed, …)` visits exactly the
+//! same inputs for the same seed, so any failure in CI replays locally
+//! from the printed seed, and minimised failures are frozen into
+//! `tests/fixtures/regressions/` as plain unit tests.
+
+pub mod mutate;
+pub mod runner;
+pub mod targets;
+
+pub use mutate::Mutator;
+pub use runner::{fuzz_target, FuzzOutcome, FuzzTarget, TargetReport};
+pub use targets::all_targets;

@@ -1,0 +1,278 @@
+//! The [`FuzzTarget`] trait and the budgeted campaign driver.
+
+use crate::mutate::Mutator;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// One untrusted-input parser under test.
+///
+/// The contract a target asserts by existing: for *any* byte string,
+/// [`FuzzTarget::run`] returns — no panic, no unbounded loop, no
+/// input-controlled allocation blow-up. Targets wrap their parser with
+/// whatever fuel / length bounds the real call sites use (VM step budgets,
+/// `expected_len` caps), because that is the trusted part of the contract;
+/// the bytes are the untrusted part.
+pub trait FuzzTarget: Sync {
+    /// Stable name (used in reports, JSON and replay instructions).
+    fn name(&self) -> &'static str;
+
+    /// Structurally valid seed inputs mutation starts from. Must be
+    /// non-empty and deterministic.
+    fn corpus(&self) -> Vec<Vec<u8>>;
+
+    /// Magic bytes the mutator re-stamps on half the mutants, so deep
+    /// parser states stay reachable after corruption.
+    fn magic(&self) -> Option<&'static [u8]> {
+        None
+    }
+
+    /// Per-target iteration budget for the CI smoke campaign, scaled to
+    /// per-iteration cost (image decodes get hundreds, byte parsers get
+    /// tens of thousands).
+    fn suggested_iterations(&self) -> u64 {
+        8_000
+    }
+
+    /// Feed one input to the parser. Errors are expected; panics are not.
+    fn run(&self, input: &[u8]);
+}
+
+/// Why a campaign stopped.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FuzzOutcome {
+    /// Ran the full iteration budget without a failure.
+    Clean,
+    /// A panic was caught; the minimised input and replay data are in
+    /// [`TargetReport::failure`].
+    Panicked,
+    /// The wall-clock budget expired before the iteration budget — the
+    /// hang-detection path (a stalled parser fails instead of stalling
+    /// the harness forever).
+    TimedOut,
+}
+
+/// A caught failure, minimised.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Iteration index at which the panic fired (replay: same seed, same
+    /// target, same iteration).
+    pub iteration: u64,
+    /// The minimised failing input.
+    pub input: Vec<u8>,
+    /// The panic payload, if it was a string.
+    pub message: String,
+}
+
+/// Campaign result for one target.
+#[derive(Clone, Debug)]
+pub struct TargetReport {
+    pub name: &'static str,
+    pub seed: u64,
+    pub iterations: u64,
+    pub elapsed: Duration,
+    pub outcome: FuzzOutcome,
+    pub failure: Option<Failure>,
+}
+
+impl TargetReport {
+    pub fn iters_per_sec(&self) -> f64 {
+        let s = self.elapsed.as_secs_f64();
+        if s > 0.0 {
+            self.iterations as f64 / s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Does `input` still make the target panic?
+fn still_fails(target: &dyn FuzzTarget, input: &[u8]) -> bool {
+    panic::catch_unwind(AssertUnwindSafe(|| target.run(input))).is_err()
+}
+
+/// Greedy structural minimisation: alternately try chopping spans out and
+/// zeroing bytes while the panic persists. Not ddmin-complete, but turns
+/// kilobyte mutants into fixture-sized reproducers.
+pub fn minimize(target: &dyn FuzzTarget, input: &[u8]) -> Vec<u8> {
+    let mut cur = input.to_vec();
+    // Pass 1: remove halves/quarters/… from anywhere.
+    let mut chunk = (cur.len() / 2).max(1);
+    while chunk >= 1 {
+        let mut at = 0;
+        while at + chunk <= cur.len() {
+            let mut candidate = cur.clone();
+            candidate.drain(at..at + chunk);
+            if still_fails(target, &candidate) {
+                cur = candidate;
+            } else {
+                at += chunk;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    // Pass 2: canonicalise surviving bytes to zero where possible.
+    for i in 0..cur.len() {
+        if cur[i] == 0 {
+            continue;
+        }
+        let saved = cur[i];
+        cur[i] = 0;
+        if !still_fails(target, &cur) {
+            cur[i] = saved;
+        }
+    }
+    cur
+}
+
+/// Run one target for `iterations` mutants (cycling over its corpus) under
+/// a wall-clock budget. Deterministic for (`target`, `seed`, `iterations`).
+///
+/// Panics inside the target are caught (with the default panic hook
+/// silenced for the duration, so a million-iteration campaign does not
+/// spray backtraces), minimised, and returned as a [`Failure`].
+pub fn fuzz_target(
+    target: &dyn FuzzTarget,
+    seed: u64,
+    iterations: u64,
+    budget: Duration,
+) -> TargetReport {
+    let corpus = target.corpus();
+    assert!(!corpus.is_empty(), "{}: empty corpus", target.name());
+    let magic = target.magic();
+    let mut mutator = Mutator::new(seed ^ 0x5eed_f0cc_5eed_f0cc);
+    let start = Instant::now();
+
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let mut outcome = FuzzOutcome::Clean;
+    let mut failure = None;
+    let mut done = 0u64;
+    for i in 0..iterations {
+        // A deep corpus entry every 16th iteration keeps the happy path
+        // covered; everything else is a mutant of a corpus entry.
+        let base = &corpus[mutator.below(corpus.len())];
+        let input = if i % 16 == 0 {
+            base.clone()
+        } else {
+            mutator.mutate(base, magic)
+        };
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| target.run(&input))) {
+            let message = panic_message(payload.as_ref());
+            let minimized = minimize(target, &input);
+            failure = Some(Failure {
+                iteration: i,
+                input: minimized,
+                message,
+            });
+            outcome = FuzzOutcome::Panicked;
+            done = i + 1;
+            break;
+        }
+        done = i + 1;
+        // Check the clock in batches: Instant::now() per iteration would
+        // dominate the cheap targets.
+        if i % 64 == 0 && start.elapsed() > budget {
+            outcome = FuzzOutcome::TimedOut;
+            break;
+        }
+    }
+    panic::set_hook(prev_hook);
+
+    TargetReport {
+        name: target.name(),
+        seed,
+        iterations: done,
+        elapsed: start.elapsed(),
+        outcome,
+        failure,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct PanicsOnFF;
+    impl FuzzTarget for PanicsOnFF {
+        fn name(&self) -> &'static str {
+            "panics-on-ff"
+        }
+        fn corpus(&self) -> Vec<Vec<u8>> {
+            vec![vec![0u8; 32]]
+        }
+        fn run(&self, input: &[u8]) {
+            if input.contains(&0xFF) {
+                panic!("found the bad byte");
+            }
+        }
+    }
+
+    struct AlwaysFine;
+    impl FuzzTarget for AlwaysFine {
+        fn name(&self) -> &'static str {
+            "always-fine"
+        }
+        fn corpus(&self) -> Vec<Vec<u8>> {
+            vec![b"seed".to_vec()]
+        }
+        fn run(&self, _input: &[u8]) {}
+    }
+
+    #[test]
+    fn clean_target_completes_budget() {
+        let r = fuzz_target(&AlwaysFine, 1, 500, Duration::from_secs(30));
+        assert_eq!(r.outcome, FuzzOutcome::Clean);
+        assert_eq!(r.iterations, 500);
+        assert!(r.failure.is_none());
+    }
+
+    #[test]
+    fn panic_is_caught_and_minimized() {
+        let r = fuzz_target(&PanicsOnFF, 2, 100_000, Duration::from_secs(60));
+        assert_eq!(r.outcome, FuzzOutcome::Panicked);
+        let f = r.failure.expect("failure recorded");
+        assert!(f.message.contains("bad byte"));
+        // Minimisation should shrink to exactly the one offending byte.
+        assert_eq!(f.input, vec![0xFF]);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = fuzz_target(&PanicsOnFF, 9, 100_000, Duration::from_secs(60));
+        let b = fuzz_target(&PanicsOnFF, 9, 100_000, Duration::from_secs(60));
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.failure.map(|f| f.input), b.failure.map(|f| f.input));
+    }
+
+    #[test]
+    fn timeout_fails_instead_of_stalling() {
+        struct Slow;
+        impl FuzzTarget for Slow {
+            fn name(&self) -> &'static str {
+                "slow"
+            }
+            fn corpus(&self) -> Vec<Vec<u8>> {
+                vec![vec![0u8]]
+            }
+            fn run(&self, _input: &[u8]) {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let r = fuzz_target(&Slow, 3, u64::MAX, Duration::from_millis(50));
+        assert_eq!(r.outcome, FuzzOutcome::TimedOut);
+        assert!(r.iterations < 1_000_000);
+    }
+}

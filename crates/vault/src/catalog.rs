@@ -148,7 +148,10 @@ impl ContentIndex {
         }
         let stored = end_crc.ok_or(IndexError::Truncated)?;
         // The CRC covers everything up to (not including) the end line.
-        let end_pos = text.find("end: crc32=").expect("end line found above");
+        // The offset must come from the raw bytes: invalid UTF-8 expands
+        // to 3-byte replacement chars in the lossy text, so a text offset
+        // can point past the end of `bytes`.
+        let end_pos = find_line_start(bytes, b"end: crc32=").ok_or(IndexError::Truncated)?;
         let computed = crc32(&bytes[..end_pos]);
         if computed != stored {
             return Err(IndexError::BadCrc { stored, computed });
@@ -184,6 +187,19 @@ impl ContentIndex {
         let last = (entry.archive_start + entry.archive_len).div_ceil(cap);
         first as usize..last.max(first + 1) as usize
     }
+}
+
+/// Byte offset of the first line starting with `marker` ('\n' bytes are
+/// preserved 1:1 by lossy UTF-8 decoding, so raw line starts coincide with
+/// text line starts).
+fn find_line_start(bytes: &[u8], marker: &[u8]) -> Option<usize> {
+    if bytes.starts_with(marker) {
+        return Some(0);
+    }
+    bytes
+        .windows(marker.len() + 1)
+        .position(|w| w[0] == b'\n' && &w[1..] == marker)
+        .map(|p| p + 1)
 }
 
 fn parse_entry(rest: &str) -> Option<IndexEntry> {
@@ -272,6 +288,22 @@ mod tests {
             Err(IndexError::BadCrc { .. }) | Err(IndexError::BadLine(_)) => {}
             other => panic!("expected corruption error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn invalid_utf8_in_names_errors_instead_of_panicking() {
+        // Fuzz regression: invalid UTF-8 expands to 3-byte replacement
+        // chars in the lossy text, so a text-derived CRC slice offset can
+        // run past the raw bytes. The CRC range must come from the bytes.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"ULE VAULT INDEX 1\nchunk: 2\nsegments: 2\n");
+        bytes.extend_from_slice(b"seg: name=");
+        bytes.extend_from_slice(&[0xE1, 0xC4, 0xF6, 0xB1, 0xBB, 0x94, 0xA8]);
+        bytes.extend_from_slice(b" archive=4+0 dump=3+6 crc32=d\nend: crc32=8");
+        assert!(matches!(
+            ContentIndex::parse(&bytes),
+            Err(IndexError::BadCrc { .. })
+        ));
     }
 
     #[test]

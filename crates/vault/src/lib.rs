@@ -691,24 +691,8 @@ impl Vault {
         )?;
         // Walk the length-prefixed records and decompress each segment.
         let mut dump = Vec::new();
-        let mut off = 0usize;
-        while off < data_bytes.len() {
-            if off + 4 > data_bytes.len() {
-                return Err(VaultError::ShapeMismatch(format!(
-                    "dangling {} bytes after the last record",
-                    data_bytes.len() - off
-                )));
-            }
-            let len = u32::from_le_bytes(data_bytes[off..off + 4].try_into().unwrap()) as usize;
-            let end = off + 4 + len;
-            if end > data_bytes.len() {
-                return Err(VaultError::ShapeMismatch(format!(
-                    "record at {off} promises {len} bytes, stream holds {}",
-                    data_bytes.len() - off - 4
-                )));
-            }
-            dump.extend(ule_compress::decompress(&data_bytes[off + 4..end])?);
-            off = end;
+        for record in split_records(&data_bytes)? {
+            dump.extend(ule_compress::decompress(record)?);
         }
         Ok(dump)
     }
@@ -925,6 +909,40 @@ impl<'a> FrameSource<'a> {
             None => &self.rebuilt[&reel][offset],
         }
     }
+}
+
+/// Split a restored data stream into its length-prefixed records,
+/// returning each record's container bytes (prefix stripped).
+///
+/// The stream is a hostile input once the physical layer has done its
+/// best: every structural lie — a length field promising bytes the stream
+/// does not hold, a dangling sub-prefix tail — comes back as
+/// [`VaultError::ShapeMismatch`], never a panic or an over-read.
+pub fn split_records(data_bytes: &[u8]) -> Result<Vec<&[u8]>, VaultError> {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off < data_bytes.len() {
+        if off + 4 > data_bytes.len() {
+            return Err(VaultError::ShapeMismatch(format!(
+                "dangling {} bytes after the last record",
+                data_bytes.len() - off
+            )));
+        }
+        let len = u32::from_le_bytes(data_bytes[off..off + 4].try_into().unwrap()) as usize;
+        let end = off
+            .checked_add(4)
+            .and_then(|p| p.checked_add(len))
+            .filter(|&e| e <= data_bytes.len())
+            .ok_or_else(|| {
+                VaultError::ShapeMismatch(format!(
+                    "record at {off} promises {len} bytes, stream holds {}",
+                    data_bytes.len() - off - 4
+                ))
+            })?;
+        records.push(&data_bytes[off + 4..end]);
+        off = end;
+    }
+    Ok(records)
 }
 
 /// Unwrap one length-prefixed record into its original segment bytes,

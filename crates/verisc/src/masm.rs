@@ -44,6 +44,39 @@ enum CellInit {
     AddrOf(Cell),
 }
 
+/// A builder-contract violation, reported by [`Masm::try_finish`].
+///
+/// The assembler is driven programmatically, but the programs it is asked
+/// to build may themselves be reconstructed from untrusted archival input
+/// — so every misuse is recorded and surfaced as a structured error
+/// instead of panicking mid-build.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MasmError {
+    /// `bind` was called twice for the same label.
+    LabelBoundTwice(usize),
+    /// A label was referenced but never bound when the image was finished.
+    UnboundLabel(usize),
+    /// `array` was given more initial values than its length.
+    ArrayInitOverflow { len: usize, init: usize },
+    /// `pin_tail_array` was called more than once.
+    TailArrayRepinned,
+}
+
+impl std::fmt::Display for MasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MasmError::LabelBoundTwice(i) => write!(f, "label {i} bound twice"),
+            MasmError::UnboundLabel(i) => write!(f, "label {i} never bound"),
+            MasmError::ArrayInitOverflow { len, init } => {
+                write!(f, "array of {len} cells given {init} initial values")
+            }
+            MasmError::TailArrayRepinned => write!(f, "only one tail array supported"),
+        }
+    }
+}
+
+impl std::error::Error for MasmError {}
+
 /// The assembled image.
 pub struct Image {
     pub mem: Vec<u32>,
@@ -67,6 +100,8 @@ pub struct Masm {
     /// cell area at finish() time — used so the guest data region can be
     /// the final region of the image and grow at restore time.
     pinned: Option<(usize, usize)>,
+    /// First builder-contract violation, surfaced by `try_finish`.
+    err: Option<MasmError>,
 }
 
 impl Default for Masm {
@@ -87,6 +122,7 @@ impl Masm {
             zero: Cell(usize::MAX),
             scratch: Cell(usize::MAX),
             pinned: None,
+            err: None,
         };
         m.zero = m.konst(0);
         m.scratch = m.cell(0);
@@ -131,7 +167,12 @@ impl Masm {
     /// Allocate `len` contiguous cells; returns the first. `init` may be
     /// shorter than `len` (the rest are zero).
     pub fn array(&mut self, len: usize, init: &[u32]) -> Cell {
-        assert!(init.len() <= len);
+        if init.len() > len {
+            self.record(MasmError::ArrayInitOverflow {
+                len,
+                init: init.len(),
+            });
+        }
         let first = Cell(self.cells.len());
         for i in 0..len {
             self.cells
@@ -149,7 +190,10 @@ impl Masm {
     /// end of the cell area when the image is finished. Only one array may
     /// be pinned.
     pub fn pin_tail_array(&mut self, first: Cell, len: usize) {
-        assert!(self.pinned.is_none(), "only one tail array supported");
+        if self.pinned.is_some() {
+            self.record(MasmError::TailArrayRepinned);
+            return;
+        }
         self.pinned = Some((first.0, len));
     }
 
@@ -159,8 +203,18 @@ impl Masm {
     }
 
     pub fn bind(&mut self, l: Label) {
-        assert!(self.labels[l.0].is_none(), "label bound twice");
+        if self.labels[l.0].is_some() {
+            self.record(MasmError::LabelBoundTwice(l.0));
+            return;
+        }
         self.labels[l.0] = Some(self.code.len() as u32);
+    }
+
+    /// Keep the first violation: later errors are usually cascades of it.
+    fn record(&mut self, e: MasmError) {
+        if self.err.is_none() {
+            self.err = Some(e);
+        }
     }
 
     pub fn here(&mut self) -> Label {
@@ -424,11 +478,31 @@ impl Masm {
 
     /// Resolve everything and emit the memory image, with `extra_zeros`
     /// additional cells appended (host scratch).
+    /// Resolve labels, constant pools and cell addresses.
+    ///
+    /// Panics on a builder-contract violation; use [`Masm::try_finish`]
+    /// when the program being assembled derives from untrusted input.
     pub fn finish(self, extra_zeros: usize) -> Image {
+        self.try_finish(extra_zeros)
+            .unwrap_or_else(|e| panic!("masm: {e}"))
+    }
+
+    /// Non-panicking [`Masm::finish`]: the first contract violation —
+    /// recorded during building or found at resolution time — comes back
+    /// as a [`MasmError`].
+    pub fn try_finish(self, extra_zeros: usize) -> Result<Image, MasmError> {
+        if let Some(e) = self.err {
+            return Err(e);
+        }
+        if let Some(i) = self.labels.iter().position(|l| l.is_none()) {
+            // Only referenced labels matter, but an allocated-and-forgotten
+            // label is the same authoring bug one edit earlier.
+            return Err(MasmError::UnboundLabel(i));
+        }
         let code_words = self.code.len();
         let cell_base = CODE_BASE as usize + code_words;
         let resolve_label =
-            |l: &Label| -> u32 { CODE_BASE + self.labels[l.0].expect("unbound label") };
+            |l: &Label| -> u32 { CODE_BASE + self.labels[l.0].expect("checked above") };
         let total_cells = self.cells.len();
         let pinned = self.pinned;
         let cell_addr = move |c: &Cell| -> u32 {
@@ -468,11 +542,11 @@ impl Masm {
             .iter()
             .map(|(n, c)| (n.clone(), cell_addr(c)))
             .collect::<HashMap<_, _>>();
-        Image {
+        Ok(Image {
             mem,
             symbols,
             code_words,
-        }
+        })
     }
 }
 
@@ -497,6 +571,44 @@ mod tests {
                 e.mem
             })
             .collect()
+    }
+
+    #[test]
+    fn try_finish_reports_unbound_label() {
+        let mut m = Masm::new();
+        let l = m.label();
+        m.jmp(l);
+        m.halt();
+        assert!(matches!(m.try_finish(0), Err(MasmError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn try_finish_reports_double_bind() {
+        let mut m = Masm::new();
+        let l = m.label();
+        m.bind(l);
+        m.bind(l);
+        m.halt();
+        assert_eq!(m.try_finish(0).err(), Some(MasmError::LabelBoundTwice(l.0)));
+    }
+
+    #[test]
+    fn try_finish_reports_array_overflow_and_repin() {
+        let mut m = Masm::new();
+        let a = m.array(4, &[1, 2, 3, 4]);
+        let b = m.array(2, &[0, 0]);
+        m.pin_tail_array(a, 4);
+        m.pin_tail_array(b, 2);
+        m.halt();
+        assert_eq!(m.try_finish(0).err(), Some(MasmError::TailArrayRepinned));
+
+        let mut m = Masm::new();
+        m.array(1, &[1, 2, 3]);
+        m.halt();
+        assert_eq!(
+            m.try_finish(0).err(),
+            Some(MasmError::ArrayInitOverflow { len: 1, init: 3 })
+        );
     }
 
     #[test]

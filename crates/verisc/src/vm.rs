@@ -75,8 +75,12 @@ pub struct Engine {
 
 impl Engine {
     /// Wrap a memory image (`MEM[0]` must already hold the entry PC).
+    ///
+    /// Any size is accepted — an image too small to even hold the PC and
+    /// borrow cells faults with [`VeriscError::OutOfBounds`] on first use
+    /// rather than being rejected here, so a truncated archival image is
+    /// a structured runtime error, not a panic.
     pub fn new(kind: EngineKind, mem: Vec<u32>) -> Self {
-        assert!(mem.len() > 2, "memory too small");
         Self {
             kind,
             mem,
@@ -116,8 +120,15 @@ impl Engine {
     #[inline]
     fn write(&mut self, addr: u32, v: u32) -> Result<(), VeriscError> {
         if addr == BORROW_ADDR {
-            self.mem[BORROW_ADDR as usize] = if v == 0 { 0 } else { u32::MAX };
-            return Ok(());
+            // The borrow cell stores a saturated mask, never the raw value.
+            let mask = if v == 0 { 0 } else { u32::MAX };
+            return match self.mem.get_mut(BORROW_ADDR as usize) {
+                Some(slot) => {
+                    *slot = mask;
+                    Ok(())
+                }
+                None => Err(VeriscError::OutOfBounds { addr }),
+            };
         }
         match self.mem.get_mut(addr as usize) {
             Some(slot) => {
@@ -139,7 +150,7 @@ impl Engine {
     /// how `exec` dispatches).
     #[inline]
     fn fetch(&mut self) -> Result<Option<(u32, u32)>, VeriscError> {
-        let pc = self.mem[PC_ADDR as usize];
+        let pc = self.read(PC_ADDR)?;
         if pc == HALT_ADDR {
             self.halted = true;
             return Ok(None);
@@ -152,10 +163,11 @@ impl Engine {
 
     #[inline]
     fn borrow_bit(&self) -> u32 {
-        if self.mem[BORROW_ADDR as usize] == 0 {
-            0
-        } else {
-            1
+        // A missing borrow cell reads as clear; the paired write faults,
+        // so the inconsistency cannot go unnoticed.
+        match self.mem.get(BORROW_ADDR as usize) {
+            Some(0) | None => 0,
+            Some(_) => 1,
         }
     }
 
@@ -179,7 +191,7 @@ impl Engine {
                     let rhs = m as u64 + b as u64;
                     let borrow_out = rhs > self.acc as u64;
                     self.acc = (self.acc as u64).wrapping_sub(rhs) as u32;
-                    self.mem[BORROW_ADDR as usize] = if borrow_out { u32::MAX } else { 0 };
+                    self.write(BORROW_ADDR, if borrow_out { u32::MAX } else { 0 })?;
                 }
                 OP_AND => self.acc &= self.read(addr)?,
                 _ => {
@@ -208,8 +220,7 @@ impl Engine {
             let rhs = m as u64 + e.borrow_bit() as u64;
             let borrow_out = rhs > e.acc as u64;
             e.acc = (e.acc as u64).wrapping_sub(rhs) as u32;
-            e.mem[BORROW_ADDR as usize] = if borrow_out { u32::MAX } else { 0 };
-            Ok(())
+            e.write(BORROW_ADDR, if borrow_out { u32::MAX } else { 0 })
         }
         fn h_and(e: &mut Engine, a: u32) -> Result<(), VeriscError> {
             e.acc &= e.read(a)?;
@@ -289,7 +300,7 @@ impl Engine {
                         let rhs = latch as u64 + self.borrow_bit() as u64;
                         let borrow_out = rhs > self.acc as u64;
                         latch = (self.acc as u64).wrapping_sub(rhs) as u32;
-                        self.mem[BORROW_ADDR as usize] = if borrow_out { u32::MAX } else { 0 };
+                        self.write(BORROW_ADDR, if borrow_out { u32::MAX } else { 0 })?;
                     }
                     Uop::BitAnd => latch &= self.acc,
                 }
@@ -315,6 +326,26 @@ mod tests {
     /// `HALT` = LD from a cell holding 0xFFFFFFFF, ST to PC.
     fn halt_via(cell: u32) -> Vec<u32> {
         vec![OP_LD, cell, OP_ST, PC_ADDR]
+    }
+
+    #[test]
+    fn undersized_images_fault_identically_on_all_engines() {
+        // Hostile-input hardening: a truncated archival image must come
+        // back as OutOfBounds from every engine, never a construction
+        // panic or an unchecked borrow-cell write.
+        for mem in [vec![], vec![5], vec![2, 7]] {
+            let mut results = Vec::new();
+            for kind in EngineKind::ALL {
+                let mut e = Engine::new(kind, mem.clone());
+                let res = e.run(100);
+                assert!(
+                    matches!(res, Err(VeriscError::OutOfBounds { .. })),
+                    "{kind:?} on {mem:?}: {res:?}"
+                );
+                results.push((res, e.acc, e.mem.clone()));
+            }
+            assert!(results.windows(2).all(|w| w[0] == w[1]), "mem {mem:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,47 @@
+//! Replay of minimised fuzz findings (`DESIGN.md` §13).
+//!
+//! Every crash the structured-fuzz harness has ever found is frozen as a
+//! fixture under `tests/fixtures/regressions/`, named
+//! `<target-name>__<description>.bin`, and replayed here through the same
+//! [`ule_fuzz::FuzzTarget`] adapter that found it. A panic in this test
+//! means a fixed bug has been reintroduced.
+
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn regression_corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/regressions");
+    let targets = ule_fuzz::all_targets();
+    let mut replayed = 0usize;
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("regressions dir")
+        .map(|e| e.expect("dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().map_or(true, |e| e != "bin") {
+            continue;
+        }
+        let stem = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .expect("utf-8 fixture name");
+        let (target_name, _) = stem
+            .split_once("__")
+            .unwrap_or_else(|| panic!("{stem}: fixtures are named <target>__<description>.bin"));
+        let target = targets
+            .iter()
+            .find(|t| t.name() == target_name)
+            .unwrap_or_else(|| panic!("{stem}: no fuzz target named {target_name}"));
+        let input = fs::read(&path).expect("read fixture");
+        // Must return without panicking; the structured error (if any) is
+        // asserted by the finding's unit test in the parser's own crate.
+        target.run(&input);
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 2,
+        "regression corpus unexpectedly small: {replayed} fixtures"
+    );
+}

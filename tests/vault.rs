@@ -59,6 +59,85 @@ fn damaged_index_falls_back_to_full_restore_byte_identical() {
 }
 
 #[test]
+fn bad_index_crc_in_manifest_falls_back_byte_identical() {
+    // The manifest's trailing CRC disagrees with a perfectly readable
+    // index stream: trust neither, fall back to the full scan, and still
+    // return the exact bytes.
+    let v = vault();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let scans = v.scan_reels(&arc, 31);
+    let mut bootstrap = arc.bootstrap.clone();
+    bootstrap.vault.as_mut().unwrap().index_crc32 ^= 0x1;
+
+    let entry = arc.index.find("orders").unwrap();
+    let (bytes, stats) = v.restore_table(&bootstrap, &scans, "orders").unwrap();
+    assert!(stats.index_fallback, "CRC mismatch must be detected");
+    assert_eq!(stats.path, RestorePath::Full);
+    let start = entry.dump_start as usize;
+    assert_eq!(bytes, &dump[start..start + entry.dump_len as usize]);
+}
+
+#[test]
+fn truncated_index_reel_is_a_structured_shape_error() {
+    // A shelf whose final reel lost its tail frames (torn tape, partial
+    // scan) disagrees with the manifest's frame counts: selective restore
+    // must report the shape mismatch, not index out of bounds.
+    let v = vault();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let mut scans = v.scan_reels(&arc, 32);
+    let frames = scans[0].as_mut().unwrap();
+    assert!(frames.len() >= 2, "reel 0 too small to truncate");
+    frames.truncate(frames.len() - 1);
+
+    match v.restore_table(&arc.bootstrap, &scans, "orders") {
+        Err(VaultError::ShapeMismatch(msg)) => {
+            assert!(msg.contains("frames"), "unhelpful message: {msg}");
+        }
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn record_length_field_past_the_stream_is_a_structured_error() {
+    use ule::vault::split_records;
+
+    // Length prefix promising more bytes than the stream holds.
+    let mut stream = 100u32.to_le_bytes().to_vec();
+    stream.extend_from_slice(&[0u8; 10]);
+    match split_records(&stream) {
+        Err(VaultError::ShapeMismatch(msg)) => {
+            assert!(msg.contains("promises"), "unhelpful message: {msg}");
+        }
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+
+    // u32::MAX prefix: the offset arithmetic must not overflow.
+    match split_records(&u32::MAX.to_le_bytes()) {
+        Err(VaultError::ShapeMismatch(_)) => {}
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+
+    // A dangling sub-prefix tail after a valid record.
+    let mut stream = 2u32.to_le_bytes().to_vec();
+    stream.extend_from_slice(&[7, 7, 1, 2]);
+    match split_records(&stream) {
+        Err(VaultError::ShapeMismatch(msg)) => {
+            assert!(msg.contains("dangling"), "unhelpful message: {msg}");
+        }
+        other => panic!("expected ShapeMismatch, got {other:?}"),
+    }
+
+    // And the happy path splits cleanly.
+    let mut stream = 3u32.to_le_bytes().to_vec();
+    stream.extend_from_slice(&[9, 9, 9]);
+    stream.extend_from_slice(&0u32.to_le_bytes());
+    let records = split_records(&stream).unwrap();
+    assert_eq!(records, vec![&[9u8, 9, 9][..], &[][..]]);
+}
+
+#[test]
 fn one_reel_lost_per_group_reconstructs_bit_exact() {
     let v = vault();
     let dump = dump();
