@@ -19,10 +19,12 @@
 //! [`MicrOlonys::restore_native`] is the fast path with full Reed–Solomon
 //! damage recovery.
 //!
-//! Both the archive pipeline and the native restore fan their per-emblem
-//! work out across a [`ThreadConfig`] worker pool (`MicrOlonys { threads,
-//! .. }`); the emulated path is sequential by design. Output never depends
-//! on the thread count — the on-medium format is frozen (`DESIGN.md` §9).
+//! The archive pipeline and the native restore fan their per-emblem work
+//! out across a [`ThreadConfig`] worker pool (`MicrOlonys { threads,
+//! .. }`), and the emulated restore fans its per-frame MODecode VM
+//! instances out the same way (pick the engine with [`EmulationTier`]).
+//! Output never depends on the thread count — the on-medium format is
+//! frozen (`DESIGN.md` §9).
 
 pub mod archiver;
 pub mod bootstrap;
@@ -30,5 +32,5 @@ pub mod restorer;
 
 pub use archiver::{ArchiveOutput, ArchiveStats, MicrOlonys};
 pub use bootstrap::document::{Bootstrap, BootstrapParseError, VaultManifest};
-pub use restorer::{RestoreError, RestoreStats};
+pub use restorer::{EmulationTier, RestoreError, RestoreStats};
 pub use ule_par::ThreadConfig;

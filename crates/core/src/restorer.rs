@@ -5,12 +5,16 @@
 //!
 //! 1. parses the Bootstrap (letters → the VeRisc memory image holding the
 //!    DynaRisc emulator + MODecode);
-//! 2. runs MODecode *inside the nested emulator* on every scan to extract
-//!    emblem headers and payloads;
-//! 3. assembles the system payloads into the DBDecode instruction stream
-//!    and loads it into the emulator's guest program region;
+//! 2. runs MODecode *under the selected [`EmulationTier`]* on every scan
+//!    to extract emblem headers and payloads — one independent DynaRisc
+//!    machine per scan, fanned out over `ule_par` (`DESIGN.md` §9);
+//! 3. assembles the system payloads into the DBDecode instruction stream;
 //! 4. runs DBDecode on the concatenated data payloads to recover the SQL
 //!    archive.
+//!
+//! No native decoder is invoked on any tier: even the host-engine tiers
+//! execute only the *archived* MODecode/DBDecode instruction streams, with
+//! MODecode read back out of the Bootstrap's own image prefix.
 //!
 //! Host-side work is limited to what the Bootstrap explicitly delegates
 //! to the restoring user: scanning, thresholding pixels, laying out the
@@ -21,9 +25,14 @@ use crate::archiver::MicrOlonys;
 use crate::bootstrap::document::Bootstrap;
 use ule_compress::ArchiveError;
 use ule_dynarisc::layout;
+use ule_dynarisc::programs::modecode::ModecodeParams;
+use ule_dynarisc::programs::{dbdecode, modecode};
+use ule_dynarisc::{ThreadedImage, Vm, VmError};
 use ule_emblem::geometry::RS_K;
 use ule_emblem::stream::{chunk_global_index, GROUP_DATA};
 use ule_emblem::{decode_stream, decode_stream_with, EmblemHeader, EmblemKind, StreamError};
+use ule_gf256::crc::crc32_update;
+use ule_par::ThreadConfig;
 use ule_raster::GrayImage;
 use ule_verisc::vm::{EngineKind, VeriscError};
 use ule_verisc::NestedEmulator;
@@ -37,6 +46,9 @@ pub enum RestoreError {
     Archive(ArchiveError),
     /// The VeRisc machine faulted or ran out of budget.
     Verisc(VeriscError),
+    /// A host DynaRisc machine faulted or ran out of budget
+    /// ([`EmulationTier::Threaded`] / [`EmulationTier::Interpreter`]).
+    DynaRisc(VmError),
     /// An emulated decoder reported a bad status word.
     DecoderStatus(u16),
     /// An emblem's header could not be parsed after emulated decode.
@@ -63,6 +75,7 @@ impl std::fmt::Display for RestoreError {
             RestoreError::Stream(e) => write!(f, "emblem stream: {e}"),
             RestoreError::Archive(e) => write!(f, "archive: {e}"),
             RestoreError::Verisc(e) => write!(f, "verisc: {e}"),
+            RestoreError::DynaRisc(e) => write!(f, "dynarisc: {e}"),
             RestoreError::DecoderStatus(s) => write!(f, "emulated decoder status {s}"),
             RestoreError::BadHeader(i) => write!(f, "scan {i}: unparseable emblem header"),
             RestoreError::NoDecoder => write!(f, "no system emblems found"),
@@ -96,6 +109,11 @@ impl From<VeriscError> for RestoreError {
         RestoreError::Verisc(e)
     }
 }
+impl From<VmError> for RestoreError {
+    fn from(e: VmError) -> Self {
+        RestoreError::DynaRisc(e)
+    }
+}
 
 /// Diagnostics from a restoration run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -103,10 +121,42 @@ pub struct RestoreStats {
     pub scans: usize,
     pub emblems_recovered: usize,
     pub rs_corrected: usize,
-    /// Total VeRisc instructions executed (emulated path only).
+    /// Total VeRisc instructions executed ([`EmulationTier::Nested`] only).
     pub verisc_steps: u64,
+    /// Total DynaRisc instructions executed on a host engine
+    /// ([`EmulationTier::Threaded`] / [`EmulationTier::Interpreter`] only).
+    pub guest_steps: u64,
+    /// CRC-32 over the per-frame MODecode outputs, concatenated in scan
+    /// input order (emulated path only). Two emulated runs decoded the
+    /// same frames identically iff these match — the per-run identity
+    /// check the E12 gate and `tests/parallel_identity.rs` compare across
+    /// tiers and thread counts.
+    pub frame_crc32: u32,
     /// Data payload bytes decoded.
     pub archive_bytes: usize,
+}
+
+/// Which engine stack hosts the archived decoders on the emulated path.
+///
+/// Every tier executes the same archived MODecode/DBDecode instruction
+/// streams; they differ only in who runs DynaRisc:
+///
+/// * [`Threaded`](EmulationTier::Threaded) — the pre-compiled
+///   direct-dispatch engine (`ule_dynarisc::threaded`). The production
+///   tier: fastest, and the one E12 holds to a small constant factor of
+///   the native decoder.
+/// * [`Interpreter`](EmulationTier::Interpreter) — the reference
+///   interpreter (`ule_dynarisc::vm`), whose `step` match is the ISA
+///   specification.
+/// * [`Nested`](EmulationTier::Nested) — the DynaRisc emulator *written
+///   in VeRisc*, hosted by one of the three independent from-scratch
+///   VeRisc interpreters: the paper's portability proof (E5/E7), slowest
+///   by ~3 decimal orders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EmulationTier {
+    Threaded,
+    Interpreter,
+    Nested(EngineKind),
 }
 
 impl MicrOlonys {
@@ -145,8 +195,8 @@ impl MicrOlonys {
                 scans: s.scans,
                 emblems_recovered: s.emblems_recovered,
                 rs_corrected: s.rs_corrected,
-                verisc_steps: 0,
                 archive_bytes: archive.len(),
+                ..Default::default()
             },
         ))
     }
@@ -212,23 +262,27 @@ impl MicrOlonys {
 
     /// Fully emulated restoration from the Bootstrap text plus scans.
     ///
-    /// `engine` selects which of the three independent VeRisc interpreter
-    /// implementations hosts the whole stack. Scans must be clean
-    /// (pristine or lightly degraded) — the archived MODecode handles the
-    /// paper's zero-error film scans; damaged media go through
+    /// `tier` selects who executes the archived decoders (see
+    /// [`EmulationTier`]); every tier runs the same MODecode/DBDecode
+    /// instruction streams and produces byte-identical output. Scans must
+    /// be clean (pristine or lightly degraded) — the archived MODecode
+    /// handles the paper's zero-error film scans; damaged media go through
     /// [`MicrOlonys::restore_native`].
     ///
-    /// This path is sequential **by design** and takes no
-    /// [`ule_par::ThreadConfig`]: it mechanises the Bootstrap walkthrough a
-    /// future restorer follows by hand, and that document specifies a
-    /// sequential procedure a from-scratch interpreter written in any
-    /// language must be able to reproduce (`DESIGN.md` §9).
-    /// `tests/parallel_identity.rs` asserts its output matches the
-    /// (parallelisable) native path bit for bit.
+    /// The per-scan MODecode runs fan out over `threads`: each scan's
+    /// decode is a pure function of (Bootstrap, scan) on a private machine
+    /// instance, `ule_par::map` joins results in input order, and
+    /// everything order-sensitive (header parsing, stream assembly, stats
+    /// accumulation, the frame CRC) happens after the join on the calling
+    /// thread — so the restored bytes and [`RestoreStats::frame_crc32`]
+    /// are identical at any thread count (`DESIGN.md` §9;
+    /// `tests/parallel_identity.rs` is the proof). The final DBDecode pass
+    /// consumes the *concatenated* stream and stays on the calling thread.
     pub fn restore_emulated(
         bootstrap_text: &str,
         scans: &[GrayImage],
-        engine: EngineKind,
+        tier: EmulationTier,
+        threads: ThreadConfig,
     ) -> Result<(Vec<u8>, RestoreStats), RestoreError> {
         let boot = Bootstrap::parse(bootstrap_text)
             .map_err(|e| RestoreError::Archive(ArchiveError::Corrupt(e.to_string())))?;
@@ -237,15 +291,37 @@ impl MicrOlonys {
             ..Default::default()
         };
 
-        // Step 1 per the walkthrough: threshold pixels.
+        // Steps 1–4 per the walkthrough, once per scan, fanned out:
+        // threshold pixels, lay out the decoder memory, run MODecode.
+        // The host tiers read MODecode back out of the Bootstrap's image
+        // prefix — the document, not the native codebase, supplies the
+        // decoder on every tier.
+        let outs: Vec<Result<(Vec<u8>, u64), RestoreError>> = match tier {
+            EmulationTier::Nested(kind) => ule_par::map(threads, scans, |scan| {
+                run_modecode_nested(&boot, scan, kind)
+            }),
+            _ => {
+                let runner = GuestRunner::for_tier(tier, modecode_from_prefix(&boot)?);
+                ule_par::map(threads, scans, |scan| {
+                    run_modecode_hosted(&boot, scan, &runner)
+                })
+            }
+        };
         let mut decoded: Vec<(EmblemHeader, Vec<u8>)> = Vec::with_capacity(scans.len());
-        for (i, scan) in scans.iter().enumerate() {
-            let out = run_modecode_emulated(&boot, scan, engine, &mut stats)?;
+        let mut crc = 0xFFFF_FFFFu32;
+        for (i, res) in outs.into_iter().enumerate() {
+            let (out, steps) = res?;
+            match tier {
+                EmulationTier::Nested(_) => stats.verisc_steps += steps,
+                _ => stats.guest_steps += steps,
+            }
+            crc = crc32_update(crc, &out);
             let header =
                 EmblemHeader::from_bytes(&out[..16]).map_err(|_| RestoreError::BadHeader(i))?;
             let payload = out[16..16 + header.payload_len as usize].to_vec();
             decoded.push((header, payload));
         }
+        stats.frame_crc32 = crc ^ 0xFFFF_FFFF;
 
         // Steps 5–6: assemble the DBDecode stream (system emblems) and the
         // data archive. Scans arrive in any order, possibly duplicated,
@@ -262,28 +338,99 @@ impl MicrOlonys {
         let archive = assemble_stream(&decoded, EmblemKind::Data, chunk_cap, boot.outer_parity)?;
         stats.archive_bytes = archive.len();
 
-        // Run DBDecode inside the emulator.
+        // Run DBDecode on the selected tier over the concatenated stream.
         let out_len = if archive.len() >= 14 {
             u64::from_le_bytes(archive[6..14].try_into().unwrap()) as usize
         } else {
             0
         };
         let (guest_mem, out_base) = layout::build_memory(&archive, out_len, &[]);
-        let mut emu =
-            NestedEmulator::from_image_prefix(&boot.image_prefix, boot.symbols.clone(), &guest_mem);
-        emu.load_guest_program(&dbdecode_words, boot.prog_capacity);
-        emu.reset_guest();
-        // ~5k VeRisc instructions per guest-decoded byte was measured;
-        // budget 4× that for safety.
-        let budget = 100_000u64.saturating_add(20_000 * (archive.len() as u64 + out_len as u64));
-        stats.verisc_steps += emu.run(engine, budget)?;
-        let guest = emu.dyn_mem();
+        let guest = match tier {
+            EmulationTier::Nested(kind) => {
+                let mut emu = NestedEmulator::from_image_prefix(
+                    &boot.image_prefix,
+                    boot.symbols.clone(),
+                    &guest_mem,
+                );
+                emu.load_guest_program(&dbdecode_words, boot.prog_capacity);
+                emu.reset_guest();
+                // ~5k VeRisc instructions per guest-decoded byte was
+                // measured; budget 4× that for safety.
+                let budget =
+                    100_000u64.saturating_add(20_000 * (archive.len() as u64 + out_len as u64));
+                stats.verisc_steps += emu.run(kind, budget)?;
+                emu.dyn_mem()
+            }
+            _ => {
+                let runner = GuestRunner::for_tier(tier, dbdecode_words);
+                let fuel = dbdecode::step_budget(archive.len(), out_len);
+                let (mem, steps) = runner.run(guest_mem, fuel)?;
+                stats.guest_steps += steps;
+                mem
+            }
+        };
         let status = u16::from_le_bytes([guest[0], guest[1]]);
         if status != 0 {
             return Err(RestoreError::DecoderStatus(status));
         }
         Ok((layout::read_output(&guest, out_base), stats))
     }
+}
+
+/// A host DynaRisc engine holding one archived program, shareable across
+/// the per-scan fan-out ([`ThreadedImage`] is `Sync`; the interpreter
+/// re-decodes from its own copy of the words).
+enum GuestRunner {
+    /// Reference interpreter — re-decodes every step.
+    Interpreter(Vec<u16>),
+    /// Pre-compiled threaded code — one handler pointer per word.
+    Threaded(ThreadedImage),
+}
+
+impl GuestRunner {
+    fn for_tier(tier: EmulationTier, program: Vec<u16>) -> GuestRunner {
+        match tier {
+            EmulationTier::Threaded => GuestRunner::Threaded(ThreadedImage::compile(&program)),
+            _ => GuestRunner::Interpreter(program),
+        }
+    }
+
+    /// Run the program to completion over `mem` under `fuel`; returns the
+    /// final data memory and the DynaRisc instruction count.
+    fn run(&self, mem: Vec<u8>, fuel: u64) -> Result<(Vec<u8>, u64), VmError> {
+        match self {
+            GuestRunner::Interpreter(words) => {
+                let mut vm = Vm::new(words.clone(), mem);
+                let steps = vm.run(fuel)?;
+                Ok((vm.mem, steps))
+            }
+            GuestRunner::Threaded(image) => {
+                let mut vm = image.instantiate(mem);
+                let steps = vm.run(fuel)?;
+                Ok((vm.mem, steps))
+            }
+        }
+    }
+}
+
+/// Read the MODecode instruction stream back out of the Bootstrap's image
+/// prefix (the `PROG` region of the archived VeRisc memory image, one
+/// 16-bit word per cell). Trailing zero cells past the program's final RET
+/// are unreachable and harmless.
+fn modecode_from_prefix(boot: &Bootstrap) -> Result<Vec<u16>, RestoreError> {
+    let corrupt = |msg: &str| RestoreError::Archive(ArchiveError::Corrupt(msg.to_string()));
+    let base = *boot
+        .symbols
+        .get("PROG")
+        .ok_or_else(|| corrupt("Bootstrap image lacks a PROG symbol"))? as usize;
+    let end = base
+        .checked_add(boot.prog_capacity)
+        .filter(|&e| e <= boot.image_prefix.len())
+        .ok_or_else(|| corrupt("Bootstrap PROG region exceeds the image prefix"))?;
+    Ok(boot.image_prefix[base..end]
+        .iter()
+        .map(|&cell| cell as u16)
+        .collect())
 }
 
 /// Reassemble one emblem stream (`kind`) from emulator-decoded emblems,
@@ -531,43 +678,65 @@ mod tests {
     }
 }
 
-/// Run MODecode inside the nested emulator for one scan.
-fn run_modecode_emulated(
-    boot: &Bootstrap,
-    scan: &GrayImage,
-    engine: EngineKind,
-    stats: &mut RestoreStats,
-) -> Result<Vec<u8>, RestoreError> {
-    // Host-side preprocessing sanctioned by the Bootstrap: pixel array,
-    // threshold 128.
+/// Host-side preprocessing sanctioned by the Bootstrap — pixel array
+/// (threshold 128) plus the MODecode parameter block and its laid-out
+/// guest memory.
+fn modecode_memory(boot: &Bootstrap, scan: &GrayImage) -> (Vec<u8>, u32, ModecodeParams) {
     let pixels: Vec<u8> = scan
         .as_bytes()
         .iter()
         .map(|&p| if p < 128 { 0u8 } else { 255 })
         .collect();
-    let params = [
-        scan.width() as u16,
-        scan.height() as u16,
-        boot.cols as u16,
-        boot.rows as u16,
-        boot.cell_px as u16,
-        boot.origin_px as u16,
-        boot.nblocks as u16,
-        boot.xoff as u16,
-        boot.yoff as u16,
-    ];
+    let params = ModecodeParams {
+        width: scan.width() as u16,
+        height: scan.height() as u16,
+        cols: boot.cols as u16,
+        rows: boot.rows as u16,
+        cell_px: boot.cell_px as u16,
+        origin_px: boot.origin_px as u16,
+        nblocks: boot.nblocks as u16,
+        xoff: boot.xoff as u16,
+        yoff: boot.yoff as u16,
+    };
     let max_out = 16 + 2 * boot.nblocks * 255 + 64;
-    let (guest_mem, out_base) = layout::build_memory(&pixels, max_out, &params);
+    let (guest_mem, out_base) = layout::build_memory(&pixels, max_out, &params.to_words());
+    (guest_mem, out_base, params)
+}
+
+/// Run MODecode inside the nested VeRisc emulator for one scan. Returns
+/// the output region and the VeRisc instruction count.
+fn run_modecode_nested(
+    boot: &Bootstrap,
+    scan: &GrayImage,
+    engine: EngineKind,
+) -> Result<(Vec<u8>, u64), RestoreError> {
+    let (guest_mem, out_base, _) = modecode_memory(boot, scan);
     let mut emu =
         NestedEmulator::from_image_prefix(&boot.image_prefix, boot.symbols.clone(), &guest_mem);
     emu.reset_guest();
     let cells = boot.cols as u64 * boot.rows as u64;
     let budget = 2_000_000u64.saturating_add(cells * 60_000);
-    stats.verisc_steps += emu.run(engine, budget)?;
+    let steps = emu.run(engine, budget)?;
     let guest = emu.dyn_mem();
     let status = u16::from_le_bytes([guest[0], guest[1]]);
     if status != 0 {
         return Err(RestoreError::DecoderStatus(status));
     }
-    Ok(layout::read_output(&guest, out_base))
+    Ok((layout::read_output(&guest, out_base), steps))
+}
+
+/// Run MODecode on a host DynaRisc engine for one scan. Returns the
+/// output region and the DynaRisc instruction count.
+fn run_modecode_hosted(
+    boot: &Bootstrap,
+    scan: &GrayImage,
+    runner: &GuestRunner,
+) -> Result<(Vec<u8>, u64), RestoreError> {
+    let (guest_mem, out_base, params) = modecode_memory(boot, scan);
+    let (mem, steps) = runner.run(guest_mem, modecode::step_budget(&params))?;
+    let status = u16::from_le_bytes([mem[0], mem[1]]);
+    if status != 0 {
+        return Err(RestoreError::DecoderStatus(status));
+    }
+    Ok((layout::read_output(&mem, out_base), steps))
 }

@@ -2,7 +2,7 @@
 //! using *only* the Bootstrap document and the scans — every decoder runs
 //! inside the nested VeRisc → DynaRisc emulator.
 
-use micr_olonys::MicrOlonys;
+use micr_olonys::{EmulationTier, MicrOlonys, ThreadConfig};
 use ule_compress::Scheme;
 use ule_media::Medium;
 use ule_verisc::vm::EngineKind;
@@ -42,9 +42,13 @@ fn full_emulated_restoration_from_bootstrap_text() {
     scans.extend(out.data_frames.iter().cloned());
     scans.reverse(); // order must not matter
 
-    let (restored, stats) =
-        MicrOlonys::restore_emulated(&bootstrap_text, &scans, EngineKind::MatchBased)
-            .expect("emulated restore");
+    let (restored, stats) = MicrOlonys::restore_emulated(
+        &bootstrap_text,
+        &scans,
+        EmulationTier::Nested(EngineKind::MatchBased),
+        ThreadConfig::Serial,
+    )
+    .expect("emulated restore");
     assert_eq!(restored, dump, "restored dump differs");
     assert!(
         stats.verisc_steps > 1_000_000,
@@ -66,13 +70,78 @@ fn emulated_restore_agrees_across_all_engines() {
 
     let mut results = Vec::new();
     for kind in EngineKind::ALL {
-        let (restored, _) = MicrOlonys::restore_emulated(&text, &scans, kind).expect("restore");
+        let (restored, _) = MicrOlonys::restore_emulated(
+            &text,
+            &scans,
+            EmulationTier::Nested(kind),
+            ThreadConfig::Serial,
+        )
+        .expect("restore");
         results.push((kind, restored));
     }
     for w in results.windows(2) {
         assert_eq!(w[0].1, w[1].1, "{:?} vs {:?}", w[0].0, w[1].0);
     }
     assert_eq!(results[0].1, dump);
+}
+
+#[test]
+fn emulated_restore_agrees_across_all_tiers() {
+    // The throughput rebuild must not change one byte: the threaded
+    // engine, the reference interpreter, and the nested VeRisc emulator
+    // restore identical dumps with identical per-frame CRCs.
+    let sys = micro_system();
+    let dump = sample_dump();
+    let out = sys.archive(&dump);
+    let text = out.bootstrap.to_text();
+    let mut scans = out.system_frames.clone();
+    scans.extend(out.data_frames.iter().cloned());
+
+    let tiers = [
+        EmulationTier::Threaded,
+        EmulationTier::Interpreter,
+        EmulationTier::Nested(EngineKind::MatchBased),
+    ];
+    let mut results = Vec::new();
+    for tier in tiers {
+        let (restored, stats) =
+            MicrOlonys::restore_emulated(&text, &scans, tier, ThreadConfig::Serial)
+                .expect("restore");
+        results.push((tier, restored, stats.frame_crc32));
+    }
+    for w in results.windows(2) {
+        assert_eq!(w[0].1, w[1].1, "bytes: {:?} vs {:?}", w[0].0, w[1].0);
+        assert_eq!(w[0].2, w[1].2, "frame crc: {:?} vs {:?}", w[0].0, w[1].0);
+    }
+    assert_eq!(results[0].1, dump);
+}
+
+#[test]
+fn host_tiers_count_guest_steps_and_agree_on_them() {
+    // Both host engines execute the same archived instruction stream, so
+    // their DynaRisc instruction counts must match exactly — fuel parity
+    // is part of the bit-identical contract.
+    let sys = micro_system();
+    let dump = sample_dump();
+    let out = sys.archive(&dump);
+    let text = out.bootstrap.to_text();
+    let mut scans = out.system_frames.clone();
+    scans.extend(out.data_frames.iter().cloned());
+
+    let (_, threaded) =
+        MicrOlonys::restore_emulated(&text, &scans, EmulationTier::Threaded, ThreadConfig::Serial)
+            .expect("threaded");
+    let (_, interp) = MicrOlonys::restore_emulated(
+        &text,
+        &scans,
+        EmulationTier::Interpreter,
+        ThreadConfig::Serial,
+    )
+    .expect("interpreter");
+    assert!(threaded.guest_steps > 10_000, "guest work not counted");
+    assert_eq!(threaded.guest_steps, interp.guest_steps);
+    assert_eq!(threaded.verisc_steps, 0);
+    assert_eq!(interp.verisc_steps, 0);
 }
 
 #[test]

@@ -9,7 +9,12 @@
 //! * [`isa`] — opcodes, addressing modes, instruction encode/decode;
 //! * [`vm`] — the interpreter with `R0..R15` (16-bit data registers),
 //!   `D0..D7` (32-bit memory pointer registers), C/Z/N flags, a bounded
-//!   internal call stack, and byte-addressed data memory;
+//!   internal call stack, and byte-addressed data memory; it is the
+//!   *reference* engine — the single `match` in `Vm::step` is the spec;
+//! * [`threaded`] — the production engine: the same ISA pre-decoded into
+//!   direct-dispatch threaded code (one handler pointer per word
+//!   position), proven bit-identical to [`vm`] by conformance fixtures
+//!   and a differential fuzz target;
 //! * [`asm`] — a label-resolving programmatic assembler plus a
 //!   disassembler (the instruction-listing side of Table 1);
 //! * [`text_asm`] — a textual assembler accepting the disassembler's
@@ -30,8 +35,10 @@ pub mod isa;
 pub mod layout;
 pub mod programs;
 pub mod text_asm;
+pub mod threaded;
 pub mod vm;
 
 pub use asm::Asm;
 pub use isa::{Instr, Mode, Opcode};
-pub use vm::{Vm, VmError};
+pub use threaded::{ThreadedImage, ThreadedVm};
+pub use vm::{MachineState, Vm, VmError};

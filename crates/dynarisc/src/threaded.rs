@@ -1,0 +1,985 @@
+//! The threaded-code DynaRisc engine: pre-decode once, dispatch through
+//! function pointers, no per-step `match`.
+//!
+//! [`crate::vm::Vm`] re-decodes the instruction word at every step — the
+//! honest mechanisation of the archived walkthrough, and the *reference
+//! semantics*. This module trades that transparency for throughput the way
+//! processor-based emulators do: a compile pass walks the program image
+//! once and lowers **every word index** into a `Slot` — a decoded-operand
+//! struct carrying a handler function pointer — and the dispatch loop is
+//! just `(slot.exec)(vm, slot)`. Compiling at every word index (not just
+//! instruction starts) matters because DynaRisc jump targets are arbitrary
+//! word positions: a branch may land in the middle of an immediate, and the
+//! interpreter would happily re-decode from there. The threaded engine must
+//! agree bit-for-bit, so it pre-decodes those overlapping readings too.
+//!
+//! Parity contract (enforced by `tests/conformance.rs` fixtures and the
+//! `dynarisc_diff` fuzz target): for any program image, data memory image
+//! and fuel budget, [`ThreadedVm`] and [`crate::vm::Vm`] produce identical
+//! [`MachineState`]s and identical `run` results — including fault
+//! variants, fault ordering (partial `STM` word stores), and the rule that
+//! `PcFault`/`Decode` do **not** count a step while `MemFault`/
+//! `CallOverflow` do.
+
+use crate::isa::{DecodeErr, Instr, Mode, Opcode};
+use crate::vm::{Flags, MachineState, VmError, CALL_STACK_DEPTH};
+use std::sync::Arc;
+
+/// Handler signature: executes one pre-decoded slot. The slot is passed by
+/// value (it is `Copy`) so handlers never re-borrow the code array.
+type Handler = fn(&mut ThreadedVm, Slot) -> Result<(), VmError>;
+
+/// One pre-decoded word position: handler + flattened operands.
+#[derive(Clone, Copy)]
+struct Slot {
+    exec: Handler,
+    /// `a` register field (full 4 bits).
+    a: u8,
+    /// `b` register field (full 4 bits) — also the shift count for the
+    /// immediate-count shift forms.
+    b: u8,
+    /// `a & 7`: pointer-register index for `D`-destination forms.
+    da: u8,
+    /// `b & 7`: pointer-register index for `D`-source forms.
+    db: u8,
+    /// First immediate / jump target word.
+    imm: u16,
+    /// `(imm2 << 16) | imm` — the 32-bit `LDI Dd` immediate. Doubles as
+    /// the offending opcode bits for `BadOpcode` fault slots.
+    imm32: u32,
+    /// Word index of the next sequential instruction.
+    next_pc: u32,
+}
+
+/// A program image compiled to threaded code, shareable across VM
+/// instances (and threads — slots are plain data plus `fn` pointers).
+///
+/// Compile once, then [`instantiate`](ThreadedImage::instantiate) one VM
+/// per independent input; this is what the per-frame parallel emulated
+/// restore fan-out does with the MODecode image.
+#[derive(Clone)]
+pub struct ThreadedImage {
+    code: Arc<[Slot]>,
+}
+
+impl ThreadedImage {
+    /// Lower a program image into threaded code. Never fails: undecodable
+    /// word positions compile to fault slots that reproduce the
+    /// interpreter's lazy `Decode` error if (and only if) reached.
+    pub fn compile(program: &[u16]) -> Self {
+        let code: Vec<Slot> = (0..program.len())
+            .map(|pos| compile_slot(program, pos))
+            .collect();
+        Self { code: code.into() }
+    }
+
+    /// Number of program words (= number of slots).
+    pub fn len_words(&self) -> usize {
+        self.code.len()
+    }
+
+    /// A fresh machine over this image with the given data memory.
+    pub fn instantiate(&self, mem: Vec<u8>) -> ThreadedVm {
+        ThreadedVm {
+            regs: [0; 16],
+            ptrs: [0; 8],
+            flags: Flags::default(),
+            mem,
+            code: Arc::clone(&self.code),
+            pc: 0,
+            call_stack: Vec::with_capacity(CALL_STACK_DEPTH),
+            steps: 0,
+            halted: false,
+        }
+    }
+}
+
+/// A DynaRisc machine running threaded code. Same architectural state as
+/// [`crate::vm::Vm`]; only the dispatch differs.
+pub struct ThreadedVm {
+    pub regs: [u16; 16],
+    pub ptrs: [u32; 8],
+    pub flags: Flags,
+    pub mem: Vec<u8>,
+    code: Arc<[Slot]>,
+    pc: usize,
+    call_stack: Vec<usize>,
+    steps: u64,
+    halted: bool,
+}
+
+impl ThreadedVm {
+    /// Compile `program` and create a machine — drop-in for
+    /// [`crate::vm::Vm::new`].
+    pub fn new(program: Vec<u16>, mem: Vec<u8>) -> Self {
+        ThreadedImage::compile(&program).instantiate(mem)
+    }
+
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Full architectural snapshot for differential comparison.
+    pub fn state(&self) -> MachineState {
+        MachineState {
+            regs: self.regs,
+            ptrs: self.ptrs,
+            flags: self.flags,
+            pc: self.pc,
+            steps: self.steps,
+            halted: self.halted,
+            call_stack: self.call_stack.clone(),
+            mem: self.mem.clone(),
+        }
+    }
+
+    /// Run until halt or `max_steps`. Returns executed step count.
+    /// Byte-identical contract to [`crate::vm::Vm::run`].
+    pub fn run(&mut self, max_steps: u64) -> Result<u64, VmError> {
+        let start = self.steps;
+        while !self.halted {
+            if self.steps - start >= max_steps {
+                return Err(VmError::StepLimit {
+                    steps: self.steps - start,
+                });
+            }
+            self.step()?;
+        }
+        Ok(self.steps - start)
+    }
+
+    /// Execute one instruction.
+    pub fn step(&mut self) -> Result<(), VmError> {
+        if self.halted {
+            return Ok(());
+        }
+        if self.pc >= self.code.len() {
+            return Err(VmError::PcFault { pc: self.pc });
+        }
+        let slot = self.code[self.pc];
+        (slot.exec)(self, slot)
+    }
+
+    #[inline(always)]
+    fn set_zn(&mut self, v: u16) {
+        self.flags.z = v == 0;
+        self.flags.n = v & 0x8000 != 0;
+    }
+
+    #[inline(always)]
+    fn load_byte(&self, addr: u32) -> Result<u8, VmError> {
+        self.mem
+            .get(addr as usize)
+            .copied()
+            .ok_or(VmError::MemFault { addr, len: 1 })
+    }
+
+    #[inline(always)]
+    fn load_word(&self, addr: u32) -> Result<u16, VmError> {
+        let lo = self.load_byte(addr)?;
+        let hi = self.load_byte(addr.wrapping_add(1))?;
+        Ok(u16::from_le_bytes([lo, hi]))
+    }
+
+    #[inline(always)]
+    fn store_byte(&mut self, addr: u32, v: u8) -> Result<(), VmError> {
+        match self.mem.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(VmError::MemFault { addr, len: 1 }),
+        }
+    }
+}
+
+/// Lower one word position. Overlapping decodings (jump targets inside
+/// immediates) are handled for free: every position gets its own slot.
+fn compile_slot(words: &[u16], pos: usize) -> Slot {
+    let mut slot = Slot {
+        exec: op_ret,
+        a: 0,
+        b: 0,
+        da: 0,
+        db: 0,
+        imm: 0,
+        imm32: 0,
+        next_pc: 0,
+    };
+    let instr = match Instr::decode(words, pos) {
+        Ok(i) => i,
+        Err(DecodeErr::BadOpcode(v)) => {
+            slot.exec = op_fault_bad_opcode;
+            slot.imm32 = v as u32;
+            return slot;
+        }
+        Err(DecodeErr::Truncated) => {
+            slot.exec = op_fault_truncated;
+            return slot;
+        }
+    };
+    slot.a = instr.a;
+    slot.b = instr.b;
+    slot.da = instr.a & 7;
+    slot.db = instr.b & 7;
+    slot.imm = instr.imm;
+    slot.imm32 = ((instr.imm2 as u32) << 16) | instr.imm as u32;
+    slot.next_pc = (pos + instr.len_words()) as u32;
+    use Opcode::*;
+    slot.exec = match (instr.opcode, instr.mode) {
+        // ADD/ADC pointer forms ignore carry-in (matching the reference
+        // `match`, whose M1/M3 arms never read it).
+        (Add | Adc, Mode::M1) => op_add_ptr_reg,
+        (Add | Adc, Mode::M3) => op_add_ptr_imm,
+        (Add, Mode::M2) => op_add_imm,
+        (Add, _) => op_add_reg,
+        (Adc, Mode::M2) => op_adc_imm,
+        (Adc, _) => op_adc_reg,
+        (Sub, Mode::M1) => op_sub_ptr_reg,
+        (Sub, Mode::M3) => op_sub_ptr_imm,
+        (Sub, Mode::M2) => op_sub_imm,
+        (Sub, _) => op_sub_reg,
+        // SBB/CMP M3 carry an immediate word on the wire but the reference
+        // semantics still take the register operand (only M2 selects imm).
+        (Sbb, Mode::M2) => op_sbb_imm,
+        (Sbb, _) => op_sbb_reg,
+        (Cmp, Mode::M2) => op_cmp_imm,
+        (Cmp, _) => op_cmp_reg,
+        (Mul, Mode::M1) => op_mul_hi,
+        (Mul, _) => op_mul_lo,
+        (And, Mode::M2) => op_and_imm,
+        (And, _) => op_and_reg,
+        (Or, Mode::M2) => op_or_imm,
+        (Or, _) => op_or_reg,
+        (Xor, Mode::M2) => op_xor_imm,
+        (Xor, _) => op_xor_reg,
+        (Lsl, Mode::M1) => op_lsl_imm,
+        (Lsl, _) => op_lsl_reg,
+        (Lsr, Mode::M1) => op_lsr_imm,
+        (Lsr, _) => op_lsr_reg,
+        (Asr, Mode::M1) => op_asr_imm,
+        (Asr, _) => op_asr_reg,
+        (Ror, Mode::M1) => op_ror_imm,
+        (Ror, _) => op_ror_reg,
+        (Move, Mode::M0) => op_move_rr,
+        (Move, Mode::M1) => op_move_dr,
+        (Move, Mode::M2) => op_move_r_dlo,
+        (Move, Mode::M3) => op_move_dd,
+        (Move, Mode::M4) => op_move_r_dhi,
+        (Move, _) => op_move_d_pair,
+        (Ldi, Mode::M1) => op_ldi_d,
+        (Ldi, _) => op_ldi_r,
+        (Ldm, Mode::M0) => op_ldm_byte,
+        (Ldm, Mode::M1) => op_ldm_byte_inc,
+        (Ldm, Mode::M2) => op_ldm_word,
+        (Ldm, _) => op_ldm_word_inc,
+        (Stm, Mode::M0) => op_stm_byte,
+        (Stm, Mode::M1) => op_stm_byte_inc,
+        (Stm, Mode::M2) => op_stm_word,
+        (Stm, _) => op_stm_word_inc,
+        (Jump, _) => op_jump,
+        (Jz, _) => op_jz,
+        (Jnz, _) => op_jnz,
+        (Jc, _) => op_jc,
+        (Call, _) => op_call,
+        (Ret, _) => op_ret,
+    };
+    slot
+}
+
+// ---------------------------------------------------------------------------
+// Handlers. Every normal handler counts its step first (the reference
+// interpreter increments `steps` after decode, before execution, so
+// MemFault/CallOverflow land *after* the increment), then leaves `pc` on
+// the faulting instruction on error, else advances it. Fault slots skip
+// the increment: the interpreter never got past decode.
+// ---------------------------------------------------------------------------
+
+fn op_fault_bad_opcode(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    Err(VmError::Decode {
+        pc: vm.pc,
+        err: DecodeErr::BadOpcode(s.imm32 as u8),
+    })
+}
+
+fn op_fault_truncated(vm: &mut ThreadedVm, _s: Slot) -> Result<(), VmError> {
+    Err(VmError::Decode {
+        pc: vm.pc,
+        err: DecodeErr::Truncated,
+    })
+}
+
+#[inline(always)]
+fn alu_add(vm: &mut ThreadedVm, a: usize, rhs: u16, carry_in: u32) {
+    let sum = vm.regs[a] as u32 + rhs as u32 + carry_in;
+    vm.flags.c = sum > 0xFFFF;
+    let v = sum as u16;
+    vm.regs[a] = v;
+    vm.set_zn(v);
+}
+
+#[inline(always)]
+fn alu_sub(vm: &mut ThreadedVm, a: usize, rhs: u16, borrow_in: u32, write: bool) {
+    let lhs = vm.regs[a] as u32;
+    let total = rhs as u32 + borrow_in;
+    vm.flags.c = lhs < total;
+    let v = lhs.wrapping_sub(total) as u16;
+    if write {
+        vm.regs[a] = v;
+    }
+    vm.set_zn(v);
+}
+
+fn op_add_reg(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    alu_add(vm, s.a as usize, vm.regs[s.b as usize], 0);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_add_imm(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    alu_add(vm, s.a as usize, s.imm, 0);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_adc_reg(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let carry_in = vm.flags.c as u32;
+    alu_add(vm, s.a as usize, vm.regs[s.b as usize], carry_in);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_adc_imm(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let carry_in = vm.flags.c as u32;
+    alu_add(vm, s.a as usize, s.imm, carry_in);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_add_ptr_reg(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let da = s.da as usize;
+    vm.ptrs[da] = vm.ptrs[da].wrapping_add(vm.regs[s.b as usize] as u32);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_add_ptr_imm(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let da = s.da as usize;
+    vm.ptrs[da] = vm.ptrs[da].wrapping_add(s.imm as u32);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_sub_ptr_reg(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let da = s.da as usize;
+    vm.ptrs[da] = vm.ptrs[da].wrapping_sub(vm.regs[s.b as usize] as u32);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_sub_ptr_imm(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let da = s.da as usize;
+    vm.ptrs[da] = vm.ptrs[da].wrapping_sub(s.imm as u32);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_sub_reg(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    alu_sub(vm, s.a as usize, vm.regs[s.b as usize], 0, true);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_sub_imm(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    alu_sub(vm, s.a as usize, s.imm, 0, true);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_sbb_reg(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let borrow_in = vm.flags.c as u32;
+    alu_sub(vm, s.a as usize, vm.regs[s.b as usize], borrow_in, true);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_sbb_imm(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let borrow_in = vm.flags.c as u32;
+    alu_sub(vm, s.a as usize, s.imm, borrow_in, true);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_cmp_reg(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    alu_sub(vm, s.a as usize, vm.regs[s.b as usize], 0, false);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_cmp_imm(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    alu_sub(vm, s.a as usize, s.imm, 0, false);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_mul_lo(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let a = s.a as usize;
+    let prod = vm.regs[a] as u32 * vm.regs[s.b as usize] as u32;
+    let v = prod as u16;
+    vm.regs[a] = v;
+    vm.set_zn(v);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_mul_hi(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let a = s.a as usize;
+    let prod = vm.regs[a] as u32 * vm.regs[s.b as usize] as u32;
+    let v = (prod >> 16) as u16;
+    vm.regs[a] = v;
+    vm.set_zn(v);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+macro_rules! logic_handlers {
+    ($reg:ident, $imm:ident, $op:tt) => {
+        fn $reg(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+            vm.steps += 1;
+            let a = s.a as usize;
+            let v = vm.regs[a] $op vm.regs[s.b as usize];
+            vm.regs[a] = v;
+            vm.set_zn(v);
+            vm.pc = s.next_pc as usize;
+            Ok(())
+        }
+        fn $imm(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+            vm.steps += 1;
+            let a = s.a as usize;
+            let v = vm.regs[a] $op s.imm;
+            vm.regs[a] = v;
+            vm.set_zn(v);
+            vm.pc = s.next_pc as usize;
+            Ok(())
+        }
+    };
+}
+
+logic_handlers!(op_and_reg, op_and_imm, &);
+logic_handlers!(op_or_reg, op_or_imm, |);
+logic_handlers!(op_xor_reg, op_xor_imm, ^);
+
+/// Shared shift body. `count == 0` leaves the value *and* the carry flag
+/// untouched (Z/N still update) — reference semantics.
+#[inline(always)]
+fn shift(vm: &mut ThreadedVm, a: usize, count: u32, op: Opcode) {
+    let x = vm.regs[a];
+    let v = if count == 0 {
+        x
+    } else {
+        match op {
+            Opcode::Lsl => {
+                vm.flags.c = (x >> (16 - count)) & 1 != 0;
+                x << count
+            }
+            Opcode::Lsr => {
+                vm.flags.c = (x >> (count - 1)) & 1 != 0;
+                x >> count
+            }
+            Opcode::Asr => {
+                vm.flags.c = (x >> (count - 1)) & 1 != 0;
+                ((x as i16) >> count) as u16
+            }
+            _ => x.rotate_right(count),
+        }
+    };
+    vm.regs[a] = v;
+    vm.set_zn(v);
+}
+
+macro_rules! shift_handlers {
+    ($imm:ident, $reg:ident, $op:expr) => {
+        fn $imm(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+            vm.steps += 1;
+            shift(vm, s.a as usize, s.b as u32, $op);
+            vm.pc = s.next_pc as usize;
+            Ok(())
+        }
+        fn $reg(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+            vm.steps += 1;
+            let count = (vm.regs[s.b as usize] & 15) as u32;
+            shift(vm, s.a as usize, count, $op);
+            vm.pc = s.next_pc as usize;
+            Ok(())
+        }
+    };
+}
+
+shift_handlers!(op_lsl_imm, op_lsl_reg, Opcode::Lsl);
+shift_handlers!(op_lsr_imm, op_lsr_reg, Opcode::Lsr);
+shift_handlers!(op_asr_imm, op_asr_reg, Opcode::Asr);
+shift_handlers!(op_ror_imm, op_ror_reg, Opcode::Ror);
+
+fn op_move_rr(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    vm.regs[s.a as usize] = vm.regs[s.b as usize];
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_move_dr(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    vm.ptrs[s.da as usize] = vm.regs[s.b as usize] as u32;
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_move_r_dlo(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    vm.regs[s.a as usize] = vm.ptrs[s.db as usize] as u16;
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_move_dd(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    vm.ptrs[s.da as usize] = vm.ptrs[s.db as usize];
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_move_r_dhi(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    vm.regs[s.a as usize] = (vm.ptrs[s.db as usize] >> 16) as u16;
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_move_d_pair(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let b = s.b as usize;
+    let hi = vm.regs[b] as u32;
+    let lo = vm.regs[(b + 1) & 15] as u32;
+    vm.ptrs[s.da as usize] = (hi << 16) | lo;
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_ldi_r(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    vm.regs[s.a as usize] = s.imm;
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_ldi_d(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    vm.ptrs[s.da as usize] = s.imm32;
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_ldm_byte(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let addr = vm.ptrs[s.db as usize];
+    vm.regs[s.a as usize] = vm.load_byte(addr)? as u16;
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_ldm_byte_inc(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let db = s.db as usize;
+    let addr = vm.ptrs[db];
+    vm.regs[s.a as usize] = vm.load_byte(addr)? as u16;
+    vm.ptrs[db] = addr.wrapping_add(1);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_ldm_word(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let addr = vm.ptrs[s.db as usize];
+    vm.regs[s.a as usize] = vm.load_word(addr)?;
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_ldm_word_inc(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let db = s.db as usize;
+    let addr = vm.ptrs[db];
+    vm.regs[s.a as usize] = vm.load_word(addr)?;
+    vm.ptrs[db] = addr.wrapping_add(2);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_stm_byte(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let addr = vm.ptrs[s.db as usize];
+    let v = vm.regs[s.a as usize];
+    vm.store_byte(addr, v as u8)?;
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_stm_byte_inc(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let db = s.db as usize;
+    let addr = vm.ptrs[db];
+    let v = vm.regs[s.a as usize];
+    vm.store_byte(addr, v as u8)?;
+    vm.ptrs[db] = addr.wrapping_add(1);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_stm_word(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let addr = vm.ptrs[s.db as usize];
+    let v = vm.regs[s.a as usize];
+    // Low byte first: a fault on the high byte leaves the low byte
+    // written, exactly like the reference interpreter.
+    vm.store_byte(addr, v as u8)?;
+    vm.store_byte(addr.wrapping_add(1), (v >> 8) as u8)?;
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_stm_word_inc(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    let db = s.db as usize;
+    let addr = vm.ptrs[db];
+    let v = vm.regs[s.a as usize];
+    vm.store_byte(addr, v as u8)?;
+    vm.store_byte(addr.wrapping_add(1), (v >> 8) as u8)?;
+    vm.ptrs[db] = addr.wrapping_add(2);
+    vm.pc = s.next_pc as usize;
+    Ok(())
+}
+
+fn op_jump(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    vm.pc = s.imm as usize;
+    Ok(())
+}
+
+fn op_jz(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    vm.pc = if vm.flags.z {
+        s.imm as usize
+    } else {
+        s.next_pc as usize
+    };
+    Ok(())
+}
+
+fn op_jnz(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    vm.pc = if !vm.flags.z {
+        s.imm as usize
+    } else {
+        s.next_pc as usize
+    };
+    Ok(())
+}
+
+fn op_jc(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    vm.pc = if vm.flags.c {
+        s.imm as usize
+    } else {
+        s.next_pc as usize
+    };
+    Ok(())
+}
+
+fn op_call(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    if vm.call_stack.len() >= CALL_STACK_DEPTH {
+        return Err(VmError::CallOverflow);
+    }
+    vm.call_stack.push(s.next_pc as usize);
+    vm.pc = s.imm as usize;
+    Ok(())
+}
+
+fn op_ret(vm: &mut ThreadedVm, s: Slot) -> Result<(), VmError> {
+    vm.steps += 1;
+    match vm.call_stack.pop() {
+        Some(ret) => vm.pc = ret,
+        None => vm.halted = true,
+    }
+    let _ = s;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::vm::Vm;
+
+    /// Run the same (program, mem, fuel) on both engines and insist on
+    /// identical run results and identical architectural state.
+    fn diff_run(program: Vec<u16>, mem: Vec<u8>, fuel: u64) -> (ThreadedVm, Result<u64, VmError>) {
+        let mut reference = Vm::new(program.clone(), mem.clone());
+        let ref_result = reference.run(fuel);
+        let mut threaded = ThreadedVm::new(program, mem);
+        let thr_result = threaded.run(fuel);
+        assert_eq!(ref_result, thr_result, "run results diverge");
+        assert_eq!(reference.state(), threaded.state(), "states diverge");
+        (threaded, thr_result)
+    }
+
+    fn diff_asm(build: impl FnOnce(&mut Asm), mem: Vec<u8>) -> ThreadedVm {
+        let mut a = Asm::new();
+        build(&mut a);
+        a.ret();
+        diff_run(a.finish(), mem, 1_000_000).0
+    }
+
+    #[test]
+    fn arithmetic_and_flags_agree() {
+        let vm = diff_asm(
+            |a| {
+                a.ldi(0, 0xFFFF);
+                a.addi(0, 1); // carry + zero
+                a.ldi(1, 0x0001);
+                a.adci(1, 0); // carry chains
+                a.ldi(2, 5);
+                a.cmpi(2, 9); // borrow, no write
+                a.ldi(3, 1234);
+                a.ldi(4, 5678);
+                a.mul(3, 4);
+            },
+            vec![],
+        );
+        assert_eq!(vm.regs[0], 0);
+        assert_eq!(vm.regs[1], 2);
+        assert_eq!(vm.regs[2], 5);
+        assert_eq!(vm.regs[3], (1234u32 * 5678) as u16);
+    }
+
+    #[test]
+    fn shifts_and_zero_count_agree() {
+        let vm = diff_asm(
+            |a| {
+                a.ldi(0, 0x8001);
+                a.lsl_i(0, 1);
+                a.ldi(1, 0x8001);
+                a.lsr_i(1, 1);
+                a.ldi(2, 0x8001);
+                a.asr_i(2, 1);
+                a.ldi(3, 0x8001);
+                a.ror_i(3, 4);
+                // Register-count shift with count 0: no value/carry change.
+                a.ldi(4, 0xABCD);
+                a.ldi(5, 0);
+                a.lsl(4, 5);
+            },
+            vec![],
+        );
+        assert_eq!(vm.regs[0], 0x0002);
+        assert_eq!(vm.regs[1], 0x4000);
+        assert_eq!(vm.regs[2], 0xC000);
+        assert_eq!(vm.regs[3], 0x1800);
+        assert_eq!(vm.regs[4], 0xABCD);
+    }
+
+    #[test]
+    fn memory_and_pointer_ops_agree() {
+        let vm = diff_asm(
+            |a| {
+                a.ldi_d(1, 32);
+                a.ldi(0, 0xAB);
+                a.stm_byte_inc(0, 1);
+                a.ldi(0, 0xCD);
+                a.stm_byte_inc(0, 1);
+                a.ldi_d(1, 32);
+                a.ldm_word(5, 1);
+                a.ldi_d(0, 0x0001_0000);
+                a.subi_d(0, 0x20);
+            },
+            vec![0u8; 64],
+        );
+        assert_eq!(vm.regs[5], 0xCDAB);
+        assert_eq!(vm.ptrs[0], 0x0000_FFE0);
+    }
+
+    #[test]
+    fn loops_calls_and_branches_agree() {
+        let mut a = Asm::new();
+        let sub = a.label();
+        a.ldi(0, 0);
+        a.ldi(1, 10);
+        let top = a.here();
+        a.add(0, 1);
+        a.subi(1, 1);
+        a.jnz(top);
+        a.call(sub);
+        a.ret();
+        a.bind(sub);
+        a.ldi(2, 42);
+        a.ret();
+        let (vm, _) = diff_run(a.finish(), vec![], 1_000_000);
+        assert_eq!(vm.regs[0], 55);
+        assert_eq!(vm.regs[2], 42);
+        assert!(vm.halted());
+    }
+
+    #[test]
+    fn mem_fault_agrees_including_partial_word_store() {
+        // STM word at mem.len()-1: low byte lands, high byte faults.
+        let mut a = Asm::new();
+        a.ldi_d(0, 9);
+        a.ldi(0, 0xBEEF);
+        a.stm_word(0, 0);
+        a.ret();
+        let program = a.finish();
+        let (vm, res) = diff_run(program, vec![0u8; 10], 100);
+        assert_eq!(res.unwrap_err(), VmError::MemFault { addr: 10, len: 1 });
+        assert_eq!(vm.mem[9], 0xEF, "partial store preserved");
+    }
+
+    fn raw_jump(target: u16) -> Vec<u16> {
+        Instr::with_imm(Opcode::Jump, 0, 0, Mode::M0, target).encode()
+    }
+
+    #[test]
+    fn pc_fault_and_step_accounting_agree() {
+        // JUMP past the end: PcFault must not count a step.
+        let (vm, res) = diff_run(raw_jump(1000), vec![], 100);
+        assert_eq!(res.unwrap_err(), VmError::PcFault { pc: 1000 });
+        assert_eq!(vm.steps(), 1, "only the JUMP counted");
+    }
+
+    #[test]
+    fn decode_faults_agree_lazily() {
+        // A bad opcode only faults when reached — and does not count a
+        // step when it is.
+        let bad = (31u16) << 11;
+        let mut a = Asm::new();
+        a.ldi(0, 7);
+        a.ret();
+        let mut program = a.finish();
+        program.push(bad);
+        // Not reached: clean halt on both engines.
+        diff_run(program.clone(), vec![], 100).1.unwrap();
+        // Reached via jump: Decode fault at the bad word's index.
+        let target = program.len() as u16 - 1;
+        let mut prog2 = raw_jump(target);
+        prog2.resize(target as usize, 0x0000);
+        prog2.push(bad);
+        let (vm, res) = diff_run(prog2, vec![], 100);
+        assert_eq!(
+            res.unwrap_err(),
+            VmError::Decode {
+                pc: target as usize,
+                err: DecodeErr::BadOpcode(31)
+            }
+        );
+        assert_eq!(vm.steps(), 1);
+    }
+
+    #[test]
+    fn truncated_tail_faults_identically() {
+        // LDI's immediate word missing at the very end of the image.
+        let ldi_w0 = (Opcode::Ldi as u16) << 11;
+        let (_, res) = diff_run(vec![ldi_w0], vec![], 100);
+        assert_eq!(
+            res.unwrap_err(),
+            VmError::Decode {
+                pc: 0,
+                err: DecodeErr::Truncated
+            }
+        );
+    }
+
+    #[test]
+    fn jump_into_immediate_reinterprets_identically() {
+        // LDI R0, #imm where the immediate word itself decodes as RET;
+        // jumping into it must halt both engines the same way.
+        let mut program = Vec::new();
+        let ret_word = (Opcode::Ret as u16) << 11;
+        program.extend(Instr::with_imm(Opcode::Ldi, 0, 0, Mode::M0, ret_word).encode());
+        program.extend(Instr::with_imm(Opcode::Jump, 0, 0, Mode::M0, 1).encode());
+        let (vm, res) = diff_run(program, vec![], 100);
+        assert_eq!(res.unwrap(), 3); // LDI, JUMP, RET-inside-immediate
+        assert!(vm.halted());
+        assert_eq!(vm.regs[0], ret_word);
+    }
+
+    #[test]
+    fn step_limit_and_fuel_accounting_agree() {
+        let mut a = Asm::new();
+        let top = a.here();
+        a.jump(top);
+        let (_, res) = diff_run(a.finish(), vec![], 100);
+        assert_eq!(res.unwrap_err(), VmError::StepLimit { steps: 100 });
+    }
+
+    #[test]
+    fn call_overflow_agrees() {
+        let mut a = Asm::new();
+        let top = a.here();
+        a.call(top);
+        let (_, res) = diff_run(a.finish(), vec![], 100_000);
+        assert_eq!(res.unwrap_err(), VmError::CallOverflow);
+    }
+
+    #[test]
+    fn image_is_shareable_across_instances() {
+        let mut a = Asm::new();
+        a.ldi_d(0, 0);
+        a.ldm_byte(0, 0);
+        a.addi(0, 1);
+        a.ret();
+        let image = ThreadedImage::compile(&a.finish());
+        let results: Vec<u16> = (0u8..4)
+            .map(|seed| {
+                let mut vm = image.instantiate(vec![seed; 4]);
+                vm.run(100).unwrap();
+                vm.regs[0]
+            })
+            .collect();
+        assert_eq!(results, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn archived_decoders_compile_one_slot_per_word() {
+        // The real MODecode/DBDecode images are exercised end-to-end by
+        // `crates/core`; here, pin that compiling them produces one slot
+        // per word.
+        let db = crate::programs::dbdecode::program();
+        let image = ThreadedImage::compile(&db);
+        assert_eq!(image.len_words(), db.len());
+        let mo = crate::programs::modecode::program();
+        assert_eq!(ThreadedImage::compile(&mo).len_words(), mo.len());
+    }
+}

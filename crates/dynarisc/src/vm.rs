@@ -55,6 +55,22 @@ pub struct Flags {
     pub n: bool,
 }
 
+/// A full architectural snapshot, for differential engine comparison
+/// (`tests/conformance.rs`, the `dynarisc_diff` fuzz target). Two engines
+/// agree iff their `MachineState`s are equal after the same run — this
+/// includes memory, the call stack, and the step count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MachineState {
+    pub regs: [u16; 16],
+    pub ptrs: [u32; 8],
+    pub flags: Flags,
+    pub pc: usize,
+    pub steps: u64,
+    pub halted: bool,
+    pub call_stack: Vec<usize>,
+    pub mem: Vec<u8>,
+}
+
 /// A DynaRisc machine instance.
 pub struct Vm {
     pub regs: [u16; 16],
@@ -94,6 +110,20 @@ impl Vm {
 
     pub fn pc(&self) -> usize {
         self.pc
+    }
+
+    /// Full architectural snapshot for differential comparison.
+    pub fn state(&self) -> MachineState {
+        MachineState {
+            regs: self.regs,
+            ptrs: self.ptrs,
+            flags: self.flags,
+            pc: self.pc,
+            steps: self.steps,
+            halted: self.halted,
+            call_stack: self.call_stack.clone(),
+            mem: self.mem.clone(),
+        }
     }
 
     /// Run until halt or `max_steps`. Returns executed step count.

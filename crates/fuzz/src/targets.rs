@@ -7,7 +7,7 @@
 
 use crate::runner::FuzzTarget;
 use ule_compress::container::Scheme;
-use ule_dynarisc::Vm;
+use ule_dynarisc::{ThreadedImage, Vm};
 use ule_emblem::{EmblemGeometry, EmblemHeader, EmblemKind};
 use ule_raster::image::GrayImage;
 use ule_raster::rng::SplitMix64;
@@ -494,6 +494,59 @@ impl FuzzTarget for DynaRiscVm {
     }
 }
 
+/// Differential harness for the two DynaRisc engines: every mutated
+/// program image runs on the reference interpreter AND the threaded-code
+/// engine under the same fuel bound, and any divergence — run result
+/// (including the fault variant), registers, pointers, flags, memory, pc,
+/// or fuel consumed — is a finding. This is the fuzz leg of the
+/// conformance net that lets the threaded engine serve as the production
+/// tier of `restore_emulated`.
+struct DynaRiscDiff;
+
+impl FuzzTarget for DynaRiscDiff {
+    fn name(&self) -> &'static str {
+        "dynarisc-diff"
+    }
+    fn corpus(&self) -> Vec<Vec<u8>> {
+        // Seed with real archived decoders plus the hand-written sample so
+        // mutants start from dense, structurally valid instruction
+        // streams (jump targets, immediates, memory traffic).
+        let sample = ule_dynarisc::text_asm::assemble(DYNARISC_SAMPLE).expect("sample assembles");
+        [
+            sample,
+            ule_dynarisc::programs::dbdecode::program(),
+            ule_dynarisc::programs::modecode::program(),
+        ]
+        .iter()
+        .map(|words| words.iter().flat_map(|w| w.to_le_bytes()).collect())
+        .collect()
+    }
+    fn suggested_iterations(&self) -> u64 {
+        100_000
+    }
+    fn run(&self, input: &[u8]) {
+        let words: Vec<u16> = input
+            .chunks_exact(2)
+            .take(4096)
+            .map(|c| u16::from_le_bytes([c[0], c[1]]))
+            .collect();
+        if words.is_empty() {
+            return;
+        }
+        let mut vm = Vm::new(words.clone(), vec![0u8; 1024]);
+        let res = vm.run(VM_FUEL);
+        let image = ThreadedImage::compile(&words);
+        let mut tvm = image.instantiate(vec![0u8; 1024]);
+        let tres = tvm.run(VM_FUEL);
+        assert_eq!(tres, res, "engines disagree on run result");
+        assert_eq!(
+            tvm.state(),
+            vm.state(),
+            "engines disagree on post-state (registers/memory/fuel)"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------------
 // ule_verisc
 // ---------------------------------------------------------------------------
@@ -639,6 +692,7 @@ pub fn all_targets() -> Vec<Box<dyn FuzzTarget>> {
         Box::new(BootstrapDoc),
         Box::new(DynaRiscAsm),
         Box::new(DynaRiscVm),
+        Box::new(DynaRiscDiff),
         Box::new(VeriscVm),
         Box::new(MasmBuilder),
     ]

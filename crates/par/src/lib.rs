@@ -23,9 +23,10 @@ use std::sync::Mutex;
 /// How many worker threads a batch entry point may use.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ThreadConfig {
-    /// Run on the calling thread, in input order. The default, and the
-    /// required configuration for the emulated restore path (DESIGN.md §9:
-    /// the Bootstrap walkthrough is specified as a sequential procedure).
+    /// Run on the calling thread, in input order. The default everywhere,
+    /// including the emulated restore path — whose per-frame fan-out is,
+    /// like every other use of the pool, a pure wall-clock knob with
+    /// byte-identical output at any thread count (DESIGN.md §9).
     #[default]
     Serial,
     /// Spawn exactly `n` workers (clamped to ≥ 1). Output is identical to

@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 use ule::media::Medium;
-use ule::olonys::MicrOlonys;
+use ule::olonys::{EmulationTier, MicrOlonys};
 use ule::verisc::vm::EngineKind;
 
 fn main() {
@@ -46,8 +46,13 @@ COPY r (k, v) FROM stdin;\n\
     // across independent implementations is the portability claim).
     for engine in EngineKind::ALL {
         let t = Instant::now();
-        let (restored, stats) =
-            MicrOlonys::restore_emulated(&bootstrap_text, &scans, engine).expect("restore");
+        let (restored, stats) = MicrOlonys::restore_emulated(
+            &bootstrap_text,
+            &scans,
+            EmulationTier::Nested(engine),
+            ule::par::ThreadConfig::Serial,
+        )
+        .expect("restore");
         assert_eq!(restored, dump);
         println!(
             "{:<12} engine: bit-exact restore, {:>12} VeRisc instructions, {:.2?}",

@@ -9,7 +9,9 @@
 //! * `dynarisc/*.txt` — one file per mnemonic: the canonical `asm:` line
 //!   with its golden `words:` encoding (regenerate with
 //!   `ULE_REGEN_GOLDEN=1`), plus a `program:` that executes the
-//!   instruction and `expect:` post-state assertions;
+//!   instruction on **both** DynaRisc engines — reference interpreter and
+//!   threaded code — which must agree bit-for-bit before the `expect:`
+//!   post-state assertions are checked;
 //! * `verisc/*.txt` — a `mem:` image run on **all three** engine
 //!   implementations, which must agree bit-for-bit before any `expect:`
 //!   is checked;
@@ -29,7 +31,7 @@ use std::path::{Path, PathBuf};
 
 use ule::compress::{compress, decompress, Scheme};
 use ule::dynarisc::text_asm::assemble;
-use ule::dynarisc::Vm;
+use ule::dynarisc::{ThreadedImage, Vm};
 use ule::emblem::header::{HeaderError, HEADER_BYTES};
 use ule::emblem::{EmblemHeader, EmblemKind};
 use ule::gf256::crc::{crc16_ccitt, crc32};
@@ -228,13 +230,27 @@ fn dynarisc_instruction_fixtures() {
             .to_ascii_uppercase();
         covered.insert(mnemonic);
 
-        // 2. The program executes the instruction; post-state is asserted.
+        // 2. The program executes the instruction on BOTH DynaRisc
+        //    engines — the reference interpreter and the threaded-code
+        //    compiler — which must agree bit-for-bit (registers, pointers,
+        //    flags, memory, pc, fuel) before any fixture expectation is
+        //    consulted; the same three-engine discipline the VeRisc
+        //    fixtures enforce below.
         let program = get_all(&kv, "program").join("\n");
         assert!(!program.is_empty(), "{name}: missing program:");
         let prog = assemble(&program).unwrap_or_else(|e| panic!("{name}: program: {e}"));
-        let mut vm = Vm::new(prog, vec![0u8; DYNARISC_MEM]);
-        vm.run(DYNARISC_FUEL)
-            .unwrap_or_else(|e| panic!("{name}: vm: {e}"));
+        let mut vm = Vm::new(prog.clone(), vec![0u8; DYNARISC_MEM]);
+        let res = vm.run(DYNARISC_FUEL);
+        let image = ThreadedImage::compile(&prog);
+        let mut tvm = image.instantiate(vec![0u8; DYNARISC_MEM]);
+        let tres = tvm.run(DYNARISC_FUEL);
+        assert_eq!(tres, res, "{name}: threaded engine diverges on result");
+        assert_eq!(
+            tvm.state(),
+            vm.state(),
+            "{name}: threaded engine diverges on post-state"
+        );
+        res.unwrap_or_else(|e| panic!("{name}: vm: {e}"));
         assert!(vm.halted(), "{name}: program did not halt");
         let expects = get_all(&kv, "expect");
         assert!(!expects.is_empty(), "{name}: missing expect:");

@@ -12,10 +12,9 @@
 use ule::emblem::{decode_stream_with, encode_stream_with, EmblemKind, StreamError};
 use ule::fault::{FaultPlan, FrameLossFault, FrameReorderFault};
 use ule::media::Medium;
-use ule::olonys::{MicrOlonys, RestoreError};
+use ule::olonys::{EmulationTier, MicrOlonys, RestoreError};
 use ule::par::ThreadConfig;
 use ule::raster::GrayImage;
-use ule::verisc::vm::EngineKind;
 
 fn threads() -> ThreadConfig {
     ThreadConfig::from_env_or(ThreadConfig::Serial)
@@ -182,14 +181,15 @@ fn emulated_path_reports_lost_frames_and_survives_shuffles() {
     let mut scans = out.system_frames.clone();
     scans.extend(out.data_frames.iter().cloned());
     let shuffled = FaultPlan::single(FrameReorderFault).apply(&scans, 1.0, 3);
-    let (restored, _) = MicrOlonys::restore_emulated(&text, &shuffled, EngineKind::MatchBased)
-        .expect("shuffled emulated restore");
+    let (restored, _) =
+        MicrOlonys::restore_emulated(&text, &shuffled, EmulationTier::Threaded, threads())
+            .expect("shuffled emulated restore");
     assert_eq!(restored, dump);
 
     // Losing the last system frame names it.
     let mut scans = drop_frames(&out.system_frames, &[n_sys - 1]);
     scans.extend(out.data_frames.iter().cloned());
-    match MicrOlonys::restore_emulated(&text, &scans, EngineKind::MatchBased) {
+    match MicrOlonys::restore_emulated(&text, &scans, EmulationTier::Threaded, threads()) {
         Err(RestoreError::FrameLoss {
             kind,
             expected,
@@ -206,7 +206,7 @@ fn emulated_path_reports_lost_frames_and_survives_shuffles() {
 
     // Losing the only data frame names it too.
     let scans = out.system_frames.clone();
-    match MicrOlonys::restore_emulated(&text, &scans, EngineKind::MatchBased) {
+    match MicrOlonys::restore_emulated(&text, &scans, EmulationTier::Threaded, threads()) {
         Err(RestoreError::FrameLoss { kind, missing, .. }) => {
             assert_eq!(kind, EmblemKind::Data);
             assert_eq!(missing, vec![0]);
@@ -233,7 +233,8 @@ fn emulated_path_ignores_parity_frames_in_the_pile() {
     let mut scans = out.system_frames.clone();
     scans.extend(out.data_frames.iter().cloned());
     scans.reverse();
-    let (restored, _) = MicrOlonys::restore_emulated(&text, &scans, EngineKind::MatchBased)
-        .expect("parity-bearing emulated restore");
+    let (restored, _) =
+        MicrOlonys::restore_emulated(&text, &scans, EmulationTier::Threaded, threads())
+            .expect("parity-bearing emulated restore");
     assert_eq!(restored, dump);
 }

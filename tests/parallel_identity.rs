@@ -8,7 +8,7 @@
 
 use ule::compress::Scheme;
 use ule::media::Medium;
-use ule::olonys::MicrOlonys;
+use ule::olonys::{EmulationTier, MicrOlonys};
 use ule::par::ThreadConfig;
 use ule::verisc::vm::EngineKind;
 
@@ -94,10 +94,11 @@ fn auto_and_env_configs_are_also_identical() {
 
 #[test]
 fn emulated_restore_matches_native_restore() {
-    // The ULE proof meets the parallel engine: the sequential-by-design
-    // emulated path and the threaded native path must restore the same
-    // bytes from the same frames. (Micro medium: emulated decode costs
-    // ~10^4 VeRisc instructions per cell.)
+    // The ULE proof meets the parallel engine: the fully emulated path
+    // (here on the nested-VeRisc portability tier) and the threaded
+    // native path must restore the same bytes from the same frames.
+    // (Micro medium: nested decode costs ~10^4 VeRisc instructions per
+    // cell.)
     let sys = MicrOlonys {
         medium: Medium::test_micro(),
         scheme: Scheme::Lzss,
@@ -115,11 +116,74 @@ fn emulated_restore_matches_native_restore() {
     let text = out.bootstrap.to_text();
     let mut scans = out.system_frames.clone();
     scans.extend(out.data_frames.iter().cloned());
-    let (emulated, stats) =
-        MicrOlonys::restore_emulated(&text, &scans, EngineKind::MatchBased).expect("emulated");
+    let (emulated, stats) = MicrOlonys::restore_emulated(
+        &text,
+        &scans,
+        EmulationTier::Nested(EngineKind::MatchBased),
+        ThreadConfig::Serial,
+    )
+    .expect("emulated");
     assert_eq!(
         emulated, native,
         "emulated and native restores must agree bit for bit"
     );
     assert!(stats.verisc_steps > 0);
+}
+
+#[test]
+fn emulated_restore_is_byte_identical_at_any_thread_count() {
+    // The emulated-restore matrix (DESIGN.md §9): per-frame MODecode VM
+    // instances fan out over the pool, so the same serial ≡ N-thread
+    // identity that protects the native path must hold here — restored
+    // bytes, per-frame CRC, and even the guest instruction count.
+    let sys = MicrOlonys {
+        medium: Medium::test_tiny(),
+        scheme: Scheme::Lzss,
+        with_parity: false,
+        threads: ThreadConfig::Serial,
+    };
+    let dump = sample_dump();
+    let out = sys.archive(&dump);
+    assert!(
+        out.data_frames.len() >= 3,
+        "want several frames for a meaningful fan-out, got {}",
+        out.data_frames.len()
+    );
+    let text = out.bootstrap.to_text();
+    let mut scans = out.system_frames.clone();
+    scans.extend(out.data_frames.iter().cloned());
+
+    let (serial_dump, serial_stats) =
+        MicrOlonys::restore_emulated(&text, &scans, EmulationTier::Threaded, ThreadConfig::Serial)
+            .expect("serial emulated restore");
+    assert_eq!(serial_dump, dump);
+
+    for threads in SWEEP {
+        let (par_dump, par_stats) = MicrOlonys::restore_emulated(
+            &text,
+            &scans,
+            EmulationTier::Threaded,
+            ThreadConfig::Fixed(threads),
+        )
+        .expect("parallel emulated restore");
+        assert_eq!(
+            par_dump, serial_dump,
+            "emulated restore differs at {threads} threads"
+        );
+        assert_eq!(
+            par_stats.frame_crc32, serial_stats.frame_crc32,
+            "frame CRC differs at {threads} threads"
+        );
+        assert_eq!(
+            par_stats.guest_steps, serial_stats.guest_steps,
+            "guest step count differs at {threads} threads"
+        );
+    }
+
+    // Parallel-emulated ≡ native on the same frames closes the loop.
+    let (native, _) = sys
+        .with_threads(ThreadConfig::Fixed(4))
+        .restore_native(&out.data_frames)
+        .expect("native restore");
+    assert_eq!(native, serial_dump, "parallel emulated vs native");
 }

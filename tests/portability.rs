@@ -4,7 +4,7 @@
 
 use ule::compress::Scheme;
 use ule::media::Medium;
-use ule::olonys::{Bootstrap, MicrOlonys};
+use ule::olonys::{Bootstrap, EmulationTier, MicrOlonys};
 use ule::verisc::vm::EngineKind;
 
 fn micro() -> MicrOlonys {
@@ -63,8 +63,13 @@ fn engines_restore_identically_from_the_printed_document() {
 
     let mut outputs = Vec::new();
     for kind in EngineKind::ALL {
-        let (restored, stats) =
-            MicrOlonys::restore_emulated(&text, &scans, kind).expect("emulated restore");
+        let (restored, stats) = MicrOlonys::restore_emulated(
+            &text,
+            &scans,
+            EmulationTier::Nested(kind),
+            ule::par::ThreadConfig::Serial,
+        )
+        .expect("emulated restore");
         outputs.push((kind, restored, stats.verisc_steps));
     }
     // Identical results AND identical instruction counts: the machine is
