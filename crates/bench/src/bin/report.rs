@@ -97,6 +97,7 @@ fn main() {
     // experiment).
     let e11_only = std::env::args().any(|a| a == "--e11");
     let e12_only = std::env::args().any(|a| a == "--e12");
+    let e13_only = std::env::args().any(|a| a == "--e13");
     println!(
         "ULE / Micr'Olonys evaluation report ({} mode{})",
         if full { "full" } else { "quick" },
@@ -104,6 +105,8 @@ fn main() {
             ", [E11] only"
         } else if e12_only {
             ", [E12] only"
+        } else if e13_only {
+            ", [E13] only"
         } else {
             ""
         }
@@ -111,10 +114,11 @@ fn main() {
     println!("==========================================================");
     let mut checks = Checks::default();
     let mut rec = Recorder {
-        mode: match (full, e11_only, e12_only) {
-            (_, true, _) => "e11".into(),
-            (_, _, true) => "e12".into(),
-            (true, _, _) => "full".into(),
+        mode: match (full, e11_only, e12_only, e13_only) {
+            (_, true, _, _) => "e11".into(),
+            (_, _, true, _) => "e12".into(),
+            (_, _, _, true) => "e13".into(),
+            (true, _, _, _) => "full".into(),
             _ => "quick".into(),
         },
         ..Recorder::default()
@@ -126,6 +130,8 @@ fn main() {
         // emulated path before the threaded engine), which is too slow
         // for the default gate run.
         e12_emulated_restore(true, &mut checks, &mut rec);
+    } else if e13_only {
+        e13_query(full, &mut checks, &mut rec);
     } else {
         t1_isa();
         e1_paper_archive(full, &mut checks);
@@ -140,6 +146,7 @@ fn main() {
         e10_vault(full, &mut checks, &mut rec);
         e11_kernels(&mut checks, &mut rec);
         e12_emulated_restore(full, &mut checks, &mut rec);
+        e13_query(full, &mut checks, &mut rec);
     }
     rec.write("BENCH_report.json");
     if checks.failures.is_empty() {
@@ -685,6 +692,185 @@ fn e10_vault(full: bool, checks: &mut Checks, rec: &mut Recorder) {
         ok,
         "a pre-S16 archive (no vault manifest) restores via the classic path".into(),
     );
+}
+
+fn e13_query(full: bool, checks: &mut Checks, rec: &mut Recorder) {
+    use ule_tpch::archival::ShelfQuery;
+    use ule_tpch::queries;
+    use ule_vault::zones::ZonePredicate;
+    let scale = if full { 0.00115 } else { 0.0002 };
+    println!(
+        "\n[E13] Archival query engine: TPC-H aggregation over cold media, no full restore — \
+         SF {scale}, date-clustered dump, zone-mapped catalog"
+    );
+    let t0 = Instant::now();
+    let w = ule_bench::E13Workload::new(scale, 42, ThreadConfig::Serial);
+    println!(
+        "  shelf: {} segments ({} tables), {} data frames, {} content + {} parity reels   \
+         [built in {:?}]",
+        w.archive.stats.segments,
+        w.archive.stats.tables,
+        w.archive.stats.data_frames,
+        w.archive.stats.content_reels,
+        w.archive.stats.parity_reels,
+        t0.elapsed()
+    );
+
+    // Baselines: the monolithic restore (+ Database load) every query
+    // figure is against, and E10's selective restore of the fact table.
+    let t = Instant::now();
+    let (full_dump, full_stats) = w
+        .vault
+        .restore_all(&w.archive.bootstrap, &w.scans)
+        .expect("full restore");
+    let t_full = t.elapsed();
+    assert_eq!(full_dump, w.dump, "full restore must be bit-exact");
+    let loaded = ule_tpch::parse_dump(&full_dump).expect("load restored dump");
+    let (_, sel_li) = w
+        .vault
+        .restore_table(&w.archive.bootstrap, &w.scans, "lineitem")
+        .expect("selective lineitem");
+    println!(
+        "  baselines: full restore {} frames ({t_full:?}), selective lineitem {} frames",
+        full_stats.frames_decoded, sel_li.frames_decoded
+    );
+
+    // The three query shapes, streamed straight off the shelf.
+    let shelf = w.shelf();
+    const CUTOFF: &str = "1995-06-30";
+    let t = Instant::now();
+    let (q1, s1) = shelf.pricing_summary(CUTOFF).expect("q1");
+    let t_q1 = t.elapsed();
+    let t = Instant::now();
+    let (q6, s6) = shelf.forecast_revenue("1994", 24).expect("q6");
+    let t_q6 = t.elapsed();
+    let t = Instant::now();
+    let (q3, s3) = shelf.top_customers(10).expect("q3");
+    let t_q3 = t.elapsed();
+
+    let q1_oracle = queries::pricing_summary(&loaded, CUTOFF).expect("q1 oracle");
+    let q6_oracle = queries::forecast_revenue(&loaded, "1994", 24).expect("q6 oracle");
+    let q3_oracle = queries::top_customers(&loaded, 10);
+
+    println!("  query                 frames  of-full   zones  latency   identical");
+    for (name, stats, dt, same) in [
+        ("Q1 pricing_summary", &s1, t_q1, q1 == q1_oracle),
+        ("Q6 forecast_revenue", &s6, t_q6, q6 == q6_oracle),
+        ("Q3 top_customers", &s3, t_q3, q3 == q3_oracle),
+    ] {
+        println!(
+            "  {name:<21} {:>6}  {:>6.1}%  {:>3}/{:<3}  {dt:>8.2?}  {}",
+            stats.frames_decoded,
+            stats.frames_decoded as f64 / full_stats.frames_decoded as f64 * 100.0,
+            stats.zones_selected,
+            stats.zones_total,
+            if same { "yes" } else { "NO" }
+        );
+    }
+    checks.check(
+        "e13_q1_answer_identity",
+        q1 == q1_oracle,
+        "streamed Q1 == full restore + load + query".into(),
+    );
+    checks.check(
+        "e13_q6_answer_identity",
+        q6 == q6_oracle,
+        "streamed Q6 == full restore + load + query".into(),
+    );
+    checks.check(
+        "e13_q3_answer_identity",
+        q3 == q3_oracle,
+        "streamed Q3 == full restore + load + query".into(),
+    );
+    for (name, stats) in [("q1", &s1), ("q6", &s6), ("q3", &s3)] {
+        checks.check(
+            &format!("e13_{name}_frames_below_full"),
+            stats.frames_decoded < full_stats.frames_decoded,
+            format!(
+                "{} frames scanned, full restore scans {}",
+                stats.frames_decoded, full_stats.frames_decoded
+            ),
+        );
+    }
+    // The headline pruning gate: the Q6 date window plus the quantity
+    // bound must beat even E10's whole-table selective restore by 2x.
+    let q6_fraction = s6.frames_decoded as f64 / sel_li.frames_decoded as f64;
+    checks.check(
+        "e13_q6_beats_selective_restore",
+        q6_fraction < 0.50,
+        format!(
+            "Q6 scans {:.1}% of the selective lineitem restore (target < 50%)",
+            q6_fraction * 100.0
+        ),
+    );
+
+    // Streaming identity on every catalogued table: the unpruned scan's
+    // pieces must concatenate to the exact dump slice.
+    let mut stream_ok = true;
+    for entry in &w.archive.index.entries {
+        let (scan, _) = w
+            .vault
+            .query_table(
+                &w.archive.bootstrap,
+                &w.scans,
+                &entry.name,
+                &ZonePredicate::all(),
+            )
+            .expect("unpruned scan");
+        let expect =
+            &w.dump[entry.dump_start as usize..(entry.dump_start + entry.dump_len) as usize];
+        if scan.concat() != expect {
+            println!(
+                "  [!] {}: unpruned scan differs from dump slice",
+                entry.name
+            );
+            stream_ok = false;
+        }
+    }
+    checks.check(
+        "e13_streaming_identity_all_tables",
+        stream_ok,
+        format!(
+            "unpruned streaming scans byte-identical to the dump on all {} segments",
+            w.archive.index.entries.len()
+        ),
+    );
+
+    // Pre-zone-map compatibility: the same dump archived with the PR-4
+    // era composition (no zones) answers identically via the fallback.
+    let (pvault, parc, pscans) = w.plain();
+    let plain = ShelfQuery::new(&pvault, &parc.bootstrap, &pscans);
+    let (p1, ps1) = plain.pricing_summary(CUTOFF).expect("plain q1");
+    let (p6, _) = plain.forecast_revenue("1994", 24).expect("plain q6");
+    let (p3, _) = plain.top_customers(10).expect("plain q3");
+    checks.check(
+        "e13_pre_zone_map_identity",
+        p1 == q1_oracle && p6 == q6_oracle && p3 == q3_oracle && !ps1.pruned,
+        "a no-zones (PR-4 era) archive answers identically through the fallback".into(),
+    );
+
+    rec.int(
+        "e13",
+        "full_restore_frames",
+        full_stats.frames_decoded as u64,
+    );
+    rec.int(
+        "e13",
+        "selective_lineitem_frames",
+        sel_li.frames_decoded as u64,
+    );
+    rec.int("e13", "q1_frames", s1.frames_decoded as u64);
+    rec.int("e13", "q6_frames", s6.frames_decoded as u64);
+    rec.int("e13", "q3_frames", s3.frames_decoded as u64);
+    rec.num("e13", "q6_fraction_of_selective", q6_fraction);
+    rec.int("e13", "q1_zones_selected", s1.zones_selected as u64);
+    rec.int("e13", "q1_zones_total", s1.zones_total as u64);
+    rec.int("e13", "q6_zones_selected", s6.zones_selected as u64);
+    rec.int("e13", "q6_zones_total", s6.zones_total as u64);
+    rec.ms("e13", "q1_ms", t_q1);
+    rec.ms("e13", "q6_ms", t_q6);
+    rec.ms("e13", "q3_ms", t_q3);
+    rec.ms("e13", "full_restore_ms", t_full);
 }
 
 /// Median-of-3 wall-clock of `f` — the same-process A/B ratios below are

@@ -218,6 +218,81 @@ impl E10Workload {
     }
 }
 
+/// Cluster the fact tables on their date predicate columns before
+/// dumping. TPC-H dates are uniform per row, so in generation order every
+/// zone spans the whole 1992–1998 window and a date range prunes nothing;
+/// `COPY` row order is semantically irrelevant, so an archival dump is
+/// free to choose the order that makes its zone maps selective — the
+/// archival analogue of clustering a table on its partition key.
+pub fn cluster_on_dates(db: &mut ule_tpch::Database) {
+    for (name, col) in [("lineitem", "l_shipdate"), ("orders", "o_orderdate")] {
+        if let Some(t) = db.tables.iter_mut().find(|t| t.name == name) {
+            if let Some(ci) = t.columns.iter().position(|c| *c == col) {
+                t.rows
+                    .sort_by(|a, b| a[ci].cmp(&b[ci]).then_with(|| a.cmp(b)));
+            }
+        }
+    }
+}
+
+/// The E13 workload: a date-clustered TPC-H dump archived as a zone-mapped
+/// vault, with the generating [`ule_tpch::Database`] kept around as the
+/// answer-identity oracle for the streaming queries.
+pub struct E13Workload {
+    pub vault: ule_vault::Vault,
+    pub db: ule_tpch::Database,
+    pub dump: Vec<u8>,
+    pub archive: ule_vault::VaultArchive,
+    pub scans: ule_vault::ReelScans,
+}
+
+impl E13Workload {
+    pub fn new(scale: f64, seed: u64, threads: ule_par::ThreadConfig) -> Self {
+        let mut db = ule_tpch::Database::generate(scale, seed);
+        cluster_on_dates(&mut db);
+        let dump = ule_tpch::sql_dump(&db);
+        let system = micr_olonys::MicrOlonys::test_tiny().with_threads(threads);
+        let total = ule_vault::Vault::single_reel(system.clone())
+            .plan_layout(&dump)
+            .total_frames();
+        let vault = ule_vault::Vault::sharded(system, total.div_ceil(6).max(8), 3);
+        let archive = vault.archive(&dump);
+        let scans = vault.scan_reels(&archive, seed ^ 0xE13);
+        Self {
+            vault,
+            db,
+            dump,
+            archive,
+            scans,
+        }
+    }
+
+    /// The queryable shelf over the cached scans.
+    pub fn shelf(&self) -> ule_tpch::archival::ShelfQuery<'_> {
+        ule_tpch::archival::ShelfQuery::new(&self.vault, &self.archive.bootstrap, &self.scans)
+    }
+
+    /// The same dump archived *without* zone maps — the PR-4-era
+    /// composition the no-zones fallback must answer identically on.
+    pub fn plain(
+        &self,
+    ) -> (
+        ule_vault::Vault,
+        ule_vault::VaultArchive,
+        ule_vault::ReelScans,
+    ) {
+        let vault = ule_vault::Vault::sharded(
+            self.vault.system.clone(),
+            self.vault.reel_capacity,
+            self.vault.group_reels,
+        )
+        .without_zones();
+        let archive = vault.archive(&self.dump);
+        let scans = vault.scan_reels(&archive, 0x13E);
+        (vault, archive, scans)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +328,25 @@ mod tests {
             .unwrap();
         assert_eq!(bytes.as_slice(), w.expected_table("orders").unwrap());
         assert!(stats.frames_decoded < stats.data_frames_total);
+    }
+
+    #[test]
+    fn e13_workload_is_clustered_and_prunes() {
+        let w = E13Workload::new(0.0001, 7, ule_par::ThreadConfig::Serial);
+        // Clustering: lineitem rows arrive in shipdate order.
+        let li = w.db.tables.iter().find(|t| t.name == "lineitem").unwrap();
+        let ship = li.columns.iter().position(|c| *c == "l_shipdate").unwrap();
+        assert!(li.rows.windows(2).all(|p| p[0][ship] <= p[1][ship]));
+        // A narrow query beats the whole-table selective restore.
+        let (_, stats) = w.shelf().forecast_revenue("1994", 24).unwrap();
+        let (_, sel) = w
+            .vault
+            .restore_table(&w.archive.bootstrap, &w.scans, "lineitem")
+            .unwrap();
+        assert!(stats.frames_decoded <= sel.frames_decoded);
+        // The plain variant carries no zones at all.
+        let (_, parc, _) = w.plain();
+        assert!(parc.index.entries.iter().all(|e| e.zones.is_empty()));
     }
 
     #[test]

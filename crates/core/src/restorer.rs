@@ -316,9 +316,19 @@ impl MicrOlonys {
                 _ => stats.guest_steps += steps,
             }
             crc = crc32_update(crc, &out);
-            let header =
-                EmblemHeader::from_bytes(&out[..16]).map_err(|_| RestoreError::BadHeader(i))?;
-            let payload = out[16..16 + header.payload_len as usize].to_vec();
+            // The emulated decoder's output is untrusted: a hostile scan
+            // can hand back fewer than 16 bytes, or a crafted header
+            // whose payload length reaches past the buffer.
+            let header = out
+                .get(..16)
+                .ok_or(RestoreError::BadHeader(i))
+                .and_then(|h| {
+                    EmblemHeader::from_bytes(h).map_err(|_| RestoreError::BadHeader(i))
+                })?;
+            let payload = out
+                .get(16..16 + header.payload_len as usize)
+                .ok_or(RestoreError::BadHeader(i))?
+                .to_vec();
             decoded.push((header, payload));
         }
         stats.frame_crc32 = crc ^ 0xFFFF_FFFF;

@@ -349,6 +349,8 @@ impl FuzzTarget for CatalogIndex {
                     dump_start: 0,
                     dump_len: 123,
                     crc32: 0xDEAD_BEEF,
+                    zone_columns: Vec::new(),
+                    zones: Vec::new(),
                 },
                 ule_vault::catalog::IndexEntry {
                     name: "orders".into(),
@@ -357,6 +359,21 @@ impl FuzzTarget for CatalogIndex {
                     dump_start: 123,
                     dump_len: 456,
                     crc32: 0x0BAD_F00D,
+                    zone_columns: vec!["o_orderdate".into()],
+                    zones: vec![
+                        ule_vault::catalog::ZoneInfo {
+                            archive_len: 40,
+                            dump_len: 200,
+                            rows: 0,
+                            stats: Vec::new(),
+                        },
+                        ule_vault::catalog::ZoneInfo {
+                            archive_len: 60,
+                            dump_len: 256,
+                            rows: 7,
+                            stats: vec![("1994-01-01".into(), "1995-06-30".into())],
+                        },
+                    ],
                 },
             ],
         };
@@ -369,7 +386,17 @@ impl FuzzTarget for CatalogIndex {
         8_000
     }
     fn run(&self, input: &[u8]) {
-        let _ = ule_vault::catalog::ContentIndex::parse(input);
+        // Parsing must never panic; on success the planner arithmetic
+        // fed by the parsed numbers (chunk spans, zone-span walks) must
+        // not panic either — that is exactly the surface a hostile
+        // catalog reaches during a selective restore.
+        if let Ok(index) = ule_vault::catalog::ContentIndex::parse(input) {
+            for entry in &index.entries {
+                let _ = index.chunk_range(entry);
+                let _ = index.chunk_span(entry.archive_start, entry.archive_len);
+                let _ = entry.zone_spans();
+            }
+        }
     }
 }
 

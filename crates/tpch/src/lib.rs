@@ -14,8 +14,12 @@
 //! * [`load`] — a parser back into tables, so archival round trips can be
 //!   verified semantically as well as byte-for-byte;
 //! * [`queries`] — Q1/Q6/Q3-shaped aggregations over restored databases
-//!   ("queries can be executed at bare-metal performance", §2).
+//!   ("queries can be executed at bare-metal performance", §2);
+//! * [`archival`] — the same aggregations streamed directly off scanned
+//!   reels through [`ule_vault::Vault::query_table`], zone-pruned, without
+//!   materialising the dump or a [`Database`] (E13).
 
+pub mod archival;
 pub mod dump;
 pub mod gen;
 pub mod load;

@@ -5,9 +5,70 @@
 //! TPC-H-shaped aggregations run against a restored [`Database`] natively,
 //! demonstrating that the archive round trip preserves query semantics,
 //! not just bytes.
+//!
+//! The aggregation cores live in small accumulator types
+//! ([`PricingSummaryAcc`], [`ForecastRevenueAcc`], [`TopCustomersAcc`])
+//! fed one row of column strings at a time, so the in-memory
+//! [`Database`] path here and the streaming cold-media path in
+//! [`crate::archival`] share the exact same arithmetic — answer identity
+//! between the two is identity of the row feed, not of two parallel
+//! implementations.
 
 use crate::gen::Database;
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Typed failure of a query's input validation. Dates used to be
+/// compared as raw strings, so a malformed cutoff silently mis-filtered
+/// every row; now the boundary rejects it instead of answering wrong.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// Not a `YYYY-MM-DD` calendar date.
+    BadDate(String),
+    /// Not a `YYYY` year.
+    BadYear(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::BadDate(v) => write!(f, "not a YYYY-MM-DD date: {v:?}"),
+            QueryError::BadYear(v) => write!(f, "not a YYYY year: {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Validate a `YYYY-MM-DD` date at the query boundary. String comparison
+/// of dates is only an order-isomorphism on this exact shape, so anything
+/// else is a typed error, not a silently wrong answer.
+pub fn validate_date(v: &str) -> Result<(), QueryError> {
+    let b = v.as_bytes();
+    let digits = |r: std::ops::Range<usize>| b[r].iter().all(|c| c.is_ascii_digit());
+    let ok = b.len() == 10
+        && digits(0..4)
+        && b[4] == b'-'
+        && digits(5..7)
+        && b[7] == b'-'
+        && digits(8..10)
+        && (1..=12).contains(&v[5..7].parse::<u8>().unwrap_or(0))
+        && (1..=31).contains(&v[8..10].parse::<u8>().unwrap_or(0));
+    if ok {
+        Ok(())
+    } else {
+        Err(QueryError::BadDate(v.to_string()))
+    }
+}
+
+/// Validate a `YYYY` year.
+pub fn validate_year(v: &str) -> Result<(), QueryError> {
+    if v.len() == 4 && v.bytes().all(|c| c.is_ascii_digit()) {
+        Ok(())
+    } else {
+        Err(QueryError::BadYear(v.to_string()))
+    }
+}
 
 /// One row of the Q1-style pricing summary.
 #[derive(Clone, Debug, PartialEq)]
@@ -20,7 +81,7 @@ pub struct PricingSummaryRow {
     pub avg_qty: f64,
 }
 
-fn cents(v: &str) -> i64 {
+pub(crate) fn cents(v: &str) -> i64 {
     match v.split_once('.') {
         Some((w, f)) => {
             let sign = if w.starts_with('-') { -1 } else { 1 };
@@ -30,87 +91,187 @@ fn cents(v: &str) -> i64 {
     }
 }
 
+/// Streaming accumulator of the Q1 shape. Feed lineitem rows as column
+/// strings; the exact cutoff predicate is re-applied per row, so zone
+/// pruning upstream can only skip rows this filter would drop anyway.
+pub struct PricingSummaryAcc {
+    cutoff: String,
+    groups: BTreeMap<(String, String), (u64, i64, i64)>,
+}
+
+impl PricingSummaryAcc {
+    /// Columns to feed [`Self::row`], in order.
+    pub const COLUMNS: [&'static str; 5] = [
+        "l_shipdate",
+        "l_returnflag",
+        "l_linestatus",
+        "l_quantity",
+        "l_extendedprice",
+    ];
+
+    pub fn new(cutoff_date: &str) -> Result<Self, QueryError> {
+        validate_date(cutoff_date)?;
+        Ok(Self {
+            cutoff: cutoff_date.to_string(),
+            groups: BTreeMap::new(),
+        })
+    }
+
+    pub fn row(&mut self, ship: &str, flag: &str, status: &str, qty: &str, price: &str) {
+        if ship > self.cutoff.as_str() {
+            return;
+        }
+        let e = self
+            .groups
+            .entry((flag.to_string(), status.to_string()))
+            .or_insert((0, 0, 0));
+        e.0 += 1;
+        e.1 += qty.parse::<i64>().unwrap_or(0);
+        e.2 += cents(price);
+    }
+
+    pub fn finish(self) -> Vec<PricingSummaryRow> {
+        self.groups
+            .into_iter()
+            .map(
+                |((rf, ls), (count, sum_qty, sum_price))| PricingSummaryRow {
+                    returnflag: rf,
+                    linestatus: ls,
+                    count,
+                    sum_qty,
+                    sum_base_price_cents: sum_price,
+                    avg_qty: sum_qty as f64 / count as f64,
+                },
+            )
+            .collect()
+    }
+}
+
+/// Streaming accumulator of the Q6 shape.
+pub struct ForecastRevenueAcc {
+    lo: String,
+    hi: String,
+    max_qty: i64,
+    revenue: i64,
+}
+
+impl ForecastRevenueAcc {
+    /// Columns to feed [`Self::row`], in order.
+    pub const COLUMNS: [&'static str; 4] =
+        ["l_shipdate", "l_quantity", "l_extendedprice", "l_discount"];
+
+    pub fn new(year: &str, max_qty: i64) -> Result<Self, QueryError> {
+        validate_year(year)?;
+        Ok(Self {
+            lo: format!("{year}-01-01"),
+            hi: format!("{year}-12-31"),
+            max_qty,
+            revenue: 0,
+        })
+    }
+
+    pub fn row(&mut self, ship: &str, qty: &str, price: &str, disc: &str) {
+        if ship < self.lo.as_str() || ship > self.hi.as_str() {
+            return;
+        }
+        if qty.parse::<i64>().unwrap_or(i64::MAX) >= self.max_qty {
+            return;
+        }
+        // discount is "0.NN"
+        let disc_pct = cents(disc); // e.g. 0.05 -> 5
+        self.revenue += cents(price) * disc_pct / 100;
+    }
+
+    pub fn finish(self) -> i64 {
+        self.revenue
+    }
+
+    /// The Q6 date window, for upstream zone pruning.
+    pub fn date_window(&self) -> (&str, &str) {
+        (&self.lo, &self.hi)
+    }
+}
+
+/// Streaming accumulator of the Q3-ish top-customers shape.
+pub struct TopCustomersAcc {
+    n: usize,
+    by_cust: BTreeMap<String, i64>,
+}
+
+impl TopCustomersAcc {
+    /// Columns to feed [`Self::row`], in order.
+    pub const COLUMNS: [&'static str; 2] = ["o_custkey", "o_totalprice"];
+
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            by_cust: BTreeMap::new(),
+        }
+    }
+
+    pub fn row(&mut self, cust: &str, total: &str) {
+        *self.by_cust.entry(cust.to_string()).or_insert(0) += cents(total);
+    }
+
+    pub fn finish(self) -> Vec<(String, i64)> {
+        let mut v: Vec<(String, i64)> = self.by_cust.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(self.n);
+        v
+    }
+}
+
 /// TPC-H Q1 shape: pricing summary grouped by (returnflag, linestatus)
 /// for lineitems shipped on or before `cutoff_date` (YYYY-MM-DD).
-pub fn pricing_summary(db: &Database, cutoff_date: &str) -> Vec<PricingSummaryRow> {
+pub fn pricing_summary(
+    db: &Database,
+    cutoff_date: &str,
+) -> Result<Vec<PricingSummaryRow>, QueryError> {
+    let mut acc = PricingSummaryAcc::new(cutoff_date)?;
     let Some(li) = db.table("lineitem") else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
     let flag = li.column_index("l_returnflag").unwrap();
     let status = li.column_index("l_linestatus").unwrap();
     let qty = li.column_index("l_quantity").unwrap();
     let price = li.column_index("l_extendedprice").unwrap();
     let ship = li.column_index("l_shipdate").unwrap();
-    let mut groups: BTreeMap<(String, String), (u64, i64, i64)> = BTreeMap::new();
     for row in &li.rows {
-        if row[ship].as_str() > cutoff_date {
-            continue;
-        }
-        let key = (row[flag].clone(), row[status].clone());
-        let e = groups.entry(key).or_insert((0, 0, 0));
-        e.0 += 1;
-        e.1 += row[qty].parse::<i64>().unwrap_or(0);
-        e.2 += cents(&row[price]);
+        acc.row(&row[ship], &row[flag], &row[status], &row[qty], &row[price]);
     }
-    groups
-        .into_iter()
-        .map(
-            |((rf, ls), (count, sum_qty, sum_price))| PricingSummaryRow {
-                returnflag: rf,
-                linestatus: ls,
-                count,
-                sum_qty,
-                sum_base_price_cents: sum_price,
-                avg_qty: sum_qty as f64 / count as f64,
-            },
-        )
-        .collect()
+    Ok(acc.finish())
 }
 
 /// TPC-H Q6 shape: revenue from discounted lineitems in a date window and
 /// quantity bound. Returns cents of `extendedprice * discount`.
-pub fn forecast_revenue(db: &Database, year: &str, max_qty: i64) -> i64 {
+pub fn forecast_revenue(db: &Database, year: &str, max_qty: i64) -> Result<i64, QueryError> {
+    let mut acc = ForecastRevenueAcc::new(year, max_qty)?;
     let Some(li) = db.table("lineitem") else {
-        return 0;
+        return Ok(0);
     };
     let qty = li.column_index("l_quantity").unwrap();
     let price = li.column_index("l_extendedprice").unwrap();
     let disc = li.column_index("l_discount").unwrap();
     let ship = li.column_index("l_shipdate").unwrap();
-    let lo = format!("{year}-01-01");
-    let hi = format!("{year}-12-31");
-    let mut revenue = 0i64;
     for row in &li.rows {
-        let d = row[ship].as_str();
-        if d < lo.as_str() || d > hi.as_str() {
-            continue;
-        }
-        if row[qty].parse::<i64>().unwrap_or(i64::MAX) >= max_qty {
-            continue;
-        }
-        // discount is "0.NN"
-        let disc_pct = cents(&row[disc]); // e.g. 0.05 -> 5
-        revenue += cents(&row[price]) * disc_pct / 100;
+        acc.row(&row[ship], &row[qty], &row[price], &row[disc]);
     }
-    revenue
+    Ok(acc.finish())
 }
 
 /// Top-N customers by total order value (a Q3-ish shape without the join
 /// pruning, adequate at archive scales).
 pub fn top_customers(db: &Database, n: usize) -> Vec<(String, i64)> {
+    let mut acc = TopCustomersAcc::new(n);
     let Some(orders) = db.table("orders") else {
         return Vec::new();
     };
     let cust = orders.column_index("o_custkey").unwrap();
     let total = orders.column_index("o_totalprice").unwrap();
-    let mut by_cust: BTreeMap<String, i64> = BTreeMap::new();
     for row in &orders.rows {
-        *by_cust.entry(row[cust].clone()).or_insert(0) += cents(&row[total]);
+        acc.row(&row[cust], &row[total]);
     }
-    let mut v: Vec<(String, i64)> = by_cust.into_iter().collect();
-    v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-    v.truncate(n);
-    v
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -126,7 +287,7 @@ mod tests {
     #[test]
     fn q1_covers_all_lineitems_at_max_date() {
         let db = db();
-        let rows = pricing_summary(&db, "1999-12-31");
+        let rows = pricing_summary(&db, "1999-12-31").unwrap();
         let total: u64 = rows.iter().map(|r| r.count).sum();
         assert_eq!(total as usize, db.table("lineitem").unwrap().rows.len());
         // Flags are R/N, statuses F/O: at most 4 groups.
@@ -140,10 +301,12 @@ mod tests {
     fn q1_cutoff_filters() {
         let db = db();
         let all: u64 = pricing_summary(&db, "1999-12-31")
+            .unwrap()
             .iter()
             .map(|r| r.count)
             .sum();
         let some: u64 = pricing_summary(&db, "1995-01-01")
+            .unwrap()
             .iter()
             .map(|r| r.count)
             .sum();
@@ -152,10 +315,42 @@ mod tests {
     }
 
     #[test]
+    fn malformed_dates_are_typed_errors_not_wrong_answers() {
+        let db = db();
+        for bad in [
+            "1995",
+            "1995-1-1",
+            "31-12-1995",
+            "1995/12/31",
+            "1995-13-01",
+            "1995-00-10",
+            "1995-06-32",
+            "yesterday",
+            "",
+        ] {
+            assert_eq!(
+                pricing_summary(&db, bad).unwrap_err(),
+                QueryError::BadDate(bad.to_string()),
+                "{bad:?}"
+            );
+        }
+        for bad in ["95", "199x", "1995-01", ""] {
+            assert_eq!(
+                forecast_revenue(&db, bad, 24).unwrap_err(),
+                QueryError::BadYear(bad.to_string()),
+                "{bad:?}"
+            );
+        }
+        // The boundary accepts what it should.
+        assert!(pricing_summary(&db, "1995-06-30").is_ok());
+        assert!(forecast_revenue(&db, "1995", 24).is_ok());
+    }
+
+    #[test]
     fn q6_revenue_is_positive_and_bounded() {
         let db = db();
-        let rev = forecast_revenue(&db, "1994", 25);
-        let rev_all = forecast_revenue(&db, "1994", 51);
+        let rev = forecast_revenue(&db, "1994", 25).unwrap();
+        let rev_all = forecast_revenue(&db, "1994", 51).unwrap();
         assert!(rev >= 0);
         assert!(rev_all >= rev, "looser predicate cannot reduce revenue");
     }
@@ -176,12 +371,12 @@ mod tests {
         let original = db();
         let restored = parse_dump(&sql_dump(&original)).unwrap();
         assert_eq!(
-            pricing_summary(&original, "1996-06-30"),
-            pricing_summary(&restored, "1996-06-30")
+            pricing_summary(&original, "1996-06-30").unwrap(),
+            pricing_summary(&restored, "1996-06-30").unwrap()
         );
         assert_eq!(
-            forecast_revenue(&original, "1995", 24),
-            forecast_revenue(&restored, "1995", 24)
+            forecast_revenue(&original, "1995", 24).unwrap(),
+            forecast_revenue(&restored, "1995", 24).unwrap()
         );
         assert_eq!(top_customers(&original, 10), top_customers(&restored, 10));
     }

@@ -40,11 +40,11 @@
 pub mod catalog;
 pub mod layout;
 pub mod segment;
+pub mod zones;
 
 use std::collections::HashMap;
-use std::ops::Range;
 
-use catalog::{ContentIndex, IndexEntry, IndexError};
+use catalog::{ContentIndex, IndexEntry, IndexError, ZoneInfo};
 use layout::{ReelLayout, StreamId};
 use micr_olonys::{Bootstrap, MicrOlonys, RestoreError, VaultManifest};
 use segment::{segment_dump, Segment};
@@ -54,6 +54,7 @@ use ule_emblem::{decode_emblem, encode_emblem, encode_stream_with, EmblemKind};
 use ule_gf256::crc::crc32;
 use ule_gf256::RsCode;
 use ule_raster::GrayImage;
+use zones::{split_segment, ZonePredicate, ZoneSpec};
 
 /// Scanned reels, aligned with [`VaultArchive::reels`]: `None` marks a
 /// reel that is physically gone (lost, burned, unreadable end to end).
@@ -153,6 +154,41 @@ impl VaultRestoreStats {
     }
 }
 
+/// One table's dump bytes as a stream of pieces, the unit
+/// [`Vault::query_table`] hands to streaming aggregators. Each piece is
+/// `(dump offset, bytes)` in dump order; an unpruned scan's pieces
+/// concatenate to exactly the table's dump segment.
+#[derive(Clone, Debug)]
+pub struct TableScan {
+    pub pieces: Vec<(u64, Vec<u8>)>,
+    /// Zones the catalog holds for this table (1 when zone-less).
+    pub zones_total: usize,
+    /// Zones the predicate could not exclude (= decoded).
+    pub zones_selected: usize,
+    /// True when at least one zone was skipped.
+    pub pruned: bool,
+}
+
+impl TableScan {
+    fn whole(dump_start: u64, bytes: Vec<u8>) -> Self {
+        Self {
+            pieces: vec![(dump_start, bytes)],
+            zones_total: 1,
+            zones_selected: 1,
+            pruned: false,
+        }
+    }
+
+    /// The scan's bytes, concatenated in dump order.
+    pub fn concat(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pieces.iter().map(|(_, b)| b.len()).sum());
+        for (_, b) in &self.pieces {
+            out.extend_from_slice(b);
+        }
+        out
+    }
+}
+
 /// Vault failures. Reel-level loss beyond the parity budget is the
 /// structured [`VaultError::ReelLoss`] naming the group and the lost
 /// reel ids — never a panic, never silent garbage.
@@ -228,6 +264,9 @@ pub struct Vault {
     pub reel_capacity: usize,
     /// Content reels per cross-reel parity group; `0` = no parity reels.
     pub group_reels: usize,
+    /// Zone-map spec applied at archive time (`None` = every segment is
+    /// one opaque record — byte-identical to pre-zone-map composition).
+    pub zone_spec: Option<ZoneSpec>,
 }
 
 impl Vault {
@@ -237,6 +276,7 @@ impl Vault {
             system,
             reel_capacity: 0,
             group_reels: 0,
+            zone_spec: Some(ZoneSpec::tpch_default()),
         }
     }
 
@@ -248,7 +288,22 @@ impl Vault {
             system,
             reel_capacity,
             group_reels,
+            zone_spec: Some(ZoneSpec::tpch_default()),
         }
+    }
+
+    /// Compose archives without zone maps — byte-identical to the PR-4
+    /// era single-record-per-segment layout (the no-zones fallback the
+    /// query path must keep serving).
+    pub fn without_zones(mut self) -> Self {
+        self.zone_spec = None;
+        self
+    }
+
+    /// Replace the zone-map spec.
+    pub fn with_zone_spec(mut self, spec: ZoneSpec) -> Self {
+        self.zone_spec = Some(spec);
+        self
     }
 
     /// Segmentation + per-segment compression + catalog serialization:
@@ -259,27 +314,93 @@ impl Vault {
     fn compose(&self, dump: &[u8]) -> (Vec<u8>, ContentIndex, Vec<u8>) {
         let cap = self.system.medium.geometry.payload_capacity();
         let segments = segment_dump(dump);
-        // Per-segment compression into length-prefixed records.
-        let records: Vec<Vec<u8>> = ule_par::map(self.system.threads, &segments, |s| {
-            let container =
-                ule_compress::compress(self.system.scheme, &dump[s.start..s.start + s.len]);
+
+        // Plan each segment's pieces: zone-mapped tables split into
+        // row-aligned sub-records (header / row groups / terminator),
+        // everything else stays one opaque record. Dump-byte spans are
+        // absolute; per-segment piece metadata rides along for the
+        // catalog entry.
+        struct SegPlan {
+            zone_columns: Vec<String>,
+            // (absolute dump start, len, rows, stats) per piece.
+            pieces: Vec<(usize, usize, u64, Vec<(String, String)>)>,
+        }
+        let plans: Vec<SegPlan> = segments
+            .iter()
+            .map(|s| {
+                let bytes = &dump[s.start..s.start + s.len];
+                if let Some(spec) = self.zone_spec.as_ref().filter(|_| s.is_table()) {
+                    if let Some(cols) = spec.columns_for(&s.name) {
+                        let target = if spec.target_bytes > 0 {
+                            spec.target_bytes
+                        } else {
+                            6 * cap.max(1)
+                        };
+                        if let Some(pieces) = split_segment(bytes, cols, target) {
+                            return SegPlan {
+                                zone_columns: cols.to_vec(),
+                                pieces: pieces
+                                    .into_iter()
+                                    .map(|p| (s.start + p.start, p.len, p.rows, p.stats))
+                                    .collect(),
+                            };
+                        }
+                    }
+                }
+                SegPlan {
+                    zone_columns: Vec::new(),
+                    pieces: vec![(s.start, s.len, 0, Vec::new())],
+                }
+            })
+            .collect();
+
+        // Compress every piece (across all segments) in one parallel
+        // fan-out into length-prefixed records.
+        let flat: Vec<(usize, usize)> = plans
+            .iter()
+            .flat_map(|p| p.pieces.iter().map(|&(start, len, _, _)| (start, len)))
+            .collect();
+        let records: Vec<Vec<u8>> = ule_par::map(self.system.threads, &flat, |&(start, len)| {
+            let container = ule_compress::compress(self.system.scheme, &dump[start..start + len]);
             let mut rec = Vec::with_capacity(4 + container.len());
             rec.extend_from_slice(&(container.len() as u32).to_le_bytes());
             rec.extend_from_slice(&container);
             rec
         });
+
         let mut data_bytes = Vec::new();
         let mut entries = Vec::with_capacity(segments.len());
-        for (s, rec) in segments.iter().zip(&records) {
+        let mut rec_it = records.into_iter();
+        for (s, plan) in segments.iter().zip(&plans) {
+            let archive_start = data_bytes.len() as u64;
+            let mut zones = Vec::with_capacity(plan.pieces.len());
+            for &(_, piece_len, rows, ref stats) in &plan.pieces {
+                let rec = rec_it.next().expect("one record per piece");
+                zones.push(ZoneInfo {
+                    archive_len: rec.len() as u64,
+                    dump_len: piece_len as u64,
+                    rows,
+                    stats: stats.clone(),
+                });
+                data_bytes.extend_from_slice(&rec);
+            }
+            // Single-piece segments carry no zones: the entry line stays
+            // byte-identical to the pre-zone-map catalog format.
+            let (zone_columns, zones) = if zones.len() > 1 {
+                (plan.zone_columns.clone(), zones)
+            } else {
+                (Vec::new(), Vec::new())
+            };
             entries.push(IndexEntry {
                 name: s.name.clone(),
-                archive_start: data_bytes.len() as u64,
-                archive_len: rec.len() as u64,
+                archive_start,
+                archive_len: data_bytes.len() as u64 - archive_start,
                 dump_start: s.start as u64,
                 dump_len: s.len as u64,
                 crc32: crc32(&dump[s.start..s.start + s.len]),
+                zone_columns,
+                zones,
             });
-            data_bytes.extend_from_slice(rec);
         }
         let index = ContentIndex {
             chunk_cap: cap as u32,
@@ -572,6 +693,146 @@ impl Vault {
         }
     }
 
+    /// Streaming query scan of one table: the dump bytes a query needs,
+    /// with zone-map pruning applied when the catalog carries zones and
+    /// the predicate excludes some of them. Pieces arrive in dump order;
+    /// concatenating the pieces of an *unpruned* scan reproduces the
+    /// table's dump segment byte-for-byte. Pruning is a performance hint
+    /// only — callers re-apply their exact predicate to every row — so a
+    /// pruned scan answers queries identically to an unpruned one.
+    ///
+    /// Every fallback of [`Vault::restore_table`] exists here too
+    /// (classic archives, unusable index, damaged frames): each degrades
+    /// to an unpruned single-piece scan, never to different bytes.
+    pub fn query_table(
+        &self,
+        bootstrap: &Bootstrap,
+        reels: &ReelScans,
+        table: &str,
+        pred: &ZonePredicate,
+    ) -> Result<(TableScan, VaultRestoreStats), VaultError> {
+        let Some(manifest) = &bootstrap.vault else {
+            // Pre-S16 archive: classic full restore, one unpruned piece.
+            let (dump, mut stats) = self.restore_all(bootstrap, reels)?;
+            let seg = find_segment(&dump, table)
+                .ok_or_else(|| VaultError::UnknownTable(table.to_string()))?;
+            stats.path = RestorePath::Classic;
+            return Ok((
+                TableScan::whole(
+                    seg.start as u64,
+                    dump[seg.start..seg.start + seg.len].to_vec(),
+                ),
+                stats,
+            ));
+        };
+        let layout = self.layout_of(bootstrap, manifest);
+        let mut stats = VaultRestoreStats::new(RestorePath::Selective, layout.data_frames());
+        let mut source = FrameSource::new(layout, reels)?;
+        let index = match self.read_index(manifest, &mut source, &mut stats) {
+            Ok(index) => index,
+            Err(e @ VaultError::ReelLoss { .. }) => return Err(e),
+            Err(_) => {
+                stats.index_fallback = true;
+                stats.path = RestorePath::Full;
+                let dump = self.full_restore(&mut source, &mut stats)?;
+                let seg = find_segment(&dump, table)
+                    .ok_or_else(|| VaultError::UnknownTable(table.to_string()))?;
+                return Ok((
+                    TableScan::whole(
+                        seg.start as u64,
+                        dump[seg.start..seg.start + seg.len].to_vec(),
+                    ),
+                    stats,
+                ));
+            }
+        };
+        let entry = index
+            .find(table)
+            .ok_or_else(|| VaultError::UnknownTable(table.to_string()))?
+            .clone();
+        match self.scan_entry(&index, &entry, pred, &mut source, &mut stats) {
+            Ok(scan) => Ok((scan, stats)),
+            Err(e @ VaultError::ReelLoss { .. }) => Err(e),
+            Err(_) => {
+                stats.path = RestorePath::SelectiveFallback;
+                let dump = self.full_restore(&mut source, &mut stats)?;
+                let start = entry.dump_start as usize;
+                let len = entry.dump_len as usize;
+                if start + len > dump.len() {
+                    return Err(VaultError::ShapeMismatch(format!(
+                        "catalog names dump range {start}+{len}, dump holds {} bytes",
+                        dump.len()
+                    )));
+                }
+                Ok((
+                    TableScan::whole(entry.dump_start, dump[start..start + len].to_vec()),
+                    stats,
+                ))
+            }
+        }
+    }
+
+    /// The pruned scan proper: select the zones the predicate may match
+    /// (structural zones — header and terminator — always qualify),
+    /// decode only the chunks those zones touch, unwrap each zone's
+    /// sub-record. When nothing was pruned the whole-segment catalog CRC
+    /// is within reach and gets checked.
+    fn scan_entry(
+        &self,
+        index: &ContentIndex,
+        entry: &IndexEntry,
+        pred: &ZonePredicate,
+        source: &mut FrameSource<'_>,
+        stats: &mut VaultRestoreStats,
+    ) -> Result<TableScan, VaultError> {
+        let layout = source.layout;
+        let Some(spans) = entry.zone_spans() else {
+            // No zones in the catalog (PR-4 era archive, or a table the
+            // zone spec does not cover): whole-record decode.
+            let bytes = self.restore_record(index, entry, source, stats)?;
+            return Ok(TableScan::whole(entry.dump_start, bytes));
+        };
+        let selected: Vec<_> = spans
+            .iter()
+            .filter(|s| pred.may_match(&entry.zone_columns, s.info))
+            .collect();
+        let mut chunks: Vec<usize> = selected
+            .iter()
+            .flat_map(|s| index.chunk_span(s.archive_start, s.info.archive_len))
+            .collect();
+        chunks.sort_unstable();
+        chunks.dedup();
+        let payloads = self.decode_chunks(&chunks, source, stats)?;
+        let mut pieces = Vec::with_capacity(selected.len());
+        for s in &selected {
+            let run = extract_span(
+                &payloads,
+                layout.chunk_cap,
+                s.archive_start,
+                s.info.archive_len,
+            )?;
+            pieces.push((s.dump_start, decode_zone_record(&run, s.info)?));
+        }
+        if selected.len() == spans.len() {
+            let mut all = Vec::with_capacity(entry.dump_len as usize);
+            for (_, b) in &pieces {
+                all.extend_from_slice(b);
+            }
+            if crc32(&all) != entry.crc32 {
+                return Err(VaultError::ShapeMismatch(format!(
+                    "segment {} fails its catalog crc",
+                    entry.name
+                )));
+            }
+        }
+        Ok(TableScan {
+            pieces,
+            zones_total: spans.len(),
+            zones_selected: selected.len(),
+            pruned: selected.len() < spans.len(),
+        })
+    }
+
     /// Table names readable from the medium's index stream (plus which
     /// restore path reading them took).
     pub fn list_tables(
@@ -631,7 +892,38 @@ impl Vault {
                 computed: crc32(&bytes),
             }));
         }
-        Ok(ContentIndex::parse(&bytes)?)
+        let index = ContentIndex::parse(&bytes)?;
+        validate_index(&index, &layout)?;
+        Ok(index)
+    }
+
+    /// Decode an arbitrary set of data-stream chunks, returning their
+    /// payloads keyed by chunk index. The shared primitive under the
+    /// selective-restore and pruned-query paths.
+    fn decode_chunks(
+        &self,
+        chunks: &[usize],
+        source: &mut FrameSource<'_>,
+        stats: &mut VaultRestoreStats,
+    ) -> Result<HashMap<usize, Vec<u8>>, VaultError> {
+        let layout = source.layout;
+        let positions: Vec<usize> = chunks
+            .iter()
+            .map(|&c| layout.chunk_position(StreamId::Data, c))
+            .collect();
+        source.ensure(self, &positions, stats)?;
+        let picks: Vec<(usize, &GrayImage)> = chunks
+            .iter()
+            .zip(&positions)
+            .map(|(&c, &p)| (chunk_global_index(c, layout.outer_parity), source.get(p)))
+            .collect();
+        stats.frames_decoded += picks.len();
+        let decoded = self.system.restore_frames(&picks)?;
+        Ok(chunks
+            .iter()
+            .zip(decoded)
+            .map(|(&c, (_, payload))| (c, payload))
+            .collect())
     }
 
     /// Selective record decode: exactly the chunks covering `entry`.
@@ -643,32 +935,15 @@ impl Vault {
         stats: &mut VaultRestoreStats,
     ) -> Result<Vec<u8>, VaultError> {
         let layout = source.layout;
-        let chunks: Range<usize> = index.chunk_range(entry);
-        let positions: Vec<usize> = chunks
-            .clone()
-            .map(|c| layout.chunk_position(StreamId::Data, c))
-            .collect();
-        source.ensure(self, &positions, stats)?;
-        let picks: Vec<(usize, &GrayImage)> = chunks
-            .clone()
-            .zip(&positions)
-            .map(|(c, &p)| (chunk_global_index(c, layout.outer_parity), source.get(p)))
-            .collect();
-        stats.frames_decoded += picks.len();
-        let decoded = self.system.restore_frames(&picks)?;
-        let mut bytes = Vec::with_capacity(chunks.len() * layout.chunk_cap);
-        for (_, payload) in decoded {
-            bytes.extend_from_slice(&payload);
-        }
-        let off = entry.archive_start as usize - chunks.start * layout.chunk_cap;
-        let len = entry.archive_len as usize;
-        if off + len > bytes.len() {
-            return Err(VaultError::ShapeMismatch(format!(
-                "record spans {} bytes past its chunks",
-                off + len - bytes.len()
-            )));
-        }
-        decode_record(&bytes[off..off + len], entry)
+        let chunks: Vec<usize> = index.chunk_range(entry).collect();
+        let payloads = self.decode_chunks(&chunks, source, stats)?;
+        let bytes = extract_span(
+            &payloads,
+            layout.chunk_cap,
+            entry.archive_start,
+            entry.archive_len,
+        )?;
+        decode_record_run(&bytes, entry)
     }
 
     /// Full-scan restore of the whole dump from a vault data stream.
@@ -891,6 +1166,14 @@ impl<'a> FrameSource<'a> {
         stats: &mut VaultRestoreStats,
     ) -> Result<(), VaultError> {
         for &pos in positions {
+            if pos >= self.layout.total_frames() {
+                // A catalog (or caller) naming frames past the manifest's
+                // geometry is a structural lie, not an index to chase.
+                return Err(VaultError::ShapeMismatch(format!(
+                    "frame position {pos} beyond the {}-frame layout",
+                    self.layout.total_frames()
+                )));
+            }
             let (reel, _) = self.layout.reel_of(pos);
             if self.reels[reel].is_none() && !self.rebuilt.contains_key(&reel) {
                 let frames = vault.reconstruct_reel(&self.layout, self.reels, reel, stats)?;
@@ -945,22 +1228,14 @@ pub fn split_records(data_bytes: &[u8]) -> Result<Vec<&[u8]>, VaultError> {
     Ok(records)
 }
 
-/// Unwrap one length-prefixed record into its original segment bytes,
-/// verifying the catalog's CRC of the originals.
-fn decode_record(record: &[u8], entry: &IndexEntry) -> Result<Vec<u8>, VaultError> {
-    if record.len() < 4 {
-        return Err(VaultError::ShapeMismatch(
-            "record shorter than its prefix".into(),
-        ));
+/// Unwrap an entry's record run (one or more length-prefixed records)
+/// into its original segment bytes, verifying the catalog's CRC of the
+/// originals.
+fn decode_record_run(run: &[u8], entry: &IndexEntry) -> Result<Vec<u8>, VaultError> {
+    let mut bytes = Vec::with_capacity(entry.dump_len as usize);
+    for record in split_records(run)? {
+        bytes.extend(ule_compress::decompress(record)?);
     }
-    let len = u32::from_le_bytes(record[..4].try_into().unwrap()) as usize;
-    if 4 + len != record.len() {
-        return Err(VaultError::ShapeMismatch(format!(
-            "record prefix says {len} bytes, catalog span holds {}",
-            record.len() - 4
-        )));
-    }
-    let bytes = ule_compress::decompress(&record[4..])?;
     if crc32(&bytes) != entry.crc32 {
         return Err(VaultError::ShapeMismatch(format!(
             "segment {} fails its catalog crc",
@@ -976,6 +1251,104 @@ fn decode_record(record: &[u8], entry: &IndexEntry) -> Result<Vec<u8>, VaultErro
         )));
     }
     Ok(bytes)
+}
+
+/// Unwrap one zone's sub-record: exactly one length-prefixed record
+/// decoding to exactly the zone's dump length. (Integrity inside the
+/// record comes from the `ULEA` container's own checksum; the catalog
+/// keeps only the whole-segment CRC, consulted when a scan is complete.)
+fn decode_zone_record(run: &[u8], zone: &ZoneInfo) -> Result<Vec<u8>, VaultError> {
+    let records = split_records(run)?;
+    if records.len() != 1 {
+        return Err(VaultError::ShapeMismatch(format!(
+            "zone span holds {} records, catalog says 1",
+            records.len()
+        )));
+    }
+    let bytes = ule_compress::decompress(records[0])?;
+    if bytes.len() != zone.dump_len as usize {
+        return Err(VaultError::ShapeMismatch(format!(
+            "zone decodes to {} bytes, catalog says {}",
+            bytes.len(),
+            zone.dump_len
+        )));
+    }
+    Ok(bytes)
+}
+
+/// Slice an archive byte span out of decoded chunk payloads. Every
+/// boundary is checked: a span reaching into an undecoded chunk or past
+/// a chunk's payload is a structured error, never a panic — offsets here
+/// descend from catalog bytes, which are hostile until proven otherwise.
+fn extract_span(
+    payloads: &HashMap<usize, Vec<u8>>,
+    chunk_cap: usize,
+    start: u64,
+    len: u64,
+) -> Result<Vec<u8>, VaultError> {
+    let cap = chunk_cap.max(1);
+    let (start, len) = match (usize::try_from(start), usize::try_from(len)) {
+        (Ok(s), Ok(l)) => (s, l),
+        _ => {
+            return Err(VaultError::ShapeMismatch(
+                "archive span beyond the address space".into(),
+            ))
+        }
+    };
+    let end = start
+        .checked_add(len)
+        .ok_or_else(|| VaultError::ShapeMismatch("archive span beyond the address space".into()))?;
+    let mut out = Vec::with_capacity(len);
+    let mut pos = start;
+    while pos < end {
+        let c = pos / cap;
+        let off = pos % cap;
+        let take = (end - pos).min(cap - off);
+        let slice = payloads
+            .get(&c)
+            .and_then(|p| p.get(off..off + take))
+            .ok_or_else(|| {
+                VaultError::ShapeMismatch(format!(
+                    "archive span {start}+{len} reaches past chunk {c}'s payload"
+                ))
+            })?;
+        out.extend_from_slice(slice);
+        pos += take;
+    }
+    Ok(out)
+}
+
+/// Structural validation of a freshly parsed index against the manifest
+/// layout: the chunk size must match the geometry and the entries must
+/// tile the data stream exactly. A catalog that lies about either could
+/// otherwise drive frame positions (and offset arithmetic) out of range;
+/// rejecting it here routes the restore to the full-scan fallback.
+fn validate_index(index: &ContentIndex, layout: &ReelLayout) -> Result<(), VaultError> {
+    if index.chunk_cap as usize != layout.chunk_cap {
+        return Err(VaultError::ShapeMismatch(format!(
+            "index chunk size {} disagrees with the geometry's {}",
+            index.chunk_cap, layout.chunk_cap
+        )));
+    }
+    let mut off: u64 = 0;
+    for e in &index.entries {
+        if e.archive_start != off {
+            return Err(VaultError::ShapeMismatch(format!(
+                "entry {} starts at {}, previous entries end at {off}",
+                e.name, e.archive_start
+            )));
+        }
+        off = off.checked_add(e.archive_len).ok_or_else(|| {
+            VaultError::ShapeMismatch(format!("entry {} overflows the data stream", e.name))
+        })?;
+    }
+    if off != layout.data_len as u64 {
+        return Err(VaultError::ShapeMismatch(format!(
+            "entries cover {off} bytes, manifest says the data stream holds {}",
+            layout.data_len
+        )));
+    }
+    Ok(())
 }
 
 /// Locate `table`'s segment in a restored dump (the index-less fallback).
@@ -1092,5 +1465,127 @@ mod tests {
         assert_eq!(stats.path, RestorePath::Classic);
         let (table, _) = vault.restore_table(&out.bootstrap, &scans, "t").unwrap();
         assert_eq!(&table[..], &dump[..table.len()]);
+    }
+
+    #[test]
+    fn zone_maps_ride_the_catalog() {
+        let vault = tiny_vault();
+        let arc = vault.archive(&sample_dump());
+        let li = arc.index.find("lineitem").unwrap();
+        assert!(li.zones.len() > 1, "lineitem splits into zones");
+        assert_eq!(li.zone_columns, vec!["l_shipdate", "l_quantity"]);
+        assert!(li.zone_spans().is_some(), "zones tile the entry");
+        // The catalog survives its own wire format with zones intact.
+        let reparsed = ContentIndex::parse(&arc.index.to_bytes()).unwrap();
+        assert_eq!(reparsed.find("lineitem").unwrap().zones, li.zones);
+        // Tables outside the zone spec keep the plain entry shape.
+        assert!(arc.index.find("nation").unwrap().zones.is_empty());
+    }
+
+    #[test]
+    fn unpruned_query_scan_matches_selective_restore() {
+        let vault = tiny_vault();
+        let dump = sample_dump();
+        let arc = vault.archive(&dump);
+        let scans = vault.scan_reels(&arc, 10);
+        for table in ["lineitem", "orders", "nation"] {
+            let (bytes, _) = vault.restore_table(&arc.bootstrap, &scans, table).unwrap();
+            let (scan, stats) = vault
+                .query_table(&arc.bootstrap, &scans, table, &ZonePredicate::all())
+                .unwrap();
+            assert_eq!(stats.path, RestorePath::Selective, "{table}");
+            assert!(!scan.pruned, "{table}: nothing to prune under all()");
+            assert_eq!(scan.concat(), bytes, "{table}");
+            // Piece offsets are dump-absolute and contiguous.
+            let entry = arc.index.find(table).unwrap();
+            let mut off = entry.dump_start;
+            for (start, piece) in &scan.pieces {
+                assert_eq!(*start, off, "{table}");
+                off += piece.len() as u64;
+            }
+            assert_eq!(off, entry.dump_start + entry.dump_len, "{table}");
+        }
+    }
+
+    #[test]
+    fn excluding_predicate_prunes_row_zones_and_frames() {
+        let vault = tiny_vault();
+        let dump = sample_dump();
+        let arc = vault.archive(&dump);
+        let scans = vault.scan_reels(&arc, 11);
+        // A shipdate range below every TPC-H date excludes all row zones;
+        // the structural header/terminator zones must still arrive.
+        let pred =
+            ZonePredicate::all().with(zones::ColumnRange::at_most("l_shipdate", "1000-01-01"));
+        let (_, unpruned_stats) = vault
+            .query_table(&arc.bootstrap, &scans, "lineitem", &ZonePredicate::all())
+            .unwrap();
+        let (scan, stats) = vault
+            .query_table(&arc.bootstrap, &scans, "lineitem", &pred)
+            .unwrap();
+        assert!(scan.pruned);
+        assert!(scan.zones_selected < scan.zones_total);
+        assert!(
+            stats.frames_decoded < unpruned_stats.frames_decoded,
+            "pruning must shrink the scan ({} vs {})",
+            stats.frames_decoded,
+            unpruned_stats.frames_decoded
+        );
+        let text = String::from_utf8(scan.concat()).unwrap();
+        assert!(text.starts_with("COPY lineitem ("), "header zone kept");
+        assert!(
+            text.ends_with("\\.\n\n") || text.ends_with("\\.\n"),
+            "terminator zone kept"
+        );
+    }
+
+    #[test]
+    fn zoneless_vault_reproduces_the_plain_composition() {
+        let vault = tiny_vault().without_zones();
+        let dump = sample_dump();
+        let arc = vault.archive(&dump);
+        for e in &arc.index.entries {
+            assert!(e.zones.is_empty(), "{}: no zones when disabled", e.name);
+        }
+        let scans = vault.scan_reels(&arc, 12);
+        let (restored, _) = vault.restore_all(&arc.bootstrap, &scans).unwrap();
+        assert_eq!(restored, dump);
+        // query_table degrades to a single unpruned piece.
+        let pred =
+            ZonePredicate::all().with(zones::ColumnRange::at_most("l_shipdate", "1000-01-01"));
+        let (scan, stats) = vault
+            .query_table(&arc.bootstrap, &scans, "lineitem", &pred)
+            .unwrap();
+        assert!(!scan.pruned);
+        assert_eq!(scan.pieces.len(), 1);
+        assert_eq!(stats.path, RestorePath::Selective);
+        let entry = arc.index.find("lineitem").unwrap();
+        let start = entry.dump_start as usize;
+        assert_eq!(scan.concat(), &dump[start..start + entry.dump_len as usize]);
+    }
+
+    #[test]
+    fn hostile_index_shapes_are_rejected() {
+        let vault = tiny_vault();
+        let arc = vault.archive(&sample_dump());
+        let layout = arc.layout;
+
+        // The honest catalog validates.
+        assert!(validate_index(&arc.index, &layout).is_ok());
+
+        // Wrong chunk size: every frame position it implies is suspect.
+        let mut bad = arc.index.clone();
+        bad.chunk_cap = bad.chunk_cap.wrapping_mul(7).max(1);
+        assert!(validate_index(&bad, &layout).is_err());
+
+        // Entries that do not tile the data stream.
+        let mut gap = arc.index.clone();
+        gap.entries[0].archive_len += 1;
+        assert!(validate_index(&gap, &layout).is_err());
+
+        // Overflowing spans must be an error, not a panic.
+        let mut huge = arc.index.clone();
+        huge.entries[0].archive_len = u64::MAX;
+        assert!(validate_index(&huge, &layout).is_err());
     }
 }

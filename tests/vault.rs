@@ -188,8 +188,10 @@ fn lost_reel_plus_blanked_sibling_frame_degrades_to_the_outer_code() {
     let layout = arc.layout;
     assert!(layout.content_reels() >= 4, "want two full parity groups");
 
-    let lost = layout.content_reels() - 1;
-    let sibling = lost - 1; // same group (group_reels == 2)
+    // The first group always holds two content reels (guard above);
+    // the last one holds only one when the reel count is odd.
+    let lost = 1;
+    let sibling = 0; // same group (group_reels == 2)
     assert_eq!(layout.group_of(lost), layout.group_of(sibling));
     let blank = FaultPlan::single(FrameBlankFault);
     let frames = scans[sibling].as_mut().unwrap();
