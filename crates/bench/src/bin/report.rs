@@ -23,10 +23,14 @@ use ule_par::ThreadConfig;
 use ule_verisc::vm::EngineKind;
 
 /// Accumulated paper-claim checks; a failure turns into exit code 1.
+/// Every check — pass or fail — is kept with its detail line, so
+/// `BENCH_report.json` records the full pass/fail list instead of only
+/// the failures.
 #[derive(Default)]
 struct Checks {
     passed: usize,
     failures: Vec<String>,
+    results: Vec<(String, bool, String)>,
 }
 
 impl Checks {
@@ -38,6 +42,7 @@ impl Checks {
             self.failures.push(format!("{name}: {detail}"));
             println!("  [CHECK FAIL] {name}: {detail}");
         }
+        self.results.push((name.to_string(), ok, detail));
     }
 }
 
@@ -72,19 +77,34 @@ impl Recorder {
     fn ms(&mut self, exp: &str, key: &str, d: Duration) {
         self.num(exp, key, d.as_secs_f64() * 1e3);
     }
-    fn write(&self, path: &str) {
+    fn write(&self, path: &str, checks: &Checks) {
         let mut json = String::from("{\n");
         json.push_str(&format!("  \"mode\": \"{}\",\n", self.mode));
-        for (i, (exp, kvs)) in self.sections.iter().enumerate() {
+        for (exp, kvs) in self.sections.iter() {
             json.push_str(&format!("  \"{exp}\": {{\n"));
             for (j, (k, v)) in kvs.iter().enumerate() {
                 let comma = if j + 1 < kvs.len() { "," } else { "" };
                 json.push_str(&format!("    \"{k}\": {v}{comma}\n"));
             }
-            let comma = if i + 1 < self.sections.len() { "," } else { "" };
-            json.push_str(&format!("  }}{comma}\n"));
+            json.push_str("  },\n");
         }
-        json.push_str("}\n");
+        // The per-check pass/fail list — an array (not an object) because
+        // some gates run once per configuration under the same name
+        // (e.g. `e8_byte_identity` at 2/4/8 threads).
+        json.push_str("  \"checks\": [\n");
+        for (i, (name, ok, detail)) in checks.results.iter().enumerate() {
+            let comma = if i + 1 < checks.results.len() {
+                ","
+            } else {
+                ""
+            };
+            json.push_str(&format!(
+                "    {{\"name\": \"{}\", \"ok\": {ok}, \"detail\": \"{}\"}}{comma}\n",
+                ule_obs::json_escape(name),
+                ule_obs::json_escape(detail)
+            ));
+        }
+        json.push_str("  ]\n}\n");
         std::fs::write(path, &json).expect("write BENCH_report.json");
         println!("\nreport json: {path}");
     }
@@ -98,6 +118,7 @@ fn main() {
     let e11_only = std::env::args().any(|a| a == "--e11");
     let e12_only = std::env::args().any(|a| a == "--e12");
     let e13_only = std::env::args().any(|a| a == "--e13");
+    let e14_only = std::env::args().any(|a| a == "--e14");
     println!(
         "ULE / Micr'Olonys evaluation report ({} mode{})",
         if full { "full" } else { "quick" },
@@ -107,6 +128,8 @@ fn main() {
             ", [E12] only"
         } else if e13_only {
             ", [E13] only"
+        } else if e14_only {
+            ", [E14] only"
         } else {
             ""
         }
@@ -114,11 +137,12 @@ fn main() {
     println!("==========================================================");
     let mut checks = Checks::default();
     let mut rec = Recorder {
-        mode: match (full, e11_only, e12_only, e13_only) {
-            (_, true, _, _) => "e11".into(),
-            (_, _, true, _) => "e12".into(),
-            (_, _, _, true) => "e13".into(),
-            (true, _, _, _) => "full".into(),
+        mode: match (full, e11_only, e12_only, e13_only, e14_only) {
+            (_, true, _, _, _) => "e11".into(),
+            (_, _, true, _, _) => "e12".into(),
+            (_, _, _, true, _) => "e13".into(),
+            (_, _, _, _, true) => "e14".into(),
+            (true, _, _, _, _) => "full".into(),
             _ => "quick".into(),
         },
         ..Recorder::default()
@@ -132,6 +156,8 @@ fn main() {
         e12_emulated_restore(true, &mut checks, &mut rec);
     } else if e13_only {
         e13_query(full, &mut checks, &mut rec);
+    } else if e14_only {
+        e14_obs(full, &mut checks, &mut rec);
     } else {
         t1_isa();
         e1_paper_archive(full, &mut checks);
@@ -147,8 +173,9 @@ fn main() {
         e11_kernels(&mut checks, &mut rec);
         e12_emulated_restore(full, &mut checks, &mut rec);
         e13_query(full, &mut checks, &mut rec);
+        e14_obs(full, &mut checks, &mut rec);
     }
-    rec.write("BENCH_report.json");
+    rec.write("BENCH_report.json", &checks);
     if checks.failures.is_empty() {
         println!(
             "\nreport complete: all {} paper-claim checks passed.",
@@ -871,6 +898,182 @@ fn e13_query(full: bool, checks: &mut Checks, rec: &mut Recorder) {
     rec.ms("e13", "q6_ms", t_q6);
     rec.ms("e13", "q3_ms", t_q3);
     rec.ms("e13", "full_restore_ms", t_full);
+}
+
+fn e14_obs(full: bool, checks: &mut Checks, rec: &mut Recorder) {
+    use micr_olonys::MicrOlonys;
+    use ule_obs::Telemetry;
+    use ule_vault::zones::{ColumnRange, ZonePredicate};
+    let scale = if full { 0.00115 } else { 0.0002 };
+    println!(
+        "\n[E14] Pipeline observability (ule_obs) — span-tree profile, decode-health counters, \
+         machine-readable trace"
+    );
+
+    // Identity + overhead subject: the classic pipeline on the tiny
+    // medium, scanned through the channel so decode does real RS work.
+    let sys = MicrOlonys::test_tiny();
+    let dump = ule_tpch::dump_for_scale(scale, 42);
+    let out = sys.archive(&dump);
+    let scans = sys.medium.scan_all(&out.data_frames, 0xE14);
+
+    // Gate 1: the recorder only observes — restored bytes (and the RS
+    // work done to get them) are identical with telemetry on and off.
+    let (bytes_off, stats_off) = sys.restore_native(&scans).expect("restore, telemetry off");
+    let tel_probe = Telemetry::enabled();
+    let (bytes_on, stats_on) = sys
+        .restore_native_traced(&scans, &tel_probe)
+        .expect("restore, telemetry on");
+    checks.check(
+        "e14_identity",
+        bytes_on == bytes_off
+            && bytes_off == dump
+            && stats_on.rs_corrected == stats_off.rs_corrected,
+        "enabled-mode restore bytes are identical to disabled-mode (and bit-exact)".into(),
+    );
+
+    // Gate 2: enabled-mode restore overhead. Median-of-3 same-process
+    // A/B, like every other ratio in this report.
+    let t_off = time_med3(|| {
+        std::hint::black_box(sys.restore_native(&scans).expect("restore"));
+    });
+    let t_on = time_med3(|| {
+        let tel = Telemetry::enabled();
+        std::hint::black_box(sys.restore_native_traced(&scans, &tel).expect("restore"));
+    });
+    let overhead = t_on.as_secs_f64() / t_off.as_secs_f64().max(1e-9) - 1.0;
+    println!(
+        "  restore wall-clock: telemetry off {t_off:.2?}, on {t_on:.2?} -> overhead {:+.2}%",
+        overhead * 100.0
+    );
+    checks.check(
+        "e14_overhead",
+        overhead <= 0.05,
+        format!(
+            "enabled-mode restore overhead {:+.2}% (target <= 5%)",
+            overhead * 100.0
+        ),
+    );
+
+    // The combined pipeline trace: ONE recorder across an archive, a
+    // fault-injected scan/decode, a selective restore and an E13 query —
+    // the whole Figure-2 loop in a single span tree.
+    let tel = Telemetry::enabled();
+    let traced = sys.archive_traced(&dump, &tel);
+    assert_eq!(traced.stats.archive_bytes, out.stats.archive_bytes);
+    // `ule_fault` damage: blotches at 3% area on every data frame — inside
+    // the inner code's E4 budget, so the restore succeeds *by correcting*
+    // and the RS-health counters must light up.
+    let plan = ule_fault::FaultPlan::single(ule_fault::Blotch);
+    let severity = [0.02, 0.01, 0.005, 0.002, 0.001]
+        .into_iter()
+        .find(|&sev| {
+            let probe = plan.apply(&scans, sev, 0xE14C0DE);
+            sys.restore_native(&probe).is_ok()
+        })
+        .expect("some blotch severity decodes on the tiny medium");
+    let damaged = plan.apply(&scans, severity, 0xE14C0DE);
+    let (dbytes, dstats) = sys
+        .restore_native_traced(&damaged, &tel)
+        .expect("damaged restore");
+    checks.check(
+        "e14_damage_bit_exact",
+        dbytes == dump,
+        "fault-injected restore is still bit-exact".into(),
+    );
+    let corrected = tel.counter("decode.corrected_symbols");
+    println!(
+        "  damage run (blotch {severity}): {} corrected symbols across {} frames ({} clean)",
+        corrected,
+        tel.counter("decode.frames_total"),
+        tel.counter("decode.clean_frames"),
+    );
+    checks.check(
+        "e14_rs_counters_nonzero",
+        corrected > 0 && dstats.corrected_symbols > 0,
+        format!("damage run surfaces RS work: {corrected} corrected symbols (> 0)"),
+    );
+
+    // Selective restore + one E13 query through a telemetry-attached
+    // vault, sharing the same recorder.
+    let w = ule_bench::E13Workload::new(scale, 42, ThreadConfig::Serial);
+    let vault = w.vault.clone().with_telemetry(tel.clone());
+    let (sel_bytes, _) = vault
+        .restore_table(&w.archive.bootstrap, &w.scans, "orders")
+        .expect("selective restore");
+    let entry = w.archive.index.find("orders").expect("orders catalogued");
+    assert_eq!(
+        sel_bytes.as_slice(),
+        &w.dump[entry.dump_start as usize..(entry.dump_start + entry.dump_len) as usize]
+    );
+    let pred = ZonePredicate::all().with(ColumnRange::between(
+        "l_shipdate",
+        "1994-01-01",
+        "1994-12-31",
+    ));
+    let (_, qs) = vault
+        .query_table(&w.archive.bootstrap, &w.scans, "lineitem", &pred)
+        .expect("query");
+    checks.check(
+        "e14_query_counters",
+        qs.zones_pruned > 0 && tel.counter("query.zones_pruned") == qs.zones_pruned as u64,
+        format!(
+            "query telemetry matches engine stats ({}/{} zones pruned)",
+            qs.zones_pruned, qs.zones_total
+        ),
+    );
+
+    // The trace must hold per-stage spans for every pipeline leg E14
+    // exercises: archive, scan/decode, selective restore, the query.
+    let trace = tel.snapshot();
+    let wanted = [
+        "archive",
+        "archive.compress",
+        "archive.print",
+        "scan.decode.frame",
+        "restore.selective",
+        "vault.query_table",
+    ];
+    let missing: Vec<&str> = wanted
+        .iter()
+        .copied()
+        .filter(|s| !trace.spans.contains_key(*s))
+        .collect();
+    checks.check(
+        "e14_trace_spans",
+        missing.is_empty(),
+        if missing.is_empty() {
+            "per-stage spans present for archive, scan/decode, selective restore and query".into()
+        } else {
+            format!("missing spans: {missing:?}")
+        },
+    );
+
+    // Both export surfaces: the machine-readable trace and the profile.
+    let json = trace.to_json();
+    std::fs::write("BENCH_trace.json", &json).expect("write BENCH_trace.json");
+    println!(
+        "  trace json: BENCH_trace.json ({} spans, {} counters, {} gauges)",
+        trace.spans.len(),
+        trace.counters.len(),
+        trace.gauges.len()
+    );
+    println!("  span-tree profile:");
+    for line in trace.render().lines() {
+        println!("    {line}");
+    }
+
+    rec.num("e14", "restore_overhead_pct", overhead * 100.0);
+    rec.int("e14", "corrected_symbols", corrected);
+    rec.int(
+        "e14",
+        "erasure_frames",
+        tel.counter("decode.erasure_frames"),
+    );
+    rec.int("e14", "clean_frames", tel.counter("decode.clean_frames"));
+    rec.int("e14", "query_zones_pruned", qs.zones_pruned as u64);
+    rec.int("e14", "trace_spans", trace.spans.len() as u64);
+    rec.int("e14", "trace_counters", trace.counters.len() as u64);
 }
 
 /// Median-of-3 wall-clock of `f` — the same-process A/B ratios below are

@@ -4,8 +4,9 @@ use crate::bootstrap::document::Bootstrap;
 use ule_compress::Scheme;
 use ule_dynarisc::programs::{dbdecode, modecode};
 use ule_emblem::geometry::{EDGE_CELLS, QUIET_CELLS};
-use ule_emblem::{encode_stream_with, EmblemKind};
+use ule_emblem::{encode_stream_traced, EmblemKind};
 use ule_media::Medium;
+use ule_obs::Telemetry;
 use ule_par::ThreadConfig;
 use ule_raster::GrayImage;
 use ule_verisc::NestedEmulator;
@@ -92,32 +93,51 @@ impl MicrOlonys {
     /// emblems (MOCoder), render to media frames, and produce the
     /// Bootstrap document.
     pub fn archive(&self, dump: &[u8]) -> ArchiveOutput {
+        self.archive_traced(dump, &Telemetry::off())
+    }
+
+    /// [`MicrOlonys::archive`] with pipeline telemetry: spans for the
+    /// compress, encode and print stages plus codec/emblem counters. The
+    /// recorder only observes — frames, Bootstrap and stats are
+    /// byte-identical to the untraced path (the default [`Telemetry::off`]
+    /// handle is a null check per call).
+    pub fn archive_traced(&self, dump: &[u8], tel: &Telemetry) -> ArchiveOutput {
+        let _span = tel.span("archive");
         let geom = self.medium.geometry;
         // Step 2: DBCoder. (Inherently sequential: LZSS match-finding and
         // the arithmetic coder both thread state through every byte.)
-        let archive_bytes = ule_compress::compress(self.scheme, dump);
+        let archive_bytes = ule_compress::compress_traced(self.scheme, dump, tel);
         // Step 3: MOCoder — data emblems, fanned out per emblem.
-        let data_emblems = encode_stream_with(
+        let data_emblems = encode_stream_traced(
             &geom,
             EmblemKind::Data,
             &archive_bytes,
             self.with_parity,
             self.threads,
+            tel,
         );
         // Steps 4–5: the DBCoder decoder as system emblems.
         let sys_bytes = Self::system_stream_bytes();
-        let system_emblems = encode_stream_with(
+        let system_emblems = encode_stream_traced(
             &geom,
             EmblemKind::System,
             &sys_bytes,
             self.with_parity,
             self.threads,
+            tel,
         );
         // Step 6: MODecode + the DynaRisc emulator into the Bootstrap.
         let bootstrap = self.make_bootstrap();
         // Step 7: physical layout on frames, one rasterisation job each.
-        let data_frames = self.medium.print_all_with(&data_emblems, self.threads);
-        let system_frames = self.medium.print_all_with(&system_emblems, self.threads);
+        let (data_frames, system_frames) = {
+            let _print = tel.span("archive.print");
+            (
+                self.medium.print_all_with(&data_emblems, self.threads),
+                self.medium.print_all_with(&system_emblems, self.threads),
+            )
+        };
+        tel.add("archive.data_frames", data_frames.len() as u64);
+        tel.add("archive.system_frames", system_frames.len() as u64);
         let plan = ule_emblem::stream::plan(&geom, archive_bytes.len(), self.with_parity);
         let stats = ArchiveStats {
             dump_bytes: dump.len(),

@@ -30,8 +30,9 @@ use ule_dynarisc::programs::{dbdecode, modecode};
 use ule_dynarisc::{ThreadedImage, Vm, VmError};
 use ule_emblem::geometry::RS_K;
 use ule_emblem::stream::{chunk_global_index, GROUP_DATA};
-use ule_emblem::{decode_stream, decode_stream_with, EmblemHeader, EmblemKind, StreamError};
+use ule_emblem::{decode_stream, decode_stream_traced, EmblemHeader, EmblemKind, StreamError};
 use ule_gf256::crc::crc32_update;
+use ule_obs::Telemetry;
 use ule_par::ThreadConfig;
 use ule_raster::GrayImage;
 use ule_verisc::vm::{EngineKind, VeriscError};
@@ -121,6 +122,17 @@ pub struct RestoreStats {
     pub scans: usize,
     pub emblems_recovered: usize,
     pub rs_corrected: usize,
+    /// Symbol positions fixed by the inner Reed–Solomon code across every
+    /// decoded frame. On the full native path this mirrors
+    /// [`RestoreStats::rs_corrected`]; on the selective path
+    /// ([`MicrOlonys::restore_frames`]) it surfaces the per-frame
+    /// correction counts that were previously dropped on the floor.
+    pub corrected_symbols: usize,
+    /// Frame slots (data *and* parity) the outer code had to treat as
+    /// erasures during recovery — the decode-health signal behind
+    /// [`RestoreStats::emblems_recovered`], which only counts the data
+    /// emblems actually rebuilt.
+    pub erasure_frames: usize,
     /// Total VeRisc instructions executed ([`EmulationTier::Nested`] only).
     pub verisc_steps: u64,
     /// Total DynaRisc instructions executed on a host engine
@@ -170,9 +182,23 @@ impl MicrOlonys {
         &self,
         data_scans: &[GrayImage],
     ) -> Result<(Vec<u8>, RestoreStats), RestoreError> {
+        self.restore_native_traced(data_scans, &Telemetry::off())
+    }
+
+    /// [`MicrOlonys::restore_native`] with decode-health telemetry: a
+    /// `restore.native` span over the whole pass, the per-frame RS and
+    /// erasure counters from the stream decoder, and decompression codec
+    /// counters. The recorder only observes — restored bytes and stats
+    /// are identical to the untraced path.
+    pub fn restore_native_traced(
+        &self,
+        data_scans: &[GrayImage],
+        tel: &Telemetry,
+    ) -> Result<(Vec<u8>, RestoreStats), RestoreError> {
+        let _span = tel.span("restore.native");
         let geom = self.medium.geometry;
         let (archive, s) =
-            decode_stream_with(&geom, data_scans, self.threads).map_err(|e| match e {
+            decode_stream_traced(&geom, data_scans, self.threads, tel).map_err(|e| match e {
                 // Surface lost frames as the structured top-level error so
                 // campaign runners and operators see indices, not prose.
                 StreamError::FrameLoss {
@@ -188,13 +214,15 @@ impl MicrOlonys {
                 },
                 other => RestoreError::Stream(other),
             })?;
-        let dump = ule_compress::decompress(&archive)?;
+        let dump = ule_compress::decompress_traced(&archive, tel)?;
         Ok((
             dump,
             RestoreStats {
                 scans: s.scans,
                 emblems_recovered: s.emblems_recovered,
                 rs_corrected: s.rs_corrected,
+                corrected_symbols: s.rs_corrected,
+                erasure_frames: s.erasure_frames,
                 archive_bytes: archive.len(),
                 ..Default::default()
             },
@@ -219,24 +247,57 @@ impl MicrOlonys {
         &self,
         scans: &[(usize, &GrayImage)],
     ) -> Result<Vec<(usize, Vec<u8>)>, RestoreError> {
+        self.restore_frames_traced(scans, &Telemetry::off())
+            .map(|(out, _)| out)
+    }
+
+    /// [`MicrOlonys::restore_frames`] that also returns the per-frame
+    /// decode health the payload-only surface drops: a [`RestoreStats`]
+    /// whose `corrected_symbols` aggregates the inner-RS fixes of every
+    /// selectively decoded frame, plus frames-requested/decoded counters
+    /// on the telemetry recorder.
+    pub fn restore_frames_traced(
+        &self,
+        scans: &[(usize, &GrayImage)],
+        tel: &Telemetry,
+    ) -> Result<(Vec<(usize, Vec<u8>)>, RestoreStats), RestoreError> {
+        let _span = tel.span("restore.selective");
         let geom = self.medium.geometry;
         let results =
             ule_par::map(
                 self.threads,
                 scans,
                 |(expect, scan)| match ule_emblem::decode_emblem(&geom, scan) {
-                    Ok((h, payload, _)) if h.index as usize == *expect => Ok((*expect, payload)),
+                    Ok((h, payload, ds)) if h.index as usize == *expect => {
+                        Ok((*expect, payload, ds.rs_corrected))
+                    }
                     _ => Err(*expect),
                 },
             );
+        let mut stats = RestoreStats {
+            scans: scans.len(),
+            ..Default::default()
+        };
         let mut out = Vec::with_capacity(scans.len());
         let mut missing = Vec::new();
         for r in results {
             match r {
-                Ok(item) => out.push(item),
+                Ok((idx, payload, fixed)) => {
+                    stats.rs_corrected += fixed;
+                    stats.corrected_symbols += fixed;
+                    stats.archive_bytes += payload.len();
+                    if fixed > 0 {
+                        tel.add("decode.frames_corrected", 1);
+                    }
+                    out.push((idx, payload));
+                }
                 Err(idx) => missing.push(idx),
             }
         }
+        tel.add("selective.frames_requested", scans.len() as u64);
+        tel.add("selective.frames_decoded", out.len() as u64);
+        tel.add("selective.frames_failed", missing.len() as u64);
+        tel.add("decode.corrected_symbols", stats.corrected_symbols as u64);
         if !missing.is_empty() {
             return Err(RestoreError::FrameLoss {
                 kind: EmblemKind::Data,
@@ -245,7 +306,7 @@ impl MicrOlonys {
                 missing,
             });
         }
-        Ok(out)
+        Ok((out, stats))
     }
 
     /// Verify that scanned system emblems really carry the DBDecode
@@ -284,6 +345,23 @@ impl MicrOlonys {
         tier: EmulationTier,
         threads: ThreadConfig,
     ) -> Result<(Vec<u8>, RestoreStats), RestoreError> {
+        Self::restore_emulated_traced(bootstrap_text, scans, tier, threads, &Telemetry::off())
+    }
+
+    /// [`MicrOlonys::restore_emulated`] with emulation telemetry: spans
+    /// for the per-scan MODecode fan-out and the final DBDecode pass,
+    /// guest/VeRisc step counters, and per-tier dispatch counts (one
+    /// dispatch per guest program run). All recording happens on the
+    /// calling thread after the `ule_par` join, in input order, so the
+    /// restored bytes, stats and trace are identical at any thread count.
+    pub fn restore_emulated_traced(
+        bootstrap_text: &str,
+        scans: &[GrayImage],
+        tier: EmulationTier,
+        threads: ThreadConfig,
+        tel: &Telemetry,
+    ) -> Result<(Vec<u8>, RestoreStats), RestoreError> {
+        let _span = tel.span("restore.emulated");
         let boot = Bootstrap::parse(bootstrap_text)
             .map_err(|e| RestoreError::Archive(ArchiveError::Corrupt(e.to_string())))?;
         let mut stats = RestoreStats {
@@ -296,17 +374,25 @@ impl MicrOlonys {
         // The host tiers read MODecode back out of the Bootstrap's image
         // prefix — the document, not the native codebase, supplies the
         // decoder on every tier.
-        let outs: Vec<Result<(Vec<u8>, u64), RestoreError>> = match tier {
-            EmulationTier::Nested(kind) => ule_par::map(threads, scans, |scan| {
-                run_modecode_nested(&boot, scan, kind)
-            }),
-            _ => {
-                let runner = GuestRunner::for_tier(tier, modecode_from_prefix(&boot)?);
-                ule_par::map(threads, scans, |scan| {
-                    run_modecode_hosted(&boot, scan, &runner)
-                })
+        let outs: Vec<Result<(Vec<u8>, u64), RestoreError>> = {
+            let _frames = tel.span("restore.emulated.frames");
+            match tier {
+                EmulationTier::Nested(kind) => ule_par::map(threads, scans, |scan| {
+                    run_modecode_nested(&boot, scan, kind)
+                }),
+                _ => {
+                    let runner = GuestRunner::for_tier(tier, modecode_from_prefix(&boot)?);
+                    ule_par::map(threads, scans, |scan| {
+                        run_modecode_hosted(&boot, scan, &runner)
+                    })
+                }
             }
         };
+        tel.add("emulated.scans", scans.len() as u64);
+        tel.add(
+            &format!("emulated.dispatch.{}", tier_label(tier)),
+            scans.len() as u64,
+        );
         let mut decoded: Vec<(EmblemHeader, Vec<u8>)> = Vec::with_capacity(scans.len());
         let mut crc = 0xFFFF_FFFFu32;
         for (i, res) in outs.into_iter().enumerate() {
@@ -355,6 +441,8 @@ impl MicrOlonys {
             0
         };
         let (guest_mem, out_base) = layout::build_memory(&archive, out_len, &[]);
+        let _dbdecode = tel.span("restore.emulated.dbdecode");
+        tel.add(&format!("emulated.dispatch.{}", tier_label(tier)), 1);
         let guest = match tier {
             EmulationTier::Nested(kind) => {
                 let mut emu = NestedEmulator::from_image_prefix(
@@ -383,7 +471,19 @@ impl MicrOlonys {
         if status != 0 {
             return Err(RestoreError::DecoderStatus(status));
         }
+        tel.add("emulated.guest_steps", stats.guest_steps);
+        tel.add("emulated.verisc_steps", stats.verisc_steps);
         Ok((layout::read_output(&guest, out_base), stats))
+    }
+}
+
+/// Telemetry label of an [`EmulationTier`] (the `emulated.dispatch.*`
+/// counter family).
+fn tier_label(tier: EmulationTier) -> &'static str {
+    match tier {
+        EmulationTier::Threaded => "threaded",
+        EmulationTier::Interpreter => "interpreter",
+        EmulationTier::Nested(_) => "nested",
     }
 }
 

@@ -39,6 +39,7 @@ pub use encode::{encode_emblem, inner_encode, inner_encode_with};
 pub use geometry::EmblemGeometry;
 pub use header::{EmblemHeader, EmblemKind};
 pub use stream::{
-    decode_stream, decode_stream_with, encode_stream, encode_stream_with, StreamError,
+    decode_stream, decode_stream_traced, decode_stream_with, encode_stream, encode_stream_traced,
+    encode_stream_with, StreamError,
 };
 pub use ule_par::ThreadConfig;

@@ -14,6 +14,7 @@ use crate::encode::encode_emblem;
 use crate::geometry::EmblemGeometry;
 use crate::header::{EmblemHeader, EmblemKind};
 use ule_gf256::RsCode;
+use ule_obs::Telemetry;
 use ule_par::ThreadConfig;
 use ule_raster::GrayImage;
 
@@ -89,6 +90,21 @@ pub fn encode_stream_with(
     with_parity: bool,
     threads: ThreadConfig,
 ) -> Vec<GrayImage> {
+    encode_stream_traced(geom, kind, payload, with_parity, threads, &Telemetry::off())
+}
+
+/// [`encode_stream_with`] plus telemetry: spans for the outer-parity and
+/// render stages, counters for data/parity emblem counts. The recorder
+/// only observes — emitted images are byte-identical to the untraced path
+/// (and the default [`Telemetry::off`] handle never reads the clock).
+pub fn encode_stream_traced(
+    geom: &EmblemGeometry,
+    kind: EmblemKind,
+    payload: &[u8],
+    with_parity: bool,
+    threads: ThreadConfig,
+    tel: &Telemetry,
+) -> Vec<GrayImage> {
     let p = plan(geom, payload.len(), with_parity);
     let cap = p.chunk_size;
     let total = payload.len() as u32;
@@ -105,6 +121,7 @@ pub fn encode_stream_with(
     // `fill_parity` loop, which is exactly the per-column contract
     // `parity_of` documents and pins.
     let parity_chunks: Vec<Vec<Vec<u8>>> = if with_parity {
+        let _span = tel.span("archive.encode.parity");
         ule_par::map_indexed(threads, n_groups, |g| {
             let base = g * GROUP_DATA;
             let in_group = (p.data_emblems - base).min(GROUP_DATA);
@@ -146,6 +163,9 @@ pub fn encode_stream_with(
             }
         }
     }
+    tel.add("encode.data_emblems", p.data_emblems as u64);
+    tel.add("encode.parity_emblems", p.parity_emblems as u64);
+    let _span = tel.span("archive.encode.render");
     ule_par::map(threads, &jobs, |(header, ch)| {
         encode_emblem(geom, header, ch)
     })
@@ -214,6 +234,12 @@ pub struct StreamStats {
     pub emblems_recovered: usize,
     /// Total bytes fixed by the inner code across emblems.
     pub rs_corrected: usize,
+    /// Codeword slots (data *and* parity) declared as erasures during
+    /// outer-code recovery. Unlike [`StreamStats::emblems_recovered`]
+    /// (reconstructed data emblems only) this also counts missing parity
+    /// frames the group had to decode around — the full erasure load the
+    /// outer code carried.
+    pub erasure_frames: usize,
 }
 
 /// Decode a set of scans (unordered, possibly incomplete and with
@@ -235,12 +261,42 @@ pub fn decode_stream_with(
     scans: &[GrayImage],
     threads: ThreadConfig,
 ) -> Result<(Vec<u8>, StreamStats), StreamError> {
+    decode_stream_traced(geom, scans, threads, &Telemetry::off())
+}
+
+/// [`decode_stream_with`] plus decode-health telemetry: a per-frame span
+/// (recorded into one shard per scan, merged in input order after the
+/// join — worker scheduling can never reorder the trace), RS corrected-
+/// symbol and erasure counters, and the clean-frame fast-path hit ratio.
+///
+/// The recorder only observes: payload bytes and [`StreamStats`] are
+/// identical to the untraced path, and a disabled handle skips the
+/// sharded fan-out entirely.
+pub fn decode_stream_traced(
+    geom: &EmblemGeometry,
+    scans: &[GrayImage],
+    threads: ThreadConfig,
+    tel: &Telemetry,
+) -> Result<(Vec<u8>, StreamStats), StreamError> {
     let mut stats = StreamStats {
         scans: scans.len(),
         ..Default::default()
     };
     // Individual decode; tolerate per-scan failures (the outer code's job).
-    let results = ule_par::map(threads, scans, |scan| decode_emblem(geom, scan));
+    // With telemetry on, each scan gets its own recorder shard (worker
+    // writes stay item-local) and the shards merge back in input order.
+    let results = if tel.is_enabled() {
+        let shards = tel.fork(scans.len());
+        let jobs: Vec<(&GrayImage, Telemetry)> = scans.iter().zip(shards.iter().cloned()).collect();
+        let results = ule_par::map(threads, &jobs, |(scan, shard)| {
+            let _frame = shard.span("scan.decode.frame");
+            decode_emblem(geom, scan)
+        });
+        tel.absorb(shards);
+        results
+    } else {
+        ule_par::map(threads, scans, |scan| decode_emblem(geom, scan))
+    };
     let mut decoded: Vec<(EmblemHeader, Vec<u8>, DecodeStats)> = Vec::new();
     for r in results {
         match r {
@@ -248,6 +304,8 @@ pub fn decode_stream_with(
             Err(_) => stats.failed_scans += 1,
         }
     }
+    tel.add("decode.frames_total", scans.len() as u64);
+    tel.add("decode.frames_failed", stats.failed_scans as u64);
     if decoded.is_empty() {
         return Err(StreamError::NoEmblems);
     }
@@ -255,9 +313,25 @@ pub fn decode_stream_with(
     if decoded.iter().any(|(h, _, _)| h.total_len != total_len) {
         return Err(StreamError::InconsistentHeaders);
     }
+    let mut clean_frames = 0u64;
     for (_, _, s) in &decoded {
         stats.rs_corrected += s.rs_corrected;
+        if s.rs_corrected == 0 {
+            clean_frames += 1;
+        } else {
+            tel.add("decode.frames_corrected", 1);
+        }
+        tel.add("decode.corrected_symbols", s.rs_corrected as u64);
+        tel.add("decode.sync_errors", s.sync_errors as u64);
+        if s.header_copy_used > 0 {
+            tel.add("decode.header_retries", 1);
+        }
     }
+    tel.add("decode.clean_frames", clean_frames);
+    tel.gauge(
+        "decode.clean_frame_ratio",
+        clean_frames as f64 / decoded.len() as f64,
+    );
 
     let cap = geom.payload_capacity();
     let n_chunks = (total_len as usize).div_ceil(cap).max(1);
@@ -393,6 +467,9 @@ pub fn decode_stream_with(
                 erasures.push(in_group + pi);
             }
         }
+        stats.erasure_frames += erasures.len();
+        let _recovery = tel.span("scan.decode.outer_recovery");
+        let mut outer_corrected = 0u64;
         let mut recovered: Vec<Vec<u8>> = vec![vec![0u8; cap]; missing.len()];
         let mut col = vec![0u8; in_group + GROUP_PARITY];
         for j in 0..cap {
@@ -404,16 +481,20 @@ pub fn decode_stream_with(
             for (pi, p) in parity[group].iter().enumerate() {
                 col[in_group + pi] = p.as_ref().map_or(0, |c| c[j]);
             }
-            rs.decode(&mut col, &erasures)
-                .map_err(|_| StreamError::TooManyMissing {
-                    group: group as u16,
-                    missing: erasures.len(),
-                    correctable: GROUP_PARITY,
-                })?;
+            let fixed =
+                rs.decode(&mut col, &erasures)
+                    .map_err(|_| StreamError::TooManyMissing {
+                        group: group as u16,
+                        missing: erasures.len(),
+                        correctable: GROUP_PARITY,
+                    })?;
+            outer_corrected += fixed as u64;
             for (mi, &m) in missing.iter().enumerate() {
                 recovered[mi][j] = col[m];
             }
         }
+        tel.add("decode.erasure_frames", erasures.len() as u64);
+        tel.add("decode.outer_corrected_symbols", outer_corrected);
         for (mi, m) in missing.into_iter().enumerate() {
             // Trim the final chunk to the stream tail length.
             let chunk_no = base + m;
@@ -428,6 +509,8 @@ pub fn decode_stream_with(
             stats.emblems_recovered += 1;
         }
     }
+
+    tel.add("decode.emblems_recovered", stats.emblems_recovered as u64);
 
     // Concatenate.
     let mut out = Vec::with_capacity(total_len as usize);

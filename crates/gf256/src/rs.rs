@@ -292,6 +292,28 @@ impl RsCode {
     /// overwhelmingly common archival case) is therefore syndromes-bound;
     /// `DESIGN.md` §12 and the report's `[E11]` section quantify it.
     pub fn decode(&self, cw: &mut [u8], erasures: &[usize]) -> Result<usize, RsError> {
+        self.decode_positions(cw, erasures).map(|p| p.len())
+    }
+
+    /// Like [`RsCode::decode`], but returns the corrected byte *positions*
+    /// rather than just their count. This is the decode-health surface the
+    /// telemetry layer records (`RestoreStats::corrected_symbols` and the
+    /// E14 counters): the Chien search already finds these indices, so
+    /// exposing them costs nothing the count-only path was not paying.
+    ///
+    /// ```
+    /// use ule_gf256::RsCode;
+    /// let rs = RsCode::new(20, 17);
+    /// let mut cw = rs.encode(&[9u8; 17]);
+    /// cw[4] ^= 0x21;
+    /// let fixed = rs.decode_positions(&mut cw, &[]).unwrap();
+    /// assert_eq!(fixed, vec![4]);
+    /// ```
+    pub fn decode_positions(
+        &self,
+        cw: &mut [u8],
+        erasures: &[usize],
+    ) -> Result<Vec<usize>, RsError> {
         if cw.len() != self.n {
             return Err(RsError::LengthMismatch {
                 expected: self.n,
@@ -315,7 +337,7 @@ impl RsCode {
         // correct values), so the algebraic machinery below never runs.
         let syn = self.syndromes(cw);
         if syn.iter().all(|&s| s == 0) {
-            return Ok(0);
+            return Ok(Vec::new());
         }
         let gf = &self.gf;
 
@@ -397,7 +419,7 @@ impl RsCode {
         if !self.is_clean(cw) {
             return Err(RsError::TooManyErrors);
         }
-        Ok(positions.len())
+        Ok(positions)
     }
 
     /// Encode a batch of k-byte messages, fanning the independent codewords
@@ -451,6 +473,24 @@ mod tests {
         (0..k)
             .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
             .collect()
+    }
+
+    #[test]
+    fn decode_positions_names_the_injected_error_sites() {
+        let rs = RsCode::new(255, 223);
+        let msg = sample_msg(223, 5);
+        let mut cw = rs.encode(&msg);
+        // Mixed case: two random errors plus one declared erasure.
+        cw[10] ^= 0x5a;
+        cw[200] ^= 0x01;
+        cw[77] = 0xff;
+        let mut fixed = rs.decode_positions(&mut cw, &[77]).unwrap();
+        fixed.sort_unstable();
+        assert_eq!(fixed, vec![10, 77, 200]);
+        assert_eq!(&cw[..223], msg.as_slice());
+        // Clean codeword: the fast path reports no positions.
+        let mut clean = rs.encode(&msg);
+        assert!(rs.decode_positions(&mut clean, &[]).unwrap().is_empty());
     }
 
     #[test]

@@ -16,7 +16,7 @@ use crate::queries::{
 };
 use micr_olonys::Bootstrap;
 use ule_vault::zones::{ColumnRange, ZonePredicate};
-use ule_vault::{ReelScans, TableScan, Vault, VaultError, VaultRestoreStats};
+use ule_vault::{ReelScans, TableScan, Vault, VaultError};
 
 /// Failures of a cold-media query.
 #[derive(Debug)]
@@ -53,7 +53,9 @@ impl From<VaultError> for ArchivalError {
     }
 }
 
-/// Cost accounting of one cold-media query (the E13 numbers).
+/// Cost accounting of one cold-media query (the E13 numbers), built
+/// from the engine-side [`ule_vault::QueryStats`] of the scan that
+/// actually ran — the aggregation layer adds only `rows_scanned`.
 #[derive(Clone, Copy, Debug)]
 pub struct QueryStats {
     /// Frames pushed through the emblem decoder to serve this query.
@@ -66,18 +68,24 @@ pub struct QueryStats {
     pub zones_selected: usize,
     /// True when at least one zone was skipped.
     pub pruned: bool,
+    /// Pieces the scan streamed to the aggregator.
+    pub pieces_streamed: usize,
+    /// Dump bytes across those pieces.
+    pub bytes_touched: usize,
     /// Rows actually fed to the aggregator.
     pub rows_scanned: u64,
 }
 
 impl QueryStats {
-    fn from_scan(scan: &TableScan, stats: &VaultRestoreStats, rows_scanned: u64) -> Self {
+    fn from_engine(stats: &ule_vault::QueryStats, rows_scanned: u64) -> Self {
         QueryStats {
-            frames_decoded: stats.frames_decoded,
-            data_frames_total: stats.data_frames_total,
-            zones_total: scan.zones_total,
-            zones_selected: scan.zones_selected,
-            pruned: scan.pruned,
+            frames_decoded: stats.restore.frames_decoded,
+            data_frames_total: stats.restore.data_frames_total,
+            zones_total: stats.zones_total,
+            zones_selected: stats.zones_scanned,
+            pruned: stats.zones_pruned > 0,
+            pieces_streamed: stats.pieces_streamed,
+            bytes_touched: stats.bytes_touched,
             rows_scanned,
         }
     }
@@ -113,7 +121,7 @@ impl<'a> ShelfQuery<'a> {
         let rows = feed_rows(&scan, "lineitem", &PricingSummaryAcc::COLUMNS, |c| {
             acc.row(c[0], c[1], c[2], c[3], c[4])
         })?;
-        Ok((acc.finish(), QueryStats::from_scan(&scan, &stats, rows)))
+        Ok((acc.finish(), QueryStats::from_engine(&stats, rows)))
     }
 
     /// Q6 shape, streamed: discounted revenue inside `year` under a
@@ -138,7 +146,7 @@ impl<'a> ShelfQuery<'a> {
         let rows = feed_rows(&scan, "lineitem", &ForecastRevenueAcc::COLUMNS, |c| {
             acc.row(c[0], c[1], c[2], c[3])
         })?;
-        Ok((acc.finish(), QueryStats::from_scan(&scan, &stats, rows)))
+        Ok((acc.finish(), QueryStats::from_engine(&stats, rows)))
     }
 
     /// Q3-ish shape, streamed: top-`n` customers by total order value.
@@ -155,7 +163,7 @@ impl<'a> ShelfQuery<'a> {
         let rows = feed_rows(&scan, "orders", &TopCustomersAcc::COLUMNS, |c| {
             acc.row(c[0], c[1])
         })?;
-        Ok((acc.finish(), QueryStats::from_scan(&scan, &stats, rows)))
+        Ok((acc.finish(), QueryStats::from_engine(&stats, rows)))
     }
 }
 

@@ -50,9 +50,12 @@ use micr_olonys::{Bootstrap, MicrOlonys, RestoreError, VaultManifest};
 use segment::{segment_dump, Segment};
 use ule_compress::ArchiveError;
 use ule_emblem::stream::{chunk_global_index, StreamError, GROUP_DATA, GROUP_PARITY};
-use ule_emblem::{decode_emblem, encode_emblem, encode_stream_with, EmblemKind};
+use ule_emblem::{
+    decode_emblem, decode_stream_traced, encode_emblem, encode_stream_with, EmblemKind,
+};
 use ule_gf256::crc::crc32;
 use ule_gf256::RsCode;
+use ule_obs::Telemetry;
 use ule_raster::GrayImage;
 use zones::{split_segment, ZonePredicate, ZoneSpec};
 
@@ -134,6 +137,13 @@ pub struct VaultRestoreStats {
     pub reels_reconstructed: usize,
     /// Data frames a full restore would decode (the E10 denominator).
     pub data_frames_total: usize,
+    /// Inner-RS symbols corrected across every frame this restore
+    /// decoded — index, data and reconstruction frames alike. Zero on a
+    /// pristine shelf; the decode-health headline when it is not.
+    pub corrected_symbols: usize,
+    /// Outer-code codeword slots (data *and* parity) declared as
+    /// erasures during stream-level recovery.
+    pub erasure_frames: usize,
     pub path: RestorePath,
     /// True when the index stream was unusable and the restore fell back
     /// to a full scan.
@@ -148,6 +158,8 @@ impl VaultRestoreStats {
             frames_reconstructed: 0,
             reels_reconstructed: 0,
             data_frames_total,
+            corrected_symbols: 0,
+            erasure_frames: 0,
             path,
             index_fallback: false,
         }
@@ -186,6 +198,39 @@ impl TableScan {
             out.extend_from_slice(b);
         }
         out
+    }
+}
+
+/// Cost accounting of one [`Vault::query_table`] call — the engine-side
+/// E13 numbers, so report tables and tests read them from the scan that
+/// actually ran instead of re-deriving them.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryStats {
+    /// Zones the catalog holds for the scanned table (1 when zone-less).
+    pub zones_total: usize,
+    /// Zones the predicate could not exclude (= decoded).
+    pub zones_scanned: usize,
+    /// Zones the predicate excluded without touching their frames.
+    pub zones_pruned: usize,
+    /// Pieces handed to the streaming aggregator, in dump order.
+    pub pieces_streamed: usize,
+    /// Dump bytes across those pieces.
+    pub bytes_touched: usize,
+    /// The restore-side diagnostics of the same call (frames decoded,
+    /// path taken, RS corrections, reel reconstruction).
+    pub restore: VaultRestoreStats,
+}
+
+impl QueryStats {
+    fn from_scan(scan: &TableScan, restore: VaultRestoreStats) -> Self {
+        Self {
+            zones_total: scan.zones_total,
+            zones_scanned: scan.zones_selected,
+            zones_pruned: scan.zones_total - scan.zones_selected,
+            pieces_streamed: scan.pieces.len(),
+            bytes_touched: scan.pieces.iter().map(|(_, b)| b.len()).sum(),
+            restore,
+        }
     }
 }
 
@@ -267,6 +312,10 @@ pub struct Vault {
     /// Zone-map spec applied at archive time (`None` = every segment is
     /// one opaque record — byte-identical to pre-zone-map composition).
     pub zone_spec: Option<ZoneSpec>,
+    /// Pipeline telemetry handle. Off by default; the recorder only
+    /// observes (spans, counters) — restored bytes are identical either
+    /// way.
+    pub telemetry: Telemetry,
 }
 
 impl Vault {
@@ -277,6 +326,7 @@ impl Vault {
             reel_capacity: 0,
             group_reels: 0,
             zone_spec: Some(ZoneSpec::tpch_default()),
+            telemetry: Telemetry::off(),
         }
     }
 
@@ -289,7 +339,14 @@ impl Vault {
             reel_capacity,
             group_reels,
             zone_spec: Some(ZoneSpec::tpch_default()),
+            telemetry: Telemetry::off(),
         }
+    }
+
+    /// This vault with a telemetry recorder attached (builder style).
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Compose archives without zone maps — byte-identical to the PR-4
@@ -596,6 +653,7 @@ impl Vault {
         bootstrap: &Bootstrap,
         reels: &ReelScans,
     ) -> Result<(Vec<u8>, VaultRestoreStats), VaultError> {
+        let _span = self.telemetry.span("vault.restore_all");
         let Some(manifest) = &bootstrap.vault else {
             // Pre-S16 archive: no catalog, no reel map — concatenate
             // whatever survives and lean on the outer code.
@@ -606,7 +664,9 @@ impl Vault {
                 .collect();
             let mut stats = VaultRestoreStats::new(RestorePath::Classic, scans.len());
             stats.frames_decoded = scans.len();
-            let (dump, _) = self.system.restore_native(&scans)?;
+            let (dump, r) = self.system.restore_native_traced(&scans, &self.telemetry)?;
+            stats.corrected_symbols = r.corrected_symbols;
+            stats.erasure_frames = r.erasure_frames;
             return Ok((dump, stats));
         };
         let layout = self.layout_of(bootstrap, manifest);
@@ -627,6 +687,7 @@ impl Vault {
         reels: &ReelScans,
         table: &str,
     ) -> Result<(Vec<u8>, VaultRestoreStats), VaultError> {
+        let _span = self.telemetry.span("vault.restore_table");
         let Some(manifest) = &bootstrap.vault else {
             // Classic archive: restore everything, then segment the dump
             // to find the table.
@@ -710,20 +771,19 @@ impl Vault {
         reels: &ReelScans,
         table: &str,
         pred: &ZonePredicate,
-    ) -> Result<(TableScan, VaultRestoreStats), VaultError> {
+    ) -> Result<(TableScan, QueryStats), VaultError> {
+        let _span = self.telemetry.span("vault.query_table");
         let Some(manifest) = &bootstrap.vault else {
             // Pre-S16 archive: classic full restore, one unpruned piece.
             let (dump, mut stats) = self.restore_all(bootstrap, reels)?;
             let seg = find_segment(&dump, table)
                 .ok_or_else(|| VaultError::UnknownTable(table.to_string()))?;
             stats.path = RestorePath::Classic;
-            return Ok((
-                TableScan::whole(
-                    seg.start as u64,
-                    dump[seg.start..seg.start + seg.len].to_vec(),
-                ),
-                stats,
-            ));
+            let scan = TableScan::whole(
+                seg.start as u64,
+                dump[seg.start..seg.start + seg.len].to_vec(),
+            );
+            return Ok(self.finish_query(scan, stats));
         };
         let layout = self.layout_of(bootstrap, manifest);
         let mut stats = VaultRestoreStats::new(RestorePath::Selective, layout.data_frames());
@@ -737,13 +797,11 @@ impl Vault {
                 let dump = self.full_restore(&mut source, &mut stats)?;
                 let seg = find_segment(&dump, table)
                     .ok_or_else(|| VaultError::UnknownTable(table.to_string()))?;
-                return Ok((
-                    TableScan::whole(
-                        seg.start as u64,
-                        dump[seg.start..seg.start + seg.len].to_vec(),
-                    ),
-                    stats,
-                ));
+                let scan = TableScan::whole(
+                    seg.start as u64,
+                    dump[seg.start..seg.start + seg.len].to_vec(),
+                );
+                return Ok(self.finish_query(scan, stats));
             }
         };
         let entry = index
@@ -751,7 +809,7 @@ impl Vault {
             .ok_or_else(|| VaultError::UnknownTable(table.to_string()))?
             .clone();
         match self.scan_entry(&index, &entry, pred, &mut source, &mut stats) {
-            Ok(scan) => Ok((scan, stats)),
+            Ok(scan) => Ok(self.finish_query(scan, stats)),
             Err(e @ VaultError::ReelLoss { .. }) => Err(e),
             Err(_) => {
                 stats.path = RestorePath::SelectiveFallback;
@@ -764,12 +822,23 @@ impl Vault {
                         dump.len()
                     )));
                 }
-                Ok((
-                    TableScan::whole(entry.dump_start, dump[start..start + len].to_vec()),
-                    stats,
-                ))
+                let scan = TableScan::whole(entry.dump_start, dump[start..start + len].to_vec());
+                Ok(self.finish_query(scan, stats))
             }
         }
+    }
+
+    /// Close out one query scan: derive its [`QueryStats`] and feed the
+    /// zone/piece counters to the telemetry recorder.
+    fn finish_query(&self, scan: TableScan, stats: VaultRestoreStats) -> (TableScan, QueryStats) {
+        let q = QueryStats::from_scan(&scan, stats);
+        let t = &self.telemetry;
+        t.add("query.zones_total", q.zones_total as u64);
+        t.add("query.zones_scanned", q.zones_scanned as u64);
+        t.add("query.zones_pruned", q.zones_pruned as u64);
+        t.add("query.pieces_streamed", q.pieces_streamed as u64);
+        t.add("query.bytes_touched", q.bytes_touched as u64);
+        (scan, q)
     }
 
     /// The pruned scan proper: select the zones the predicate may match
@@ -881,11 +950,17 @@ impl Vault {
         source.ensure(self, &positions, stats)?;
         let scans: Vec<GrayImage> = positions.iter().map(|&p| source.get(p).clone()).collect();
         stats.frames_decoded += scans.len();
-        let (bytes, _) = ule_emblem::decode_stream_with(
-            &self.system.medium.geometry,
-            &scans,
-            self.system.threads,
-        )?;
+        let (bytes, s) = {
+            let _span = self.telemetry.span("vault.read_index");
+            decode_stream_traced(
+                &self.system.medium.geometry,
+                &scans,
+                self.system.threads,
+                &self.telemetry,
+            )?
+        };
+        stats.corrected_symbols += s.rs_corrected;
+        stats.erasure_frames += s.erasure_frames;
         if crc32(&bytes) != manifest.index_crc32 {
             return Err(VaultError::Index(IndexError::BadCrc {
                 stored: manifest.index_crc32,
@@ -918,7 +993,8 @@ impl Vault {
             .map(|(&c, &p)| (chunk_global_index(c, layout.outer_parity), source.get(p)))
             .collect();
         stats.frames_decoded += picks.len();
-        let decoded = self.system.restore_frames(&picks)?;
+        let (decoded, r) = self.system.restore_frames_traced(&picks, &self.telemetry)?;
+        stats.corrected_symbols += r.corrected_symbols;
         Ok(chunks
             .iter()
             .zip(decoded)
@@ -959,11 +1035,15 @@ impl Vault {
         source.ensure(self, &positions, stats)?;
         let scans: Vec<GrayImage> = positions.iter().map(|&p| source.get(p).clone()).collect();
         stats.frames_decoded += scans.len();
-        let (data_bytes, _) = ule_emblem::decode_stream_with(
+        let _span = self.telemetry.span("vault.full_restore");
+        let (data_bytes, s) = decode_stream_traced(
             &self.system.medium.geometry,
             &scans,
             self.system.threads,
+            &self.telemetry,
         )?;
+        stats.corrected_symbols += s.rs_corrected;
+        stats.erasure_frames += s.erasure_frames;
         // Walk the length-prefixed records and decompress each segment.
         let mut dump = Vec::new();
         for record in split_records(&data_bytes)? {
@@ -1038,10 +1118,13 @@ impl Vault {
         let lost_pos = members.iter().position(|&r| r == lost).expect("member");
         let base = lost * layout.reel_capacity;
         let blank = GrayImage::new(geom.image_width(), geom.image_height(), 255);
-        // (image, sibling+parity frames decoded, recovered?)
-        let results: Vec<(GrayImage, usize, bool)> =
+        let _span = self.telemetry.span("vault.reconstruct_reel");
+        // (image, sibling+parity frames decoded, inner-RS symbols
+        // corrected along the way, recovered?)
+        let results: Vec<(GrayImage, usize, usize, bool)> =
             ule_par::map_indexed(self.system.threads, layout.reel_frames(lost), |j| {
                 let mut decodes = 0usize;
+                let mut corrected = 0usize;
                 let mut columns: Vec<Vec<u8>> = Vec::with_capacity(k + 1);
                 let mut usable = true;
                 for &r in members.iter().chain(std::iter::once(&parity_reel)) {
@@ -1058,7 +1141,8 @@ impl Vault {
                     }
                     decodes += 1;
                     match decode_emblem(&geom, &scans[j]) {
-                        Ok((_, mut payload, _)) => {
+                        Ok((_, mut payload, ds)) => {
+                            corrected += ds.rs_corrected;
                             payload.resize(cap, 0);
                             columns.push(payload);
                         }
@@ -1069,7 +1153,7 @@ impl Vault {
                     }
                 }
                 if !usable {
-                    return (blank.clone(), decodes, false);
+                    return (blank.clone(), decodes, corrected, false);
                 }
                 let rs = RsCode::new(k + 1, k);
                 let mut recovered = vec![0u8; cap];
@@ -1079,7 +1163,7 @@ impl Vault {
                         cw[i] = c[o];
                     }
                     if rs.decode(&mut cw, &[lost_pos]).is_err() {
-                        return (blank.clone(), decodes, false);
+                        return (blank.clone(), decodes, corrected, false);
                     }
                     *slot = cw[lost_pos];
                 }
@@ -1088,18 +1172,21 @@ impl Vault {
                 (
                     encode_emblem(&geom, &info.header, &recovered[..payload_len]),
                     decodes,
+                    corrected,
                     true,
                 )
             });
         let mut frames = Vec::with_capacity(results.len());
-        for (image, decodes, recovered) in results {
+        for (image, decodes, corrected, recovered) in results {
             stats.recovery_frames_decoded += decodes;
+            stats.corrected_symbols += corrected;
             if recovered {
                 stats.frames_reconstructed += 1;
             }
             frames.push(image);
         }
         stats.reels_reconstructed += 1;
+        self.telemetry.add("vault.reels_reconstructed", 1);
         Ok(frames)
     }
 
@@ -1493,8 +1580,11 @@ mod tests {
             let (scan, stats) = vault
                 .query_table(&arc.bootstrap, &scans, table, &ZonePredicate::all())
                 .unwrap();
-            assert_eq!(stats.path, RestorePath::Selective, "{table}");
+            assert_eq!(stats.restore.path, RestorePath::Selective, "{table}");
             assert!(!scan.pruned, "{table}: nothing to prune under all()");
+            assert_eq!(stats.zones_pruned, 0, "{table}");
+            assert_eq!(stats.pieces_streamed, scan.pieces.len(), "{table}");
+            assert_eq!(stats.bytes_touched, scan.concat().len(), "{table}");
             assert_eq!(scan.concat(), bytes, "{table}");
             // Piece offsets are dump-absolute and contiguous.
             let entry = arc.index.find(table).unwrap();
@@ -1525,11 +1615,12 @@ mod tests {
             .unwrap();
         assert!(scan.pruned);
         assert!(scan.zones_selected < scan.zones_total);
+        assert!(stats.zones_pruned > 0, "{stats:?}");
         assert!(
-            stats.frames_decoded < unpruned_stats.frames_decoded,
+            stats.restore.frames_decoded < unpruned_stats.restore.frames_decoded,
             "pruning must shrink the scan ({} vs {})",
-            stats.frames_decoded,
-            unpruned_stats.frames_decoded
+            stats.restore.frames_decoded,
+            unpruned_stats.restore.frames_decoded
         );
         let text = String::from_utf8(scan.concat()).unwrap();
         assert!(text.starts_with("COPY lineitem ("), "header zone kept");
@@ -1558,7 +1649,7 @@ mod tests {
             .unwrap();
         assert!(!scan.pruned);
         assert_eq!(scan.pieces.len(), 1);
-        assert_eq!(stats.path, RestorePath::Selective);
+        assert_eq!(stats.restore.path, RestorePath::Selective);
         let entry = arc.index.find("lineitem").unwrap();
         let start = entry.dump_start as usize;
         assert_eq!(scan.concat(), &dump[start..start + entry.dump_len as usize]);

@@ -10,6 +10,7 @@ pub use ule_emblem as emblem;
 pub use ule_fault as fault;
 pub use ule_gf256 as gf256;
 pub use ule_media as media;
+pub use ule_obs as obs;
 pub use ule_par as par;
 pub use ule_raster as raster;
 pub use ule_tpch as tpch;
