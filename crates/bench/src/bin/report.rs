@@ -119,6 +119,7 @@ fn main() {
     let e12_only = std::env::args().any(|a| a == "--e12");
     let e13_only = std::env::args().any(|a| a == "--e13");
     let e14_only = std::env::args().any(|a| a == "--e14");
+    let e15_only = std::env::args().any(|a| a == "--e15");
     println!(
         "ULE / Micr'Olonys evaluation report ({} mode{})",
         if full { "full" } else { "quick" },
@@ -130,6 +131,8 @@ fn main() {
             ", [E13] only"
         } else if e14_only {
             ", [E14] only"
+        } else if e15_only {
+            ", [E15] only"
         } else {
             ""
         }
@@ -137,12 +140,13 @@ fn main() {
     println!("==========================================================");
     let mut checks = Checks::default();
     let mut rec = Recorder {
-        mode: match (full, e11_only, e12_only, e13_only, e14_only) {
-            (_, true, _, _, _) => "e11".into(),
-            (_, _, true, _, _) => "e12".into(),
-            (_, _, _, true, _) => "e13".into(),
-            (_, _, _, _, true) => "e14".into(),
-            (true, _, _, _, _) => "full".into(),
+        mode: match (full, e11_only, e12_only, e13_only, e14_only, e15_only) {
+            (_, true, _, _, _, _) => "e11".into(),
+            (_, _, true, _, _, _) => "e12".into(),
+            (_, _, _, true, _, _) => "e13".into(),
+            (_, _, _, _, true, _) => "e14".into(),
+            (_, _, _, _, _, true) => "e15".into(),
+            (true, _, _, _, _, _) => "full".into(),
             _ => "quick".into(),
         },
         ..Recorder::default()
@@ -158,6 +162,8 @@ fn main() {
         e13_query(full, &mut checks, &mut rec);
     } else if e14_only {
         e14_obs(full, &mut checks, &mut rec);
+    } else if e15_only {
+        e15_repair(full, &mut checks, &mut rec);
     } else {
         t1_isa();
         e1_paper_archive(full, &mut checks);
@@ -174,6 +180,7 @@ fn main() {
         e12_emulated_restore(full, &mut checks, &mut rec);
         e13_query(full, &mut checks, &mut rec);
         e14_obs(full, &mut checks, &mut rec);
+        e15_repair(full, &mut checks, &mut rec);
     }
     rec.write("BENCH_report.json", &checks);
     if checks.failures.is_empty() {
@@ -1074,6 +1081,283 @@ fn e14_obs(full: bool, checks: &mut Checks, rec: &mut Recorder) {
     rec.int("e14", "query_zones_pruned", qs.zones_pruned as u64);
     rec.int("e14", "trace_spans", trace.spans.len() as u64);
     rec.int("e14", "trace_counters", trace.counters.len() as u64);
+}
+
+fn e15_repair(full: bool, checks: &mut Checks, rec: &mut Recorder) {
+    use ule_vault::layout::StreamId;
+    use ule_vault::{RestorePath, ShardPlan, Vault, VaultError};
+    let scale = if full { 0.00115 } else { 0.0002 };
+    println!(
+        "\n[E15] Multi-parity reel groups + scrub-and-repair (§16) — RS(5, 3) shelf, \
+         TPC-H SF {scale}"
+    );
+    let t0 = Instant::now();
+    let w = ule_bench::E15Workload::new(scale, 42, ThreadConfig::Serial);
+    let layout = &w.archive.layout;
+    let m = layout.group_parity;
+    println!(
+        "  shelf: {} content reels in {} groups x {} parity reels each   [built in {:?}]",
+        w.archive.stats.content_reels,
+        layout.groups(),
+        m,
+        t0.elapsed()
+    );
+    rec.int("e15", "content_reels", w.archive.stats.content_reels as u64);
+    rec.int("e15", "parity_reels", w.archive.stats.parity_reels as u64);
+    rec.int("e15", "group_parity", m as u64);
+
+    // Loss sweep: 0..=m lost reels in group 0 must restore byte-identically;
+    // m+1 must fail as a structured ReelLoss naming every lost reel. Each
+    // loss count also runs under scratch+blotch damage on the survivors.
+    let damage = ule_fault::FaultPlan::single(ule_fault::BurstScratch {
+        orientation: ule_fault::Orientation::Vertical,
+    })
+    .with(ule_fault::Blotch);
+    let severity = [0.01, 0.005, 0.002, 0.001, 0.0005]
+        .into_iter()
+        .find(|&sev| {
+            let probe: ule_vault::ReelScans = w
+                .scans
+                .iter()
+                .map(|r| r.as_ref().map(|f| damage.apply(f, sev, 0xE15)))
+                .collect();
+            matches!(
+                w.vault.restore_all(&w.archive.bootstrap, &probe),
+                Ok((dump, _)) if dump == w.dump
+            )
+        })
+        .expect("some scratch+blotch severity restores on the tiny medium");
+    rec.num("e15", "damage_severity", severity);
+    let group0: Vec<usize> = layout
+        .group_members(0)
+        .chain(layout.parity_reels_of(0))
+        .collect();
+    for lost_n in 0..=m + 1 {
+        let lost = &group0[..lost_n];
+        for (damaged, label) in [(false, "pristine"), (true, "scratch+blotch")] {
+            let mut scans: ule_vault::ReelScans = if damaged {
+                w.scans
+                    .iter()
+                    .map(|r| r.as_ref().map(|f| damage.apply(f, severity, 0xE15)))
+                    .collect()
+            } else {
+                w.scans.clone()
+            };
+            for &r in lost {
+                scans[r] = None;
+            }
+            let t = Instant::now();
+            let res = w.vault.restore_all(&w.archive.bootstrap, &scans);
+            let dt = t.elapsed();
+            if lost_n <= m {
+                let ok = matches!(
+                    &res,
+                    Ok((dump, stats)) if *dump == w.dump && stats.reels_reconstructed == lost_n
+                );
+                println!(
+                    "  {lost_n} lost reel(s), {label:<14}: byte-identical={} [{dt:?}]",
+                    if ok { "yes" } else { "NO" }
+                );
+                checks.check(
+                    &format!(
+                        "e15_identity_{lost_n}_lost_{}",
+                        if damaged { "damaged" } else { "clean" }
+                    ),
+                    ok,
+                    format!("{lost_n} lost reel(s) under {label} scans restore byte-identically"),
+                );
+                if !damaged {
+                    rec.ms("e15", &format!("restore_{lost_n}_lost_ms"), dt);
+                }
+            } else {
+                let ok = matches!(
+                    &res,
+                    Err(VaultError::ReelLoss { group: 0, lost: l, recoverable })
+                        if *recoverable == m && *l == lost
+                );
+                println!(
+                    "  {lost_n} lost reel(s), {label:<14}: structured ReelLoss={} [{dt:?}]",
+                    if ok { "yes" } else { "NO" }
+                );
+                checks.check(
+                    &format!("e15_reel_loss_structured_{}", if damaged { "damaged" } else { "clean" }),
+                    ok,
+                    format!(
+                        "{lost_n} losses (m+1) fail as ReelLoss naming all {lost_n} reels of group 0, \
+                         recoverable={m}"
+                    ),
+                );
+            }
+        }
+    }
+
+    // Degraded-mode selective read: a lost data reel must be rebuilt
+    // per-frame — only the offsets the table touches, never the whole reel.
+    let data_start = layout.sys_frames() + layout.index_frames();
+    let mut picked = None;
+    'outer: for table in ["lineitem", "orders", "customer", "partsupp"] {
+        let Some(entry) = w.archive.index.find(table) else {
+            continue;
+        };
+        let positions: Vec<usize> = w
+            .archive
+            .index
+            .chunk_range(entry)
+            .map(|c| layout.chunk_position(StreamId::Data, c))
+            .collect();
+        for r in 0..layout.content_reels() {
+            if r * layout.reel_capacity < data_start {
+                continue;
+            }
+            let needed = positions
+                .iter()
+                .filter(|&&p| layout.reel_of(p).0 == r)
+                .count();
+            if needed > 0 && needed < layout.reel_frames(r) {
+                picked = Some((table, r, needed));
+                break 'outer;
+            }
+        }
+    }
+    let (table, lost, needed) = picked.expect("some table partially covers a data reel");
+    let mut scans = w.scans.clone();
+    scans[lost] = None;
+    let t = Instant::now();
+    let (bytes, stats) = w
+        .vault
+        .restore_table(&w.archive.bootstrap, &scans, table)
+        .expect("degraded selective restore");
+    let dt = t.elapsed();
+    let identical = Some(bytes.as_slice()) == w.expected_table(table);
+    println!(
+        "  degraded selective ({table}, reel {lost} lost): {} of {} reel frames rebuilt [{dt:?}]",
+        stats.frames_reconstructed,
+        layout.reel_frames(lost)
+    );
+    checks.check(
+        "e15_degraded_selective",
+        identical
+            && stats.path == RestorePath::Selective
+            && stats.frames_reconstructed == needed
+            && stats.frames_reconstructed < layout.reel_frames(lost),
+        format!(
+            "selective {table} under a lost reel rebuilds exactly {needed} of {} frames",
+            layout.reel_frames(lost)
+        ),
+    );
+    rec.int(
+        "e15",
+        "degraded_frames_rebuilt",
+        stats.frames_reconstructed as u64,
+    );
+    rec.int(
+        "e15",
+        "degraded_reel_frames",
+        layout.reel_frames(lost) as u64,
+    );
+    rec.ms("e15", "degraded_selective_ms", dt);
+
+    // Scrub -> repair -> scrub convergence: one reel missing, one frame
+    // blanked in another; repair rebuilds both as pristine emblems, the
+    // second scrub is clean and a second repair is a no-op.
+    let mut scans = w.scans.clone();
+    scans[0] = None;
+    let blank = {
+        let f = &scans[1].as_ref().unwrap()[3];
+        ule_raster::GrayImage::new(f.width(), f.height(), 255)
+    };
+    scans[1].as_mut().unwrap()[3] = blank;
+    let t = Instant::now();
+    let scrub1 = w.vault.scrub(&w.archive.bootstrap, &scans).expect("scrub");
+    let (clean, correctable, scrub_lost) = scrub1.counts();
+    println!(
+        "  scrub: {clean} clean / {correctable} correctable / {scrub_lost} lost reels, \
+         {} damaged frames [{:?}]",
+        scrub1.damaged_frames(),
+        t.elapsed()
+    );
+    checks.check(
+        "e15_scrub_classifies",
+        scrub_lost == 1 && correctable == 1 && !scrub1.is_clean(),
+        "scrub reports the missing reel lost and the blanked-frame reel correctable".into(),
+    );
+    let t = Instant::now();
+    let repair = w
+        .vault
+        .repair(&w.archive.bootstrap, &mut scans)
+        .expect("repair");
+    let t_repair = t.elapsed();
+    println!(
+        "  repair: {} reels rebuilt, {} frames re-encoded, {} recovery frames decoded [{t_repair:?}]",
+        repair.reels_rebuilt.len(),
+        repair.frames_reencoded,
+        repair.recovery_frames_decoded
+    );
+    let scrub2 = w
+        .vault
+        .scrub(&w.archive.bootstrap, &scans)
+        .expect("re-scrub");
+    let repair2 = w
+        .vault
+        .repair(&w.archive.bootstrap, &mut scans)
+        .expect("re-repair");
+    let restored = matches!(
+        w.vault.restore_all(&w.archive.bootstrap, &scans),
+        Ok((dump, stats)) if dump == w.dump && stats.reels_reconstructed == 0
+    );
+    checks.check(
+        "e15_repair_convergence",
+        repair.unrepairable.is_empty() && scrub2.is_clean() && restored,
+        "scrub-after-repair is clean and the repaired shelf restores with no reconstruction".into(),
+    );
+    checks.check(
+        "e15_repair_idempotent",
+        repair2.is_noop(),
+        "a second repair on the repaired shelf is a no-op".into(),
+    );
+    rec.int(
+        "e15",
+        "repair_reels_rebuilt",
+        repair.reels_rebuilt.len() as u64,
+    );
+    rec.int(
+        "e15",
+        "repair_frames_reencoded",
+        repair.frames_reencoded as u64,
+    );
+    rec.ms("e15", "repair_ms", t_repair);
+
+    // Single-parity compatibility: the pre-§16 RS(k+1, k) shape still
+    // archives, survives one loss and fails structured at two.
+    let classic = Vault::sharded(
+        micr_olonys::MicrOlonys::test_tiny(),
+        ShardPlan::single_parity(12, 2),
+    );
+    let dump = ule_tpch::dump_for_scale(0.0001, 7);
+    let arc = classic.archive(&dump);
+    let pristine = classic.scan_reels(&arc, 7);
+    let mut one = pristine.clone();
+    one[0] = None;
+    let one_ok = matches!(
+        classic.restore_all(&arc.bootstrap, &one),
+        Ok((d, _)) if d == dump
+    );
+    let mut two = pristine;
+    two[0] = None;
+    two[1] = None;
+    let two_ok = matches!(
+        classic.restore_all(&arc.bootstrap, &two),
+        Err(VaultError::ReelLoss {
+            group: 0,
+            recoverable: 1,
+            ..
+        })
+    );
+    checks.check(
+        "e15_single_parity_compat",
+        one_ok && two_ok,
+        "single-parity shelves keep their pre-§16 behaviour (1 loss ok, 2 structured)".into(),
+    );
 }
 
 /// Median-of-3 wall-clock of `f` — the same-process A/B ratios below are

@@ -199,7 +199,10 @@ impl E10Workload {
         let total = ule_vault::Vault::single_reel(system.clone())
             .plan_layout(&dump)
             .total_frames();
-        let vault = ule_vault::Vault::sharded(system, total.div_ceil(6).max(8), 3);
+        let vault = ule_vault::Vault::sharded(
+            system,
+            ule_vault::ShardPlan::single_parity(total.div_ceil(6).max(8), 3),
+        );
         let archive = vault.archive(&dump);
         let scans = vault.scan_reels(&archive, seed ^ 0xE10);
         Self {
@@ -255,7 +258,10 @@ impl E13Workload {
         let total = ule_vault::Vault::single_reel(system.clone())
             .plan_layout(&dump)
             .total_frames();
-        let vault = ule_vault::Vault::sharded(system, total.div_ceil(6).max(8), 3);
+        let vault = ule_vault::Vault::sharded(
+            system,
+            ule_vault::ShardPlan::single_parity(total.div_ceil(6).max(8), 3),
+        );
         let archive = vault.archive(&dump);
         let scans = vault.scan_reels(&archive, seed ^ 0xE13);
         Self {
@@ -281,15 +287,52 @@ impl E13Workload {
         ule_vault::VaultArchive,
         ule_vault::ReelScans,
     ) {
-        let vault = ule_vault::Vault::sharded(
-            self.vault.system.clone(),
-            self.vault.reel_capacity,
-            self.vault.group_reels,
-        )
-        .without_zones();
+        let vault =
+            ule_vault::Vault::sharded(self.vault.system.clone(), self.vault.plan).without_zones();
         let archive = vault.archive(&self.dump);
         let scans = vault.scan_reels(&archive, 0x13E);
         (vault, archive, scans)
+    }
+}
+
+/// The E15 workload: the E10 shelf re-sharded as RS(5, 3) reel groups —
+/// three content reels plus **two** parity reels per group — so the
+/// repair gate can sweep 0..=m+1 simultaneous reel losses and exercise
+/// `Vault::scrub` / `Vault::repair` (`DESIGN.md` §16).
+pub struct E15Workload {
+    pub vault: ule_vault::Vault,
+    pub dump: Vec<u8>,
+    pub archive: ule_vault::VaultArchive,
+    pub scans: ule_vault::ReelScans,
+}
+
+impl E15Workload {
+    /// Build the workload at TPC-H `scale` with m = 2 parity reels per
+    /// 3-reel group. Capacity sizing mirrors [`E10Workload::new`].
+    pub fn new(scale: f64, seed: u64, threads: ule_par::ThreadConfig) -> Self {
+        let dump = ule_tpch::dump_for_scale(scale, seed);
+        let system = micr_olonys::MicrOlonys::test_tiny().with_threads(threads);
+        let total = ule_vault::Vault::single_reel(system.clone())
+            .plan_layout(&dump)
+            .total_frames();
+        let vault = ule_vault::Vault::sharded(
+            system,
+            ule_vault::ShardPlan::with_parity(total.div_ceil(6).max(8), 3, 2),
+        );
+        let archive = vault.archive(&dump);
+        let scans = vault.scan_reels(&archive, seed ^ 0xE15);
+        Self {
+            vault,
+            dump,
+            archive,
+            scans,
+        }
+    }
+
+    /// The dump slice the catalog maps `table` to.
+    pub fn expected_table(&self, table: &str) -> Option<&[u8]> {
+        let e = self.archive.index.find(table)?;
+        Some(&self.dump[e.dump_start as usize..(e.dump_start + e.dump_len) as usize])
     }
 }
 
@@ -328,6 +371,18 @@ mod tests {
             .unwrap();
         assert_eq!(bytes.as_slice(), w.expected_table("orders").unwrap());
         assert!(stats.frames_decoded < stats.data_frames_total);
+    }
+
+    #[test]
+    fn e15_workload_survives_two_losses_per_group() {
+        let w = E15Workload::new(0.0001, 7, ule_par::ThreadConfig::Serial);
+        assert_eq!(w.vault.plan.parity_reels, 2);
+        let mut scans = w.scans.clone();
+        scans[0] = None;
+        scans[1] = None;
+        let (dump, stats) = w.vault.restore_all(&w.archive.bootstrap, &scans).unwrap();
+        assert_eq!(dump, w.dump);
+        assert_eq!(stats.reels_reconstructed, 2);
     }
 
     #[test]

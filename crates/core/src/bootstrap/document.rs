@@ -51,6 +51,10 @@ pub struct VaultManifest {
     pub reel_capacity: usize,
     /// Content reels per cross-reel parity group (`0` = no parity reels).
     pub group_reels: usize,
+    /// Parity reels per group (the `m` of `RS(k+m, k)`). Documents from
+    /// the single-parity era carry no `parity=` token and parse as 1;
+    /// unsharded documents (`group=0`) parse as 0.
+    pub parity_reels: usize,
 }
 
 /// Everything a restorer needs, parsed back out of the document text.
@@ -138,8 +142,17 @@ impl Bootstrap {
         ));
         match &self.vault {
             None => out.push_str("vault: none\n"),
-            Some(v) => out.push_str(&format!(
-                "vault: tables={} sys={} index={} data={} index_crc32={:08x} reel_cap={} group={}\n",
+            Some(v) => {
+                // The `parity=` token is only printed for multi-parity
+                // groups: single-parity (m = 1) and unsharded documents
+                // stay byte-identical to the pre-multi-parity format.
+                let parity = if v.parity_reels >= 2 {
+                    format!(" parity={}", v.parity_reels)
+                } else {
+                    String::new()
+                };
+                out.push_str(&format!(
+                "vault: tables={} sys={} index={} data={} index_crc32={:08x} reel_cap={} group={}{parity}\n",
                 v.tables,
                 v.sys_len,
                 v.index_len,
@@ -147,7 +160,8 @@ impl Bootstrap {
                 v.index_crc32,
                 v.reel_capacity,
                 v.group_reels
-            )),
+            ));
+            }
         }
         out.push_str(
             "layout: in_len=0x10 out_len=0x14 out_base_ptr=0x18 params=0x1C in_base=0x40\n",
@@ -258,6 +272,7 @@ impl Bootstrap {
                         }
                     }
                     let vf = |k: &str| fields.get(k).copied().ok_or(E::MissingField("vault"));
+                    let group_reels = vf("group")?;
                     vault = Some(VaultManifest {
                         tables: vf("tables")?,
                         sys_len: vf("sys")?,
@@ -268,7 +283,13 @@ impl Bootstrap {
                         // defect behind permanent full-scan fallbacks.
                         index_crc32: index_crc32.ok_or(E::MissingField("vault"))?,
                         reel_capacity: vf("reel_cap")?,
-                        group_reels: vf("group")?,
+                        group_reels,
+                        // Absent on single-parity-era documents: one
+                        // parity reel per group (or none when unsharded).
+                        parity_reels: fields
+                            .get("parity")
+                            .copied()
+                            .unwrap_or(usize::from(group_reels > 0)),
                     });
                 }
             }
@@ -449,9 +470,70 @@ mod tests {
             index_crc32: 0xDEAD_BEEF,
             reel_capacity: 20,
             group_reels: 3,
+            parity_reels: 1,
         });
         let text = b.to_text();
         assert!(text.contains("vault: tables=8"));
+        assert_eq!(Bootstrap::parse(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn single_parity_vault_line_stays_byte_identical() {
+        // A single-parity manifest must serialize to the exact pre-multi-
+        // parity line (no `parity=` token), and an old-format line — this
+        // literal pins the frozen wire text, no `ULE_REGEN_GOLDEN` ride —
+        // must parse as one parity reel per group.
+        let mut b = sample();
+        b.vault = Some(VaultManifest {
+            tables: 8,
+            sys_len: 412,
+            index_len: 702,
+            data_len: 68_342,
+            index_crc32: 0xDEAD_BEEF,
+            reel_capacity: 20,
+            group_reels: 3,
+            parity_reels: 1,
+        });
+        let line = "vault: tables=8 sys=412 index=702 data=68342 \
+                    index_crc32=deadbeef reel_cap=20 group=3";
+        assert!(b.to_text().contains(&format!("{line}\n")));
+        let parsed = Bootstrap::parse(&b.to_text()).unwrap();
+        assert_eq!(parsed.vault.unwrap().parity_reels, 1);
+    }
+
+    #[test]
+    fn multi_parity_vault_line_roundtrips() {
+        let mut b = sample();
+        b.vault = Some(VaultManifest {
+            tables: 8,
+            sys_len: 412,
+            index_len: 702,
+            data_len: 68_342,
+            index_crc32: 0xDEAD_BEEF,
+            reel_capacity: 20,
+            group_reels: 3,
+            parity_reels: 2,
+        });
+        let text = b.to_text();
+        assert!(text.contains("group=3 parity=2\n"));
+        assert_eq!(Bootstrap::parse(&text).unwrap(), b);
+    }
+
+    #[test]
+    fn unsharded_vault_line_parses_with_zero_parity() {
+        let mut b = sample();
+        b.vault = Some(VaultManifest {
+            tables: 2,
+            sys_len: 10,
+            index_len: 20,
+            data_len: 30,
+            index_crc32: 0xABCD_EF01,
+            reel_capacity: 0,
+            group_reels: 0,
+            parity_reels: 0,
+        });
+        let text = b.to_text();
+        assert!(!text.contains("parity="));
         assert_eq!(Bootstrap::parse(&text).unwrap(), b);
     }
 
@@ -469,6 +551,7 @@ mod tests {
             index_crc32: 0xABCD_EF01,
             reel_capacity: 0,
             group_reels: 0,
+            parity_reels: 0,
         });
         let text = b.to_text().replace(" index_crc32=abcdef01", "");
         assert_eq!(

@@ -574,6 +574,68 @@ impl FuzzTarget for DynaRiscDiff {
     }
 }
 
+/// Differential *codec* harness (the cross-layer sibling of
+/// [`DynaRiscDiff`]): every mutated `ULEA` container the native decoder
+/// accepts as LZSS must decode to exactly the same bytes through the
+/// archived DynaRisc `dbdecode` program. The paper's whole bet is that
+/// the decoder printed on the medium and the one in the lab agree
+/// forever — a mutant container that splits them is a finding even when
+/// both "succeed".
+struct CodecDiff;
+
+impl FuzzTarget for CodecDiff {
+    fn name(&self) -> &'static str {
+        "codec-diff"
+    }
+    fn corpus(&self) -> Vec<Vec<u8>> {
+        // LZSS containers only: dbdecode rejects other schemes by status,
+        // so the interesting mutants are near-valid LZSS streams (runs,
+        // overlaps, empty payload, binary).
+        let binary: Vec<u8> = (0..3000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+            .collect();
+        [
+            sample_text(2048),
+            Vec::new(),
+            vec![b'z'; CODEC_EXPECTED_LEN],
+            binary,
+        ]
+        .iter()
+        .map(|d| ule_compress::compress(Scheme::Lzss, d))
+        .collect()
+    }
+    fn magic(&self) -> Option<&'static [u8]> {
+        Some(b"ULEA")
+    }
+    fn suggested_iterations(&self) -> u64 {
+        8_000
+    }
+    fn run(&self, input: &[u8]) {
+        // Invariant: native acceptance of an LZSS container implies the
+        // archived decoder reproduces the exact bytes. (Native rejection
+        // implies nothing — dbdecode skips the container CRC, so a laxer
+        // success there is fine; wrong *bytes* never are.)
+        let Ok(expected) = ule_compress::decompress(input) else {
+            return;
+        };
+        if input.len() < ule_compress::container::HEADER_LEN
+            || input[5] != Scheme::Lzss as u8
+            || expected.len() > CODEC_EXPECTED_LEN
+        {
+            return;
+        }
+        match ule_dynarisc::programs::dbdecode::run(input) {
+            Ok(out) => assert!(
+                out == expected,
+                "archived dbdecode diverges from the native decoder: {} vs {} bytes",
+                out.len(),
+                expected.len()
+            ),
+            Err(e) => panic!("native decode succeeded, archived dbdecode failed: {e:?}"),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // ule_verisc
 // ---------------------------------------------------------------------------
@@ -720,6 +782,7 @@ pub fn all_targets() -> Vec<Box<dyn FuzzTarget>> {
         Box::new(DynaRiscAsm),
         Box::new(DynaRiscVm),
         Box::new(DynaRiscDiff),
+        Box::new(CodecDiff),
         Box::new(VeriscVm),
         Box::new(MasmBuilder),
     ]

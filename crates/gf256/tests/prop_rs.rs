@@ -99,4 +99,64 @@ proptest! {
         prop_assert_eq!(&cw[..50], &msg[..]);
         prop_assert!(rs.is_clean(&cw));
     }
+
+    #[test]
+    fn parity_of_multi_column_survives_any_m_erased_columns(
+        k in 2usize..=5,
+        m in 1usize..=3,
+        len in 1usize..=48,
+        seed in any::<u64>(),
+        pick in any::<u64>(),
+    ) {
+        // The vault's RS(k+m, k) reel groups (DESIGN.md §16): `parity_of`
+        // hands back m parity streams over k data streams in one
+        // column-batched pass, and erasing ANY m of the k+m columns must
+        // reconstruct every stream byte-identically through a column-wise
+        // erasure decode. This is exactly the multi-parity math
+        // `Vault::archive` encodes with and `reconstruct_group_frames`
+        // decodes with.
+        let n = k + m;
+        let streams: Vec<Vec<u8>> = (0..k)
+            .map(|s| {
+                (0..len)
+                    .map(|i| {
+                        (seed >> ((i + s) % 8)) as u8 ^ (i as u8).wrapping_mul(37 + s as u8)
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
+        let rs = RsCode::new(n, k);
+        let parity = rs.parity_of(&refs);
+        prop_assert_eq!(parity.len(), m);
+        for p in &parity {
+            prop_assert_eq!(p.len(), len);
+        }
+
+        // Erase m distinct columns chosen from `pick`, anywhere in the
+        // codeword (data and parity positions alike).
+        let mut erased: Vec<usize> = Vec::new();
+        let mut c = pick as usize;
+        while erased.len() < m {
+            let cand = c % n;
+            if !erased.contains(&cand) {
+                erased.push(cand);
+            }
+            c = c / n + 1 + c % 7;
+        }
+
+        // Column-wise erasure decode over the surviving streams.
+        let column = |col: usize, i: usize| -> u8 {
+            if col < k { streams[col][i] } else { parity[col - k][i] }
+        };
+        for i in 0..len {
+            let mut cw: Vec<u8> = (0..n)
+                .map(|col| if erased.contains(&col) { 0 } else { column(col, i) })
+                .collect();
+            rs.decode(&mut cw, &erased).unwrap();
+            for col in 0..n {
+                prop_assert_eq!(cw[col], column(col, i), "column {} byte {}", col, i);
+            }
+        }
+    }
 }

@@ -248,7 +248,10 @@ mod tests {
     fn shelf() -> (Vault, ule_vault::VaultArchive, ReelScans, Database) {
         let db = Database::generate(0.0002, 77);
         let dump = sql_dump(&db);
-        let vault = Vault::sharded(MicrOlonys::test_tiny(), 12, 2);
+        let vault = Vault::sharded(
+            MicrOlonys::test_tiny(),
+            ule_vault::ShardPlan::single_parity(12, 2),
+        );
         let arc = vault.archive(&dump);
         let scans = vault.scan_reels(&arc, 41);
         (vault, arc, scans, db)

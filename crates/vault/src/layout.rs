@@ -7,8 +7,9 @@
 //! order (every group's data emblems followed by its outer-parity
 //! emblems). The sequence is split into content reels of
 //! `reel_capacity` frames, and every group of `group_reels` content
-//! reels gets one cross-reel parity reel appended after all content
-//! reels.
+//! reels gets `group_parity` cross-reel parity reels (the `m` of
+//! `RS(k+m, k)`) appended after all content reels, group-major then
+//! slot-major.
 //!
 //! Everything here is *derivable*: given the Bootstrap's vault manifest
 //! (stream byte lengths, reel capacity, group size) and the emblem
@@ -65,6 +66,8 @@ pub struct ReelLayout {
     pub reel_capacity: usize,
     /// Content reels per parity group (`0` = no parity reels).
     pub group_reels: usize,
+    /// Parity reels per group — the `m` of `RS(k+m, k)`.
+    pub group_parity: usize,
 }
 
 /// Frames of one stream: data chunks plus outer-parity emblems.
@@ -89,6 +92,7 @@ impl ReelLayout {
             outer_parity,
             reel_capacity: m.reel_capacity,
             group_reels: m.group_reels,
+            group_parity: m.parity_reels,
         }
     }
 
@@ -116,13 +120,18 @@ impl ReelLayout {
         }
     }
 
-    /// Number of cross-reel parity reels (one per full-or-partial group).
-    pub fn parity_reels(&self) -> usize {
+    /// Number of parity groups (full or partial).
+    pub fn groups(&self) -> usize {
         if self.group_reels == 0 || self.reel_capacity == 0 {
             0
         } else {
             self.content_reels().div_ceil(self.group_reels)
         }
+    }
+
+    /// Number of cross-reel parity reels (`group_parity` per group).
+    pub fn parity_reels(&self) -> usize {
+        self.groups() * self.group_parity
     }
 
     /// Total reels: content reels first, then parity reels in group order.
@@ -161,9 +170,48 @@ impl ReelLayout {
         start..((g + 1) * self.group_reels).min(self.content_reels())
     }
 
-    /// Reel index of group `g`'s parity reel.
-    pub fn parity_reel_of(&self, g: usize) -> usize {
-        self.content_reels() + g
+    /// Reel index of group `g`'s parity reel in slot `slot`
+    /// (`0..group_parity`). Parity reels sit after all content reels,
+    /// group-major then slot-major.
+    pub fn parity_reel_of(&self, g: usize, slot: usize) -> usize {
+        self.content_reels() + g * self.group_parity + slot
+    }
+
+    /// Reel ids of group `g`'s parity reels, in slot order.
+    pub fn parity_reels_of(&self, g: usize) -> std::ops::Range<usize> {
+        let start = self.parity_reel_of(g, 0);
+        start..start + self.group_parity
+    }
+
+    /// `(group, slot)` of reel `r` when it is a parity reel, `None` for
+    /// content reels.
+    pub fn parity_role_of(&self, r: usize) -> Option<(usize, usize)> {
+        let m = self.group_parity;
+        if r < self.content_reels() || m == 0 {
+            return None;
+        }
+        let p = r - self.content_reels();
+        Some((p / m, p % m))
+    }
+
+    /// The exact header of frame `j` on any of group `g`'s parity reels:
+    /// the dense (`ReelParity`, no outer code) emission the archive
+    /// encoder stamps, reconstructible without decoding — which is what
+    /// lets a lost *parity* reel be re-encoded bit-for-bit during repair.
+    pub fn parity_frame_header(&self, g: usize, j: usize) -> EmblemHeader {
+        let plen = self.parity_stream_len(g);
+        EmblemHeader::new(
+            EmblemKind::ReelParity,
+            j as u16,
+            (j / GROUP_DATA) as u16,
+            self.chunk_cap as u32,
+            plen as u32,
+        )
+    }
+
+    /// Frames on each of group `g`'s parity reels.
+    pub fn parity_reel_frames(&self, g: usize) -> usize {
+        self.parity_stream_len(g) / self.chunk_cap.max(1)
     }
 
     /// Byte length of group `g`'s cross-reel parity stream: the longest
@@ -275,6 +323,7 @@ mod tests {
             outer_parity: true,
             reel_capacity: 10,
             group_reels: 2,
+            group_parity: 1,
         }
     }
 
@@ -287,12 +336,42 @@ mod tests {
         assert_eq!(l.total_frames(), 41);
         assert_eq!(l.content_reels(), 5); // 41 frames / 10 per reel
         assert_eq!(l.reel_frames(4), 1);
-        assert_eq!(l.parity_reels(), 3); // groups {0,1} {2,3} {4}
+        assert_eq!(l.groups(), 3); // groups {0,1} {2,3} {4}
+        assert_eq!(l.parity_reels(), 3);
         assert_eq!(l.total_reels(), 8);
-        assert_eq!(l.parity_reel_of(1), 6);
+        assert_eq!(l.parity_reel_of(1, 0), 6);
         assert_eq!(l.group_members(2), 4..5);
         assert_eq!(l.parity_stream_len(0), 1000);
         assert_eq!(l.parity_stream_len(2), 100);
+        assert_eq!(l.parity_role_of(4), None);
+        assert_eq!(l.parity_role_of(6), Some((1, 0)));
+    }
+
+    #[test]
+    fn multi_parity_reel_mapping() {
+        let l = ReelLayout {
+            group_parity: 2,
+            ..layout()
+        };
+        // Same content geometry, twice the parity reels.
+        assert_eq!(l.content_reels(), 5);
+        assert_eq!(l.groups(), 3);
+        assert_eq!(l.parity_reels(), 6);
+        assert_eq!(l.total_reels(), 11);
+        // Group-major, slot-major: g0 -> 5,6  g1 -> 7,8  g2 -> 9,10.
+        assert_eq!(l.parity_reel_of(0, 1), 6);
+        assert_eq!(l.parity_reel_of(1, 0), 7);
+        assert_eq!(l.parity_reels_of(2), 9..11);
+        assert_eq!(l.parity_role_of(8), Some((1, 1)));
+        assert_eq!(l.parity_role_of(3), None);
+        // Parity frame headers are dense ReelParity emissions.
+        let h = l.parity_frame_header(0, 3);
+        assert_eq!(h.kind, EmblemKind::ReelParity);
+        assert_eq!(h.index, 3);
+        assert_eq!(h.payload_len, 100);
+        assert_eq!(h.total_len, 1000);
+        assert_eq!(l.parity_reel_frames(0), 10);
+        assert_eq!(l.parity_reel_frames(2), 1);
     }
 
     #[test]

@@ -17,14 +17,25 @@
 //!    path, never to wrong bytes;
 //! 3. **multi-reel sharding with cross-reel parity** — the frame
 //!    sequence is split into reels of `reel_capacity` frames, and every
-//!    group of `group_reels` content reels gets one RS parity reel
-//!    (shortened `RS(k+1, k)` over the reels' padded chunk bytes, built
-//!    on [`ule_gf256::RsCode::parity_of`] — since the kernel layer of
-//!    `DESIGN.md` §12 that is a column-batched slice operation, so parity
-//!    for megabytes of reel stream costs a handful of `mul_add_slice`
-//!    passes rather than a per-byte-column division), so any single lost
-//!    reel per group is reconstructed bit for bit; a second loss in the
-//!    same group fails as the structured [`VaultError::ReelLoss`].
+//!    group of `data_reels` content reels gets `parity_reels` RS parity
+//!    reels (shortened `RS(k+m, k)` over the reels' padded chunk bytes,
+//!    built on [`ule_gf256::RsCode::parity_of`] — since the kernel layer
+//!    of `DESIGN.md` §12 that is a column-batched slice operation, so
+//!    parity for megabytes of reel stream costs a handful of
+//!    `mul_add_slice` passes rather than a per-byte-column division), so
+//!    any `m` lost reels per group are reconstructed bit for bit; an
+//!    `m+1`-th loss in the same group fails as the structured
+//!    [`VaultError::ReelLoss`]. The topology is a [`ShardPlan`]; a
+//!    single-parity plan reproduces the pre-multi-parity shelf and
+//!    manifest byte for byte.
+//!
+//! On top of the parity machinery sit the shelf-maintenance surfaces of
+//! `DESIGN.md` §16: [`Vault::scrub`] (walk every reel, verify frame CRCs
+//! and parity-group consistency, classify clean/correctable/lost),
+//! [`Vault::repair`] (re-encode damaged or missing reels as pristine
+//! emblems in place), and degraded-mode reads — [`Vault::restore_table`]
+//! and [`Vault::query_table`] reconstruct only the frames they need from
+//! surviving group columns instead of bailing to a full scan.
 //!
 //! Verification sweeps over intact shelves ride the same kernel layer
 //! twice more: every catalog and segment check is the sliced
@@ -39,10 +50,13 @@
 
 pub mod catalog;
 pub mod layout;
+pub mod scrub;
 pub mod segment;
 pub mod zones;
 
-use std::collections::HashMap;
+pub use scrub::{GroupScrub, ReelHealth, ReelScrub, RepairReport, ScrubReport};
+
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use catalog::{ContentIndex, IndexEntry, IndexError, ZoneInfo};
 use layout::{ReelLayout, StreamId};
@@ -68,8 +82,55 @@ pub type ReelScans = Vec<Option<Vec<GrayImage>>>;
 pub enum ReelRole {
     /// Carries a slice of the content frame sequence.
     Content,
-    /// Carries the cross-reel parity stream of one reel group.
-    Parity { group: usize },
+    /// Carries one cross-reel parity stream (`slot` of `m`) of one reel
+    /// group.
+    Parity { group: usize, slot: usize },
+}
+
+/// The reel topology of a sharded vault: `reel_capacity` frames per
+/// content reel, groups of `data_reels` content reels protected by
+/// `parity_reels` cross-reel parity reels — the shortened
+/// `RS(k+m, k)` with `k = data_reels` and `m = parity_reels`, so any
+/// `m` lost reels per group reconstruct bit for bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Frames per content reel; `0` = everything on one reel.
+    pub reel_capacity: usize,
+    /// Content reels per parity group; `0` = no parity reels.
+    pub data_reels: usize,
+    /// Parity reels per group (the `m` of `RS(k+m, k)`).
+    pub parity_reels: usize,
+}
+
+impl ShardPlan {
+    /// Single-parity plan (`m = 1`): byte-identical shelves and
+    /// manifests to the pre-multi-parity layout.
+    pub fn single_parity(reel_capacity: usize, data_reels: usize) -> Self {
+        Self {
+            reel_capacity,
+            data_reels,
+            parity_reels: usize::from(data_reels > 0),
+        }
+    }
+
+    /// Multi-parity plan: `RS(data_reels + parity_reels, data_reels)`
+    /// per group.
+    pub fn with_parity(reel_capacity: usize, data_reels: usize, parity_reels: usize) -> Self {
+        Self {
+            reel_capacity,
+            data_reels,
+            parity_reels,
+        }
+    }
+
+    /// The unsharded plan [`Vault::single_reel`] uses.
+    fn unsharded() -> Self {
+        Self {
+            reel_capacity: 0,
+            data_reels: 0,
+            parity_reels: 0,
+        }
+    }
 }
 
 /// One physical reel: an ordered run of printed frames.
@@ -305,10 +366,8 @@ impl From<IndexError> for VaultError {
 #[derive(Clone)]
 pub struct Vault {
     pub system: MicrOlonys,
-    /// Frames per content reel; `0` = everything on one reel.
-    pub reel_capacity: usize,
-    /// Content reels per cross-reel parity group; `0` = no parity reels.
-    pub group_reels: usize,
+    /// Reel topology: capacity, group size, parity depth.
+    pub plan: ShardPlan,
     /// Zone-map spec applied at archive time (`None` = every segment is
     /// one opaque record — byte-identical to pre-zone-map composition).
     pub zone_spec: Option<ZoneSpec>,
@@ -323,21 +382,27 @@ impl Vault {
     pub fn single_reel(system: MicrOlonys) -> Self {
         Self {
             system,
-            reel_capacity: 0,
-            group_reels: 0,
+            plan: ShardPlan::unsharded(),
             zone_spec: Some(ZoneSpec::tpch_default()),
             telemetry: Telemetry::off(),
         }
     }
 
-    /// A sharded vault: `reel_capacity` frames per reel, one parity reel
-    /// per `group_reels` content reels.
-    pub fn sharded(system: MicrOlonys, reel_capacity: usize, group_reels: usize) -> Self {
-        assert!(reel_capacity > 0, "sharding needs a positive reel capacity");
+    /// A sharded vault laid out by `plan`: `plan.reel_capacity` frames
+    /// per reel, `plan.parity_reels` parity reels per `plan.data_reels`
+    /// content reels.
+    pub fn sharded(system: MicrOlonys, plan: ShardPlan) -> Self {
+        assert!(
+            plan.reel_capacity > 0,
+            "sharding needs a positive reel capacity"
+        );
+        assert!(
+            plan.data_reels == 0 || plan.parity_reels >= 1,
+            "parity groups need at least one parity reel"
+        );
         Self {
             system,
-            reel_capacity,
-            group_reels,
+            plan,
             zone_spec: Some(ZoneSpec::tpch_default()),
             telemetry: Telemetry::off(),
         }
@@ -480,8 +545,9 @@ impl Vault {
             index_len: index_bytes.len(),
             data_len: data_bytes.len(),
             outer_parity: self.system.with_parity,
-            reel_capacity: self.reel_capacity,
-            group_reels: self.group_reels,
+            reel_capacity: self.plan.reel_capacity,
+            group_reels: self.plan.data_reels,
+            group_parity: self.plan.parity_reels,
         };
         assert!(
             layout.sys_frames() <= u16::MAX as usize
@@ -514,12 +580,15 @@ impl Vault {
             });
         }
 
-        // Cross-reel parity reels: RS(k+1, k) column parity over the
-        // group members' padded chunk bytes (DESIGN.md §11 for the math;
-        // with one parity reel this degenerates to GF(2^8) XOR).
+        // Cross-reel parity reels: RS(k+m, k) column parity over the
+        // group members' padded chunk bytes (DESIGN.md §11/§16 for the
+        // math; with one parity reel this degenerates to GF(2^8) XOR).
+        // `parity_of` hands back all m parity streams of a group from one
+        // column-batched pass; each becomes its own reel, slot-major.
         if layout.parity_reels() > 0 {
             let payloads = self.emission_payloads(&layout, &sys_bytes, &index_bytes, &data_bytes);
-            for g in 0..layout.parity_reels() {
+            let m = layout.group_parity;
+            for g in 0..layout.groups() {
                 let members: Vec<usize> = layout.group_members(g).collect();
                 let plen = layout.parity_stream_len(g);
                 let streams: Vec<Vec<u8>> = members
@@ -535,20 +604,21 @@ impl Vault {
                     })
                     .collect();
                 let refs: Vec<&[u8]> = streams.iter().map(|s| s.as_slice()).collect();
-                let rs = RsCode::new(members.len() + 1, members.len());
-                let parity_bytes = rs.parity_of(&refs).swap_remove(0);
-                let emblems = encode_stream_with(
-                    &geom,
-                    EmblemKind::ReelParity,
-                    &parity_bytes,
-                    false,
-                    threads,
-                );
-                reels.push(Reel {
-                    id: layout.parity_reel_of(g),
-                    role: ReelRole::Parity { group: g },
-                    frames: self.system.medium.print_all_with(&emblems, threads),
-                });
+                let rs = RsCode::new(members.len() + m, members.len());
+                for (slot, parity_bytes) in rs.parity_of(&refs).into_iter().enumerate() {
+                    let emblems = encode_stream_with(
+                        &geom,
+                        EmblemKind::ReelParity,
+                        &parity_bytes,
+                        false,
+                        threads,
+                    );
+                    reels.push(Reel {
+                        id: layout.parity_reel_of(g, slot),
+                        role: ReelRole::Parity { group: g, slot },
+                        frames: self.system.medium.print_all_with(&emblems, threads),
+                    });
+                }
             }
         }
 
@@ -559,8 +629,9 @@ impl Vault {
             index_len: index_bytes.len(),
             data_len: data_bytes.len(),
             index_crc32: crc32(&index_bytes),
-            reel_capacity: self.reel_capacity,
-            group_reels: self.group_reels,
+            reel_capacity: self.plan.reel_capacity,
+            group_reels: self.plan.data_reels,
+            parity_reels: self.plan.parity_reels,
         });
 
         let stats = VaultStats {
@@ -975,6 +1046,12 @@ impl Vault {
     /// Decode an arbitrary set of data-stream chunks, returning their
     /// payloads keyed by chunk index. The shared primitive under the
     /// selective-restore and pruned-query paths.
+    ///
+    /// This is the degraded-mode read path: frames on lost reels are
+    /// rebuilt *per offset* — only the frames this read touches, never
+    /// the whole reel — and a frame that no longer decodes on a present
+    /// reel is rebuilt from its parity group's surviving columns and
+    /// retried once before the caller escalates to the full scan.
     fn decode_chunks(
         &self,
         chunks: &[usize],
@@ -986,14 +1063,66 @@ impl Vault {
             .iter()
             .map(|&c| layout.chunk_position(StreamId::Data, c))
             .collect();
-        source.ensure(self, &positions, stats)?;
-        let picks: Vec<(usize, &GrayImage)> = chunks
+        for &pos in &positions {
+            if pos >= layout.total_frames() {
+                // A catalog naming frames past the manifest's geometry is
+                // a structural lie, not an index to chase.
+                return Err(VaultError::ShapeMismatch(format!(
+                    "frame position {pos} beyond the {}-frame layout",
+                    layout.total_frames()
+                )));
+            }
+        }
+        let lost_wants: Vec<(usize, usize)> = positions
             .iter()
-            .zip(&positions)
-            .map(|(&c, &p)| (chunk_global_index(c, layout.outer_parity), source.get(p)))
+            .filter_map(|&p| {
+                let (r, j) = layout.reel_of(p);
+                source.reels[r].is_none().then_some((r, j))
+            })
             .collect();
-        stats.frames_decoded += picks.len();
-        let (decoded, r) = self.system.restore_frames_traced(&picks, &self.telemetry)?;
+        source.reconstruct(self, &lost_wants, stats)?;
+        let expects: Vec<usize> = chunks
+            .iter()
+            .map(|&c| chunk_global_index(c, layout.outer_parity))
+            .collect();
+        stats.frames_decoded += positions.len();
+        let attempt = {
+            let picks: Vec<(usize, &GrayImage)> = expects
+                .iter()
+                .zip(&positions)
+                .map(|(&e, &p)| (e, source.get(p)))
+                .collect();
+            self.system.restore_frames_traced(&picks, &self.telemetry)
+        };
+        let (decoded, r) = match attempt {
+            Ok(ok) => ok,
+            Err(first) if layout.parity_reels() > 0 => {
+                // Probe which of the requested frames no longer decode
+                // (or decode to the wrong emission), rebuild exactly
+                // those from surviving group columns, retry once.
+                let geom = self.system.medium.geometry;
+                let bad: Vec<(usize, usize)> = expects
+                    .iter()
+                    .zip(&positions)
+                    .filter(|&(&e, &p)| match decode_emblem(&geom, source.get(p)) {
+                        Ok((h, _, _)) => h.index as usize != e,
+                        Err(_) => true,
+                    })
+                    .map(|(_, &p)| layout.reel_of(p))
+                    .collect();
+                if bad.is_empty() {
+                    return Err(first.into());
+                }
+                source.reconstruct(self, &bad, stats)?;
+                let picks: Vec<(usize, &GrayImage)> = expects
+                    .iter()
+                    .zip(&positions)
+                    .map(|(&e, &p)| (e, source.get(p)))
+                    .collect();
+                self.system.restore_frames_traced(&picks, &self.telemetry)?
+            }
+            Err(first) => return Err(first.into()),
+        };
         stats.corrected_symbols += r.corrected_symbols;
         Ok(chunks
             .iter()
@@ -1052,91 +1181,118 @@ impl Vault {
         Ok(dump)
     }
 
-    /// Rebuild every frame of `lost` (a content reel) from its group's
-    /// surviving reels plus the parity reel, returning pristine re-encoded
-    /// emblem images (identical bytes to the originals by construction).
-    fn reconstruct_reel(
+    /// Rebuild the requested `(reel, offset)` frames of parity group `g`
+    /// from the group's surviving columns, returning pristine re-encoded
+    /// emblem images (identical bytes to the originals by construction)
+    /// tagged with whether each frame was actually recovered.
+    ///
+    /// Requested frames are never trusted as source columns — they are
+    /// erasures by definition (lost reel, or a damaged frame the caller
+    /// could not decode). Physically lost reels beyond the group's `m`
+    /// parity budget fail up front as the structured
+    /// [`VaultError::ReelLoss`] naming every lost reel; per-offset
+    /// sibling damage *beyond* the budget degrades only that offset to
+    /// an intentionally blank frame — downstream that is one more failed
+    /// scan for the stream-level outer code (or the selective path's
+    /// full-scan fallback) to absorb, not a bricked shelf.
+    ///
+    /// Cross-reel recovery is column-independent: byte offset `o` of a
+    /// lost stream needs only byte `o` of each surviving stream, so
+    /// frame `j` of a lost reel needs exactly frame `j` of each
+    /// surviving member plus the group's parity frames `j` — which is
+    /// what makes on-demand degraded-mode reads (rebuild only the frames
+    /// a query touches) possible at all.
+    pub(crate) fn reconstruct_group_frames(
         &self,
         layout: &ReelLayout,
         reels: &ReelScans,
-        lost: usize,
+        g: usize,
+        wants: &[(usize, usize)],
         stats: &mut VaultRestoreStats,
-    ) -> Result<Vec<GrayImage>, VaultError> {
+    ) -> Result<Vec<((usize, usize), GrayImage, bool)>, VaultError> {
         let geom = self.system.medium.geometry;
         let cap = layout.chunk_cap;
-        if layout.parity_reels() == 0 {
-            return Err(VaultError::ReelLoss {
-                group: 0,
-                lost: vec![lost],
-                recoverable: 0,
-            });
-        }
-        let g = layout.group_of(lost);
+        let m = layout.group_parity;
         let members: Vec<usize> = layout.group_members(g).collect();
-        let lost_members: Vec<usize> = members
+        let group_reels: Vec<usize> = members
+            .iter()
+            .copied()
+            .chain(layout.parity_reels_of(g))
+            .collect();
+        let k = members.len();
+        let n = k + m;
+
+        // Physically lost reels are a group-wide budget question: past
+        // `m` of them no offset is solvable and the structured error
+        // names them all.
+        let lost: Vec<usize> = group_reels
             .iter()
             .copied()
             .filter(|&r| reels[r].is_none())
             .collect();
-        let parity_reel = layout.parity_reel_of(g);
-        if lost_members.len() > 1 || reels[parity_reel].is_none() {
-            let mut all_lost = lost_members;
-            if reels[parity_reel].is_none() {
-                all_lost.push(parity_reel);
-            }
+        if lost.len() > m {
             return Err(VaultError::ReelLoss {
                 group: g,
-                lost: all_lost,
-                recoverable: 1,
+                lost,
+                recoverable: m,
             });
         }
 
-        // A parity reel whose frame count disagrees with the manifest is
-        // rejected up front: consuming it zero-padded would recover wrong
-        // bytes whose failure only surfaces as a distant container-CRC
-        // mismatch naming no reel.
-        let plen = layout.parity_stream_len(g);
-        let parity_scans = reels[parity_reel].as_ref().unwrap();
-        if parity_scans.len() != plen / cap.max(1) {
-            return Err(VaultError::ShapeMismatch(format!(
-                "parity reel {parity_reel} holds {} frames, manifest implies {}",
-                parity_scans.len(),
-                plen / cap.max(1)
-            )));
+        // Requested offsets, each with the reels to rebuild there.
+        let mut by_offset: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for &(r, j) in wants {
+            let targets = by_offset.entry(j).or_default();
+            if !targets.contains(&r) {
+                targets.push(r);
+            }
         }
+        let jobs: Vec<(usize, Vec<usize>)> = by_offset.into_iter().collect();
 
-        // Cross-reel recovery is column-independent: byte offset `o` of
-        // the lost stream needs only byte `o` of each sibling stream, so
-        // frame `j` of the lost reel needs exactly frame `j` of each
-        // surviving member plus parity frame `j`. Recovery is therefore
-        // per-offset: an undecodable sibling frame costs only the *same
-        // offset* of the lost reel, which comes back as an intentionally
-        // blank frame — downstream that is one more failed scan for the
-        // stream-level outer code (or the selective path's full-scan
-        // fallback) to absorb, not a bricked shelf.
-        let k = members.len();
-        let lost_pos = members.iter().position(|&r| r == lost).expect("member");
-        let base = lost * layout.reel_capacity;
+        // Frame count each reel must hold to be trusted as a source
+        // column. A reel that disagrees with the manifest (torn tape,
+        // partial scan) is never consumed zero-padded — recovering wrong
+        // bytes would only surface as a distant container-CRC mismatch
+        // naming no reel — it simply stops being a source.
+        let expected_frames: Vec<usize> = group_reels
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                if i < k {
+                    layout.reel_frames(r)
+                } else {
+                    layout.parity_reel_frames(g)
+                }
+            })
+            .collect();
+
         let blank = GrayImage::new(geom.image_width(), geom.image_height(), 255);
-        let _span = self.telemetry.span("vault.reconstruct_reel");
-        // (image, sibling+parity frames decoded, inner-RS symbols
-        // corrected along the way, recovered?)
-        let results: Vec<(GrayImage, usize, usize, bool)> =
-            ule_par::map_indexed(self.system.threads, layout.reel_frames(lost), |j| {
+        let _span = self.telemetry.span("vault.reconstruct_group");
+        // Per offset: (rebuilt frames, source frames decoded, inner-RS
+        // symbols corrected along the way).
+        type OffsetResult = (Vec<((usize, usize), GrayImage, bool)>, usize, usize);
+        let results: Vec<OffsetResult> =
+            ule_par::map(self.system.threads, &jobs, |(j, targets)| {
+                let j = *j;
                 let mut decodes = 0usize;
                 let mut corrected = 0usize;
-                let mut columns: Vec<Vec<u8>> = Vec::with_capacity(k + 1);
-                let mut usable = true;
-                for &r in members.iter().chain(std::iter::once(&parity_reel)) {
-                    if r == lost {
-                        columns.push(vec![0u8; cap]);
+                let mut columns: Vec<Option<Vec<u8>>> = Vec::with_capacity(n);
+                for (i, &r) in group_reels.iter().enumerate() {
+                    if targets.contains(&r) {
+                        columns.push(None);
                         continue;
                     }
-                    let scans = reels[r].as_ref().expect("present checked above");
+                    let Some(scans) = reels[r].as_ref() else {
+                        columns.push(None);
+                        continue;
+                    };
+                    if scans.len() != expected_frames[i] {
+                        columns.push(None);
+                        continue;
+                    }
                     if j >= scans.len() {
                         // Short tail reel: its stream is zero-padded past
                         // its end by construction.
-                        columns.push(vec![0u8; cap]);
+                        columns.push(Some(vec![0u8; cap]));
                         continue;
                     }
                     decodes += 1;
@@ -1144,49 +1300,64 @@ impl Vault {
                         Ok((_, mut payload, ds)) => {
                             corrected += ds.rs_corrected;
                             payload.resize(cap, 0);
-                            columns.push(payload);
+                            columns.push(Some(payload));
                         }
-                        Err(_) => {
-                            usable = false;
-                            break;
-                        }
+                        Err(_) => columns.push(None),
                     }
                 }
-                if !usable {
-                    return (blank.clone(), decodes, corrected, false);
+                let erased: Vec<usize> = columns
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_none())
+                    .map(|(i, _)| i)
+                    .collect();
+                let degrade = |decodes, corrected| {
+                    let out = targets
+                        .iter()
+                        .map(|&r| ((r, j), blank.clone(), false))
+                        .collect::<Vec<_>>();
+                    (out, decodes, corrected)
+                };
+                if erased.len() > m {
+                    return degrade(decodes, corrected);
                 }
-                let rs = RsCode::new(k + 1, k);
-                let mut recovered = vec![0u8; cap];
-                let mut cw = vec![0u8; k + 1];
-                for (o, slot) in recovered.iter_mut().enumerate() {
+                let rs = RsCode::new(n, k);
+                let mut solved: Vec<Vec<u8>> = vec![vec![0u8; cap]; n];
+                let mut cw = vec![0u8; n];
+                for o in 0..cap {
                     for (i, c) in columns.iter().enumerate() {
-                        cw[i] = c[o];
+                        cw[i] = c.as_ref().map_or(0, |v| v[o]);
                     }
-                    if rs.decode(&mut cw, &[lost_pos]).is_err() {
-                        return (blank.clone(), decodes, corrected, false);
+                    if rs.decode(&mut cw, &erased).is_err() {
+                        return degrade(decodes, corrected);
                     }
-                    *slot = cw[lost_pos];
+                    for &e in &erased {
+                        solved[e][o] = cw[e];
+                    }
                 }
-                let info = layout.frame_info(base + j);
-                let payload_len = info.header.payload_len as usize;
-                (
-                    encode_emblem(&geom, &info.header, &recovered[..payload_len]),
-                    decodes,
-                    corrected,
-                    true,
-                )
+                let out = targets
+                    .iter()
+                    .map(|&r| {
+                        let col = group_reels.iter().position(|&x| x == r).expect("in group");
+                        let header = match layout.parity_role_of(r) {
+                            Some((pg, _)) => layout.parity_frame_header(pg, j),
+                            None => layout.frame_info(r * layout.reel_capacity + j).header,
+                        };
+                        let payload_len = header.payload_len as usize;
+                        let image = encode_emblem(&geom, &header, &solved[col][..payload_len]);
+                        ((r, j), image, true)
+                    })
+                    .collect::<Vec<_>>();
+                (out, decodes, corrected)
             });
-        let mut frames = Vec::with_capacity(results.len());
-        for (image, decodes, corrected, recovered) in results {
+
+        let mut frames = Vec::with_capacity(wants.len());
+        for (rebuilt, decodes, corrected) in results {
             stats.recovery_frames_decoded += decodes;
             stats.corrected_symbols += corrected;
-            if recovered {
-                stats.frames_reconstructed += 1;
-            }
-            frames.push(image);
+            stats.frames_reconstructed += rebuilt.iter().filter(|(_, _, ok)| *ok).count();
+            frames.extend(rebuilt);
         }
-        stats.reels_reconstructed += 1;
-        self.telemetry.add("vault.reels_reconstructed", 1);
         Ok(frames)
     }
 
@@ -1203,19 +1374,25 @@ impl Vault {
             index_len: index_bytes.len(),
             data_len: data_bytes.len(),
             outer_parity: self.system.with_parity,
-            reel_capacity: self.reel_capacity,
-            group_reels: self.group_reels,
+            reel_capacity: self.plan.reel_capacity,
+            group_reels: self.plan.data_reels,
+            group_parity: self.plan.parity_reels,
         }
     }
 }
 
 /// Lazily reconstructing view over a [`ReelScans`] shelf: `get` hands out
-/// either the original scan or (for lost reels) a reconstructed pristine
-/// frame, after `ensure` has rebuilt every lost reel the request touches.
+/// either the original scan or a reconstructed pristine frame — for lost
+/// reels after `ensure`, for damaged frames on present reels after
+/// `reconstruct` (the degraded-mode read path).
 struct FrameSource<'a> {
     layout: ReelLayout,
     reels: &'a ReelScans,
-    rebuilt: HashMap<usize, Vec<GrayImage>>,
+    /// Reconstructed pristine frames, keyed by `(reel, offset)`.
+    rebuilt: HashMap<(usize, usize), GrayImage>,
+    /// Reels at least one frame of which was reconstructed — the
+    /// `reels_reconstructed` stat counts each reel once per restore.
+    touched: HashSet<usize>,
 }
 
 impl<'a> FrameSource<'a> {
@@ -1242,16 +1419,21 @@ impl<'a> FrameSource<'a> {
             layout,
             reels,
             rebuilt: HashMap::new(),
+            touched: HashSet::new(),
         })
     }
 
-    /// Reconstruct every lost reel covering `positions`.
+    /// Reconstruct every lost reel covering `positions` — whole reels,
+    /// so downstream whole-stream decodes see every offset. Selective
+    /// readers rebuild per-offset through [`FrameSource::reconstruct`]
+    /// instead.
     fn ensure(
         &mut self,
         vault: &Vault,
         positions: &[usize],
         stats: &mut VaultRestoreStats,
     ) -> Result<(), VaultError> {
+        let mut wants: Vec<(usize, usize)> = Vec::new();
         for &pos in positions {
             if pos >= self.layout.total_frames() {
                 // A catalog (or caller) naming frames past the manifest's
@@ -1262,22 +1444,85 @@ impl<'a> FrameSource<'a> {
                 )));
             }
             let (reel, _) = self.layout.reel_of(pos);
-            if self.reels[reel].is_none() && !self.rebuilt.contains_key(&reel) {
-                let frames = vault.reconstruct_reel(&self.layout, self.reels, reel, stats)?;
-                self.rebuilt.insert(reel, frames);
+            if self.reels[reel].is_none() && !self.touched.contains(&reel) {
+                wants.extend((0..self.layout.reel_frames(reel)).map(|j| (reel, j)));
+                self.touched.insert(reel);
+                stats.reels_reconstructed += 1;
+                vault.telemetry.add("vault.reels_reconstructed", 1);
+            }
+        }
+        self.rebuild(vault, &wants, stats)
+    }
+
+    /// Degraded-mode reconstruction: rebuild exactly the named
+    /// `(reel, offset)` frames from their groups' surviving columns —
+    /// lost reels and damage-exhausted frames on present reels alike.
+    fn reconstruct(
+        &mut self,
+        vault: &Vault,
+        wants: &[(usize, usize)],
+        stats: &mut VaultRestoreStats,
+    ) -> Result<(), VaultError> {
+        let fresh: Vec<(usize, usize)> = wants
+            .iter()
+            .copied()
+            .filter(|key| !self.rebuilt.contains_key(key))
+            .collect();
+        for &(reel, _) in &fresh {
+            if self.touched.insert(reel) {
+                stats.reels_reconstructed += 1;
+                vault.telemetry.add("vault.reels_reconstructed", 1);
+            }
+        }
+        self.rebuild(vault, &fresh, stats)
+    }
+
+    /// Fan the wanted frames out to their parity groups and store the
+    /// rebuilt images.
+    fn rebuild(
+        &mut self,
+        vault: &Vault,
+        wants: &[(usize, usize)],
+        stats: &mut VaultRestoreStats,
+    ) -> Result<(), VaultError> {
+        if wants.is_empty() {
+            return Ok(());
+        }
+        if self.layout.parity_reels() == 0 {
+            let mut lost: Vec<usize> = wants.iter().map(|&(r, _)| r).collect();
+            lost.dedup();
+            return Err(VaultError::ReelLoss {
+                group: 0,
+                lost,
+                recoverable: 0,
+            });
+        }
+        let mut by_group: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+        for &(reel, j) in wants {
+            let g = match self.layout.parity_role_of(reel) {
+                Some((g, _)) => g,
+                None => self.layout.group_of(reel),
+            };
+            by_group.entry(g).or_default().push((reel, j));
+        }
+        for (g, group_wants) in by_group {
+            let frames =
+                vault.reconstruct_group_frames(&self.layout, self.reels, g, &group_wants, stats)?;
+            for (key, image, _) in frames {
+                self.rebuilt.insert(key, image);
             }
         }
         Ok(())
     }
 
     /// The frame at global position `pos` (original scan or rebuilt).
-    /// `ensure` must have covered `pos` first.
+    /// `ensure`/`reconstruct` must have covered `pos` first.
     fn get(&self, pos: usize) -> &GrayImage {
         let (reel, offset) = self.layout.reel_of(pos);
-        match &self.reels[reel] {
-            Some(scans) => &scans[offset],
-            None => &self.rebuilt[&reel][offset],
+        if let Some(image) = self.rebuilt.get(&(reel, offset)) {
+            return image;
         }
+        &self.reels[reel].as_ref().expect("ensure covered pos")[offset]
     }
 }
 
@@ -1449,7 +1694,7 @@ mod tests {
     use ule_par::ThreadConfig;
 
     fn tiny_vault() -> Vault {
-        Vault::sharded(MicrOlonys::test_tiny(), 12, 2)
+        Vault::sharded(MicrOlonys::test_tiny(), ShardPlan::single_parity(12, 2))
     }
 
     fn sample_dump() -> Vec<u8> {
@@ -1467,12 +1712,32 @@ mod tests {
             assert_eq!(arc.reels[r].frames.len(), arc.layout.reel_frames(r));
             assert_eq!(arc.reels[r].role, ReelRole::Content);
         }
-        for g in 0..arc.layout.parity_reels() {
-            let pr = &arc.reels[arc.layout.parity_reel_of(g)];
-            assert_eq!(pr.role, ReelRole::Parity { group: g });
+        for g in 0..arc.layout.groups() {
+            for slot in 0..arc.layout.group_parity {
+                let pr = &arc.reels[arc.layout.parity_reel_of(g, slot)];
+                assert_eq!(pr.role, ReelRole::Parity { group: g, slot });
+            }
         }
         assert!(arc.bootstrap.vault.is_some());
         assert!(arc.stats.tables >= 8, "all TPC-H tables catalogued");
+    }
+
+    #[test]
+    fn multi_parity_archive_shape_and_pristine_restore() {
+        let vault = Vault::sharded(MicrOlonys::test_tiny(), ShardPlan::with_parity(12, 3, 2));
+        let dump = sample_dump();
+        let arc = vault.archive(&dump);
+        assert_eq!(arc.layout.group_parity, 2);
+        assert_eq!(
+            arc.stats.parity_reels,
+            arc.layout.groups() * 2,
+            "two parity reels per group"
+        );
+        assert_eq!(arc.reels.len(), arc.layout.total_reels());
+        let scans = vault.scan_reels(&arc, 40);
+        let (restored, stats) = vault.restore_all(&arc.bootstrap, &scans).unwrap();
+        assert_eq!(restored, dump);
+        assert_eq!(stats.reels_reconstructed, 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! ```
 
 use ule::olonys::MicrOlonys;
-use ule::vault::Vault;
+use ule::vault::{ShardPlan, Vault};
 
 fn main() {
     // 1. A small TPC-H dump (the paper's §4 workload, miniaturised).
@@ -16,9 +16,11 @@ fn main() {
     println!("dump: {} bytes", dump.len());
 
     // 2. A sharded vault on the tiny test medium: 12 frames per reel,
-    //    one RS parity reel per 2 content reels. On real carriers use
-    //    `medium.reel_capacity(66.0)` (a 66 m microfilm reel) instead.
-    let vault = Vault::sharded(MicrOlonys::test_tiny(), 12, 2);
+    //    one RS parity reel per 2 content reels (use
+    //    `ShardPlan::with_parity` for deeper RS(k+m, k) redundancy). On
+    //    real carriers use `medium.reel_capacity(66.0)` (a 66 m
+    //    microfilm reel) instead.
+    let vault = Vault::sharded(MicrOlonys::test_tiny(), ShardPlan::single_parity(12, 2));
     let archive = vault.archive(&dump);
     println!(
         "shelf: {} segments -> {} data frames on {} content reels (+{} parity reels)",

@@ -17,14 +17,27 @@
 use ule::fault::{FaultPlan, FrameBlankFault};
 use ule::olonys::MicrOlonys;
 use ule::par::ThreadConfig;
-use ule::vault::{ReelScans, RestorePath, Vault, VaultError};
+use ule::vault::layout::StreamId;
+use ule::vault::{ReelScans, RestorePath, ShardPlan, Vault, VaultError};
 
 fn threads() -> ThreadConfig {
     ThreadConfig::from_env_or(ThreadConfig::Serial)
 }
 
 fn vault() -> Vault {
-    Vault::sharded(MicrOlonys::test_tiny().with_threads(threads()), 12, 2)
+    Vault::sharded(
+        MicrOlonys::test_tiny().with_threads(threads()),
+        ShardPlan::single_parity(12, 2),
+    )
+}
+
+/// The E15 gated topology: `RS(5, 3)` groups — any two lost reels per
+/// group reconstruct, a third is structured failure.
+fn vault_m2() -> Vault {
+    Vault::sharded(
+        MicrOlonys::test_tiny().with_threads(threads()),
+        ShardPlan::with_parity(12, 3, 2),
+    )
 }
 
 /// A dump big enough for several reels on the tiny medium.
@@ -212,8 +225,10 @@ fn lost_parity_reel_alone_is_harmless() {
     let dump = dump();
     let arc = v.archive(&dump);
     let mut scans = v.scan_reels(&arc, 23);
-    for g in 0..arc.layout.parity_reels() {
-        scans[arc.layout.parity_reel_of(g)] = None;
+    for g in 0..arc.layout.groups() {
+        for r in arc.layout.parity_reels_of(g) {
+            scans[r] = None;
+        }
     }
     let (restored, stats) = v.restore_all(&arc.bootstrap, &scans).unwrap();
     assert_eq!(restored, dump);
@@ -249,7 +264,7 @@ fn two_reels_lost_in_one_group_is_a_clean_structured_error() {
     // as clean.
     let mut scans = v.scan_reels(&arc, 25);
     scans[0] = None;
-    let parity_reel = layout.parity_reel_of(0);
+    let parity_reel = layout.parity_reel_of(0, 0);
     scans[parity_reel] = None;
     match v.restore_table(&arc.bootstrap, &scans, "orders") {
         Err(VaultError::ReelLoss { group, lost, .. }) => {
@@ -258,6 +273,260 @@ fn two_reels_lost_in_one_group_is_a_clean_structured_error() {
         }
         other => panic!("expected ReelLoss, got {other:?}"),
     }
+}
+
+#[test]
+fn multi_parity_survives_any_two_losses_per_group() {
+    let v = vault_m2();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let layout = arc.layout;
+    assert_eq!(layout.group_parity, 2);
+    assert!(layout.groups() >= 1);
+    let pristine = v.scan_reels(&arc, 41);
+
+    // Every pair of reels in group 0 (members and parity alike): the
+    // RS(5, 3) group must solve both.
+    let group0: Vec<usize> = layout
+        .group_members(0)
+        .chain(layout.parity_reels_of(0))
+        .collect();
+    for (ai, &a) in group0.iter().enumerate() {
+        for &b in &group0[ai + 1..] {
+            let mut scans = pristine.clone();
+            scans[a] = None;
+            scans[b] = None;
+            let (restored, stats) = v
+                .restore_all(&arc.bootstrap, &scans)
+                .unwrap_or_else(|e| panic!("reels {a},{b} lost: {e}"));
+            assert_eq!(restored, dump, "reels {a},{b} lost");
+            // Only lost *content* reels are rebuilt on restore; lost
+            // parity reels cost nothing here.
+            let content_lost =
+                usize::from(a < layout.content_reels()) + usize::from(b < layout.content_reels());
+            assert_eq!(stats.reels_reconstructed, content_lost, "reels {a},{b}");
+        }
+    }
+
+    // The bootstrap survives its own wire format with the parity depth
+    // intact, and the reparsed document restores identically.
+    let reparsed = ule::olonys::Bootstrap::parse(&arc.bootstrap.to_text()).unwrap();
+    assert_eq!(reparsed.vault.as_ref().unwrap().parity_reels, 2);
+    let mut scans = pristine.clone();
+    scans[0] = None;
+    scans[1] = None;
+    let (restored, _) = v.restore_all(&reparsed, &scans).unwrap();
+    assert_eq!(restored, dump);
+}
+
+#[test]
+fn m_plus_one_losses_name_every_lost_reel_and_group() {
+    let v = vault_m2();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let layout = arc.layout;
+    let mut scans = v.scan_reels(&arc, 42);
+    let gone = vec![0, 1, layout.parity_reel_of(0, 1)];
+    for &r in &gone {
+        scans[r] = None;
+    }
+    match v.restore_all(&arc.bootstrap, &scans) {
+        Err(VaultError::ReelLoss {
+            group,
+            lost,
+            recoverable,
+        }) => {
+            assert_eq!(group, 0);
+            assert_eq!(lost, gone, "every lost reel named");
+            assert_eq!(recoverable, 2);
+        }
+        other => panic!("expected ReelLoss, got {other:?}"),
+    }
+}
+
+#[test]
+fn damaged_frame_in_selective_range_is_rebuilt_not_full_scanned() {
+    // Degraded-mode read: a frame inside the requested table's range no
+    // longer decodes. The old behaviour was SelectiveFallback (full
+    // scan); now the frame is rebuilt from its parity group's surviving
+    // columns and the read stays selective.
+    let v = vault();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let mut scans = v.scan_reels(&arc, 43);
+    let layout = arc.layout;
+
+    let entry = arc.index.find("orders").unwrap();
+    let chunks: Vec<usize> = arc.index.chunk_range(entry).collect();
+    let pos = layout.chunk_position(StreamId::Data, chunks[chunks.len() / 2]);
+    let (reel, off) = layout.reel_of(pos);
+    let blank = FaultPlan::single(FrameBlankFault);
+    let frames = scans[reel].as_mut().unwrap();
+    frames[off] = blank.apply(&frames[off..off + 1], 1.0, 17)[0].clone();
+
+    let (bytes, stats) = v.restore_table(&arc.bootstrap, &scans, "orders").unwrap();
+    assert_eq!(stats.path, RestorePath::Selective, "no full-scan fallback");
+    assert_eq!(stats.frames_reconstructed, 1, "exactly the damaged frame");
+    assert_eq!(stats.reels_reconstructed, 1);
+    let start = entry.dump_start as usize;
+    assert_eq!(bytes, &dump[start..start + entry.dump_len as usize]);
+}
+
+#[test]
+fn degraded_selective_restore_rebuilds_only_needed_frames() {
+    // A whole data reel gone: selective restore must rebuild only the
+    // offsets the requested table touches, never the whole reel.
+    let v = vault();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let layout = arc.layout;
+    let pristine = v.scan_reels(&arc, 44);
+    let data_start = layout.sys_frames() + layout.index_frames();
+
+    // Find a (table, reel) pair where the reel is pure data stream and
+    // the table needs some but not all of its frames.
+    let mut picked = None;
+    'outer: for table in ["lineitem", "orders", "customer", "partsupp"] {
+        let Some(entry) = arc.index.find(table) else {
+            continue;
+        };
+        let positions: Vec<usize> = arc
+            .index
+            .chunk_range(entry)
+            .map(|c| layout.chunk_position(StreamId::Data, c))
+            .collect();
+        for r in 0..layout.content_reels() {
+            if r * layout.reel_capacity < data_start {
+                continue; // holds sys/index frames: whole-reel territory
+            }
+            let needed = positions
+                .iter()
+                .filter(|&&p| layout.reel_of(p).0 == r)
+                .count();
+            if needed > 0 && needed < layout.reel_frames(r) {
+                picked = Some((table, r, needed));
+                break 'outer;
+            }
+        }
+    }
+    let (table, lost, needed) = picked.expect("some table partially covers a data reel");
+
+    let mut scans = pristine.clone();
+    scans[lost] = None;
+    let entry = arc.index.find(table).unwrap();
+    let (bytes, stats) = v.restore_table(&arc.bootstrap, &scans, table).unwrap();
+    assert_eq!(stats.path, RestorePath::Selective);
+    assert_eq!(
+        stats.frames_reconstructed, needed,
+        "{table}: exactly the frames the read touches"
+    );
+    assert!(stats.frames_reconstructed < layout.reel_frames(lost));
+    assert_eq!(stats.reels_reconstructed, 1);
+    let start = entry.dump_start as usize;
+    assert_eq!(bytes, &dump[start..start + entry.dump_len as usize]);
+}
+
+#[test]
+fn scrub_on_a_clean_shelf_is_a_noop_and_repair_idempotent() {
+    let v = vault_m2();
+    let arc = v.archive(&dump());
+    let mut scans = v.scan_reels(&arc, 45);
+
+    let report = v.scrub(&arc.bootstrap, &scans).unwrap();
+    assert!(report.is_clean(), "{report:?}");
+    let (clean, correctable, lost) = report.counts();
+    assert_eq!(clean, arc.layout.total_reels());
+    assert_eq!((correctable, lost), (0, 0));
+    for g in &report.groups {
+        assert!(g.recoverable);
+        assert_eq!(g.parity_mismatch_offsets, 0);
+    }
+
+    let before = scans.clone();
+    let repair = v.repair(&arc.bootstrap, &mut scans).unwrap();
+    assert!(repair.is_noop(), "{repair:?}");
+    assert_eq!(repair.frames_reencoded, 0);
+    for (a, b) in before.iter().zip(&scans) {
+        let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(
+                x.as_bytes(),
+                y.as_bytes(),
+                "repair must not touch a clean shelf"
+            );
+        }
+    }
+}
+
+#[test]
+fn scrub_repair_scrub_converges_under_losses_and_damage() {
+    let v = vault_m2();
+    let dump = dump();
+    let arc = v.archive(&dump);
+    let layout = arc.layout;
+    let mut scans = v.scan_reels(&arc, 46);
+
+    // One reel of group 0 gone, one frame of a sibling blanked.
+    scans[0] = None;
+    let blank = FaultPlan::single(FrameBlankFault);
+    let frames = scans[1].as_mut().unwrap();
+    frames[3] = blank.apply(&frames[3..4], 1.0, 5)[0].clone();
+
+    let report = v.scrub(&arc.bootstrap, &scans).unwrap();
+    assert!(!report.is_clean());
+    let (_, correctable, lost) = report.counts();
+    assert_eq!(lost, 1, "the missing reel");
+    assert_eq!(correctable, 1, "the blank-frame sibling");
+    assert_eq!(report.reels[1].damaged, vec![3]);
+    assert!(report.groups[0].recoverable);
+
+    let repair = v.repair(&arc.bootstrap, &mut scans).unwrap();
+    assert!(repair.unrepairable.is_empty(), "{repair:?}");
+    assert!(repair.reels_rebuilt.contains(&0));
+    assert!(repair.reels_rebuilt.contains(&1));
+    assert_eq!(repair.frames_reencoded, layout.reel_frames(0) + 1);
+
+    // Convergence: the repaired shelf scrubs clean, a second repair is a
+    // no-op, and a restore needs no reconstruction at all.
+    let again = v.scrub(&arc.bootstrap, &scans).unwrap();
+    assert!(again.is_clean(), "{again:?}");
+    assert!(v.repair(&arc.bootstrap, &mut scans).unwrap().is_noop());
+    let (restored, stats) = v.restore_all(&arc.bootstrap, &scans).unwrap();
+    assert_eq!(restored, dump);
+    assert_eq!(stats.reels_reconstructed, 0);
+}
+
+#[test]
+fn scrub_past_the_budget_reports_lost_and_repair_declines() {
+    let v = vault_m2();
+    let arc = v.archive(&dump());
+    let layout = arc.layout;
+    let mut scans = v.scan_reels(&arc, 47);
+    let gone = vec![0, 1, 2];
+    for &r in &gone {
+        scans[r] = None;
+    }
+
+    let report = v.scrub(&arc.bootstrap, &scans).unwrap();
+    assert!(!report.groups[0].recoverable);
+    assert_eq!(report.groups[0].lost, gone);
+    let before_len: Vec<usize> = scans
+        .iter()
+        .map(|r| r.as_ref().map_or(0, |f| f.len()))
+        .collect();
+    let repair = v.repair(&arc.bootstrap, &mut scans).unwrap();
+    for &r in &gone {
+        assert!(repair.unrepairable.contains(&r), "{repair:?}");
+        assert!(scans[r].is_none(), "unrepairable reel left untouched");
+    }
+    let after_len: Vec<usize> = scans
+        .iter()
+        .map(|r| r.as_ref().map_or(0, |f| f.len()))
+        .collect();
+    assert_eq!(before_len, after_len);
+    // Other groups (if any) are untouched and healthy.
+    assert!(layout.groups() < 2 || report.groups[1].recoverable);
 }
 
 #[test]
